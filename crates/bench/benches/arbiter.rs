@@ -1,0 +1,33 @@
+//! Arbiter micro-benchmarks (E6 substrate): the per-decision cost of the
+//! stochastic chooser at different neighbourhood sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::arbiter::Arbiter;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_arbiter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arbiter_choose");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for m in [2usize, 4, 8, 64] {
+        let scores: Vec<(usize, f64)> =
+            (0..m).map(|i| (i, (i as f64 * 0.37).sin() + 2.0)).collect();
+        let arb = Arbiter::default();
+        group.bench_function(BenchmarkId::new("stochastic", m), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| arb.choose(&scores, 10.0, &mut rng))
+        });
+        let det = Arbiter::Deterministic;
+        group.bench_function(BenchmarkId::new("deterministic", m), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| det.choose(&scores, 10.0, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arbiter);
+criterion_main!(benches);

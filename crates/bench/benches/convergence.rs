@@ -1,0 +1,42 @@
+//! Criterion timing for the E5/E7 machinery: how long a fixed-round
+//! balancing run takes per policy on a 16×16 torus hotspot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_bench::run_once;
+use pp_core::balancer::ParticlePlaneBalancer;
+use pp_core::baselines::{DiffusionBalancer, DimensionExchangeBalancer, GradientModelBalancer};
+use pp_core::params::PhysicsConfig;
+use pp_sim::balancer::LoadBalancer;
+use pp_sim::engine::EngineConfig;
+use pp_tasking::workload::Workload;
+use pp_topology::graph::Topology;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_50_rounds_torus16");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    type Factory = fn(&Topology) -> Box<dyn LoadBalancer>;
+    let make: Vec<(&str, Factory)> = vec![
+        ("particle-plane", |_| Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default()))),
+        ("diffusion-opt", |t| Box::new(DiffusionBalancer::optimal(t))),
+        ("dimension-exchange", |t| Box::new(DimensionExchangeBalancer::new(t))),
+        ("gradient-model", |_| Box::new(GradientModelBalancer::new(1.5, 2.5))),
+    ];
+    for (name, factory) in make {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let topo = Topology::torus(&[16, 16]);
+                let n = topo.node_count();
+                let w = Workload::hotspot(n, 0, 2.0 * n as f64);
+                let balancer = factory(&topo);
+                run_once(topo, None, w, balancer, EngineConfig::default(), 50, 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

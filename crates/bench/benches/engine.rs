@@ -1,0 +1,64 @@
+//! Engine throughput: cost of a balance round (decision sweep + event
+//! handling) as the network grows, for the null policy (pure engine
+//! overhead) and the particle-plane policy, sequential vs parallel
+//! decisions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pp_core::balancer::ParticlePlaneBalancer;
+use pp_core::params::PhysicsConfig;
+use pp_sim::balancer::NullBalancer;
+use pp_sim::engine::{EngineBuilder, EngineConfig};
+use pp_tasking::workload::Workload;
+use pp_topology::graph::Topology;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_10_rounds");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for side in [8usize, 16, 32] {
+        let n = side * side;
+        group.bench_function(BenchmarkId::new("null", n), |b| {
+            b.iter(|| {
+                let topo = Topology::torus(&[side, side]);
+                let w = Workload::uniform_random(n, 4.0, 1);
+                let mut e =
+                    EngineBuilder::new(topo).workload(w).balancer(NullBalancer).seed(1).build();
+                e.run_rounds(10);
+                e.round()
+            })
+        });
+        group.bench_function(BenchmarkId::new("particle-plane", n), |b| {
+            b.iter(|| {
+                let topo = Topology::torus(&[side, side]);
+                let w = Workload::uniform_random(n, 4.0, 1);
+                let mut e = EngineBuilder::new(topo)
+                    .workload(w)
+                    .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
+                    .seed(1)
+                    .build();
+                e.run_rounds(10);
+                e.round()
+            })
+        });
+        group.bench_function(BenchmarkId::new("particle-plane-par", n), |b| {
+            b.iter(|| {
+                let topo = Topology::torus(&[side, side]);
+                let w = Workload::uniform_random(n, 4.0, 1);
+                let mut e = EngineBuilder::new(topo)
+                    .workload(w)
+                    .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
+                    .config(EngineConfig { parallel_decide: true, ..Default::default() })
+                    .seed(1)
+                    .build();
+                e.run_rounds(10);
+                e.round()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

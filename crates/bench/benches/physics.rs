@@ -1,0 +1,67 @@
+//! Physics kernel timings (E3/E4 substrate): integrator steps per second on
+//! analytic and grid surfaces, and the contour machinery (basin flood fill,
+//! escape radius).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_physics::prelude::*;
+
+fn bench_physics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("physics");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let bowl = AnalyticSurface::Bowl { center: Vec2::ZERO, curvature: 0.5 };
+    group.bench_function("particle_1k_steps_bowl", |b| {
+        b.iter(|| {
+            let cfg = SimConfig { g: 10.0, dt: 1e-3, stop_speed: 1e-6, max_steps: 10_000 };
+            let mut sim = Simulation::new(
+                &bowl,
+                Friction::uniform(0.01),
+                cfg,
+                Particle::at_rest(Vec2::new(2.0, 1.0), 1.0),
+            );
+            for _ in 0..1000 {
+                sim.step();
+            }
+            sim.particle().pos
+        })
+    });
+
+    let crater = AnalyticSurface::Crater {
+        center: Vec2::ZERO,
+        floor_r: 1.0,
+        rim_r: 2.0,
+        rim_height: 1.0,
+    };
+    let grid = GridSurface::sample(&crater, 200, 200, 0.05);
+    group.bench_function("particle_1k_steps_grid", |b| {
+        b.iter(|| {
+            let cfg = SimConfig { g: 10.0, dt: 1e-3, stop_speed: 1e-6, max_steps: 10_000 };
+            let mut sim = Simulation::new(
+                &grid,
+                Friction::uniform(0.05),
+                cfg,
+                Particle::at_rest(Vec2::new(1.8, 0.1), 1.0),
+            );
+            for _ in 0..1000 {
+                sim.step();
+            }
+            sim.particle().pos
+        })
+    });
+
+    group.bench_function("contour_basin_flood_fill", |b| {
+        b.iter(|| Contour::basin(&crater, Vec2::ZERO, 0.95, 0.05, 100).area_cells())
+    });
+
+    let contour = Contour::basin(&crater, Vec2::ZERO, 0.95, 0.05, 100);
+    group.bench_function("escape_radius", |b| {
+        b.iter(|| contour.escape_radius(Vec2::new(0.3, 0.2)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_physics);
+criterion_main!(benches);

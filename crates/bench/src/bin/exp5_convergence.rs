@@ -1,0 +1,99 @@
+//! E5 — Theorem 2: convergence to a nearly perfect balance. Runs the
+//! particle-plane balancer on every standard topology family × workload
+//! shape and reports the imbalance trajectory: initial CoV, rounds to
+//! CoV ≤ 0.5 and ≤ 0.3, and the final state.
+
+use pp_bench::{banner, dump_json, initial_cov, run_once};
+use pp_core::balancer::ParticlePlaneBalancer;
+use pp_core::params::PhysicsConfig;
+use pp_metrics::summary::{fmt, TextTable};
+use pp_sim::engine::EngineConfig;
+use pp_tasking::workload::Workload;
+use pp_topology::graph::Topology;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    topology: String,
+    workload: String,
+    initial_cov: f64,
+    final_cov: f64,
+    rounds_to_05: Option<f64>,
+    rounds_to_03: Option<f64>,
+    migrations: usize,
+}
+
+fn main() {
+    banner("E5", "convergence of the particle-plane scheme", "Theorem 2");
+    let topologies: Vec<(String, Topology)> = vec![
+        ("mesh 8×8".into(), Topology::mesh(&[8, 8])),
+        ("torus 8×8".into(), Topology::torus(&[8, 8])),
+        ("hypercube 6".into(), Topology::hypercube(6)),
+        ("ring 64".into(), Topology::ring(64)),
+        ("random 64".into(), Topology::random(64, 0.05, 3)),
+    ];
+    let mut rows = Vec::new();
+    for (tname, topo) in topologies {
+        let n = topo.node_count();
+        // Mean loads sit well above the friction floor (µ_s·e + 2l ≈ 3) so
+        // the relative residual imbalance stays small.
+        let workloads: Vec<(String, Workload)> = vec![
+            ("hotspot".into(), Workload::hotspot(n, 0, 2.0 * n as f64)),
+            ("uniform-random".into(), Workload::uniform_random(n, 12.0, 5)),
+            ("bimodal".into(), Workload::bimodal(n, 0.25, 16.0, 2.0, 5)),
+        ];
+        for (wname, w) in workloads {
+            let init = initial_cov(&w);
+            let r = run_once(
+                topo.clone(),
+                None,
+                w,
+                Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())),
+                EngineConfig::default(),
+                600,
+                11,
+            );
+            rows.push(Row {
+                topology: tname.clone(),
+                workload: wname,
+                initial_cov: init,
+                final_cov: r.final_imbalance.cov,
+                rounds_to_05: r.converged_round(0.5, 3),
+                rounds_to_03: r.converged_round(0.3, 3),
+                migrations: r.ledger.migration_count(),
+            });
+        }
+    }
+    let mut table = TextTable::new(vec![
+        "topology", "workload", "CoV₀", "CoV final", "t(CoV≤0.5)", "t(CoV≤0.3)", "hops",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.topology.clone(),
+            r.workload.clone(),
+            fmt(r.initial_cov, 2),
+            fmt(r.final_cov, 3),
+            r.rounds_to_05.map(|t| fmt(t, 0)).unwrap_or_else(|| "-".into()),
+            r.rounds_to_03.map(|t| fmt(t, 0)).unwrap_or_else(|| "-".into()),
+            r.migrations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    // Theorem 2's claim: every case ends well below where it started, at a
+    // near-balanced state. "Near" is bounded away from perfect by design:
+    // static friction (µ_s·e + 2l) deliberately leaves gradients of up to
+    // ~3 load units untouched — the stability-vs-balance trade the paper
+    // encodes in µ_s.
+    for r in &rows {
+        assert!(
+            r.final_cov < 0.7 * r.initial_cov || r.final_cov < 0.45,
+            "{} / {}: {} vs initial {}",
+            r.topology,
+            r.workload,
+            r.final_cov,
+            r.initial_cov
+        );
+    }
+    println!("\nEvery topology × workload converges to near-balance (Theorem 2).");
+    dump_json("exp5_convergence", &rows);
+}

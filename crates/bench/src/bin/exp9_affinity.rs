@@ -1,0 +1,112 @@
+//! E9 — §4.2's dependency/resource model: sweep the task-graph dependency
+//! weight and the resource-pinning fraction; dependent/pinned tasks must
+//! migrate less (their `µ_s`/`µ_k` grow), trading balance for locality.
+
+use pp_bench::{banner, dump_json};
+use pp_core::balancer::ParticlePlaneBalancer;
+use pp_core::params::PhysicsConfig;
+use pp_metrics::imbalance::Imbalance;
+use pp_metrics::summary::{fmt, TextTable};
+use pp_sim::engine::EngineBuilder;
+use pp_tasking::graph::TaskGraph;
+use pp_tasking::resources::ResourceMatrix;
+use pp_tasking::task::TaskId;
+use pp_tasking::workload::Workload;
+use pp_topology::graph::{NodeId, Topology};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    strength: f64,
+    bound_moved: usize,
+    bound_total: usize,
+    free_moved: usize,
+    free_total: usize,
+    final_cov: f64,
+}
+
+/// Hotspot of 32 tasks on node 0 of a 4×4 mesh: the first 16 are "bound"
+/// (chained or pinned, per scenario), the rest are free fillers.
+fn run(scenario: &str, strength: f64) -> Row {
+    let topo = Topology::mesh(&[4, 4]);
+    let n = topo.node_count();
+    let mut loads = vec![0.0; n];
+    loads[0] = 32.0;
+    let w = Workload::from_loads(&loads, 1.0);
+
+    let mut tg = TaskGraph::new();
+    let mut res = ResourceMatrix::none();
+    match scenario {
+        "chained" => {
+            let ids: Vec<TaskId> = (0..16).map(TaskId).collect();
+            tg = TaskGraph::chain(&ids, strength);
+        }
+        "pinned" => {
+            for id in 0..16 {
+                res.set(TaskId(id), NodeId(0), strength);
+            }
+        }
+        _ => unreachable!(),
+    }
+    let mut engine = EngineBuilder::new(topo)
+        .workload(w)
+        .task_graph(tg)
+        .resources(res)
+        .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
+        .seed(33)
+        .build();
+    engine.run_rounds(250).drain(300.0);
+
+    let on_origin = |id: u64| {
+        engine.state().node(NodeId(0)).tasks().iter().any(|t| t.id == TaskId(id))
+    };
+    let bound_moved = (0..16).filter(|&id| !on_origin(id)).count();
+    let free_moved = (16..32).filter(|&id| !on_origin(id)).count();
+    Row {
+        scenario: scenario.to_string(),
+        strength,
+        bound_moved,
+        bound_total: 16,
+        free_moved,
+        free_total: 16,
+        final_cov: Imbalance::of(&engine.heights()).cov,
+    }
+}
+
+fn main() {
+    banner("E9", "dependency & resource affinity", "§4.2 (T and R matrices in µ_s)");
+    let mut rows = Vec::new();
+    for scenario in ["chained", "pinned"] {
+        for &s in &[0.0, 1.0, 4.0, 16.0, 64.0] {
+            rows.push(run(scenario, s));
+        }
+    }
+    let mut table = TextTable::new(vec![
+        "scenario", "strength", "bound moved", "free moved", "final CoV",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.scenario.clone(),
+            fmt(r.strength, 0),
+            format!("{}/{}", r.bound_moved, r.bound_total),
+            format!("{}/{}", r.free_moved, r.free_total),
+            fmt(r.final_cov, 3),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Shape: at the highest strength no bound task moves, at zero strength
+    // they move like the fillers; fillers always spread.
+    for scenario in ["chained", "pinned"] {
+        let sub: Vec<&Row> = rows.iter().filter(|r| r.scenario == scenario).collect();
+        assert!(sub.first().unwrap().bound_moved > 8, "{scenario}: unbound should spread");
+        assert_eq!(sub.last().unwrap().bound_moved, 0, "{scenario}: strength 64 must pin");
+        assert!(sub.iter().all(|r| r.free_moved > 8), "{scenario}: fillers must spread");
+        // Monotone-ish: the strongest three strengths are non-increasing.
+        let tail: Vec<usize> = sub.iter().rev().take(3).map(|r| r.bound_moved).collect();
+        assert!(tail[0] <= tail[1] && tail[1] <= tail[2], "{scenario}: {tail:?}");
+    }
+    println!("\nAffinity pins tasks (µ_s grows with T and R); balance degrades gracefully.");
+    dump_json("exp9_affinity", &rows);
+}

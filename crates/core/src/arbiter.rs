@@ -1,0 +1,223 @@
+//! The stochastic arbiter of §5.2: choose among feasible slopes, giving
+//! "most of the chance to the links which are the steepest" with "some rare
+//! probabilities for choosing the less steep slopes", and let the choice
+//! harden over time so the system anneals toward the deterministic
+//! steepest-descent rule ("the rigidity of the correct values increases
+//! over time … an evolutionary approach").
+//!
+//! The archival PDF's formula is typographically corrupted; we implement
+//! the semantics its prose specifies (see DESIGN.md §2):
+//!
+//! * exploration probability `β(t) = β₀·exp(−c·t/t_max)`;
+//! * with probability `1−β(t)` take the steepest feasible link `a₁`;
+//! * otherwise draw among all feasible links with weights
+//!   `w_j = 1 − (a₁−a_j)/(a₁−a_m) + w_floor` — linear in relative
+//!   steepness, so the steepest link keeps the largest share even while
+//!   exploring, while the floor keeps the least steep link at the "rare
+//!   probability" the prose demands (never exactly zero).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Link-choice policy.
+#[derive(Debug, Clone, Copy)]
+pub enum Arbiter {
+    /// Always take the steepest feasible slope (the ablation baseline and
+    /// the `t → ∞` limit of the stochastic rule).
+    Deterministic,
+    /// The paper's annealed stochastic chooser.
+    Stochastic {
+        /// Initial probability `β₀ ∈ (0, 1)` of not taking the steepest
+        /// link.
+        beta0: f64,
+        /// Decay rate `c > 0` of the exploration probability.
+        c: f64,
+        /// Time scale `t_max` over which the choice hardens.
+        t_max: f64,
+    },
+}
+
+impl Default for Arbiter {
+    fn default() -> Self {
+        Arbiter::Stochastic { beta0: 0.3, c: 3.0, t_max: 100.0 }
+    }
+}
+
+/// Weight floor of the exploration draw: the flattest feasible link keeps
+/// this relative weight, realising the "rare probabilities for choosing the
+/// less steep slopes".
+const W_FLOOR: f64 = 0.1;
+
+impl Arbiter {
+    /// The exploration probability `β(t)` (0 for the deterministic rule).
+    pub fn exploration(&self, t: f64) -> f64 {
+        match *self {
+            Arbiter::Deterministic => 0.0,
+            Arbiter::Stochastic { beta0, c, t_max } => {
+                assert!(t_max > 0.0, "t_max must be positive");
+                beta0 * (-c * (t.max(0.0) / t_max)).exp()
+            }
+        }
+    }
+
+    /// Chooses one index into `scores` (`(candidate, steepness a_{i,j})`
+    /// pairs; all candidates must already satisfy the feasibility
+    /// criterion). Returns `None` for an empty candidate set.
+    pub fn choose<T: Copy>(
+        &self,
+        scores: &[(T, f64)],
+        t: f64,
+        rng: &mut StdRng,
+    ) -> Option<T> {
+        if scores.is_empty() {
+            return None;
+        }
+        // Index of the steepest candidate.
+        let (best_idx, &(best, a1)) = scores
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1 .1.total_cmp(&y.1 .1))
+            .expect("non-empty");
+        if scores.len() == 1 {
+            return Some(best);
+        }
+        let beta = self.exploration(t);
+        if beta <= 0.0 || !rng.gen_bool(beta.min(1.0)) {
+            return Some(best);
+        }
+        // Explore: linear weights in relative steepness.
+        let am = scores.iter().map(|&(_, a)| a).fold(f64::INFINITY, f64::min);
+        let span = (a1 - am).max(1e-12);
+        let weights: Vec<f64> = scores.iter().map(|&(_, a)| 1.0 - (a1 - a) / span + W_FLOOR).collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                return Some(scores[i].0);
+            }
+            pick -= w;
+        }
+        Some(scores[best_idx].0)
+    }
+
+    /// Analytic probability of choosing the steepest link at time `t` given
+    /// the candidate steepness values — used by experiment `exp6` to plot
+    /// the annealing curve without sampling noise.
+    pub fn steepest_probability(&self, scores: &[f64], t: f64) -> f64 {
+        if scores.len() <= 1 {
+            return 1.0;
+        }
+        let beta = self.exploration(t);
+        let a1 = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let am = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        let span = (a1 - am).max(1e-12);
+        let weights: Vec<f64> = scores.iter().map(|&a| 1.0 - (a1 - a) / span + W_FLOOR).collect();
+        let total: f64 = weights.iter().sum();
+        // Probability mass of the steepest candidate within the exploration
+        // draw (there may be ties; count the first maximal one).
+        let idx = scores
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.total_cmp(y.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        (1.0 - beta) + beta * weights[idx] / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn deterministic_always_takes_steepest() {
+        let a = Arbiter::Deterministic;
+        let scores = [(0u32, 1.0), (1, 5.0), (2, 3.0)];
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(a.choose(&scores, 0.0, &mut r), Some(1));
+        }
+    }
+
+    #[test]
+    fn empty_candidates_give_none() {
+        let a = Arbiter::default();
+        let mut r = rng();
+        assert_eq!(a.choose::<u32>(&[], 0.0, &mut r), None);
+    }
+
+    #[test]
+    fn single_candidate_always_chosen() {
+        let a = Arbiter::default();
+        let mut r = rng();
+        assert_eq!(a.choose(&[(7u32, 0.1)], 0.0, &mut r), Some(7));
+    }
+
+    #[test]
+    fn exploration_decays_to_zero() {
+        let a = Arbiter::Stochastic { beta0: 0.5, c: 3.0, t_max: 100.0 };
+        assert!((a.exploration(0.0) - 0.5).abs() < 1e-12);
+        assert!(a.exploration(50.0) < 0.5);
+        assert!(a.exploration(1000.0) < 1e-10 + 0.5 * (-30.0f64).exp() * 2.0);
+        assert!(a.exploration(100.0) < a.exploration(10.0));
+    }
+
+    #[test]
+    fn steepest_is_modal_even_early() {
+        let a = Arbiter::Stochastic { beta0: 0.5, c: 3.0, t_max: 100.0 };
+        let scores = [(0u32, 1.0), (1, 5.0), (2, 3.0)];
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            let pick = a.choose(&scores, 0.0, &mut r).unwrap();
+            counts[pick as usize] += 1;
+        }
+        assert!(counts[1] > counts[2], "{counts:?}");
+        assert!(counts[2] > counts[0], "{counts:?}");
+        // Less-steep links do get "some rare probabilities".
+        assert!(counts[0] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn choice_hardens_over_time() {
+        let a = Arbiter::Stochastic { beta0: 0.8, c: 4.0, t_max: 50.0 };
+        let scores = [(0u32, 1.0), (1, 5.0)];
+        let mut r = rng();
+        let rate = |t: f64, r: &mut StdRng| {
+            let hits = (0..2000).filter(|_| a.choose(&scores, t, r) == Some(1)).count();
+            hits as f64 / 2000.0
+        };
+        let early = rate(0.0, &mut r);
+        let late = rate(200.0, &mut r);
+        assert!(late > early, "early {early} late {late}");
+        assert!(late > 0.99);
+    }
+
+    #[test]
+    fn steepest_probability_analytic_matches_sampling() {
+        let a = Arbiter::Stochastic { beta0: 0.6, c: 2.0, t_max: 100.0 };
+        let scores = [(0u32, 2.0), (1, 6.0), (2, 4.0)];
+        let plain: Vec<f64> = scores.iter().map(|&(_, s)| s).collect();
+        let p = a.steepest_probability(&plain, 10.0);
+        let mut r = rng();
+        let hits = (0..20_000).filter(|_| a.choose(&scores, 10.0, &mut r) == Some(1)).count();
+        let emp = hits as f64 / 20_000.0;
+        assert!((p - emp).abs() < 0.02, "analytic {p} empirical {emp}");
+    }
+
+    #[test]
+    fn steepest_probability_tends_to_one() {
+        let a = Arbiter::default();
+        let scores = [1.0, 2.0, 3.0];
+        let p0 = a.steepest_probability(&scores, 0.0);
+        let p_inf = a.steepest_probability(&scores, 1e6);
+        assert!(p0 < p_inf);
+        assert!((p_inf - 1.0).abs() < 1e-9);
+        assert_eq!(a.steepest_probability(&[4.0], 0.0), 1.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! The particle & plane load balancer (§5) — the paper's contribution.
+//!
+//! At each balance tick every node treats its loads as objects resting on
+//! the local surface: a load may start sliding toward a neighbour if the
+//! load-size-corrected gradient beats its static friction (Eq. 1, §5.1).
+//! The stochastic arbiter (§5.2) picks among the feasible slopes, hardening
+//! over time. A launched load carries its potential-height flag `h*`
+//! (initialised to the departure node's height, decremented by `c₀·µ_k·e`
+//! per hop) and, on landing, may keep sliding while its energy budget lets
+//! it clear a neighbour (`h*' > h(v_j)`) — the inertia that lets loads
+//! escape local minima, the paper's key difference from plain gradient
+//! methods.
+//!
+//! One load per link per tick is launched ("assuming that at each time unit
+//! only a single load is transferred over a link", §5.1), and both the
+//! source and destination heights a node plans with are updated as it
+//! commits migrations within the tick (the `tan β` self-correction clause).
+
+use crate::arbiter::Arbiter;
+use crate::energy::{hop_heat, updated_flag};
+use crate::feasibility::{motion_candidates, stationary_candidates};
+use crate::params::{kinetic_friction, static_friction, PhysicsConfig};
+use pp_sim::balancer::{LoadBalancer, MigratingLoad, MigrationIntent, NodeView};
+use rand::rngs::StdRng;
+
+/// The paper's balancer. Construct with [`ParticlePlaneBalancer::new`] or
+/// customise the arbiter/ablations via the builder methods.
+#[derive(Debug, Clone)]
+pub struct ParticlePlaneBalancer {
+    cfg: PhysicsConfig,
+    arbiter: Arbiter,
+    name: String,
+}
+
+impl ParticlePlaneBalancer {
+    /// A balancer with the given physics constants and the default
+    /// (stochastic) arbiter.
+    pub fn new(cfg: PhysicsConfig) -> Self {
+        cfg.validate().expect("invalid physics configuration");
+        ParticlePlaneBalancer { cfg, arbiter: Arbiter::default(), name: "particle-plane".into() }
+    }
+
+    /// Replaces the arbiter (e.g. [`Arbiter::Deterministic`] for the
+    /// ablation).
+    pub fn with_arbiter(mut self, arbiter: Arbiter) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+
+    /// Overrides the display name (used to label ablations in tables).
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// The physics configuration.
+    pub fn config(&self) -> &PhysicsConfig {
+        &self.cfg
+    }
+
+    /// The arbiter.
+    pub fn arbiter(&self) -> &Arbiter {
+        &self.arbiter
+    }
+}
+
+impl LoadBalancer for ParticlePlaneBalancer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&self, view: &NodeView<'_>, rng: &mut StdRng) -> Vec<MigrationIntent> {
+        let cfg = &self.cfg;
+        let m = view.neighbors.len();
+        if m == 0 || view.tasks.is_empty() {
+            return Vec::new();
+        }
+        let mut intents = Vec::new();
+        let mut link_used = vec![false; m];
+        // Effective heights: updated as this tick commits migrations so that
+        // later decisions see the planned post-transfer surface.
+        let mut h_i = view.height;
+        let mut h_eff: Vec<f64> = view.neighbors.iter().map(|n| n.height).collect();
+
+        for task in view.tasks {
+            if link_used.iter().all(|&u| u) {
+                break;
+            }
+            let mut mu_s = static_friction(
+                cfg,
+                task.id,
+                view.node,
+                view.tasks,
+                view.task_graph,
+                view.resources,
+            );
+            if let Some(j) = cfg.jitter {
+                mu_s = j.apply(mu_s, view.round as f64, rng);
+            }
+            let mu_k = kinetic_friction(cfg, mu_s);
+            let pairs: Vec<(f64, f64)> = view
+                .neighbors
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    if link_used[i] {
+                        // Pretend the link is infinitely costly this tick.
+                        (f64::INFINITY, n.link_weight)
+                    } else {
+                        (h_eff[i], n.link_weight)
+                    }
+                })
+                .collect();
+            let candidates = stationary_candidates(cfg, task.size, mu_s, h_i, &pairs);
+            let Some(pick) = self.arbiter.choose(&candidates, view.round as f64, rng) else {
+                continue;
+            };
+            let nb = &view.neighbors[pick];
+            // The flag starts at the departure height h₀ = h_i and pays the
+            // first hop's toll up front (§5.1).
+            let flag = updated_flag(cfg, h_i, mu_k, nb.link_weight);
+            let heat = hop_heat(cfg, mu_k, nb.link_weight, task.size);
+            intents.push(MigrationIntent { task: task.id, to: nb.id, flag, heat });
+            link_used[pick] = true;
+            h_i -= task.size;
+            h_eff[pick] += task.size;
+        }
+        intents
+    }
+
+    fn on_arrival(
+        &self,
+        view: &NodeView<'_>,
+        load: &MigratingLoad,
+        rng: &mut StdRng,
+    ) -> Option<MigrationIntent> {
+        let cfg = &self.cfg;
+        if !cfg.in_motion || load.hops >= cfg.max_hops || view.neighbors.is_empty() {
+            return None;
+        }
+        // Affinity is evaluated against the tasks resident where the load
+        // just landed: dependencies here pull it to rest.
+        let mut mu_s = static_friction(
+            cfg,
+            load.task.id,
+            view.node,
+            view.tasks,
+            view.task_graph,
+            view.resources,
+        );
+        if let Some(j) = cfg.jitter {
+            mu_s = j.apply(mu_s, view.round as f64, rng);
+        }
+        let mu_k = kinetic_friction(cfg, mu_s);
+        let pairs: Vec<(f64, f64)> =
+            view.neighbors.iter().map(|n| (n.height, n.link_weight)).collect();
+        let candidates = motion_candidates(cfg, load.flag, mu_k, &pairs);
+        let pick = self.arbiter.choose(&candidates, view.round as f64, rng)?;
+        let nb = &view.neighbors[pick];
+        Some(MigrationIntent {
+            task: load.task.id,
+            to: nb.id,
+            flag: updated_flag(cfg, load.flag, mu_k, nb.link_weight),
+            heat: hop_heat(cfg, mu_k, nb.link_weight, load.task.size),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_sim::balancer::build_view;
+    use pp_sim::state::SystemState;
+    use pp_tasking::graph::TaskGraph;
+    use pp_tasking::resources::ResourceMatrix;
+    use pp_tasking::task::{Task, TaskId};
+    use pp_topology::graph::{NodeId, Topology};
+    use pp_topology::links::{LinkAttrs, LinkMap};
+    use rand::SeedableRng;
+
+    fn det(cfg: PhysicsConfig) -> ParticlePlaneBalancer {
+        ParticlePlaneBalancer::new(cfg).with_arbiter(Arbiter::Deterministic)
+    }
+
+    fn ring_state(loads: &[f64]) -> SystemState {
+        let topo = Topology::ring(loads.len());
+        let links = LinkMap::uniform(&topo, LinkAttrs::default());
+        let mut s = SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none());
+        let mut id = 0u64;
+        for (i, &l) in loads.iter().enumerate() {
+            let mut rest = l;
+            while rest > 1e-9 {
+                let sz = rest.min(1.0);
+                s.node_mut(NodeId(i as u32)).add_task(Task::new(TaskId(id), sz, i as u32));
+                id += 1;
+                rest -= sz;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn flat_system_stays_put() {
+        let s = ring_state(&[2.0, 2.0, 2.0, 2.0]);
+        let h = s.heights();
+        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let b = det(PhysicsConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(b.decide(&view, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn steep_hotspot_emits_one_task_per_link() {
+        let s = ring_state(&[8.0, 0.0, 0.0, 0.0]);
+        let h = s.heights();
+        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let b = det(PhysicsConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let intents = b.decide(&view, &mut rng);
+        // Ring node 0 has 2 links; one load per link per tick.
+        assert_eq!(intents.len(), 2);
+        let dests: Vec<u32> = intents.iter().map(|i| i.to.0).collect();
+        assert!(dests.contains(&1) && dests.contains(&3));
+        // Flags: h₀ = 8 minus the hop toll µ_k·e = 1·1 (second launch sees
+        // h₀ = 7 after the first committed departure).
+        assert!(intents.iter().any(|i| (i.flag - 7.0).abs() < 1e-9));
+        assert!(intents.iter().any(|i| (i.flag - 6.0).abs() < 1e-9));
+        // Heat billed per hop: c₀·g·µ_k·e·l = 1.
+        for i in &intents {
+            assert!((i.heat - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shallow_gradient_blocked_by_static_friction() {
+        // Difference 3 with µ_s = 1, l = 1, e = 1: a = (3 − 2)/1 = 1, not
+        // strictly greater than µ_s ⇒ blocked.
+        let s = ring_state(&[4.0, 1.0, 4.0, 1.0]);
+        let h = s.heights();
+        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let b = det(PhysicsConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(b.decide(&view, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn task_dependency_holds_tasks_back() {
+        // Two co-located heavily-dependent tasks on the hot node refuse to
+        // leave; with the dependency removed, they migrate.
+        let mut s = ring_state(&[6.0, 0.0, 0.0, 0.0]);
+        let mut tg = TaskGraph::new();
+        for a in 0..6u64 {
+            for b in (a + 1)..6 {
+                tg.set_dependency(TaskId(a), TaskId(b), 10.0);
+            }
+        }
+        s.task_graph = tg;
+        let h = s.heights();
+        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let b = det(PhysicsConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(
+            b.decide(&view, &mut rng).is_empty(),
+            "µ_s = 1 + 5·10 should block a gradient of (6−0−2)/1 = 4"
+        );
+    }
+
+    #[test]
+    fn resource_pin_blocks_only_pinned_task() {
+        let mut s = ring_state(&[8.0, 0.0, 0.0, 0.0]);
+        let mut res = ResourceMatrix::none();
+        for id in 0..8u64 {
+            res.set(TaskId(id), NodeId(0), 100.0);
+        }
+        s.resources = res;
+        let h = s.heights();
+        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let b = det(PhysicsConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(b.decide(&view, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn on_arrival_continues_while_energy_lasts() {
+        let s = ring_state(&[0.0, 0.0, 5.0, 0.0]);
+        let h = s.heights();
+        let view = build_view(&s, NodeId(1), &h, 1.0, |_, _| true, 0, 0.0);
+        let b = det(PhysicsConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let load = MigratingLoad {
+            task: Task::new(TaskId(99), 1.0, 0),
+            flag: 6.0,
+            hops: 1,
+            source: NodeId(0),
+        };
+        let fwd = b.on_arrival(&view, &load, &mut rng).expect("should forward");
+        // Neighbours of 1 are 0 (h=0) and 2 (h=5). flag' = 6−µ_k·e; µ_k =
+        // max(c_µ·µ_s, floor) = 1 (µ_s base 1) ⇒ flag' = 5: node 2 at 5 is
+        // not < 5 ⇒ only node 0 feasible.
+        assert_eq!(fwd.to, NodeId(0));
+        assert!((fwd.flag - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn on_arrival_deposits_when_drained() {
+        let s = ring_state(&[3.0, 0.0, 3.0, 3.0]);
+        let h = s.heights();
+        let view = build_view(&s, NodeId(1), &h, 1.0, |_, _| true, 0, 0.0);
+        let b = det(PhysicsConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        // flag 0.5: flag' = −0.5 ≤ every neighbour height ⇒ rest here.
+        let load = MigratingLoad {
+            task: Task::new(TaskId(99), 1.0, 0),
+            flag: 0.5,
+            hops: 2,
+            source: NodeId(0),
+        };
+        assert!(b.on_arrival(&view, &load, &mut rng).is_none());
+    }
+
+    #[test]
+    fn in_motion_ablation_never_forwards() {
+        let s = ring_state(&[0.0, 0.0, 5.0, 0.0]);
+        let h = s.heights();
+        let view = build_view(&s, NodeId(1), &h, 1.0, |_, _| true, 0, 0.0);
+        let cfg = PhysicsConfig { in_motion: false, ..Default::default() };
+        let b = det(cfg);
+        let mut rng = StdRng::seed_from_u64(0);
+        let load = MigratingLoad {
+            task: Task::new(TaskId(99), 1.0, 0),
+            flag: 100.0,
+            hops: 1,
+            source: NodeId(0),
+        };
+        assert!(b.on_arrival(&view, &load, &mut rng).is_none());
+    }
+
+    #[test]
+    fn hop_cap_respected() {
+        let s = ring_state(&[0.0, 0.0, 0.0, 0.0]);
+        let h = s.heights();
+        let view = build_view(&s, NodeId(1), &h, 1.0, |_, _| true, 0, 0.0);
+        let cfg = PhysicsConfig { max_hops: 3, ..Default::default() };
+        let b = det(cfg);
+        let mut rng = StdRng::seed_from_u64(0);
+        let load = MigratingLoad {
+            task: Task::new(TaskId(99), 1.0, 0),
+            flag: 100.0,
+            hops: 3,
+            source: NodeId(0),
+        };
+        assert!(b.on_arrival(&view, &load, &mut rng).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid physics configuration")]
+    fn invalid_config_rejected() {
+        let _ = ParticlePlaneBalancer::new(PhysicsConfig { c_mu: 0.0, ..Default::default() });
+    }
+
+    #[test]
+    fn jittered_friction_can_flip_borderline_decisions() {
+        // Gradient exactly at the deterministic threshold: without jitter
+        // nothing moves; with early-time jitter some seeds soften µ_s below
+        // the gradient and the transfer fires.
+        use crate::jitter::FrictionJitter;
+        let s = ring_state(&[4.0, 1.0, 4.0, 1.0]); // a = 1 = µ_s exactly
+        let h = s.heights();
+        let cfg = PhysicsConfig {
+            jitter: Some(FrictionJitter::new(0.5, 1.0, 1e9)),
+            ..Default::default()
+        };
+        let b = det(cfg);
+        // Node 0 holds 4 tasks, each drawing its own jitter, so a seed
+        // fires unless all four draws harden µ_s: P ≈ 1 − 0.5⁴ ≈ 0.94.
+        let mut fired = 0;
+        for seed in 0..64 {
+            let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            fired += usize::from(!b.decide(&view, &mut rng).is_empty());
+        }
+        assert!(fired > 40 && fired < 64, "jitter should fire often but not always: {fired}/64");
+    }
+
+    #[test]
+    fn jitter_rigid_at_late_rounds() {
+        use crate::jitter::FrictionJitter;
+        let s = ring_state(&[4.0, 1.0, 4.0, 1.0]);
+        let h = s.heights();
+        let cfg = PhysicsConfig {
+            jitter: Some(FrictionJitter::new(0.5, 5.0, 10.0)),
+            ..Default::default()
+        };
+        let b = det(cfg);
+        // At round 10_000 the amplitude is ~0: identical to no jitter.
+        for seed in 0..32 {
+            let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 10_000, 0.0);
+            let mut rng = StdRng::seed_from_u64(seed);
+            assert!(b.decide(&view, &mut rng).is_empty());
+        }
+    }
+}

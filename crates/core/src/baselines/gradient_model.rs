@@ -1,0 +1,162 @@
+//! The Gradient Model (GM, Lin & Keller 1987): a *pressure surface* of
+//! proximities — each lightly-loaded node has proximity 0, everyone else
+//! holds `1 + min(neighbour proximities)` — and overloaded nodes push one
+//! task per round toward the neighbour closest to an underloaded region.
+//!
+//! The proximity map is refreshed every round from the height snapshot
+//! (multi-source BFS), standing in for the per-round neighbour message
+//! exchange the original distributed algorithm performs.
+
+use pp_sim::balancer::{GlobalView, LoadBalancer, MigrationIntent, NodeView};
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// GM balancer with static low/high watermarks.
+#[derive(Debug, Clone)]
+pub struct GradientModelBalancer {
+    low: f64,
+    high: f64,
+    proximity: Vec<u32>,
+    name: String,
+}
+
+impl GradientModelBalancer {
+    /// A node is *lightly loaded* below `low` and *overloaded* above `high`.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(low <= high, "low watermark must not exceed high");
+        GradientModelBalancer {
+            low,
+            high,
+            proximity: Vec::new(),
+            name: format!("gradient-model(L={low},H={high})"),
+        }
+    }
+
+    /// The current proximity (pressure) value of a node; `u32::MAX` when no
+    /// lightly-loaded node is reachable.
+    pub fn proximity(&self, node: usize) -> u32 {
+        self.proximity.get(node).copied().unwrap_or(u32::MAX)
+    }
+}
+
+impl LoadBalancer for GradientModelBalancer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn begin_round(&mut self, global: &GlobalView<'_>) {
+        // Multi-source BFS from all lightly-loaded nodes.
+        let n = global.topo.node_count();
+        self.proximity = vec![u32::MAX; n];
+        let mut q = VecDeque::new();
+        for (i, &h) in global.heights.iter().enumerate() {
+            if h < self.low {
+                self.proximity[i] = 0;
+                q.push_back(i);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            let d = self.proximity[u];
+            for &v in global.topo.neighbors(pp_topology::graph::NodeId(u as u32)) {
+                if self.proximity[v.idx()] == u32::MAX {
+                    self.proximity[v.idx()] = d + 1;
+                    q.push_back(v.idx());
+                }
+            }
+        }
+    }
+
+    fn decide(&self, view: &NodeView<'_>, _rng: &mut StdRng) -> Vec<MigrationIntent> {
+        if view.height <= self.high || view.tasks.is_empty() {
+            return Vec::new();
+        }
+        let my_prox = self.proximity(view.node.idx());
+        if my_prox == 0 {
+            return Vec::new(); // already next to (or in) an underloaded region
+        }
+        // Push one task toward the lowest-proximity neighbour, strictly
+        // descending the pressure surface.
+        let best = view
+            .neighbors
+            .iter()
+            .map(|nb| (self.proximity(nb.id.idx()), nb.id))
+            .min_by(|a, b| a.0.cmp(&b.0).then(a.1 .0.cmp(&b.1 .0)));
+        let Some((prox, to)) = best else { return Vec::new() };
+        if prox >= my_prox || prox == u32::MAX {
+            return Vec::new();
+        }
+        vec![MigrationIntent { task: view.tasks[0].id, to, flag: 0.0, heat: 0.0 }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::testutil::ring_view_state;
+    use pp_sim::balancer::build_view;
+    use pp_topology::graph::NodeId;
+    use rand::SeedableRng;
+
+    fn prepared(loads: &[f64], low: f64, high: f64) -> (GradientModelBalancer, Vec<f64>) {
+        let (state, heights) = ring_view_state(loads);
+        let mut b = GradientModelBalancer::new(low, high);
+        let global = GlobalView { topo: &state.topo, heights: &heights, round: 1, time: 0.0 };
+        b.begin_round(&global);
+        (b, heights)
+    }
+
+    #[test]
+    fn proximity_map_is_bfs_distance() {
+        // Ring of 6: only node 3 is light (h < 1).
+        let (b, _) = prepared(&[5.0, 5.0, 5.0, 0.0, 5.0, 5.0], 1.0, 4.0);
+        assert_eq!(b.proximity(3), 0);
+        assert_eq!(b.proximity(2), 1);
+        assert_eq!(b.proximity(4), 1);
+        assert_eq!(b.proximity(0), 3);
+    }
+
+    #[test]
+    fn overloaded_node_pushes_toward_pressure_gradient() {
+        let loads = [9.0, 5.0, 5.0, 0.0, 5.0, 5.0];
+        let (state, heights) = ring_view_state(&loads);
+        let mut b = GradientModelBalancer::new(1.0, 4.0);
+        let global = GlobalView { topo: &state.topo, heights: &heights, round: 1, time: 0.0 };
+        b.begin_round(&global);
+        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 1, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let intents = b.decide(&view, &mut rng);
+        assert_eq!(intents.len(), 1);
+        // Node 0's neighbours are 1 (prox 2) and 5 (prox 2): tie broken by
+        // id ⇒ node 1.
+        assert_eq!(intents[0].to, NodeId(1));
+    }
+
+    #[test]
+    fn below_high_watermark_stays_quiet() {
+        let (state, heights) = ring_view_state(&[3.0, 3.0, 3.0, 0.0, 3.0, 3.0]);
+        let mut b = GradientModelBalancer::new(1.0, 4.0);
+        let global = GlobalView { topo: &state.topo, heights: &heights, round: 1, time: 0.0 };
+        b.begin_round(&global);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..6 {
+            let view = build_view(&state, NodeId(i), &heights, 1.0, |_, _| true, 1, 0.0);
+            assert!(b.decide(&view, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn no_light_node_means_no_pressure() {
+        let (b, _) = prepared(&[5.0, 5.0, 5.0, 5.0], 1.0, 4.0);
+        assert_eq!(b.proximity(0), u32::MAX);
+        let (state, heights) = ring_view_state(&[5.0, 5.0, 5.0, 5.0]);
+        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 1, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(b.decide(&view, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "low watermark")]
+    fn inverted_watermarks_rejected() {
+        let _ = GradientModelBalancer::new(5.0, 1.0);
+    }
+}

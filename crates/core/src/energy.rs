@@ -1,0 +1,98 @@
+//! The load's energy accounting (§5.1): the *potential height flag* `h*`
+//! carried by every migrating load, and the heat `E_h` billed per hop.
+//!
+//! * At launch the flag holds `h₀`, the height of the node the load departs
+//!   from ("initialized at the start of the game with the height of the
+//!   initial position of the object").
+//! * Before each hop the flag is decremented by the energy the hop wastes:
+//!   `h*_t = h*_{t−1} − E_{h,t}/(m·g)` with `E_h = c₀·g·µ_k·e_{i,j}·l`,
+//!   i.e. the decrement is `c₀·µ_k·e_{i,j}` — independent of the mass, as
+//!   in the physical model.
+//! * The flag bounds every hill the load may still climb: a neighbour `j`
+//!   is reachable only if `h*_{t−1} − c₀·µ_k·e_{i,j} > h(v_j)` (the paper's
+//!   in-motion feasibility, which it notes is Theorem 1 with `r_{c,p} =
+//!   e_{i,j}`).
+
+use crate::params::PhysicsConfig;
+
+/// Heat billed for moving a load of size `l` over a link of weight `e`
+/// with kinetic friction `µ_k`: `E_h = c₀·g·µ_k·e·l`.
+pub fn hop_heat(cfg: &PhysicsConfig, mu_k: f64, e_ij: f64, load: f64) -> f64 {
+    cfg.c0 * cfg.g * mu_k * e_ij * load
+}
+
+/// Flag decrement for one hop: `E_h/(m·g) = c₀·µ_k·e` (mass cancels).
+pub fn flag_decrement(cfg: &PhysicsConfig, mu_k: f64, e_ij: f64) -> f64 {
+    cfg.c0 * mu_k * e_ij
+}
+
+/// The flag after taking a hop: `h*_t = h*_{t−1} − c₀·µ_k·e`.
+pub fn updated_flag(cfg: &PhysicsConfig, flag: f64, mu_k: f64, e_ij: f64) -> f64 {
+    flag - flag_decrement(cfg, mu_k, e_ij)
+}
+
+/// In-motion reachability of neighbour `j`: can the load still climb there?
+/// `h*_{t−1} − c₀·µ_k·e_{i,j} > h(v_j)`.
+pub fn can_climb(cfg: &PhysicsConfig, flag: f64, mu_k: f64, e_ij: f64, h_j: f64) -> bool {
+    updated_flag(cfg, flag, mu_k, e_ij) > h_j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PhysicsConfig {
+        PhysicsConfig::default()
+    }
+
+    #[test]
+    fn heat_linear_in_every_factor() {
+        let c = cfg();
+        let base = hop_heat(&c, 0.5, 1.0, 1.0);
+        assert_eq!(hop_heat(&c, 1.0, 1.0, 1.0), 2.0 * base);
+        assert_eq!(hop_heat(&c, 0.5, 2.0, 1.0), 2.0 * base);
+        assert_eq!(hop_heat(&c, 0.5, 1.0, 3.0), 3.0 * base);
+    }
+
+    #[test]
+    fn c0_scales_heat_and_decrement() {
+        let c2 = PhysicsConfig { c0: 2.0, ..cfg() };
+        assert_eq!(hop_heat(&c2, 0.5, 1.0, 1.0), 2.0 * hop_heat(&cfg(), 0.5, 1.0, 1.0));
+        assert_eq!(flag_decrement(&c2, 0.5, 1.0), 1.0);
+    }
+
+    #[test]
+    fn flag_decrement_is_mass_independent() {
+        // The decrement formula has no load term: E_h/(m·g) cancels mass.
+        let c = cfg();
+        let heavy = hop_heat(&c, 0.5, 2.0, 10.0) / (10.0 * c.g);
+        let light = hop_heat(&c, 0.5, 2.0, 0.1) / (0.1 * c.g);
+        assert!((heavy - light).abs() < 1e-12);
+        assert!((heavy - flag_decrement(&c, 0.5, 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flag_strictly_decreases() {
+        let c = cfg();
+        let f1 = updated_flag(&c, 10.0, 0.3, 1.5);
+        assert!(f1 < 10.0);
+        let f2 = updated_flag(&c, f1, 0.3, 1.5);
+        assert!(f2 < f1);
+    }
+
+    #[test]
+    fn can_climb_respects_energy_budget() {
+        let c = cfg();
+        // flag 5, hop cost 0.5·1 = 0.5 ⇒ can climb hills below 4.5.
+        assert!(can_climb(&c, 5.0, 0.5, 1.0, 4.0));
+        assert!(!can_climb(&c, 5.0, 0.5, 1.0, 4.5));
+        assert!(!can_climb(&c, 5.0, 0.5, 1.0, 6.0));
+    }
+
+    #[test]
+    fn heavier_links_block_climbing_sooner() {
+        let c = cfg();
+        assert!(can_climb(&c, 5.0, 0.5, 1.0, 4.0));
+        assert!(!can_climb(&c, 5.0, 0.5, 3.0, 4.0)); // same hill, heavier link
+    }
+}

@@ -1,0 +1,156 @@
+//! Feasibility rules (§5.1): when may a load leave its node, and where may
+//! a load in motion still climb?
+//!
+//! * **Stationary** (Eq. 1 transplanted): task `k` may move from `i` to `j`
+//!   iff `tan β = (h_i − h_j − 2l)/e_{i,j} > µ_s(k, i)`.
+//! * **In motion** (the energy model): the load may hop to `j` iff
+//!   `h*_{t−1} − c₀·µ_k·e_{i,j} > h(v_j)` — the paper points out this is
+//!   Theorem 1 with the contour chosen as the nodes one link away
+//!   (`r_{c,p} = e_{i,j}`).
+//!
+//! Both return the per-candidate steepness scores `a_{i,j}` that feed the
+//! stochastic arbiter of §5.2.
+
+use crate::energy::{flag_decrement, updated_flag};
+use crate::params::{gradient, PhysicsConfig};
+
+/// A candidate destination: `(index into the neighbour list, steepness)`.
+pub type Candidate = (usize, f64);
+
+/// Stationary candidates for a task of size `load` with static friction
+/// `mu_s` on a node of height `h_i`. `neighbors` supplies `(h_j, e_ij)` per
+/// neighbour (already restricted to live links).
+pub fn stationary_candidates(
+    cfg: &PhysicsConfig,
+    load: f64,
+    mu_s: f64,
+    h_i: f64,
+    neighbors: &[(f64, f64)],
+) -> Vec<Candidate> {
+    neighbors
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, &(h_j, e_ij))| {
+            let a = gradient(cfg, h_i, h_j, load, e_ij);
+            (a > mu_s).then_some((idx, a))
+        })
+        .collect()
+}
+
+/// In-motion candidates for a load carrying potential-height `flag` with
+/// kinetic friction `mu_k`. The steepness is the headroom
+/// `a_{i,j} = h*_{t−1} − c₀·µ_k·e_{i,j} − h(v_j)` (§5.2's in-motion `a`),
+/// and a candidate is feasible iff it is positive.
+pub fn motion_candidates(
+    cfg: &PhysicsConfig,
+    flag: f64,
+    mu_k: f64,
+    neighbors: &[(f64, f64)],
+) -> Vec<Candidate> {
+    neighbors
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, &(h_j, e_ij))| {
+            let a = updated_flag(cfg, flag, mu_k, e_ij) - h_j;
+            (a > 0.0).then_some((idx, a))
+        })
+        .collect()
+}
+
+/// The minimum height difference below which no transfer can start, given
+/// `µ_s`, link weight and load size: `h_i − h_j` must exceed
+/// `µ_s·e + 2l`. Used by experiment `exp2` to draw the movement frontier.
+pub fn movement_threshold(cfg: &PhysicsConfig, mu_s: f64, e_ij: f64, load: f64) -> f64 {
+    mu_s * e_ij + if cfg.self_correction { 2.0 * load } else { 0.0 }
+}
+
+/// Maximum number of hops a load can take before its flag falls to the
+/// floor height `h_floor`, on links of weight ≥ `e_min` — the discrete
+/// Corollary 3 (`r ≤ h*/µ_k`).
+pub fn max_hops_bound(cfg: &PhysicsConfig, flag0: f64, h_floor: f64, mu_k: f64, e_min: f64) -> u32 {
+    let per_hop = flag_decrement(cfg, mu_k, e_min);
+    if per_hop <= 0.0 {
+        return u32::MAX;
+    }
+    (((flag0 - h_floor) / per_hop).max(0.0)).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PhysicsConfig;
+
+    fn cfg() -> PhysicsConfig {
+        PhysicsConfig::default()
+    }
+
+    #[test]
+    fn stationary_strictness() {
+        let c = cfg();
+        // h_i = 10, neighbour at 0, e = 1, l = 1 ⇒ a = 8. µ_s = 8 blocks.
+        let n = [(0.0, 1.0)];
+        assert!(stationary_candidates(&c, 1.0, 8.0, 10.0, &n).is_empty());
+        let got = stationary_candidates(&c, 1.0, 7.9, 10.0, &n);
+        assert_eq!(got.len(), 1);
+        assert!((got[0].1 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_filters_uphill_neighbors() {
+        let c = cfg();
+        let n = [(20.0, 1.0), (0.0, 1.0), (9.0, 1.0)];
+        let got = stationary_candidates(&c, 1.0, 0.5, 10.0, &n);
+        // Only the height-0 neighbour: (10−0−2)/1 = 8 > 0.5.
+        // The 9.0 neighbour gives (10−9−2)/1 = −1.
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 1);
+    }
+
+    #[test]
+    fn heavier_links_flatten_gradients() {
+        let c = cfg();
+        let cheap = stationary_candidates(&c, 1.0, 1.0, 10.0, &[(0.0, 1.0)]);
+        let costly = stationary_candidates(&c, 1.0, 1.0, 10.0, &[(0.0, 8.0)]);
+        assert_eq!(cheap.len(), 1);
+        assert!(costly.is_empty(), "(10−0−2)/8 = 1 is not > µ_s = 1");
+    }
+
+    #[test]
+    fn motion_requires_positive_headroom() {
+        let c = cfg();
+        // flag 5, µ_k = 1, e = 1 ⇒ flag' = 4: can enter nodes below 4.
+        let n = [(3.9, 1.0), (4.0, 1.0), (10.0, 1.0)];
+        let got = motion_candidates(&c, 5.0, 1.0, &n);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0);
+        assert!((got[0].1 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn motion_prefers_lowest_destination() {
+        let c = cfg();
+        let n = [(2.0, 1.0), (0.0, 1.0)];
+        let got = motion_candidates(&c, 5.0, 0.5, &n);
+        assert_eq!(got.len(), 2);
+        // Headroom toward the lower node is larger.
+        let s: Vec<f64> = got.iter().map(|&(_, a)| a).collect();
+        assert!(s[1] > s[0]);
+    }
+
+    #[test]
+    fn threshold_combines_friction_and_correction() {
+        let c = cfg();
+        assert_eq!(movement_threshold(&c, 2.0, 1.5, 1.0), 5.0); // 3 + 2
+        let nc = PhysicsConfig { self_correction: false, ..c };
+        assert_eq!(movement_threshold(&nc, 2.0, 1.5, 1.0), 3.0);
+    }
+
+    #[test]
+    fn hop_bound_matches_corollary3() {
+        let c = cfg();
+        // flag 10 above a floor of 0, per-hop cost 0.5 ⇒ 20 hops.
+        assert_eq!(max_hops_bound(&c, 10.0, 0.0, 0.5, 1.0), 20);
+        assert_eq!(max_hops_bound(&c, 10.0, 9.0, 0.5, 1.0), 2);
+        assert_eq!(max_hops_bound(&c, 0.0, 5.0, 0.5, 1.0), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Load imbalance statistics over the per-node height vector `h(v)`.
+
+/// Summary statistics of a load distribution at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Imbalance {
+    /// Smallest node load.
+    pub min: f64,
+    /// Largest node load.
+    pub max: f64,
+    /// Mean node load.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Coefficient of variation `σ/µ` (0 when the mean is 0).
+    pub cov: f64,
+    /// `max − min` spread.
+    pub spread: f64,
+    /// `max/mean` ratio (1 when perfectly balanced; 0 mean ⇒ 1).
+    pub max_over_mean: f64,
+}
+
+impl Imbalance {
+    /// Computes the statistics of `loads`. Empty input yields all-zero stats.
+    pub fn of(loads: &[f64]) -> Imbalance {
+        if loads.is_empty() {
+            return Imbalance {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                stddev: 0.0,
+                cov: 0.0,
+                spread: 0.0,
+                max_over_mean: 1.0,
+            };
+        }
+        let n = loads.len() as f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &l in loads {
+            min = min.min(l);
+            max = max.max(l);
+            sum += l;
+        }
+        let mean = sum / n;
+        let var = loads.iter().map(|&l| (l - mean) * (l - mean)).sum::<f64>() / n;
+        let stddev = var.sqrt();
+        Imbalance {
+            min,
+            max,
+            mean,
+            stddev,
+            cov: if mean.abs() > 0.0 { stddev / mean } else { 0.0 },
+            spread: max - min,
+            max_over_mean: if mean.abs() > 0.0 { max / mean } else { 1.0 },
+        }
+    }
+
+    /// Whether the distribution is balanced to within a CoV of `epsilon`.
+    pub fn is_balanced(&self, epsilon: f64) -> bool {
+        self.cov <= epsilon
+    }
+}
+
+/// Root-mean-square error of `loads` against the perfectly balanced
+/// distribution (every node at the mean).
+pub fn rmse_vs_ideal(loads: &[f64]) -> f64 {
+    Imbalance::of(loads).stddev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_loads_are_perfectly_balanced() {
+        let im = Imbalance::of(&[4.0; 8]);
+        assert_eq!(im.min, 4.0);
+        assert_eq!(im.max, 4.0);
+        assert_eq!(im.stddev, 0.0);
+        assert_eq!(im.cov, 0.0);
+        assert_eq!(im.spread, 0.0);
+        assert_eq!(im.max_over_mean, 1.0);
+        assert!(im.is_balanced(0.0));
+    }
+
+    #[test]
+    fn hotspot_statistics() {
+        // One node with everything: mean = 1, max = 8 over 8 nodes.
+        let mut loads = vec![0.0; 8];
+        loads[3] = 8.0;
+        let im = Imbalance::of(&loads);
+        assert_eq!(im.mean, 1.0);
+        assert_eq!(im.max_over_mean, 8.0);
+        assert_eq!(im.spread, 8.0);
+        assert!(!im.is_balanced(0.5));
+    }
+
+    #[test]
+    fn known_variance() {
+        let im = Imbalance::of(&[1.0, 3.0]);
+        assert_eq!(im.mean, 2.0);
+        assert_eq!(im.stddev, 1.0);
+        assert_eq!(im.cov, 0.5);
+    }
+
+    #[test]
+    fn zero_mean_cov_is_zero() {
+        let im = Imbalance::of(&[0.0, 0.0, 0.0]);
+        assert_eq!(im.cov, 0.0);
+        assert_eq!(im.max_over_mean, 1.0);
+        assert!(im.is_balanced(0.1));
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let im = Imbalance::of(&[]);
+        assert_eq!(im.mean, 0.0);
+        assert_eq!(im.spread, 0.0);
+    }
+
+    #[test]
+    fn rmse_matches_stddev() {
+        let loads = [2.0, 4.0, 6.0, 8.0];
+        assert_eq!(rmse_vs_ideal(&loads), Imbalance::of(&loads).stddev);
+    }
+
+    #[test]
+    fn balance_improves_monotonically_under_averaging() {
+        // Pairwise averaging (what dimension exchange does) may not increase
+        // the CoV.
+        let mut loads = vec![10.0, 0.0, 6.0, 2.0];
+        let before = Imbalance::of(&loads).cov;
+        let avg = (loads[0] + loads[1]) / 2.0;
+        loads[0] = avg;
+        loads[1] = avg;
+        let after = Imbalance::of(&loads).cov;
+        assert!(after <= before);
+    }
+}

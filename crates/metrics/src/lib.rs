@@ -1,0 +1,23 @@
+//! # pp-metrics — measurement for load-balancing experiments
+//!
+//! Everything the experiments measure: instantaneous [`imbalance::Imbalance`]
+//! statistics of a load distribution, the [`ledger::TrafficLedger`] recording
+//! every migration (and the paper's *heat ≡ traffic* analogy, §4.1),
+//! [`series::TimeSeries`] with convergence detection for Theorem 2, and
+//! [`summary`] helpers for multi-run tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod imbalance;
+pub mod ledger;
+pub mod series;
+pub mod summary;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::imbalance::{rmse_vs_ideal, Imbalance};
+    pub use crate::ledger::{pearson, MigrationRecord, TrafficLedger};
+    pub use crate::series::TimeSeries;
+    pub use crate::summary::{fmt, Summary, TextTable};
+}

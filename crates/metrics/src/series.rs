@@ -1,0 +1,155 @@
+//! Time series of scalar metrics and convergence detection for Theorem 2
+//! experiments ("the scheme converges to a nearly perfect load balance").
+
+/// A `(time, value)` series, appended in time order.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample; `time` must be non-decreasing.
+    pub fn push(&mut self, time: f64, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(time >= last, "samples must arrive in time order");
+        }
+        self.points.push((time, value));
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// First time at which the value drops to ≤ `threshold` and stays there
+    /// for at least `window` consecutive samples. Returns the time of the
+    /// first sample of the sustained window.
+    pub fn converged_at(&self, threshold: f64, window: usize) -> Option<f64> {
+        let window = window.max(1);
+        let mut run = 0usize;
+        let mut run_start = 0.0;
+        for &(t, v) in &self.points {
+            if v <= threshold {
+                if run == 0 {
+                    run_start = t;
+                }
+                run += 1;
+                if run >= window {
+                    return Some(run_start);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
+    }
+
+    /// Whether the series is non-increasing within a tolerance (useful for
+    /// "imbalance never gets worse" checks).
+    pub fn is_non_increasing(&self, tol: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].1 <= w[0].1 + tol)
+    }
+
+    /// Area under the curve by trapezoid rule (e.g. cumulative imbalance —
+    /// lower is better for comparing balancers).
+    pub fn auc(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new();
+        for (i, &v) in values.iter().enumerate() {
+            s.push(i as f64, v);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_query() {
+        let s = series(&[3.0, 2.0, 1.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.last_value(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_time_regression() {
+        let mut s = TimeSeries::new();
+        s.push(1.0, 0.0);
+        s.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn convergence_detection_sustained() {
+        // Dips below 1.0 at t=2 but bounces; converges for good at t=4.
+        let s = series(&[5.0, 2.0, 0.5, 3.0, 0.8, 0.7, 0.6]);
+        assert_eq!(s.converged_at(1.0, 3), Some(4.0));
+        assert_eq!(s.converged_at(1.0, 1), Some(2.0));
+        assert_eq!(s.converged_at(0.1, 2), None);
+    }
+
+    #[test]
+    fn convergence_window_longer_than_series() {
+        let s = series(&[0.1, 0.1]);
+        assert_eq!(s.converged_at(1.0, 5), None);
+    }
+
+    #[test]
+    fn non_increasing_check() {
+        assert!(series(&[3.0, 2.0, 2.0, 1.0]).is_non_increasing(0.0));
+        assert!(!series(&[1.0, 2.0]).is_non_increasing(0.0));
+        assert!(series(&[1.0, 1.05]).is_non_increasing(0.1));
+    }
+
+    #[test]
+    fn auc_of_constant_series() {
+        let s = series(&[2.0, 2.0, 2.0]); // over t in [0,2]
+        assert!((s.auc() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_of_triangle() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 0.0);
+        s.push(1.0, 1.0);
+        assert!((s.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.last_value(), None);
+        assert_eq!(s.auc(), 0.0);
+        assert!(s.is_non_increasing(0.0));
+    }
+}

@@ -1,0 +1,281 @@
+//! Contours, peaks and escape radii (Definitions 1–3 and Fig. 3).
+//!
+//! A *contour* is a region of the ground plane; its *peak* `P_c` is the
+//! maximum surface height inside it, and the *escape radius* `r_{c,p}` of a
+//! point `p` is the minimum ground distance from `p` to a point outside the
+//! region. Theorem 1 and Corollary 3 relate these quantities to the object's
+//! potential height `h*` and the kinetic friction `µ_k`.
+
+use crate::surface::Surface;
+use crate::vec::Vec2;
+use std::collections::{HashSet, VecDeque};
+
+/// A region of the ground plane, discretised as a set of grid cells of side
+/// `cell` anchored at the origin (cell `(i, j)` covers
+/// `[i·cell, (i+1)·cell) × [j·cell, (j+1)·cell)`).
+#[derive(Debug, Clone)]
+pub struct Contour {
+    cells: HashSet<(i64, i64)>,
+    cell: f64,
+}
+
+impl Contour {
+    /// Builds a contour from an explicit cell set.
+    pub fn from_cells(cells: HashSet<(i64, i64)>, cell: f64) -> Self {
+        assert!(cell > 0.0, "cell size must be positive");
+        Contour { cells, cell }
+    }
+
+    /// A disc of the given radius around `center` (cells whose centres fall
+    /// inside the disc).
+    pub fn disc(center: Vec2, radius: f64, cell: f64) -> Self {
+        assert!(radius > 0.0 && cell > 0.0);
+        let mut cells = HashSet::new();
+        let r_cells = (radius / cell).ceil() as i64 + 1;
+        let ci = (center.x / cell).floor() as i64;
+        let cj = (center.y / cell).floor() as i64;
+        for j in (cj - r_cells)..=(cj + r_cells) {
+            for i in (ci - r_cells)..=(ci + r_cells) {
+                if Self::cell_center(i, j, cell).distance(center) <= radius {
+                    cells.insert((i, j));
+                }
+            }
+        }
+        Contour { cells, cell }
+    }
+
+    /// The *basin* of `p` below level `level`: the connected set of cells
+    /// (4-neighbourhood) reachable from `p`'s cell through cells whose centre
+    /// height is `< level`, bounded to a search box of `max_cells` per axis.
+    ///
+    /// This is the natural contour in which an object with potential height
+    /// below `level` is confined: leaving the basin requires climbing to
+    /// `level` or above.
+    pub fn basin<S: Surface>(
+        surface: &S,
+        p: Vec2,
+        level: f64,
+        cell: f64,
+        max_cells: i64,
+    ) -> Self {
+        let start = ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
+        let mut cells = HashSet::new();
+        let mut queue = VecDeque::new();
+        let h0 = surface.height(Self::cell_center(start.0, start.1, cell));
+        if h0 < level {
+            cells.insert(start);
+            queue.push_back(start);
+        }
+        while let Some((i, j)) = queue.pop_front() {
+            for (di, dj) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+                let n = (i + di, j + dj);
+                if (n.0 - start.0).abs() > max_cells || (n.1 - start.1).abs() > max_cells {
+                    continue;
+                }
+                if cells.contains(&n) {
+                    continue;
+                }
+                let h = surface.height(Self::cell_center(n.0, n.1, cell));
+                if h < level {
+                    cells.insert(n);
+                    queue.push_back(n);
+                }
+            }
+        }
+        Contour { cells, cell }
+    }
+
+    fn cell_center(i: i64, j: i64, cell: f64) -> Vec2 {
+        Vec2::new((i as f64 + 0.5) * cell, (j as f64 + 0.5) * cell)
+    }
+
+    /// Cell side length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of cells in the region.
+    pub fn area_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the ground point `p` lies inside the contour.
+    pub fn contains(&self, p: Vec2) -> bool {
+        let i = (p.x / self.cell).floor() as i64;
+        let j = (p.y / self.cell).floor() as i64;
+        self.cells.contains(&(i, j))
+    }
+
+    /// Definition 2 — the peak `P_c`: maximum surface height over the region
+    /// (sampled at cell centres). Returns `f64::NEG_INFINITY` for an empty
+    /// region.
+    pub fn peak<S: Surface>(&self, surface: &S) -> f64 {
+        self.cells
+            .iter()
+            .map(|&(i, j)| surface.height(Self::cell_center(i, j, self.cell)))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Definition 3 — the escape radius `r_{c,p}`: minimum ground distance
+    /// from `p` to a point outside the contour. Computed as the distance to
+    /// the nearest boundary cell's outer edge (cell-centre approximation,
+    /// accurate to one cell). Returns `0` if `p` is already outside.
+    pub fn escape_radius(&self, p: Vec2) -> f64 {
+        if !self.contains(p) {
+            return 0.0;
+        }
+        // A cell is a boundary cell if one of its 4-neighbours is outside.
+        let mut best = f64::INFINITY;
+        for &(i, j) in &self.cells {
+            let is_boundary = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+                .iter()
+                .any(|&(di, dj)| !self.cells.contains(&(i + di, j + dj)));
+            if is_boundary {
+                // Distance to the far edge of the boundary cell (the first
+                // point guaranteed outside is at most one cell beyond its
+                // centre).
+                let d = Self::cell_center(i, j, self.cell).distance(p) + self.cell;
+                best = best.min(d);
+            }
+        }
+        if best.is_finite() {
+            best
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Theorem 1: an object at `p` with potential height `h_star` is **not**
+/// trapped in contour `c` if `P_c ≤ h* − µ_k·r_{c,p}` — after paying the
+/// friction toll for the shortest escape path it can still climb the
+/// region's highest hill.
+#[inline]
+pub fn escape_possible(peak: f64, h_star: f64, mu_k: f64, escape_radius: f64) -> bool {
+    peak <= h_star - mu_k * escape_radius
+}
+
+/// Corollary 3: the object is trapped in **any** contour whose escape radius
+/// exceeds `h*/µ_k` — friction alone exhausts its energy budget within that
+/// radius. For `µ_k = 0` the bound is infinite (never trapped by radius,
+/// Corollary 1).
+#[inline]
+pub fn trapping_radius(h_star: f64, mu_k: f64) -> f64 {
+    if mu_k <= 0.0 {
+        f64::INFINITY
+    } else {
+        h_star / mu_k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::AnalyticSurface;
+
+    #[test]
+    fn disc_contains_center_and_excludes_far_points() {
+        let c = Contour::disc(Vec2::new(5.0, 5.0), 2.0, 0.25);
+        assert!(c.contains(Vec2::new(5.0, 5.0)));
+        assert!(c.contains(Vec2::new(6.5, 5.0)));
+        assert!(!c.contains(Vec2::new(9.0, 5.0)));
+        assert!(c.area_cells() > 0);
+    }
+
+    #[test]
+    fn disc_escape_radius_close_to_geometric() {
+        let c = Contour::disc(Vec2::new(0.0, 0.0), 3.0, 0.1);
+        // From the centre, escape distance ≈ the radius (± a couple cells).
+        let r = c.escape_radius(Vec2::ZERO);
+        assert!((r - 3.0).abs() < 0.3, "escape radius {r}");
+        // From near the edge, escape is cheap.
+        let r_edge = c.escape_radius(Vec2::new(2.8, 0.0));
+        assert!(r_edge < 0.6, "edge escape radius {r_edge}");
+    }
+
+    #[test]
+    fn escape_radius_outside_is_zero() {
+        let c = Contour::disc(Vec2::ZERO, 1.0, 0.1);
+        assert_eq!(c.escape_radius(Vec2::new(10.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn crater_basin_is_bounded_by_the_rim() {
+        let s = AnalyticSurface::Crater {
+            center: Vec2::ZERO,
+            floor_r: 2.0,
+            rim_r: 4.0,
+            rim_height: 5.0,
+        };
+        // Basin below level 2.5 from the crater centre: extends up the inner
+        // rim to where height reaches 2.5, i.e. radius 2 + 2·(2.5/5) = 3.
+        let c = Contour::basin(&s, Vec2::ZERO, 2.5, 0.2, 100);
+        assert!(c.contains(Vec2::ZERO));
+        assert!(c.contains(Vec2::new(2.5, 0.0)));
+        assert!(!c.contains(Vec2::new(3.5, 0.0)));
+        let r = c.escape_radius(Vec2::ZERO);
+        assert!((r - 3.0).abs() < 0.5, "escape radius {r}");
+    }
+
+    #[test]
+    fn crater_basin_peak_is_below_level() {
+        let s = AnalyticSurface::Crater {
+            center: Vec2::ZERO,
+            floor_r: 2.0,
+            rim_r: 4.0,
+            rim_height: 5.0,
+        };
+        let c = Contour::basin(&s, Vec2::ZERO, 2.5, 0.2, 100);
+        let peak = c.peak(&s);
+        assert!(peak < 2.5 && peak > 2.0, "peak {peak}");
+    }
+
+    #[test]
+    fn basin_above_everything_escapes_the_box() {
+        // With level above the rim the basin spills outside; its escape
+        // radius from the centre is then bounded by the search box, and the
+        // peak includes the rim height.
+        let s = AnalyticSurface::Crater {
+            center: Vec2::ZERO,
+            floor_r: 2.0,
+            rim_r: 4.0,
+            rim_height: 5.0,
+        };
+        let c = Contour::basin(&s, Vec2::ZERO, 6.0, 0.25, 60);
+        let peak = c.peak(&s);
+        assert!((peak - 5.0).abs() < 0.2, "peak {peak}");
+    }
+
+    #[test]
+    fn basin_empty_when_start_above_level() {
+        let s = AnalyticSurface::Flat { z: 10.0 };
+        let c = Contour::basin(&s, Vec2::ZERO, 5.0, 0.5, 10);
+        assert_eq!(c.area_cells(), 0);
+        assert!(!c.contains(Vec2::ZERO));
+    }
+
+    #[test]
+    fn theorem1_bound_monotone_in_mu() {
+        // Fixing the geometry, increasing µ_k can only flip escape→trapped.
+        let peak = 3.0;
+        let h_star = 5.0;
+        let r = 10.0;
+        assert!(escape_possible(peak, h_star, 0.1, r)); // 5 − 1 = 4 ≥ 3
+        assert!(!escape_possible(peak, h_star, 0.5, r)); // 5 − 5 = 0 < 3
+    }
+
+    #[test]
+    fn corollary3_radius() {
+        assert_eq!(trapping_radius(4.0, 0.5), 8.0);
+        assert_eq!(trapping_radius(4.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn theorem1_consistency_with_corollary3() {
+        // If r > h*/µ_k then escape_possible must be false for any peak ≥ 0.
+        let h_star = 2.0;
+        let mu = 0.25;
+        let r = trapping_radius(h_star, mu) + 0.1;
+        assert!(!escape_possible(0.0, h_star, mu, r));
+    }
+}

@@ -1,0 +1,178 @@
+//! The energy model of §3.3: kinetic + potential energy, heat accounting,
+//! and the *potential height* `h*` that bounds which hills the object can
+//! still climb.
+
+/// Running energy accounts of a single object.
+///
+/// Conservation invariant: `kinetic + potential + heat` is constant over a
+/// trajectory (up to integrator error); the ledger exposes it as
+/// [`EnergyLedger::total_with_heat`] so tests and experiments can assert it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyLedger {
+    mass: f64,
+    g: f64,
+    /// Cumulative energy dissipated as heat by kinetic friction.
+    heat: f64,
+    /// Initial mechanical energy at the start of the trajectory.
+    initial_mechanical: f64,
+}
+
+impl EnergyLedger {
+    /// Opens a ledger for an object of mass `m` under gravity `g`, starting
+    /// at height `h0` with speed `v0`.
+    pub fn new(mass: f64, g: f64, h0: f64, v0: f64) -> Self {
+        assert!(mass > 0.0, "mass must be positive");
+        assert!(g > 0.0, "gravity must be positive");
+        EnergyLedger {
+            mass,
+            g,
+            heat: 0.0,
+            initial_mechanical: 0.5 * mass * v0 * v0 + mass * g * h0,
+        }
+    }
+
+    /// Kinetic energy at speed `v`: `E_k = m·v²/2`.
+    #[inline]
+    pub fn kinetic(&self, v: f64) -> f64 {
+        0.5 * self.mass * v * v
+    }
+
+    /// Potential energy at height `h`: `E_p = m·g·h`.
+    #[inline]
+    pub fn potential(&self, h: f64) -> f64 {
+        self.mass * self.g * h
+    }
+
+    /// Records `joules` of friction heat.
+    pub fn dissipate(&mut self, joules: f64) {
+        debug_assert!(joules >= -1e-12, "heat cannot be negative");
+        self.heat += joules.max(0.0);
+    }
+
+    /// Total heat dissipated so far.
+    #[inline]
+    pub fn heat(&self) -> f64 {
+        self.heat
+    }
+
+    /// Mechanical energy at the given state.
+    #[inline]
+    pub fn mechanical(&self, h: f64, v: f64) -> f64 {
+        self.kinetic(v) + self.potential(h)
+    }
+
+    /// Mechanical energy plus dissipated heat — conserved along the
+    /// trajectory (equals the initial mechanical energy).
+    #[inline]
+    pub fn total_with_heat(&self, h: f64, v: f64) -> f64 {
+        self.mechanical(h, v) + self.heat
+    }
+
+    /// The initial mechanical energy.
+    #[inline]
+    pub fn initial(&self) -> f64 {
+        self.initial_mechanical
+    }
+
+    /// Conservation defect `|E(t) + heat − E(0)|`; should be ~0 for an exact
+    /// integrator and small for a numerical one.
+    #[inline]
+    pub fn conservation_defect(&self, h: f64, v: f64) -> f64 {
+        (self.total_with_heat(h, v) - self.initial_mechanical).abs()
+    }
+
+    /// The *potential height* `h*` at the given state: the height of the
+    /// highest point the object could still reach if all kinetic energy were
+    /// converted back to potential energy (§3.3):
+    ///
+    /// `h* = h + v²/(2g)`
+    ///
+    /// Equivalently `h* = h0 − Σ E_h/(m·g)` along the trajectory, which is
+    /// the form the load-balancing algorithm tracks as a flag on each load.
+    #[inline]
+    pub fn potential_height(&self, h: f64, v: f64) -> f64 {
+        h + v * v / (2.0 * self.g)
+    }
+
+    /// `h*` computed from the ledger instead of the instantaneous state:
+    /// `h* = E_initial/(m·g) − heat/(m·g)`. Identical to
+    /// [`Self::potential_height`] when energy is conserved; the difference
+    /// between the two is exactly the integrator's conservation defect.
+    #[inline]
+    pub fn potential_height_from_ledger(&self) -> f64 {
+        (self.initial_mechanical - self.heat) / (self.mass * self.g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinetic_and_potential_formulas() {
+        let l = EnergyLedger::new(2.0, 10.0, 0.0, 0.0);
+        assert_eq!(l.kinetic(3.0), 9.0);
+        assert_eq!(l.potential(5.0), 100.0);
+    }
+
+    #[test]
+    fn stationary_object_has_no_kinetic_energy() {
+        let l = EnergyLedger::new(1.0, 9.8, 7.0, 0.0);
+        assert_eq!(l.kinetic(0.0), 0.0);
+        assert_eq!(l.initial(), l.potential(7.0));
+    }
+
+    #[test]
+    fn conservation_without_heat() {
+        // Drop from h=10: at h=0 all potential energy became kinetic.
+        let l = EnergyLedger::new(1.0, 10.0, 10.0, 0.0);
+        let v_at_bottom = (2.0f64 * 10.0 * 10.0).sqrt();
+        assert!(l.conservation_defect(0.0, v_at_bottom) < 1e-9);
+    }
+
+    #[test]
+    fn heat_accumulates_and_closes_the_books() {
+        let mut l = EnergyLedger::new(1.0, 10.0, 10.0, 0.0);
+        l.dissipate(30.0);
+        l.dissipate(20.0);
+        assert_eq!(l.heat(), 50.0);
+        // Remaining mechanical energy must be 100 − 50 = 50 J, e.g. at
+        // h = 5, v = 0.
+        assert!(l.conservation_defect(5.0, 0.0) < 1e-9);
+    }
+
+    #[test]
+    fn potential_height_combines_height_and_speed() {
+        let l = EnergyLedger::new(1.0, 10.0, 0.0, 0.0);
+        // At h = 3 with v² = 40 ⇒ extra height 2 ⇒ h* = 5.
+        let v = 40.0f64.sqrt();
+        assert!((l.potential_height(3.0, v) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_potential_height_tracks_heat() {
+        let mut l = EnergyLedger::new(2.0, 10.0, 10.0, 0.0);
+        assert_eq!(l.potential_height_from_ledger(), 10.0);
+        // Losing 40 J with m·g = 20 lowers h* by 2.
+        l.dissipate(40.0);
+        assert!((l.potential_height_from_ledger() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_and_state_potential_heights_agree_when_conserved() {
+        let mut l = EnergyLedger::new(1.0, 10.0, 10.0, 0.0);
+        // Object slid to h = 6 losing 10 J to heat; speed from conservation:
+        // E_k = 100 − 60 − 10 = 30 ⇒ v = sqrt(60).
+        l.dissipate(10.0);
+        let v = 60.0f64.sqrt();
+        let a = l.potential_height(6.0, v);
+        let b = l.potential_height_from_ledger();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "mass must be positive")]
+    fn rejects_nonpositive_mass() {
+        let _ = EnergyLedger::new(0.0, 9.8, 0.0, 0.0);
+    }
+}

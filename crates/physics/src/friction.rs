@@ -1,0 +1,151 @@
+//! Static and kinetic friction (§3.1–3.2 of the paper).
+//!
+//! The paper measures the slope angle `α` from the perpendicular, giving the
+//! movement criterion `1/tan α > µ_s` (its Eq. 1). With the conventional
+//! from-horizontal angle `θ` (`θ = π/2 − α`) the same criterion reads
+//! `tan θ > µ_s`, which is the form implemented here; the two are identical
+//! because `cot α = tan θ`.
+
+/// Friction coefficients of the object/yard pair.
+///
+/// Invariants: both coefficients are non-negative and `µ_k ≤ µ_s` — kinetic
+/// friction never exceeds static friction, in physics as in the paper's load
+/// model (`µ_k ∝ µ_s`, §4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Friction {
+    mu_s: f64,
+    mu_k: f64,
+}
+
+impl Friction {
+    /// A frictionless pairing (`µ_s = µ_k = 0`), as used by Corollary 1.
+    pub const FRICTIONLESS: Friction = Friction { mu_s: 0.0, mu_k: 0.0 };
+
+    /// Creates a friction model.
+    ///
+    /// # Panics
+    /// Panics if either coefficient is negative, not finite, or if
+    /// `mu_k > mu_s`.
+    pub fn new(mu_s: f64, mu_k: f64) -> Self {
+        assert!(mu_s.is_finite() && mu_s >= 0.0, "µ_s must be finite and ≥ 0");
+        assert!(mu_k.is_finite() && mu_k >= 0.0, "µ_k must be finite and ≥ 0");
+        assert!(mu_k <= mu_s, "kinetic friction cannot exceed static friction");
+        Friction { mu_s, mu_k }
+    }
+
+    /// Creates a model where both coefficients are equal.
+    pub fn uniform(mu: f64) -> Self {
+        Friction::new(mu, mu)
+    }
+
+    /// The static coefficient `µ_s`.
+    #[inline]
+    pub fn mu_s(&self) -> f64 {
+        self.mu_s
+    }
+
+    /// The kinetic coefficient `µ_k`.
+    #[inline]
+    pub fn mu_k(&self) -> f64 {
+        self.mu_k
+    }
+
+    /// Eq. (1): does gravity overcome static friction on a slope of gradient
+    /// magnitude `tan_theta = |∇h|`?
+    ///
+    /// Movement starts iff `tan θ > µ_s`; on the threshold the object stays
+    /// put (the inequality in the paper is strict).
+    #[inline]
+    pub fn slope_moves(&self, tan_theta: f64) -> bool {
+        tan_theta > self.mu_s
+    }
+
+    /// The threshold slope angle `θ_t = atan(µ_s)`: below it a stationary
+    /// object never starts moving (the paper's `α_t`, complemented).
+    #[inline]
+    pub fn threshold_angle(&self) -> f64 {
+        self.mu_s.atan()
+    }
+
+    /// Magnitude of the kinetic friction deceleration on a slope of angle
+    /// `θ`, per unit mass: `f_k/m = µ_k·g·cos θ`.
+    ///
+    /// (The paper writes `f_k = µ_k·m·g·sin α` with `α` from the
+    /// perpendicular; `sin α = cos θ`.)
+    #[inline]
+    pub fn kinetic_decel(&self, g: f64, cos_theta: f64) -> f64 {
+        self.mu_k * g * cos_theta
+    }
+
+    /// Energy lost to heat when sliding a ground-plane distance `d_perp` with
+    /// mass `m` under gravity `g` (§3.3):
+    ///
+    /// `E_h = µ_k · m · g · d⊥`
+    ///
+    /// The paper's key observation is that the heat depends only on the
+    /// *horizontal* distance covered, not on the slope profile.
+    #[inline]
+    pub fn heat_loss(&self, m: f64, g: f64, d_perp: f64) -> f64 {
+        self.mu_k * m * g * d_perp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frictionless_always_moves_on_any_slope() {
+        let f = Friction::FRICTIONLESS;
+        assert!(f.slope_moves(1e-9));
+        assert!(!f.slope_moves(0.0)); // flat ground never moves
+    }
+
+    #[test]
+    fn movement_threshold_is_strict() {
+        let f = Friction::new(0.5, 0.3);
+        assert!(!f.slope_moves(0.5));
+        assert!(f.slope_moves(0.5 + 1e-12));
+        assert!(!f.slope_moves(0.49));
+    }
+
+    #[test]
+    fn threshold_angle_matches_mu_s() {
+        let f = Friction::new(1.0, 0.5);
+        assert!((f.threshold_angle() - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heat_loss_scales_linearly_in_each_factor() {
+        let f = Friction::new(0.4, 0.2);
+        let base = f.heat_loss(1.0, 9.8, 1.0);
+        assert!((f.heat_loss(2.0, 9.8, 1.0) - 2.0 * base).abs() < 1e-12);
+        assert!((f.heat_loss(1.0, 9.8, 3.0) - 3.0 * base).abs() < 1e-12);
+        assert_eq!(Friction::FRICTIONLESS.heat_loss(5.0, 9.8, 100.0), 0.0);
+    }
+
+    #[test]
+    fn kinetic_decel_on_flat_ground() {
+        let f = Friction::new(0.5, 0.25);
+        assert!((f.kinetic_decel(10.0, 1.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "kinetic friction cannot exceed")]
+    fn rejects_mu_k_above_mu_s() {
+        let _ = Friction::new(0.1, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "µ_s must be finite")]
+    fn rejects_negative_mu_s() {
+        let _ = Friction::new(-0.1, 0.0);
+    }
+
+    #[test]
+    fn uniform_sets_both() {
+        let f = Friction::uniform(0.3);
+        assert_eq!(f.mu_s(), 0.3);
+        assert_eq!(f.mu_k(), 0.3);
+    }
+}

@@ -1,0 +1,63 @@
+//! # pp-physics — the particle & plane physical model
+//!
+//! This crate implements §3 of Imani & Sarbazi-Azad's *"A Physical Particle
+//! and Plane Framework for Load Balancing in Multiprocessors"* (IPPS 2006):
+//! an object sliding on a bumpy yard under gravity, static/kinetic friction
+//! and an energy ledger, together with the contour/escape-radius machinery of
+//! the paper's Definitions 1–3 and executable forms of Eq. (1),
+//! Corollaries 1–3 and Theorem 1.
+//!
+//! The load-balancing analogy (crate `pp-core`) maps network state onto this
+//! model; keeping the physics standalone lets the test-suite verify the
+//! physical claims *independently* of the load balancer built on them.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use pp_physics::prelude::*;
+//!
+//! // A crater: flat floor, a rim of height 1 peaking at radius 2.
+//! let yard = AnalyticSurface::Crater {
+//!     center: Vec2::ZERO,
+//!     floor_r: 1.0,
+//!     rim_r: 2.0,
+//!     rim_height: 1.0,
+//! };
+//! // Release an object on the inner rim with moderate friction.
+//! let mut sim = Simulation::new(
+//!     &yard,
+//!     Friction::uniform(0.3),
+//!     SimConfig::default(),
+//!     Particle::at_rest(Vec2::new(1.5, 0.0), 1.0),
+//! );
+//! let outcome = sim.run_until_rest();
+//! // Friction eventually traps the object (Corollary 2).
+//! assert_eq!(outcome.reason, StopReason::AtRest);
+//! assert!(outcome.heat > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contour;
+pub mod energy;
+pub mod friction;
+pub mod particle;
+pub mod surface;
+pub mod theorems;
+pub mod trajectory;
+pub mod vec;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::contour::{escape_possible, trapping_radius, Contour};
+    pub use crate::energy::EnergyLedger;
+    pub use crate::friction::Friction;
+    pub use crate::particle::{Particle, RunOutcome, SimConfig, Simulation, StopReason};
+    pub use crate::surface::{AnalyticSurface, GridSurface, Surface};
+    pub use crate::theorems::{
+        max_travel_check, trapping_trial, TheoremVerdict, TrappingTrial, TravelCheck,
+    };
+    pub use crate::trajectory::{Sample, Trajectory};
+    pub use crate::vec::{Vec2, Vec3};
+}

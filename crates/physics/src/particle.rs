@@ -1,0 +1,483 @@
+//! Particle kinematics on a bumpy surface (§3.1–3.2).
+//!
+//! The object slides on the height field under gravity, opposed by static
+//! friction (which keeps it parked on shallow slopes, Eq. 1) and kinetic
+//! friction (which drains its energy into heat while it moves, §3.3).
+//!
+//! # Dynamics
+//!
+//! For a point mass constrained to `z = h(x, y)` the exact Lagrangian
+//! equations of motion, projected on the ground plane with velocity `w`, are
+//!
+//! ```text
+//! ẇ = −(g + wᵀHw)·∇h / (1 + |∇h|²)  +  friction,
+//! ```
+//!
+//! where `H` is the Hessian of `h` (the `wᵀHw` term is the centripetal part
+//! of the constraint force). The normal force magnitude is
+//! `N = m·cos θ·(g + wᵀHw)` with `cos θ = 1/√(1 + |∇h|²)`, clamped at zero
+//! (the object never pushes the ground upward). Kinetic friction acts along
+//! the 3-D velocity `v₃ = (w, ∇h·w)` with magnitude `µ_k·N`; in ground
+//! projection this decelerates `w` by `µ_k·N/(m·|v₃|)·w`, and the heat
+//! produced per unit time is `µ_k·N·|v₃|`. For motion along the line of
+//! steepest descent this integrates to the paper's `E_h = µ_k·m·g·d⊥` —
+//! heat depends only on the horizontal distance covered (§3.3, Fig. 2).
+//!
+//! The integrator is semi-implicit (symplectic) Euler with a friction clamp
+//! so a single step can never reverse the direction of motion.
+
+use crate::energy::EnergyLedger;
+use crate::friction::Friction;
+use crate::surface::Surface;
+use crate::vec::Vec2;
+
+/// The state of the sliding object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Ground-plane position.
+    pub pos: Vec2,
+    /// Ground-plane velocity.
+    pub vel: Vec2,
+    /// Mass (the paper's load quantity `m`).
+    pub mass: f64,
+}
+
+impl Particle {
+    /// Places a stationary particle of the given mass at `pos`.
+    pub fn at_rest(pos: Vec2, mass: f64) -> Self {
+        assert!(mass > 0.0, "mass must be positive");
+        Particle { pos, vel: Vec2::ZERO, mass }
+    }
+
+    /// Ground speed `|w|`.
+    #[inline]
+    pub fn ground_speed(&self) -> f64 {
+        self.vel.norm()
+    }
+
+    /// Full 3-D surface speed `|v₃| = √(|w|² + (∇h·w)²)`.
+    #[inline]
+    pub fn surface_speed(&self, grad: Vec2) -> f64 {
+        let climb = grad.dot(self.vel);
+        (self.vel.norm_sq() + climb * climb).sqrt()
+    }
+}
+
+/// Integration and termination parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Gravitational acceleration.
+    pub g: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Ground-speed threshold below which the object is considered at rest
+    /// (it then actually stops iff static friction holds the local slope).
+    pub stop_speed: f64,
+    /// Hard cap on the number of steps for [`Simulation::run_until_rest`].
+    pub max_steps: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { g: 9.81, dt: 1e-3, stop_speed: 1e-4, max_steps: 2_000_000 }
+    }
+}
+
+/// Why a run terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The object came to rest (static friction holds it).
+    AtRest,
+    /// The step budget was exhausted while still moving.
+    StepLimit,
+    /// A caller-supplied predicate requested the stop.
+    Predicate,
+}
+
+/// Summary of a finished run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Final particle state.
+    pub particle: Particle,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Steps executed.
+    pub steps: usize,
+    /// Simulated time elapsed.
+    pub time: f64,
+    /// Total horizontal (ground-plane) path length `d⊥`.
+    pub ground_distance: f64,
+    /// Heat dissipated, from the ledger.
+    pub heat: f64,
+}
+
+/// A particle bound to a surface with friction, stepped through time.
+pub struct Simulation<'a, S: Surface> {
+    surface: &'a S,
+    friction: Friction,
+    config: SimConfig,
+    particle: Particle,
+    ledger: EnergyLedger,
+    time: f64,
+    ground_distance: f64,
+    at_rest: bool,
+}
+
+impl<'a, S: Surface> Simulation<'a, S> {
+    /// Creates a simulation for `particle` on `surface`.
+    pub fn new(surface: &'a S, friction: Friction, config: SimConfig, particle: Particle) -> Self {
+        let h0 = surface.height(particle.pos);
+        let ledger = EnergyLedger::new(particle.mass, config.g, h0, particle.ground_speed());
+        Simulation {
+            surface,
+            friction,
+            config,
+            particle,
+            ledger,
+            time: 0.0,
+            ground_distance: 0.0,
+            at_rest: false,
+        }
+    }
+
+    /// Current particle state.
+    pub fn particle(&self) -> Particle {
+        self.particle
+    }
+
+    /// Current surface height under the particle.
+    pub fn height(&self) -> f64 {
+        self.surface.height(self.particle.pos)
+    }
+
+    /// Energy ledger (kinetic/potential/heat accounts).
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Elapsed simulated time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Total horizontal path length so far (`d⊥` in §3.3).
+    pub fn ground_distance(&self) -> f64 {
+        self.ground_distance
+    }
+
+    /// Whether the object is currently held at rest by static friction.
+    pub fn is_at_rest(&self) -> bool {
+        self.at_rest
+    }
+
+    /// The *potential height* `h*` of the object in its current state.
+    pub fn potential_height(&self) -> f64 {
+        let grad = self.surface.gradient(self.particle.pos);
+        let v3 = self.particle.surface_speed(grad);
+        self.ledger.potential_height(self.height(), v3)
+    }
+
+    /// Advances one time step. Returns `false` if the object is (now) at
+    /// rest, `true` if it is still in motion.
+    pub fn step(&mut self) -> bool {
+        let p = self.particle.pos;
+        let grad = self.surface.gradient(p);
+        let grad_sq = grad.norm_sq();
+        let denom = 1.0 + grad_sq;
+        let cos_theta = 1.0 / denom.sqrt();
+        let g = self.config.g;
+        let dt = self.config.dt;
+
+        let moving = self.particle.ground_speed() > self.config.stop_speed;
+        if !moving {
+            // Stationary: Eq. (1) decides whether it starts to move.
+            let tan_theta = grad.norm();
+            if !self.friction.slope_moves(tan_theta) {
+                self.particle.vel = Vec2::ZERO;
+                self.at_rest = true;
+                return false;
+            }
+        }
+        self.at_rest = false;
+
+        let w = self.particle.vel;
+        // Centripetal term wᵀHw from the surface curvature.
+        let (hxx, hxy, hyy) = self.surface.hessian(p);
+        let w_h_w = hxx * w.x * w.x + 2.0 * hxy * w.x * w.y + hyy * w.y * w.y;
+        // Normal force per unit mass, clamped: the ground only pushes.
+        let n_per_m = (cos_theta * (g + w_h_w)).max(0.0);
+
+        // Tangential gravity + centripetal correction, ground projection.
+        let a_gravity = -grad * ((g + w_h_w) / denom);
+
+        // Semi-implicit: apply gravity to the velocity first …
+        let mut vel = w + a_gravity * dt;
+        // … then kinetic friction, clamped so a single step cannot reverse
+        // the direction of motion. Ground-projected friction deceleration is
+        // µ_k·N/(m·|v₃|)·w, i.e. magnitude µ_k·N/m · |w|/|v₃| along −ŵ.
+        let v3 = self.particle.surface_speed(grad);
+        if v3 > 0.0 {
+            let decel = self.friction.mu_k() * n_per_m * (vel.norm() / v3.max(vel.norm()));
+            let speed = vel.norm();
+            if speed > 0.0 {
+                let dv = (decel * dt).min(speed);
+                vel -= vel.normalized() * dv;
+            }
+        }
+
+        // Heat produced this step: f_k · (surface distance travelled).
+        let heat = self.friction.mu_k() * self.particle.mass * n_per_m * v3 * dt;
+        self.ledger.dissipate(heat);
+
+        let step_vec = vel * dt;
+        self.ground_distance += step_vec.norm();
+        self.particle.pos += step_vec;
+        self.particle.vel = vel;
+        self.time += dt;
+        true
+    }
+
+    /// Runs until the object rests, the step budget is exhausted, or
+    /// `stop_when` returns `true` (checked after every step).
+    pub fn run_until<F: FnMut(&Simulation<'a, S>) -> bool>(
+        &mut self,
+        mut stop_when: F,
+    ) -> RunOutcome {
+        let mut steps = 0usize;
+        let reason = loop {
+            if steps >= self.config.max_steps {
+                break StopReason::StepLimit;
+            }
+            let moving = self.step();
+            steps += 1;
+            if stop_when(self) {
+                break StopReason::Predicate;
+            }
+            if !moving {
+                break StopReason::AtRest;
+            }
+        };
+        RunOutcome {
+            particle: self.particle,
+            reason,
+            steps,
+            time: self.time,
+            ground_distance: self.ground_distance,
+            heat: self.ledger.heat(),
+        }
+    }
+
+    /// Runs until the object comes to rest (or the step budget runs out).
+    pub fn run_until_rest(&mut self) -> RunOutcome {
+        self.run_until(|_| false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::AnalyticSurface;
+
+    fn cfg() -> SimConfig {
+        SimConfig { g: 10.0, dt: 1e-3, stop_speed: 1e-4, max_steps: 2_000_000 }
+    }
+
+    #[test]
+    fn object_on_flat_ground_stays_put() {
+        let s = AnalyticSurface::Flat { z: 0.0 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::uniform(0.2),
+            cfg(),
+            Particle::at_rest(Vec2::ZERO, 1.0),
+        );
+        let out = sim.run_until_rest();
+        assert_eq!(out.reason, StopReason::AtRest);
+        assert_eq!(out.particle.pos, Vec2::ZERO);
+        assert_eq!(out.heat, 0.0);
+    }
+
+    #[test]
+    fn shallow_slope_holds_object_eq1() {
+        // tan θ = 0.3 < µ_s = 0.5 ⇒ no movement (Eq. 1).
+        let s = AnalyticSurface::Incline { z0: 10.0, slope: 0.3 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::new(0.5, 0.2),
+            cfg(),
+            Particle::at_rest(Vec2::new(1.0, 0.0), 1.0),
+        );
+        let out = sim.run_until_rest();
+        assert_eq!(out.reason, StopReason::AtRest);
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.particle.pos, Vec2::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn steep_slope_releases_object_eq1() {
+        // tan θ = 0.8 > µ_s = 0.5 ⇒ the object accelerates downhill (−x).
+        let s = AnalyticSurface::Incline { z0: 10.0, slope: 0.8 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::new(0.5, 0.2),
+            cfg(),
+            Particle::at_rest(Vec2::new(1.0, 0.0), 1.0),
+        );
+        for _ in 0..100 {
+            sim.step();
+        }
+        assert!(sim.particle().pos.x < 1.0);
+        assert!(sim.particle().vel.x < 0.0);
+        assert!(sim.ledger().heat() > 0.0);
+    }
+
+    #[test]
+    fn frictionless_bowl_conserves_energy() {
+        let s = AnalyticSurface::Bowl { center: Vec2::ZERO, curvature: 0.5 };
+        let start = Vec2::new(1.0, 0.0);
+        let mut sim = Simulation::new(
+            &s,
+            Friction::FRICTIONLESS,
+            SimConfig { dt: 1e-4, ..cfg() },
+            Particle::at_rest(start, 1.0),
+        );
+        for _ in 0..200_000 {
+            sim.step();
+        }
+        let grad = s.gradient(sim.particle().pos);
+        let v3 = sim.particle().surface_speed(grad);
+        // With the exact constrained dynamics the semi-implicit integrator
+        // keeps the defect small relative to the initial 5 J.
+        let defect = sim.ledger().conservation_defect(sim.height(), v3);
+        assert!(defect < 0.05, "defect {defect}");
+    }
+
+    #[test]
+    fn friction_on_bowl_eventually_traps_at_bottom() {
+        // Corollary 2 in miniature: with µ_k ≠ 0 the object stops, near the
+        // bowl's minimum.
+        let s = AnalyticSurface::Bowl { center: Vec2::ZERO, curvature: 0.5 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::uniform(0.15),
+            cfg(),
+            Particle::at_rest(Vec2::new(2.0, 0.0), 1.0),
+        );
+        let out = sim.run_until_rest();
+        assert_eq!(out.reason, StopReason::AtRest);
+        // Static friction can hold it slightly up-slope of the exact centre:
+        // anywhere with |∇h| ≤ µ_s, i.e. |p| ≤ µ_s/(2·curvature) = 0.15.
+        assert!(out.particle.pos.norm() <= 0.15 + 1e-6, "stopped at {:?}", out.particle.pos);
+        assert!(out.heat > 0.0);
+    }
+
+    #[test]
+    fn heat_equals_mu_m_g_dperp_on_incline() {
+        // §3.3: sliding down a straight slope, heat = µ_k·m·g·d⊥ exactly.
+        let s = AnalyticSurface::Incline { z0: 100.0, slope: 1.0 };
+        let m = 2.0;
+        let mu = 0.2;
+        let mut sim = Simulation::new(
+            &s,
+            Friction::new(0.3, mu),
+            cfg(),
+            Particle::at_rest(Vec2::new(50.0, 0.0), m),
+        );
+        for _ in 0..50_000 {
+            sim.step();
+        }
+        let d_perp = (Vec2::new(50.0, 0.0) - sim.particle().pos).norm();
+        let predicted = mu * m * 10.0 * d_perp;
+        let got = sim.ledger().heat();
+        let rel = (got - predicted).abs() / predicted;
+        assert!(rel < 0.02, "heat {got} vs predicted {predicted} (rel {rel})");
+    }
+
+    #[test]
+    fn heavier_object_same_trajectory_more_heat() {
+        // Kinematics are mass-independent; heat scales with mass.
+        let s = AnalyticSurface::Incline { z0: 10.0, slope: 1.0 };
+        let run = |mass: f64| {
+            let mut sim = Simulation::new(
+                &s,
+                Friction::uniform(0.2),
+                cfg(),
+                Particle::at_rest(Vec2::new(5.0, 0.0), mass),
+            );
+            for _ in 0..5000 {
+                sim.step();
+            }
+            (sim.particle().pos, sim.ledger().heat())
+        };
+        let (p1, h1) = run(1.0);
+        let (p2, h2) = run(3.0);
+        assert!((p1 - p2).norm() < 1e-9);
+        assert!((h2 / h1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn potential_height_never_increases_with_friction() {
+        let s = AnalyticSurface::Bowl { center: Vec2::ZERO, curvature: 1.0 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::uniform(0.1),
+            cfg(),
+            Particle::at_rest(Vec2::new(1.5, 0.5), 1.0),
+        );
+        let mut last = sim.ledger().potential_height_from_ledger();
+        for _ in 0..10_000 {
+            if !sim.step() {
+                break;
+            }
+            let now = sim.ledger().potential_height_from_ledger();
+            assert!(now <= last + 1e-12, "h* increased: {last} -> {now}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let s = AnalyticSurface::Incline { z0: 10.0, slope: 1.0 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::FRICTIONLESS,
+            cfg(),
+            Particle::at_rest(Vec2::new(5.0, 0.0), 1.0),
+        );
+        let out = sim.run_until(|sim| sim.particle().pos.x < 4.0);
+        assert_eq!(out.reason, StopReason::Predicate);
+        assert!(out.particle.pos.x < 4.0);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let s = AnalyticSurface::Incline { z0: 10.0, slope: 1.0 };
+        let mut config = cfg();
+        config.max_steps = 10;
+        let mut sim = Simulation::new(
+            &s,
+            Friction::FRICTIONLESS,
+            config,
+            Particle::at_rest(Vec2::new(5.0, 0.0), 1.0),
+        );
+        let out = sim.run_until_rest();
+        assert_eq!(out.reason, StopReason::StepLimit);
+        assert_eq!(out.steps, 10);
+    }
+
+    #[test]
+    fn double_well_oscillation_settles_in_a_valley() {
+        let s = AnalyticSurface::DoubleWell { a: 2.0, barrier: 1.0 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::uniform(0.05),
+            cfg(),
+            Particle::at_rest(Vec2::new(3.5, 0.0), 1.0),
+        );
+        let out = sim.run_until_rest();
+        assert_eq!(out.reason, StopReason::AtRest);
+        // Must end near one of the two well bottoms x = ±2.
+        let d = (out.particle.pos.x.abs() - 2.0).abs();
+        assert!(d < 0.5, "stopped at {:?}", out.particle.pos);
+    }
+}

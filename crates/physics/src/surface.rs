@@ -1,0 +1,533 @@
+//! The bumpy yard: height fields over the ground plane.
+//!
+//! The paper models the yard as a surface of hills and valleys; each point is
+//! an `(x, y, z)` triple (§3.1). We expose the surface as a trait returning a
+//! height and a gradient, with two families of implementations:
+//!
+//! * [`AnalyticSurface`] — closed-form test surfaces (inclined plane, bowl,
+//!   crater, double well, sinusoidal bumps) for which the theorems of §3.3
+//!   can be checked against exact geometry, and
+//! * [`GridSurface`] — a sampled height field with bilinear interpolation,
+//!   which is the discrete form used when mapping a network's load
+//!   distribution onto the yard (§4.1).
+
+use crate::vec::Vec2;
+
+/// A height field `z = h(x, y)` over the ground plane.
+pub trait Surface {
+    /// Height of the surface at ground point `p`.
+    fn height(&self, p: Vec2) -> f64;
+
+    /// Gradient `∇h` at `p`. The default implementation uses central finite
+    /// differences; analytic surfaces override it with the exact gradient.
+    fn gradient(&self, p: Vec2) -> Vec2 {
+        let eps = 1e-6;
+        let dx = (self.height(Vec2::new(p.x + eps, p.y)) - self.height(Vec2::new(p.x - eps, p.y)))
+            / (2.0 * eps);
+        let dy = (self.height(Vec2::new(p.x, p.y + eps)) - self.height(Vec2::new(p.x, p.y - eps)))
+            / (2.0 * eps);
+        Vec2::new(dx, dy)
+    }
+
+    /// Slope angle `θ` (radians from the horizontal) at `p`; `tan θ = |∇h|`.
+    ///
+    /// The paper's §3.2 measures the angle `α` from the perpendicular, so its
+    /// `cot α` equals our `tan θ`; we use the from-horizontal convention and
+    /// note the equivalence wherever a paper formula is implemented.
+    fn slope_angle(&self, p: Vec2) -> f64 {
+        self.gradient(p).norm().atan()
+    }
+
+    /// Hessian `(h_xx, h_xy, h_yy)` at `p` — the surface curvature, needed by
+    /// the exact constrained dynamics (centripetal part of the normal force).
+    /// The default uses central finite differences of the gradient.
+    fn hessian(&self, p: Vec2) -> (f64, f64, f64) {
+        let eps = 1e-5;
+        let gx1 = self.gradient(Vec2::new(p.x + eps, p.y));
+        let gx0 = self.gradient(Vec2::new(p.x - eps, p.y));
+        let gy1 = self.gradient(Vec2::new(p.x, p.y + eps));
+        let gy0 = self.gradient(Vec2::new(p.x, p.y - eps));
+        let hxx = (gx1.x - gx0.x) / (2.0 * eps);
+        let hyy = (gy1.y - gy0.y) / (2.0 * eps);
+        let hxy = 0.5 * ((gx1.y - gx0.y) / (2.0 * eps) + (gy1.x - gy0.x) / (2.0 * eps));
+        (hxx, hxy, hyy)
+    }
+}
+
+/// Closed-form surfaces with exact gradients.
+#[derive(Debug, Clone)]
+pub enum AnalyticSurface {
+    /// A flat plane of constant height.
+    Flat {
+        /// Height of the plane.
+        z: f64,
+    },
+    /// An inclined plane `z = z0 + s·x` (slope only along x).
+    Incline {
+        /// Height at `x = 0`.
+        z0: f64,
+        /// Slope `dz/dx` (this is `tan θ`).
+        slope: f64,
+    },
+    /// A paraboloid bowl `z = k·|p − c|²` with minimum at `c`.
+    Bowl {
+        /// Ground-plane centre of the bowl.
+        center: Vec2,
+        /// Curvature; larger is steeper.
+        curvature: f64,
+    },
+    /// A circular crater: flat floor of radius `floor_r` at height 0, a rim
+    /// that rises linearly to `rim_height` at radius `rim_r`, then falls
+    /// linearly back to 0 at radius `2·rim_r − floor_r` and stays flat
+    /// outside. This is the canonical "valley surrounded by hills" used for
+    /// the contour/escape-radius experiments (Fig. 3).
+    Crater {
+        /// Ground-plane centre.
+        center: Vec2,
+        /// Radius of the flat floor.
+        floor_r: f64,
+        /// Radius at which the rim peaks.
+        rim_r: f64,
+        /// Height of the rim peak.
+        rim_height: f64,
+    },
+    /// A 1-D double well along x: two valleys at `x = ±a` separated by a hill
+    /// of height `barrier` at `x = 0`; `z = barrier·((x/a)² − 1)²`, flat in y.
+    DoubleWell {
+        /// Half-distance between the two wells.
+        a: f64,
+        /// Height of the central barrier above the well bottoms.
+        barrier: f64,
+    },
+    /// Sinusoidal bumps `z = amp·(sin(fx·x)·sin(fy·y) + 1)` — a periodic
+    /// yard of identical hills and valleys.
+    SinBumps {
+        /// Amplitude of each bump.
+        amp: f64,
+        /// Spatial frequency along x.
+        fx: f64,
+        /// Spatial frequency along y.
+        fy: f64,
+    },
+}
+
+impl Surface for AnalyticSurface {
+    fn height(&self, p: Vec2) -> f64 {
+        match *self {
+            AnalyticSurface::Flat { z } => z,
+            AnalyticSurface::Incline { z0, slope } => z0 + slope * p.x,
+            AnalyticSurface::Bowl { center, curvature } => curvature * (p - center).norm_sq(),
+            AnalyticSurface::Crater { center, floor_r, rim_r, rim_height } => {
+                let r = (p - center).norm();
+                let outer = 2.0 * rim_r - floor_r;
+                if r <= floor_r {
+                    0.0
+                } else if r <= rim_r {
+                    rim_height * (r - floor_r) / (rim_r - floor_r)
+                } else if r <= outer {
+                    rim_height * (outer - r) / (outer - rim_r)
+                } else {
+                    0.0
+                }
+            }
+            AnalyticSurface::DoubleWell { a, barrier } => {
+                let u = (p.x / a).powi(2) - 1.0;
+                barrier * u * u
+            }
+            AnalyticSurface::SinBumps { amp, fx, fy } => {
+                amp * ((fx * p.x).sin() * (fy * p.y).sin() + 1.0)
+            }
+        }
+    }
+
+    fn gradient(&self, p: Vec2) -> Vec2 {
+        match *self {
+            AnalyticSurface::Flat { .. } => Vec2::ZERO,
+            AnalyticSurface::Incline { slope, .. } => Vec2::new(slope, 0.0),
+            AnalyticSurface::Bowl { center, curvature } => (p - center) * (2.0 * curvature),
+            AnalyticSurface::Crater { center, floor_r, rim_r, rim_height } => {
+                let d = p - center;
+                let r = d.norm();
+                let outer = 2.0 * rim_r - floor_r;
+                let radial = if r <= floor_r || r > outer || r == 0.0 {
+                    0.0
+                } else if r <= rim_r {
+                    rim_height / (rim_r - floor_r)
+                } else {
+                    -rim_height / (outer - rim_r)
+                };
+                if r == 0.0 {
+                    Vec2::ZERO
+                } else {
+                    d / r * radial
+                }
+            }
+            AnalyticSurface::DoubleWell { a, barrier } => {
+                let u = (p.x / a).powi(2) - 1.0;
+                Vec2::new(barrier * 2.0 * u * 2.0 * p.x / (a * a), 0.0)
+            }
+            AnalyticSurface::SinBumps { amp, fx, fy } => Vec2::new(
+                amp * fx * (fx * p.x).cos() * (fy * p.y).sin(),
+                amp * fy * (fx * p.x).sin() * (fy * p.y).cos(),
+            ),
+        }
+    }
+
+    fn hessian(&self, p: Vec2) -> (f64, f64, f64) {
+        match *self {
+            AnalyticSurface::Flat { .. } | AnalyticSurface::Incline { .. } => (0.0, 0.0, 0.0),
+            AnalyticSurface::Bowl { curvature, .. } => (2.0 * curvature, 0.0, 2.0 * curvature),
+            AnalyticSurface::DoubleWell { a, barrier } => {
+                let a2 = a * a;
+                let hxx = barrier * (12.0 * p.x * p.x / (a2 * a2) - 4.0 / a2);
+                (hxx, 0.0, 0.0)
+            }
+            AnalyticSurface::SinBumps { amp, fx, fy } => {
+                let sx = (fx * p.x).sin();
+                let cx = (fx * p.x).cos();
+                let sy = (fy * p.y).sin();
+                let cy = (fy * p.y).cos();
+                (-amp * fx * fx * sx * sy, amp * fx * fy * cx * cy, -amp * fy * fy * sx * sy)
+            }
+            // Piecewise conical: h = c·(r − r₀) radially, whose exact
+            // Hessian is (c/r)(I − r̂r̂ᵀ). The delta-function curvature at
+            // the kinks is dropped deliberately: finite differences across a
+            // kink produce huge spurious centripetal forces that inject
+            // energy; dropping the delta only skips the instantaneous
+            // velocity redirection (a bounded, energy-safe error).
+            AnalyticSurface::Crater { center, floor_r, rim_r, rim_height } => {
+                let d = p - center;
+                let r = d.norm();
+                let outer = 2.0 * rim_r - floor_r;
+                let c = if r <= floor_r || r > outer || r == 0.0 {
+                    0.0
+                } else if r <= rim_r {
+                    rim_height / (rim_r - floor_r)
+                } else {
+                    -rim_height / (outer - rim_r)
+                };
+                if c == 0.0 {
+                    return (0.0, 0.0, 0.0);
+                }
+                let (rx, ry) = (d.x / r, d.y / r);
+                (
+                    c / r * (1.0 - rx * rx),
+                    -c / r * rx * ry,
+                    c / r * (1.0 - ry * ry),
+                )
+            }
+        }
+    }
+}
+
+/// A sampled height field over a regular grid with bilinear interpolation.
+///
+/// Cell `(i, j)` covers the ground square `[i·cell, (i+1)·cell) ×
+/// [j·cell, (j+1)·cell)`; heights are stored at cell corners. Queries outside
+/// the grid clamp to the border (the yard is effectively walled, matching the
+/// paper's "positions other than neighbours have infinite height" refinement
+/// — see [`GridSurface::with_walls`]).
+#[derive(Debug, Clone)]
+pub struct GridSurface {
+    width: usize,
+    height_cells: usize,
+    cell: f64,
+    z: Vec<f64>,
+    walls: bool,
+}
+
+impl GridSurface {
+    /// Height used for out-of-bounds queries when walls are enabled. Finite
+    /// (rather than `f64::INFINITY`) so that gradients stay usable, but far
+    /// above any realistic yard.
+    pub const WALL_HEIGHT: f64 = 1e9;
+
+    /// Creates a grid of `width × height` corner samples spaced `cell` apart,
+    /// with all heights zero.
+    pub fn flat(width: usize, height: usize, cell: f64) -> Self {
+        assert!(width >= 2 && height >= 2, "grid needs at least 2×2 corners");
+        assert!(cell > 0.0, "cell size must be positive");
+        GridSurface { width, height_cells: height, cell, z: vec![0.0; width * height], walls: false }
+    }
+
+    /// Samples an arbitrary surface onto a grid.
+    pub fn sample<S: Surface>(surface: &S, width: usize, height: usize, cell: f64) -> Self {
+        let mut g = GridSurface::flat(width, height, cell);
+        for j in 0..height {
+            for i in 0..width {
+                let p = Vec2::new(i as f64 * cell, j as f64 * cell);
+                g.z[j * width + i] = surface.height(p);
+            }
+        }
+        g
+    }
+
+    /// Enables walls: queries outside the grid return [`Self::WALL_HEIGHT`].
+    pub fn with_walls(mut self) -> Self {
+        self.walls = true;
+        self
+    }
+
+    /// Number of corner samples along x.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of corner samples along y.
+    pub fn height_samples(&self) -> usize {
+        self.height_cells
+    }
+
+    /// Grid spacing.
+    pub fn cell(&self) -> f64 {
+        self.cell
+    }
+
+    /// Height at corner `(i, j)`.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.z[j * self.width + i]
+    }
+
+    /// Sets the height at corner `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, z: f64) {
+        self.z[j * self.width + i] = z;
+    }
+
+    /// Ground-plane extent `(max_x, max_y)` of the grid.
+    pub fn extent(&self) -> Vec2 {
+        Vec2::new((self.width - 1) as f64 * self.cell, (self.height_cells - 1) as f64 * self.cell)
+    }
+
+    fn clamped_index(&self, p: Vec2) -> Option<(usize, usize, f64, f64)> {
+        let ext = self.extent();
+        if self.walls && (p.x < 0.0 || p.y < 0.0 || p.x > ext.x || p.y > ext.y) {
+            return None;
+        }
+        let x = p.x.clamp(0.0, ext.x) / self.cell;
+        let y = p.y.clamp(0.0, ext.y) / self.cell;
+        let i = (x.floor() as usize).min(self.width - 2);
+        let j = (y.floor() as usize).min(self.height_cells - 2);
+        Some((i, j, x - i as f64, y - j as f64))
+    }
+}
+
+impl Surface for GridSurface {
+    fn height(&self, p: Vec2) -> f64 {
+        match self.clamped_index(p) {
+            None => Self::WALL_HEIGHT,
+            Some((i, j, fx, fy)) => {
+                let z00 = self.at(i, j);
+                let z10 = self.at(i + 1, j);
+                let z01 = self.at(i, j + 1);
+                let z11 = self.at(i + 1, j + 1);
+                let z0 = z00 + (z10 - z00) * fx;
+                let z1 = z01 + (z11 - z01) * fx;
+                z0 + (z1 - z0) * fy
+            }
+        }
+    }
+
+    fn gradient(&self, p: Vec2) -> Vec2 {
+        match self.clamped_index(p) {
+            None => Vec2::ZERO,
+            Some((i, j, fx, fy)) => {
+                let z00 = self.at(i, j);
+                let z10 = self.at(i + 1, j);
+                let z01 = self.at(i, j + 1);
+                let z11 = self.at(i + 1, j + 1);
+                let dzdx = ((z10 - z00) * (1.0 - fy) + (z11 - z01) * fy) / self.cell;
+                let dzdy = ((z01 - z00) * (1.0 - fx) + (z11 - z10) * fx) / self.cell;
+                Vec2::new(dzdx, dzdy)
+            }
+        }
+    }
+
+    fn hessian(&self, p: Vec2) -> (f64, f64, f64) {
+        // Exact in-cell Hessian of the bilinear patch: h_xx = h_yy = 0 and
+        // h_xy constant. (Finite differences across cell boundaries would
+        // produce spurious curvature spikes — see the Crater note.)
+        match self.clamped_index(p) {
+            None => (0.0, 0.0, 0.0),
+            Some((i, j, _, _)) => {
+                let z00 = self.at(i, j);
+                let z10 = self.at(i + 1, j);
+                let z01 = self.at(i, j + 1);
+                let z11 = self.at(i + 1, j + 1);
+                let hxy = (z00 - z10 - z01 + z11) / (self.cell * self.cell);
+                (0.0, hxy, 0.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn flat_surface_has_zero_gradient() {
+        let s = AnalyticSurface::Flat { z: 3.0 };
+        assert_eq!(s.height(Vec2::new(5.0, -2.0)), 3.0);
+        assert_eq!(s.gradient(Vec2::new(5.0, -2.0)), Vec2::ZERO);
+        assert_eq!(s.slope_angle(Vec2::ZERO), 0.0);
+    }
+
+    #[test]
+    fn incline_height_and_gradient() {
+        let s = AnalyticSurface::Incline { z0: 1.0, slope: 0.5 };
+        assert_eq!(s.height(Vec2::new(2.0, 7.0)), 2.0);
+        assert_eq!(s.gradient(Vec2::new(2.0, 7.0)), Vec2::new(0.5, 0.0));
+        assert_close(s.slope_angle(Vec2::ZERO).tan(), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn bowl_gradient_points_away_from_center() {
+        let s = AnalyticSurface::Bowl { center: Vec2::new(1.0, 1.0), curvature: 2.0 };
+        let g = s.gradient(Vec2::new(3.0, 1.0));
+        assert!(g.x > 0.0 && g.y.abs() < 1e-12);
+        // Analytic gradient matches the finite-difference default.
+        let fd = {
+            struct Fd<'a>(&'a AnalyticSurface);
+            impl Surface for Fd<'_> {
+                fn height(&self, p: Vec2) -> f64 {
+                    self.0.height(p)
+                }
+            }
+            Fd(&s).gradient(Vec2::new(3.0, 1.0))
+        };
+        assert_close(g.x, fd.x, 1e-5);
+        assert_close(g.y, fd.y, 1e-5);
+    }
+
+    #[test]
+    fn crater_profile_shape() {
+        let s = AnalyticSurface::Crater {
+            center: Vec2::ZERO,
+            floor_r: 1.0,
+            rim_r: 2.0,
+            rim_height: 4.0,
+        };
+        assert_eq!(s.height(Vec2::ZERO), 0.0);
+        assert_eq!(s.height(Vec2::new(0.5, 0.0)), 0.0);
+        assert_eq!(s.height(Vec2::new(2.0, 0.0)), 4.0);
+        assert_close(s.height(Vec2::new(1.5, 0.0)), 2.0, 1e-12);
+        assert_close(s.height(Vec2::new(2.5, 0.0)), 2.0, 1e-12);
+        assert_eq!(s.height(Vec2::new(10.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn crater_gradient_signs() {
+        let s = AnalyticSurface::Crater {
+            center: Vec2::ZERO,
+            floor_r: 1.0,
+            rim_r: 2.0,
+            rim_height: 4.0,
+        };
+        // Inside the floor: flat.
+        assert_eq!(s.gradient(Vec2::new(0.5, 0.0)), Vec2::ZERO);
+        // Climbing the inner rim: gradient points outward (uphill).
+        assert!(s.gradient(Vec2::new(1.5, 0.0)).x > 0.0);
+        // Descending the outer rim: gradient points inward.
+        assert!(s.gradient(Vec2::new(2.5, 0.0)).x < 0.0);
+    }
+
+    #[test]
+    fn double_well_minima_and_barrier() {
+        let s = AnalyticSurface::DoubleWell { a: 2.0, barrier: 3.0 };
+        assert_close(s.height(Vec2::new(2.0, 0.0)), 0.0, 1e-12);
+        assert_close(s.height(Vec2::new(-2.0, 5.0)), 0.0, 1e-12);
+        assert_close(s.height(Vec2::new(0.0, 0.0)), 3.0, 1e-12);
+        // Gradient is zero at both minima and at the barrier top.
+        for x in [-2.0, 0.0, 2.0] {
+            assert_close(s.gradient(Vec2::new(x, 1.0)).x, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn sin_bumps_nonnegative_and_periodic() {
+        let s = AnalyticSurface::SinBumps { amp: 2.0, fx: 1.0, fy: 1.0 };
+        let p = Vec2::new(0.3, 0.7);
+        let q = Vec2::new(0.3 + 2.0 * std::f64::consts::PI, 0.7);
+        assert!(s.height(p) >= 0.0);
+        assert_close(s.height(p), s.height(q), 1e-9);
+    }
+
+    #[test]
+    fn analytic_gradients_match_finite_differences() {
+        struct Fd<'a, S: Surface>(&'a S);
+        impl<S: Surface> Surface for Fd<'_, S> {
+            fn height(&self, p: Vec2) -> f64 {
+                self.0.height(p)
+            }
+        }
+        let surfaces: Vec<AnalyticSurface> = vec![
+            AnalyticSurface::Bowl { center: Vec2::new(0.5, -0.5), curvature: 1.3 },
+            AnalyticSurface::DoubleWell { a: 1.5, barrier: 2.0 },
+            AnalyticSurface::SinBumps { amp: 1.0, fx: 2.0, fy: 3.0 },
+        ];
+        for s in &surfaces {
+            for &(x, y) in &[(0.1, 0.2), (1.0, -1.0), (-2.3, 0.4)] {
+                let p = Vec2::new(x, y);
+                let exact = s.gradient(p);
+                let approx = Fd(s).gradient(p);
+                assert_close(exact.x, approx.x, 1e-4);
+                assert_close(exact.y, approx.y, 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_interpolates_bilinearly() {
+        let mut g = GridSurface::flat(3, 3, 1.0);
+        g.set(1, 1, 4.0);
+        // At the sample point itself.
+        assert_eq!(g.height(Vec2::new(1.0, 1.0)), 4.0);
+        // Halfway between a zero corner and the raised corner.
+        assert_close(g.height(Vec2::new(0.5, 1.0)), 2.0, 1e-12);
+        assert_close(g.height(Vec2::new(1.0, 0.5)), 2.0, 1e-12);
+        // Centre of a cell: average of its 4 corners.
+        assert_close(g.height(Vec2::new(0.5, 0.5)), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn grid_clamps_without_walls() {
+        let mut g = GridSurface::flat(2, 2, 1.0);
+        g.set(0, 0, 5.0);
+        assert_eq!(g.height(Vec2::new(-10.0, -10.0)), 5.0);
+    }
+
+    #[test]
+    fn grid_walls_return_wall_height() {
+        let g = GridSurface::flat(2, 2, 1.0).with_walls();
+        assert_eq!(g.height(Vec2::new(-0.1, 0.0)), GridSurface::WALL_HEIGHT);
+        assert_eq!(g.height(Vec2::new(0.5, 0.5)), 0.0);
+    }
+
+    #[test]
+    fn grid_sampling_reproduces_analytic_heights() {
+        let s = AnalyticSurface::Bowl { center: Vec2::new(2.0, 2.0), curvature: 1.0 };
+        let g = GridSurface::sample(&s, 5, 5, 1.0);
+        // Exact at sample corners.
+        assert_close(g.height(Vec2::new(0.0, 2.0)), 4.0, 1e-12);
+        assert_close(g.height(Vec2::new(2.0, 2.0)), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn grid_gradient_matches_slope_on_incline() {
+        let s = AnalyticSurface::Incline { z0: 0.0, slope: 0.75 };
+        let g = GridSurface::sample(&s, 10, 4, 0.5);
+        let grad = g.gradient(Vec2::new(2.3, 0.8));
+        assert_close(grad.x, 0.75, 1e-9);
+        assert_close(grad.y, 0.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn grid_rejects_degenerate_dimensions() {
+        let _ = GridSurface::flat(1, 5, 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Trajectory recording: sampled `(t, position, height, h*)` states of a
+//! run, for the experiment binaries that plot or post-process particle
+//! paths (E3/E4) and for regression tests on path shapes.
+
+use crate::particle::{RunOutcome, Simulation};
+use crate::surface::Surface;
+use crate::vec::Vec2;
+
+/// One sampled state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Simulated time.
+    pub t: f64,
+    /// Ground position.
+    pub pos: Vec2,
+    /// Surface height under the object.
+    pub height: f64,
+    /// Potential height `h*` (ledger form).
+    pub h_star: f64,
+}
+
+/// A recorded trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    samples: Vec<Sample>,
+}
+
+impl Trajectory {
+    /// Records a run until rest (or the step budget), keeping every
+    /// `every`-th step plus the final state.
+    pub fn record<S: Surface>(sim: &mut Simulation<'_, S>, every: usize) -> (Trajectory, RunOutcome) {
+        let every = every.max(1);
+        let mut samples = vec![Self::sample_of(sim)];
+        let mut count = 0usize;
+        let out = sim.run_until(|s| {
+            count += 1;
+            if count.is_multiple_of(every) {
+                // Safety: the closure only reads the simulation.
+                samples.push(Self::sample_of(s));
+            }
+            false
+        });
+        let mut traj = Trajectory { samples };
+        traj.samples.push(Self::sample_of(sim));
+        (traj, out)
+    }
+
+    fn sample_of<S: Surface>(sim: &Simulation<'_, S>) -> Sample {
+        Sample {
+            t: sim.time(),
+            pos: sim.particle().pos,
+            height: sim.height(),
+            h_star: sim.ledger().potential_height_from_ledger(),
+        }
+    }
+
+    /// The samples, in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Maximum height visited.
+    pub fn max_height(&self) -> f64 {
+        self.samples.iter().map(|s| s.height).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Total ground path length along the samples (a lower bound of the
+    /// true path length).
+    pub fn sampled_path_length(&self) -> f64 {
+        self.samples.windows(2).map(|w| w[0].pos.distance(w[1].pos)).sum()
+    }
+
+    /// Verifies the two §3.3 invariants on every sample pair: `h ≤ h* + tol`
+    /// and `h*` non-increasing. Returns the first offending sample index.
+    pub fn check_energy_invariants(&self, tol: f64) -> Result<(), usize> {
+        for (i, w) in self.samples.windows(2).enumerate() {
+            if w[1].h_star > w[0].h_star + tol {
+                return Err(i + 1);
+            }
+        }
+        for (i, s) in self.samples.iter().enumerate() {
+            if s.height > s.h_star + tol {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::friction::Friction;
+    use crate::particle::Particle;
+    use crate::surface::AnalyticSurface;
+
+    fn cfg() -> crate::particle::SimConfig {
+        crate::particle::SimConfig { g: 10.0, dt: 1e-3, stop_speed: 1e-4, max_steps: 100_000 }
+    }
+
+    #[test]
+    fn records_descent_on_bowl() {
+        let s = AnalyticSurface::Bowl { center: Vec2::ZERO, curvature: 0.5 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::uniform(0.2),
+            cfg(),
+            Particle::at_rest(Vec2::new(2.0, 0.0), 1.0),
+        );
+        let (traj, out) = Trajectory::record(&mut sim, 50);
+        assert!(traj.len() > 2);
+        assert!(out.time > 0.0);
+        // Starts high, ends near the bottom.
+        assert!(traj.samples().first().unwrap().height > traj.samples().last().unwrap().height);
+    }
+
+    #[test]
+    fn energy_invariants_hold_along_trajectory() {
+        let s = AnalyticSurface::DoubleWell { a: 2.0, barrier: 1.0 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::uniform(0.05),
+            cfg(),
+            Particle::at_rest(Vec2::new(3.5, 0.0), 1.0),
+        );
+        let (traj, _) = Trajectory::record(&mut sim, 10);
+        assert_eq!(traj.check_energy_invariants(1e-6), Ok(()));
+    }
+
+    #[test]
+    fn sampled_path_below_true_path() {
+        let s = AnalyticSurface::Bowl { center: Vec2::ZERO, curvature: 0.5 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::uniform(0.1),
+            cfg(),
+            Particle::at_rest(Vec2::new(2.0, 1.0), 1.0),
+        );
+        let (traj, out) = Trajectory::record(&mut sim, 100);
+        assert!(traj.sampled_path_length() <= out.ground_distance + 1e-9);
+        assert!(traj.sampled_path_length() > 0.0);
+    }
+
+    #[test]
+    fn max_height_is_start_for_pure_descent() {
+        let s = AnalyticSurface::Incline { z0: 5.0, slope: 1.0 };
+        let mut sim = Simulation::new(
+            &s,
+            Friction::uniform(0.3),
+            cfg(),
+            Particle::at_rest(Vec2::new(1.0, 0.0), 1.0),
+        );
+        let start_h = sim.height();
+        let (traj, _) = Trajectory::record(&mut sim, 20);
+        assert!((traj.max_height() - start_h).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,243 @@
+//! The balancer interface: what any load-balancing policy (the paper's
+//! particle-plane algorithm or a baseline) sees and may do.
+//!
+//! Policies are *node-local*: at each balance tick the engine calls
+//! [`LoadBalancer::decide`] once per node with that node's [`NodeView`]
+//! (its own tasks plus neighbour heights/link weights — exactly the
+//! information a decentralized agent would have). Once per tick,
+//! [`LoadBalancer::begin_round`] lets a policy refresh internal per-round
+//! state (e.g. the gradient model's propagated pressure map) from the
+//! round's global snapshot — modelling the per-round neighbour message
+//! exchange those algorithms perform.
+//!
+//! The paper's in-motion behaviour (a sliding load deciding whether to
+//! climb onward at each intermediate node, §5.1) is exposed via
+//! [`LoadBalancer::on_arrival`].
+
+use crate::state::SystemState;
+use pp_tasking::graph::TaskGraph;
+use pp_tasking::resources::ResourceMatrix;
+use pp_tasking::task::{Task, TaskId};
+use pp_topology::graph::{NodeId, Topology};
+use pp_topology::links::LinkAttrs;
+use rand::rngs::StdRng;
+
+/// What a node knows about one of its (up) neighbours.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborInfo {
+    /// The neighbour's id.
+    pub id: NodeId,
+    /// The neighbour's current height `h(v_j)`.
+    pub height: f64,
+    /// The paper's link weight `e_{i,j}` (with the engine's constant `c`).
+    pub link_weight: f64,
+    /// Raw link attributes (bandwidth, distance, fault probability).
+    pub attrs: LinkAttrs,
+}
+
+/// A node's local view at decision time.
+#[derive(Debug)]
+pub struct NodeView<'a> {
+    /// The deciding node.
+    pub node: NodeId,
+    /// Its height `h(v_i)`.
+    pub height: f64,
+    /// Its resident tasks.
+    pub tasks: &'a [Task],
+    /// Its live neighbours (links currently down are omitted — this is how
+    /// fault awareness reaches the policy).
+    pub neighbors: Vec<NeighborInfo>,
+    /// The task dependency graph `T`.
+    pub task_graph: &'a TaskGraph,
+    /// The resource matrix `R`.
+    pub resources: &'a ResourceMatrix,
+    /// Balance round counter.
+    pub round: u64,
+    /// Simulation time.
+    pub time: f64,
+}
+
+/// Global per-round snapshot passed to [`LoadBalancer::begin_round`].
+#[derive(Debug)]
+pub struct GlobalView<'a> {
+    /// The network.
+    pub topo: &'a Topology,
+    /// Heights of all nodes this round.
+    pub heights: &'a [f64],
+    /// Balance round counter.
+    pub round: u64,
+    /// Simulation time.
+    pub time: f64,
+}
+
+/// A load in flight between nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct MigratingLoad {
+    /// The task being moved.
+    pub task: Task,
+    /// The balancer-specific energy flag (the paper's potential height `h*`;
+    /// baselines may ignore it).
+    pub flag: f64,
+    /// Hops completed so far.
+    pub hops: u32,
+    /// The node that originally emitted this migration.
+    pub source: NodeId,
+}
+
+/// One proposed migration: move `task` to neighbour `to`.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationIntent {
+    /// The task to move (must be resident on the deciding node).
+    pub task: TaskId,
+    /// Destination (must be a live neighbour).
+    pub to: NodeId,
+    /// Energy flag to attach to the load (`h*` after this hop for the
+    /// particle-plane balancer; 0 for baselines).
+    pub flag: f64,
+    /// Predicted heat `E_h` charged for this hop (0 for baselines) —
+    /// recorded in the traffic ledger for the heat ≡ traffic experiment.
+    pub heat: f64,
+}
+
+/// A load-balancing policy.
+///
+/// `decide`/`on_arrival` take `&self` so the engine may evaluate nodes in
+/// parallel; per-round mutable state belongs in `begin_round`.
+pub trait LoadBalancer: Send + Sync {
+    /// Human-readable policy name (used in reports and tables).
+    fn name(&self) -> &str;
+
+    /// Per-round refresh from the global snapshot (optional).
+    fn begin_round(&mut self, _global: &GlobalView<'_>) {}
+
+    /// Migration decisions for a stationary node at a balance tick.
+    fn decide(&self, view: &NodeView<'_>, rng: &mut StdRng) -> Vec<MigrationIntent>;
+
+    /// Decision for a load arriving at `view.node` mid-flight: `Some` to
+    /// forward it onward, `None` to deposit it here. Default: deposit.
+    fn on_arrival(
+        &self,
+        _view: &NodeView<'_>,
+        _load: &MigratingLoad,
+        _rng: &mut StdRng,
+    ) -> Option<MigrationIntent> {
+        None
+    }
+}
+
+/// A policy that never moves anything — the "no balancing" control.
+#[derive(Debug, Default, Clone)]
+pub struct NullBalancer;
+
+impl LoadBalancer for NullBalancer {
+    fn name(&self) -> &str {
+        "null"
+    }
+
+    fn decide(&self, _view: &NodeView<'_>, _rng: &mut StdRng) -> Vec<MigrationIntent> {
+        Vec::new()
+    }
+}
+
+/// Builds the [`NodeView`] of `node` from system state (helper shared by the
+/// engine and by balancer unit tests).
+pub fn build_view<'a>(
+    state: &'a SystemState,
+    node: NodeId,
+    heights: &[f64],
+    weight_c: f64,
+    is_link_up: impl Fn(NodeId, NodeId) -> bool,
+    round: u64,
+    time: f64,
+) -> NodeView<'a> {
+    let neighbors = state
+        .topo
+        .neighbors(node)
+        .iter()
+        .filter(|&&j| is_link_up(node, j))
+        .map(|&j| {
+            let attrs = *state.links.get(node, j).expect("missing link attributes");
+            NeighborInfo {
+                id: j,
+                height: heights[j.idx()],
+                link_weight: attrs.weight(weight_c),
+                attrs,
+            }
+        })
+        .collect();
+    NodeView {
+        node,
+        height: heights[node.idx()],
+        tasks: state.node(node).tasks(),
+        neighbors,
+        task_graph: &state.task_graph,
+        resources: &state.resources,
+        round,
+        time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_topology::graph::Topology;
+    use pp_topology::links::LinkMap;
+    use rand::SeedableRng;
+
+    #[test]
+    fn null_balancer_does_nothing() {
+        let topo = Topology::ring(4);
+        let links = LinkMap::uniform(&topo, LinkAttrs::default());
+        let mut state = SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none());
+        state.node_mut(NodeId(0)).add_task(Task::new(TaskId(0), 5.0, 0));
+        let heights = state.heights();
+        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = NullBalancer;
+        assert!(b.decide(&view, &mut rng).is_empty());
+        assert_eq!(b.name(), "null");
+    }
+
+    #[test]
+    fn view_includes_all_up_neighbors() {
+        let topo = Topology::ring(4);
+        let links = LinkMap::uniform(&topo, LinkAttrs::default());
+        let state = SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none());
+        let heights = vec![1.0, 2.0, 3.0, 4.0];
+        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 3, 1.5);
+        assert_eq!(view.neighbors.len(), 2);
+        assert_eq!(view.round, 3);
+        let ids: Vec<u32> = view.neighbors.iter().map(|n| n.id.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(view.neighbors[0].height, 2.0);
+    }
+
+    #[test]
+    fn down_links_hidden_from_view() {
+        let topo = Topology::ring(4);
+        let links = LinkMap::uniform(&topo, LinkAttrs::default());
+        let state = SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none());
+        let heights = vec![0.0; 4];
+        let view =
+            build_view(&state, NodeId(0), &heights, 1.0, |u, v| !(u.0 == 0 && v.0 == 1), 0, 0.0);
+        let ids: Vec<u32> = view.neighbors.iter().map(|n| n.id.0).collect();
+        assert_eq!(ids, vec![3]);
+    }
+
+    #[test]
+    fn default_on_arrival_deposits() {
+        let topo = Topology::ring(4);
+        let links = LinkMap::uniform(&topo, LinkAttrs::default());
+        let state = SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none());
+        let heights = vec![0.0; 4];
+        let view = build_view(&state, NodeId(1), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let load = MigratingLoad {
+            task: Task::new(TaskId(9), 1.0, 0),
+            flag: 0.0,
+            hops: 1,
+            source: NodeId(0),
+        };
+        assert!(NullBalancer.on_arrival(&view, &load, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,840 @@
+//! The discrete-event multiprocessor engine.
+//!
+//! Time advances event-to-event; balance rounds fire every `tick` time
+//! units. At each round the engine snapshots the height map, lets the
+//! policy refresh per-round state ([`LoadBalancer::begin_round`]), collects
+//! per-node decisions (optionally in parallel — decisions are pure functions
+//! of the snapshot), validates and launches the migrations. In-flight loads
+//! occupy the network for `d + size/bw` time units, may hit link faults
+//! (retried with the configured budget, bounced back to the source when it
+//! is exhausted), and on landing may be *forwarded onward* by policies with
+//! in-motion behaviour (the paper's sliding object, §5.1).
+//!
+//! Between events each node optionally consumes work (`consume_rate`),
+//! completing and removing tasks, and a dynamic [`ArrivalProcess`] may
+//! inject new tasks — the non-quiescent regime of §1.
+
+use crate::balancer::{build_view, GlobalView, LoadBalancer, MigratingLoad, MigrationIntent};
+use crate::events::{Event, EventQueue};
+use crate::state::SystemState;
+use pp_metrics::imbalance::Imbalance;
+use pp_metrics::ledger::{MigrationRecord, TrafficLedger};
+use pp_metrics::series::TimeSeries;
+use pp_tasking::graph::TaskGraph;
+use pp_tasking::resources::ResourceMatrix;
+use pp_tasking::task::{Task, TaskIdGen};
+use pp_tasking::workload::{ArrivalProcess, Workload};
+use pp_topology::graph::{NodeId, Topology};
+use pp_topology::links::{LinkAttrs, LinkMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Dynamic link fault process: at every balance tick each up link goes down
+/// with probability `p_down`, each down link recovers with probability
+/// `p_up`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultModel {
+    /// Probability an up link fails this round.
+    pub p_down: f64,
+    /// Probability a down link recovers this round.
+    pub p_up: f64,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Interval between balance rounds.
+    pub tick: f64,
+    /// The constant `c` in the link weight `e_{i,j}` formula.
+    pub weight_c: f64,
+    /// Work consumed per node per time unit (0 = quiescent redistribution).
+    pub consume_rate: f64,
+    /// Transfer attempts per hop before the load bounces back.
+    pub max_attempts: u32,
+    /// Evaluate per-node decisions on multiple threads.
+    pub parallel_decide: bool,
+    /// Dynamic link up/down process (None = all links always up).
+    pub fault_model: Option<FaultModel>,
+    /// Dynamic task arrivals.
+    pub arrival: ArrivalProcess,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            tick: 1.0,
+            weight_c: 1.0,
+            consume_rate: 0.0,
+            max_attempts: 3,
+            parallel_decide: false,
+            fault_model: None,
+            arrival: ArrivalProcess::Quiescent,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Flight {
+    load: MigratingLoad,
+    from: NodeId,
+    to: NodeId,
+    link_weight: f64,
+    heat: f64,
+    attempts: u32,
+    bounced: bool,
+}
+
+/// Summary of a finished run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Policy name.
+    pub balancer: String,
+    /// Balance rounds executed.
+    pub rounds: u64,
+    /// Final simulation time.
+    pub time: f64,
+    /// Imbalance of the final height map.
+    pub final_imbalance: Imbalance,
+    /// CoV time series (sampled after every round).
+    pub series: TimeSeries,
+    /// Migration/traffic ledger.
+    pub ledger: TrafficLedger,
+    /// Total resident load at the end.
+    pub total_load: f64,
+    /// Load still in flight at the end.
+    pub in_flight_load: f64,
+    /// Tasks completed by work consumption.
+    pub completed_tasks: usize,
+}
+
+impl RunReport {
+    /// First round index at which the CoV dropped to ≤ `eps` and stayed
+    /// there for `window` samples.
+    pub fn converged_round(&self, eps: f64, window: usize) -> Option<f64> {
+        self.series.converged_at(eps, window)
+    }
+}
+
+/// The simulation engine. Build with [`EngineBuilder`].
+pub struct Engine {
+    state: SystemState,
+    balancer: Box<dyn LoadBalancer>,
+    config: EngineConfig,
+    queue: EventQueue,
+    time: f64,
+    next_tick: f64,
+    round: u64,
+    flights: Vec<Option<Flight>>,
+    free_slots: Vec<usize>,
+    node_rngs: Vec<StdRng>,
+    engine_rng: StdRng,
+    ledger: TrafficLedger,
+    series: TimeSeries,
+    idgen: TaskIdGen,
+    down_links: HashSet<(u32, u32)>,
+    in_flight_load: f64,
+    completed_tasks: usize,
+}
+
+fn link_key(u: NodeId, v: NodeId) -> (u32, u32) {
+    if u.0 <= v.0 {
+        (u.0, v.0)
+    } else {
+        (v.0, u.0)
+    }
+}
+
+impl Engine {
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Immutable system state.
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// Current height map.
+    pub fn heights(&self) -> Vec<f64> {
+        self.state.heights()
+    }
+
+    /// Load currently in flight.
+    pub fn in_flight_load(&self) -> f64 {
+        self.in_flight_load
+    }
+
+    /// Total load in the system (resident + in flight).
+    pub fn system_load(&self) -> f64 {
+        self.state.total_load() + self.in_flight_load
+    }
+
+    /// Links currently down.
+    pub fn down_link_count(&self) -> usize {
+        self.down_links.len()
+    }
+
+    /// Runs `n` balance rounds (processing all intervening events) and
+    /// returns the engine for chaining.
+    pub fn run_rounds(&mut self, n: u64) -> &mut Self {
+        for _ in 0..n {
+            // Draining may have carried the clock past the scheduled tick.
+            let t = self.next_tick.max(self.time);
+            self.process_events_until(t);
+            self.advance_time_to(t);
+            self.fire_tick();
+            self.next_tick = self.time + self.config.tick;
+        }
+        self
+    }
+
+    /// Runs rounds until the height CoV stays at or below `eps` for
+    /// `window` consecutive rounds, or `max_rounds` have been executed.
+    /// Returns the number of rounds run by this call.
+    pub fn run_until_balanced(&mut self, eps: f64, window: usize, max_rounds: u64) -> u64 {
+        let window = window.max(1);
+        let mut streak = 0usize;
+        for i in 0..max_rounds {
+            self.run_rounds(1);
+            let cov = Imbalance::of(&self.state.heights()).cov;
+            if cov <= eps {
+                streak += 1;
+                if streak >= window {
+                    return i + 1;
+                }
+            } else {
+                streak = 0;
+            }
+        }
+        max_rounds
+    }
+
+    /// Processes pending events (in-flight loads, arrivals) for up to
+    /// `extra_time` without firing further balance rounds — used to drain
+    /// the network at the end of a run.
+    pub fn drain(&mut self, extra_time: f64) -> &mut Self {
+        let deadline = self.time + extra_time;
+        self.process_events_until(deadline);
+        // Consume work up to the next scheduled tick, but never rewind.
+        let target = deadline.min(self.next_tick).max(self.time);
+        self.advance_time_to(target);
+        self
+    }
+
+    /// Builds the final report (cheap clone of the recorded metrics).
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            balancer: self.balancer.name().to_string(),
+            rounds: self.round,
+            time: self.time,
+            final_imbalance: Imbalance::of(&self.state.heights()),
+            series: self.series.clone(),
+            ledger: self.ledger.clone(),
+            total_load: self.state.total_load(),
+            in_flight_load: self.in_flight_load,
+            completed_tasks: self.completed_tasks,
+        }
+    }
+
+    fn process_events_until(&mut self, t: f64) {
+        while let Some(et) = self.queue.peek_time() {
+            if et > t {
+                break;
+            }
+            let (et, event) = self.queue.pop().expect("peeked");
+            self.advance_time_to(et);
+            match event {
+                Event::BalanceTick => unreachable!("ticks are driven by run_rounds"),
+                Event::LoadArrival { flight } => self.handle_arrival(flight),
+                Event::TaskArrival => self.handle_task_arrival(),
+            }
+        }
+    }
+
+    /// Advances the clock to `t`, consuming work on every node.
+    fn advance_time_to(&mut self, t: f64) {
+        let dt = t - self.time;
+        debug_assert!(dt >= -1e-9, "time went backwards: {} -> {}", self.time, t);
+        if dt > 0.0 && self.config.consume_rate > 0.0 {
+            let amount = dt * self.config.consume_rate;
+            for i in 0..self.state.node_count() {
+                let (done, _) = self.state.node_mut(NodeId(i as u32)).consume_work(amount);
+                self.completed_tasks += done.len();
+            }
+        }
+        self.time = self.time.max(t);
+    }
+
+    fn fire_tick(&mut self) {
+        self.round += 1;
+        self.update_faults();
+
+        let heights = self.state.heights();
+        let global =
+            GlobalView { topo: &self.state.topo, heights: &heights, round: self.round, time: self.time };
+        self.balancer.begin_round(&global);
+
+        let decisions = self.collect_decisions(&heights);
+        for (i, intents) in decisions.into_iter().enumerate() {
+            for intent in intents {
+                self.launch(NodeId(i as u32), intent);
+            }
+        }
+        self.series.push(self.time, Imbalance::of(&self.state.heights()).cov);
+    }
+
+    fn update_faults(&mut self) {
+        let Some(fm) = self.config.fault_model else { return };
+        for (u, v) in self.state.topo.edges() {
+            let k = link_key(u, v);
+            if self.down_links.contains(&k) {
+                if self.engine_rng.gen_bool(fm.p_up) {
+                    self.down_links.remove(&k);
+                }
+            } else if self.engine_rng.gen_bool(fm.p_down) {
+                self.down_links.insert(k);
+            }
+        }
+    }
+
+    fn is_link_up(&self, u: NodeId, v: NodeId) -> bool {
+        !self.down_links.contains(&link_key(u, v))
+    }
+
+    fn collect_decisions(&mut self, heights: &[f64]) -> Vec<Vec<MigrationIntent>> {
+        let n = self.state.node_count();
+        let state = &self.state;
+        let balancer = &*self.balancer;
+        let config = self.config;
+        let down = &self.down_links;
+        let round = self.round;
+        let time = self.time;
+        let is_up = |u: NodeId, v: NodeId| !down.contains(&link_key(u, v));
+
+        if config.parallel_decide && n >= 64 {
+            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+            let chunk = n.div_ceil(threads);
+            let mut decisions: Vec<Vec<MigrationIntent>> = vec![Vec::new(); n];
+            let rngs = &mut self.node_rngs;
+            crossbeam::thread::scope(|s| {
+                for (ci, (dchunk, rchunk)) in
+                    decisions.chunks_mut(chunk).zip(rngs.chunks_mut(chunk)).enumerate()
+                {
+                    let base = ci * chunk;
+                    s.spawn(move |_| {
+                        for (k, (slot, rng)) in dchunk.iter_mut().zip(rchunk).enumerate() {
+                            let node = NodeId((base + k) as u32);
+                            let view = build_view(
+                                state,
+                                node,
+                                heights,
+                                config.weight_c,
+                                is_up,
+                                round,
+                                time,
+                            );
+                            *slot = balancer.decide(&view, rng);
+                        }
+                    });
+                }
+            })
+            .expect("decision threads panicked");
+            decisions
+        } else {
+            (0..n)
+                .map(|i| {
+                    let node = NodeId(i as u32);
+                    let view =
+                        build_view(state, node, heights, config.weight_c, is_up, round, time);
+                    balancer.decide(&view, &mut self.node_rngs[i])
+                })
+                .collect()
+        }
+    }
+
+    /// Validates and launches one migration from `from`.
+    fn launch(&mut self, from: NodeId, intent: MigrationIntent) {
+        // Destination must be a live neighbour.
+        if !self.state.topo.has_edge(from, intent.to) || !self.is_link_up(from, intent.to) {
+            return;
+        }
+        // Task must still be resident (a node might double-propose).
+        let Some(task) = self.state.node_mut(from).remove_task(intent.task) else {
+            return;
+        };
+        let load = MigratingLoad { task, flag: intent.flag, hops: 0, source: from };
+        self.launch_load(from, intent.to, load, intent.heat);
+    }
+
+    fn launch_load(&mut self, from: NodeId, to: NodeId, mut load: MigratingLoad, heat: f64) {
+        let attrs = *self.state.links.get(from, to).expect("missing link attrs");
+        let duration = attrs.transfer_time(load.task.size);
+        // Geometric retry sampling, capped by the attempt budget.
+        let p_ok = attrs.success_probability(duration);
+        let mut attempts = 1;
+        while attempts < self.config.max_attempts && !self.engine_rng.gen_bool(p_ok.max(1e-12)) {
+            attempts += 1;
+        }
+        let final_ok = attempts < self.config.max_attempts || self.engine_rng.gen_bool(p_ok.max(1e-12));
+        let (dest, bounced) = if final_ok { (to, false) } else { (from, true) };
+        load.hops += 1;
+        let flight = Flight {
+            load,
+            from,
+            to: dest,
+            link_weight: attrs.weight(self.config.weight_c),
+            heat,
+            attempts,
+            bounced,
+        };
+        self.in_flight_load += load.task.size;
+        let slot = if let Some(s) = self.free_slots.pop() {
+            self.flights[s] = Some(flight);
+            s
+        } else {
+            self.flights.push(Some(flight));
+            self.flights.len() - 1
+        };
+        self.queue.push(self.time + duration * attempts as f64, Event::LoadArrival { flight: slot });
+    }
+
+    fn handle_arrival(&mut self, slot: usize) {
+        let flight = self.flights[slot].take().expect("dangling flight");
+        self.free_slots.push(slot);
+        self.in_flight_load -= flight.load.task.size;
+
+        self.ledger.record(MigrationRecord {
+            time: self.time,
+            from: flight.from.0,
+            to: flight.to.0,
+            size: flight.load.task.size,
+            link_weight: flight.link_weight,
+            heat: flight.heat,
+            faulted: flight.attempts > 1 || flight.bounced,
+        });
+
+        if flight.bounced {
+            // The transfer failed for good; the load stays at its source.
+            self.state.node_mut(flight.to).add_task(flight.load.task);
+            return;
+        }
+
+        // In-motion decision: may the load keep sliding (§5.1)?
+        let heights = self.state.heights();
+        let view = {
+            let down = &self.down_links;
+            build_view(
+                &self.state,
+                flight.to,
+                &heights,
+                self.config.weight_c,
+                |u, v| !down.contains(&link_key(u, v)),
+                self.round,
+                self.time,
+            )
+        };
+        let rng = &mut self.node_rngs[flight.to.idx()];
+        let onward = self.balancer.on_arrival(&view, &flight.load, rng);
+        match onward {
+            Some(intent)
+                if self.state.topo.has_edge(flight.to, intent.to)
+                    && self.is_link_up(flight.to, intent.to) =>
+            {
+                let mut load = flight.load;
+                load.flag = intent.flag;
+                self.launch_load(flight.to, intent.to, load, intent.heat);
+            }
+            _ => {
+                self.state.node_mut(flight.to).add_task(flight.load.task);
+            }
+        }
+    }
+
+    fn handle_task_arrival(&mut self) {
+        let n = self.state.node_count();
+        if let Some((next, size)) = self.config.arrival.next_after(self.time, &mut self.engine_rng)
+        {
+            // Current arrival: place a task on a uniformly random node.
+            let node = NodeId(self.engine_rng.gen_range(0..n as u32));
+            let task = Task::new(self.idgen.next_id(), size, node.0).created_at(self.time);
+            self.state.node_mut(node).add_task(task);
+            self.queue.push(next, Event::TaskArrival);
+        }
+    }
+}
+
+/// Builder for [`Engine`].
+pub struct EngineBuilder {
+    topo: Topology,
+    links: Option<LinkMap>,
+    workload: Option<Workload>,
+    task_graph: TaskGraph,
+    resources: ResourceMatrix,
+    balancer: Option<Box<dyn LoadBalancer>>,
+    config: EngineConfig,
+    seed: u64,
+}
+
+impl EngineBuilder {
+    /// Starts a builder for the given topology.
+    pub fn new(topo: Topology) -> Self {
+        EngineBuilder {
+            topo,
+            links: None,
+            workload: None,
+            task_graph: TaskGraph::new(),
+            resources: ResourceMatrix::none(),
+            balancer: None,
+            config: EngineConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets link attributes (default: uniform unit links).
+    pub fn links(mut self, links: LinkMap) -> Self {
+        self.links = Some(links);
+        self
+    }
+
+    /// Sets the initial workload (default: empty system).
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = Some(w);
+        self
+    }
+
+    /// Sets the task dependency graph.
+    pub fn task_graph(mut self, g: TaskGraph) -> Self {
+        self.task_graph = g;
+        self
+    }
+
+    /// Sets the resource matrix.
+    pub fn resources(mut self, r: ResourceMatrix) -> Self {
+        self.resources = r;
+        self
+    }
+
+    /// Sets the balancing policy (required).
+    pub fn balancer<B: LoadBalancer + 'static>(mut self, b: B) -> Self {
+        self.balancer = Some(Box::new(b));
+        self
+    }
+
+    /// Sets the boxed balancing policy.
+    pub fn balancer_boxed(mut self, b: Box<dyn LoadBalancer>) -> Self {
+        self.balancer = Some(b);
+        self
+    }
+
+    /// Sets the engine configuration.
+    pub fn config(mut self, c: EngineConfig) -> Self {
+        self.config = c;
+        self
+    }
+
+    /// Sets the master seed for all randomness.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Panics
+    /// Panics if no balancer was provided or the workload size does not
+    /// match the topology.
+    pub fn build(self) -> Engine {
+        let balancer = self.balancer.expect("a balancer is required");
+        let links =
+            self.links.unwrap_or_else(|| LinkMap::uniform(&self.topo, LinkAttrs::default()));
+        let mut state = SystemState::new(self.topo, links, self.task_graph, self.resources);
+        let mut idgen = TaskIdGen::new();
+        if let Some(w) = self.workload {
+            assert_eq!(
+                w.tasks.len(),
+                state.node_count(),
+                "workload node count must match the topology"
+            );
+            idgen = w.idgen.clone();
+            for (i, tasks) in w.tasks.into_iter().enumerate() {
+                for t in tasks {
+                    state.node_mut(NodeId(i as u32)).add_task(t);
+                }
+            }
+        }
+        let n = state.node_count();
+        let mix = |i: u64| -> u64 {
+            // SplitMix64-style mixing for independent per-node streams.
+            let mut z = self.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let node_rngs = (0..n as u64).map(|i| StdRng::seed_from_u64(mix(i + 1))).collect();
+        let engine_rng = StdRng::seed_from_u64(mix(0));
+        let mut engine = Engine {
+            state,
+            balancer,
+            config: self.config,
+            queue: EventQueue::new(),
+            time: 0.0,
+            next_tick: self.config.tick,
+            round: 0,
+            flights: Vec::new(),
+            free_slots: Vec::new(),
+            node_rngs,
+            engine_rng,
+            ledger: TrafficLedger::new(),
+            series: TimeSeries::new(),
+            idgen,
+            down_links: HashSet::new(),
+            in_flight_load: 0.0,
+            completed_tasks: 0,
+        };
+        engine.series.push(0.0, Imbalance::of(&engine.state.heights()).cov);
+        if !matches!(engine.config.arrival, ArrivalProcess::Quiescent) {
+            engine.queue.push(0.0, Event::TaskArrival);
+        }
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancer::{NodeView, NullBalancer};
+
+    /// Moves one unit-size task to the lowest neighbour whenever the height
+    /// difference exceeds 1 — a minimal working policy for engine tests.
+    struct GreedyOne;
+    impl LoadBalancer for GreedyOne {
+        fn name(&self) -> &str {
+            "greedy-one"
+        }
+        fn decide(&self, view: &NodeView<'_>, _rng: &mut StdRng) -> Vec<MigrationIntent> {
+            let Some(task) = view.tasks.first() else { return Vec::new() };
+            let Some(lowest) = view
+                .neighbors
+                .iter()
+                .min_by(|a, b| a.height.total_cmp(&b.height))
+            else {
+                return Vec::new();
+            };
+            if view.height - lowest.height > 1.0 {
+                vec![MigrationIntent { task: task.id, to: lowest.id, flag: 0.0, heat: 0.0 }]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    fn quiet_engine(balancer: impl LoadBalancer + 'static) -> Engine {
+        let topo = Topology::ring(4);
+        let workload = Workload::hotspot(4, 0, 8.0);
+        EngineBuilder::new(topo).workload(workload).balancer(balancer).seed(1).build()
+    }
+
+    #[test]
+    fn null_balancer_changes_nothing() {
+        let mut e = quiet_engine(NullBalancer);
+        let before = e.heights();
+        e.run_rounds(10);
+        assert_eq!(e.heights(), before);
+        assert_eq!(e.report().ledger.migration_count(), 0);
+        assert_eq!(e.round(), 10);
+    }
+
+    #[test]
+    fn greedy_policy_spreads_hotspot() {
+        let mut e = quiet_engine(GreedyOne);
+        e.run_rounds(60);
+        e.drain(10.0);
+        let h = e.heights();
+        let im = Imbalance::of(&h);
+        assert!(im.spread <= 2.0, "heights {h:?}");
+        // Load is conserved (quiescent system).
+        assert!((e.system_load() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_conservation_with_in_flight() {
+        let mut e = quiet_engine(GreedyOne);
+        // After every round, resident + in-flight must equal the initial 8.
+        for _ in 0..20 {
+            e.run_rounds(1);
+            assert!((e.system_load() - 8.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let topo = Topology::torus(&[4, 4]);
+            let w = Workload::uniform_random(16, 10.0, 3);
+            let mut e = EngineBuilder::new(topo)
+                .workload(w)
+                .balancer(GreedyOne)
+                .seed(seed)
+                .build();
+            e.run_rounds(30);
+            e.heights()
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn series_records_initial_and_per_round() {
+        let mut e = quiet_engine(NullBalancer);
+        e.run_rounds(5);
+        let r = e.report();
+        assert_eq!(r.series.len(), 6); // t=0 plus 5 rounds
+        assert_eq!(r.rounds, 5);
+    }
+
+    #[test]
+    fn work_consumption_completes_tasks() {
+        let topo = Topology::ring(4);
+        let w = Workload::from_loads(&[4.0, 0.0, 0.0, 0.0], 1.0);
+        let mut e = EngineBuilder::new(topo)
+            .workload(w)
+            .balancer(NullBalancer)
+            .config(EngineConfig { consume_rate: 1.0, ..Default::default() })
+            .seed(0)
+            .build();
+        e.run_rounds(2);
+        // 2 time units × rate 1 consumed 2 units of work on node 0.
+        let r = e.report();
+        assert_eq!(r.completed_tasks, 2);
+        assert!((e.heights()[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_arrivals_inject_load() {
+        let topo = Topology::ring(4);
+        let mut e = EngineBuilder::new(topo)
+            .balancer(NullBalancer)
+            .config(EngineConfig {
+                arrival: ArrivalProcess::Poisson { rate: 5.0, size_min: 1.0, size_max: 1.0 },
+                ..Default::default()
+            })
+            .seed(7)
+            .build();
+        e.run_rounds(20);
+        assert!(e.state().total_load() > 0.0);
+        assert!(e.state().total_tasks() > 10);
+    }
+
+    #[test]
+    fn fault_model_takes_links_down_and_up() {
+        let topo = Topology::torus(&[4, 4]);
+        let mut e = EngineBuilder::new(topo)
+            .balancer(NullBalancer)
+            .config(EngineConfig {
+                fault_model: Some(FaultModel { p_down: 0.5, p_up: 0.1 }),
+                ..Default::default()
+            })
+            .seed(3)
+            .build();
+        e.run_rounds(5);
+        assert!(e.down_link_count() > 0, "expected some links down");
+        // With p_up = 1.0 everything recovers.
+        let mut e2 = EngineBuilder::new(Topology::torus(&[4, 4]))
+            .balancer(NullBalancer)
+            .config(EngineConfig {
+                fault_model: Some(FaultModel { p_down: 0.0, p_up: 1.0 }),
+                ..Default::default()
+            })
+            .seed(3)
+            .build();
+        e2.run_rounds(5);
+        assert_eq!(e2.down_link_count(), 0);
+    }
+
+    #[test]
+    fn faulty_links_bounce_loads_back() {
+        // fault_prob near 1: every transfer fails all attempts and bounces.
+        let topo = Topology::ring(4);
+        let links = LinkMap::uniform(
+            &topo,
+            LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: 0.999_999 },
+        );
+        let w = Workload::hotspot(4, 0, 8.0);
+        let mut e = EngineBuilder::new(topo)
+            .links(links)
+            .workload(w)
+            .balancer(GreedyOne)
+            .seed(2)
+            .build();
+        e.run_rounds(10);
+        e.drain(20.0);
+        // All load is back (or still) at node 0; every record is a fault.
+        assert!((e.heights()[0] - 8.0).abs() < 1e-9, "{:?}", e.heights());
+        let r = e.report();
+        assert!(r.ledger.migration_count() > 0);
+        assert_eq!(r.ledger.fault_count(), r.ledger.migration_count());
+    }
+
+    #[test]
+    fn parallel_decide_matches_sequential() {
+        let build = |parallel: bool| {
+            let topo = Topology::torus(&[8, 8]);
+            let w = Workload::uniform_random(64, 10.0, 11);
+            let mut e = EngineBuilder::new(topo)
+                .workload(w)
+                .balancer(GreedyOne)
+                .config(EngineConfig { parallel_decide: parallel, ..Default::default() })
+                .seed(9)
+                .build();
+            e.run_rounds(25);
+            e.drain(10.0);
+            e.heights()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let mut e = quiet_engine(GreedyOne);
+        e.run_rounds(10);
+        e.drain(10.0);
+        let r = e.report();
+        assert_eq!(r.balancer, "greedy-one");
+        assert_eq!(r.rounds, 10);
+        assert!(r.final_imbalance.mean > 0.0);
+        assert_eq!(r.in_flight_load, 0.0);
+        assert!((r.total_load - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload node count")]
+    fn mismatched_workload_rejected() {
+        let topo = Topology::ring(4);
+        let w = Workload::hotspot(5, 0, 1.0);
+        let _ = EngineBuilder::new(topo).workload(w).balancer(NullBalancer).build();
+    }
+
+    #[test]
+    fn run_until_balanced_stops_early() {
+        let mut e = quiet_engine(GreedyOne);
+        let rounds = e.run_until_balanced(0.5, 3, 500);
+        assert!(rounds < 500, "should converge before the cap: {rounds}");
+        let im = Imbalance::of(&e.heights());
+        assert!(im.cov <= 0.5, "cov {}", im.cov);
+    }
+
+    #[test]
+    fn run_until_balanced_respects_cap() {
+        // The null balancer never improves a hotspot: the cap is hit.
+        let mut e = quiet_engine(NullBalancer);
+        let rounds = e.run_until_balanced(0.1, 3, 20);
+        assert_eq!(rounds, 20);
+        assert_eq!(e.round(), 20);
+    }
+}

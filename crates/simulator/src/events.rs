@@ -1,0 +1,140 @@
+//! The discrete-event queue: a binary heap of time-stamped events with
+//! deterministic FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Kinds of simulation events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A synchronous balance round fires.
+    BalanceTick,
+    /// An in-flight load lands (slab index into the engine's flight table).
+    LoadArrival {
+        /// Index into the engine's in-flight slab.
+        flight: usize,
+    },
+    /// The dynamic arrival process injects a new task.
+    TaskArrival,
+}
+
+#[derive(Debug)]
+struct Entry {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: the heap is a max-heap, we want the earliest first; ties
+        // break by insertion sequence for determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute `time`.
+    pub fn push(&mut self, time: f64, event: Event) {
+        assert!(time.is_finite(), "event time must be finite");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Pops the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, Event::BalanceTick);
+        q.push(1.0, Event::TaskArrival);
+        q.push(2.0, Event::LoadArrival { flight: 0 });
+        assert_eq!(q.pop().unwrap().0, 1.0);
+        assert_eq!(q.pop().unwrap().0, 2.0);
+        assert_eq!(q.pop().unwrap().0, 3.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, Event::LoadArrival { flight: 1 });
+        q.push(1.0, Event::LoadArrival { flight: 2 });
+        q.push(1.0, Event::LoadArrival { flight: 3 });
+        let order: Vec<usize> = (0..3)
+            .map(|_| match q.pop().unwrap().1 {
+                Event::LoadArrival { flight } => flight,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(5.0, Event::BalanceTick);
+        assert_eq!(q.peek_time(), Some(5.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, Event::BalanceTick);
+    }
+}

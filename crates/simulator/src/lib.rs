@@ -1,0 +1,32 @@
+//! # pp-sim — the discrete-event multiprocessor simulator
+//!
+//! Every experiment in this reproduction runs on this substrate: a network
+//! of processing nodes ([`state::SystemState`]) whose loads are rearranged
+//! by a pluggable [`balancer::LoadBalancer`] policy, driven by the
+//! [`engine::Engine`] event loop. The engine models what the paper says
+//! real systems have and prior work ignored (§1, §4.2): per-link bandwidth,
+//! distance and fault probability; task dependency and resource matrices;
+//! dynamic task arrival and completion; and multi-hop in-motion migration.
+//!
+//! [`parallel::par_map`] fans independent simulations out over threads for
+//! parameter sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balancer;
+pub mod engine;
+pub mod events;
+pub mod parallel;
+pub mod state;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::balancer::{
+        build_view, GlobalView, LoadBalancer, MigratingLoad, MigrationIntent, NeighborInfo,
+        NodeView, NullBalancer,
+    };
+    pub use crate::engine::{Engine, EngineBuilder, EngineConfig, FaultModel, RunReport};
+    pub use crate::parallel::par_map;
+    pub use crate::state::{NodeState, SystemState};
+}

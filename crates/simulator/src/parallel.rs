@@ -1,0 +1,117 @@
+//! A parallel sweep runner: fan a set of independent experiment
+//! configurations out over worker threads (crossbeam scoped threads + a
+//! channel-based work queue) and collect results in input order.
+//!
+//! This is the harness the benchmark binaries use to evaluate parameter
+//! grids; each simulation is single-threaded and deterministic, parallelism
+//! is across configurations, so results are identical regardless of thread
+//! count.
+
+use crossbeam::channel;
+
+/// Maps `f` over `items` using up to `threads` worker threads, preserving
+/// input order in the result.
+///
+/// `threads = 0` means "use available parallelism".
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for pair in items.into_iter().enumerate() {
+        work_tx.send(pair).expect("queue open");
+    }
+    drop(work_tx);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            s.spawn(move |_| {
+                while let Ok((i, item)) = work_rx.recv() {
+                    let r = f(item);
+                    if res_tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in res_rx.iter() {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("worker delivered")).collect()
+    })
+    .expect("sweep workers panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(items, 8, |x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = par_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        let out = par_map(vec![5; 64], 0, |x| x);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn all_items_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = par_map((0..500).collect::<Vec<_>>(), 4, |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 500);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let f = |x: u64| x.wrapping_mul(0x9E3779B97F4A7C15) >> 7;
+        let a = par_map((0..256).collect::<Vec<_>>(), 1, f);
+        let b = par_map((0..256).collect::<Vec<_>>(), 7, f);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! Mutable system state: which tasks live on which node, per-node heights
+//! (the `h(v)` map that forms the yard's surface), and the static system
+//! description (topology, link matrices, task graph, resources).
+
+use pp_tasking::graph::TaskGraph;
+use pp_tasking::resources::ResourceMatrix;
+use pp_tasking::task::{Task, TaskId};
+use pp_topology::graph::{NodeId, Topology};
+use pp_topology::links::LinkMap;
+
+/// One processor's resident tasks.
+#[derive(Debug, Clone, Default)]
+pub struct NodeState {
+    tasks: Vec<Task>,
+    height: f64,
+}
+
+impl NodeState {
+    /// Resident tasks, in arrival order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Total load quantity `h(v) = Σ_k l_{v,k}` (Table 1's `h`).
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Number of resident tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Adds a task.
+    pub fn add_task(&mut self, task: Task) {
+        self.height += task.size;
+        self.tasks.push(task);
+    }
+
+    /// Removes and returns the task with the given id, if resident.
+    pub fn remove_task(&mut self, id: TaskId) -> Option<Task> {
+        let pos = self.tasks.iter().position(|t| t.id == id)?;
+        let task = self.tasks.remove(pos);
+        self.height -= task.size;
+        if self.height < 0.0 {
+            self.height = 0.0; // guard against f64 drift
+        }
+        Some(task)
+    }
+
+    /// Whether a task with the given id is resident.
+    pub fn has_task(&self, id: TaskId) -> bool {
+        self.tasks.iter().any(|t| t.id == id)
+    }
+
+    /// Consumes up to `amount` of work from the queue front; completed tasks
+    /// are removed entirely (their load leaves the system). Returns the list
+    /// of completed task ids and the amount of work actually consumed.
+    pub fn consume_work(&mut self, mut amount: f64) -> (Vec<TaskId>, f64) {
+        let mut done = Vec::new();
+        let mut consumed = 0.0;
+        while amount > 0.0 {
+            let Some(front) = self.tasks.first_mut() else { break };
+            if front.work > amount {
+                front.work -= amount;
+                consumed += amount;
+                break;
+            }
+            amount -= front.work;
+            consumed += front.work;
+            done.push(front.id);
+            let t = self.tasks.remove(0);
+            self.height -= t.size;
+        }
+        if self.height < 0.0 {
+            self.height = 0.0;
+        }
+        (done, consumed)
+    }
+}
+
+/// The whole system: static description plus per-node state.
+#[derive(Debug, Clone)]
+pub struct SystemState {
+    /// The interconnection network.
+    pub topo: Topology,
+    /// Per-link bandwidth/distance/fault attributes.
+    pub links: LinkMap,
+    /// The task dependency graph `T`.
+    pub task_graph: TaskGraph,
+    /// The resource matrix `R`.
+    pub resources: ResourceMatrix,
+    nodes: Vec<NodeState>,
+}
+
+impl SystemState {
+    /// Creates a state with empty nodes.
+    pub fn new(
+        topo: Topology,
+        links: LinkMap,
+        task_graph: TaskGraph,
+        resources: ResourceMatrix,
+    ) -> Self {
+        let nodes = (0..topo.node_count()).map(|_| NodeState::default()).collect();
+        SystemState { topo, links, task_graph, resources, nodes }
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, v: NodeId) -> &NodeState {
+        &self.nodes[v.idx()]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, v: NodeId) -> &mut NodeState {
+        &mut self.nodes[v.idx()]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The height map `h(v)` over all nodes — the yard's surface.
+    pub fn heights(&self) -> Vec<f64> {
+        self.nodes.iter().map(NodeState::height).collect()
+    }
+
+    /// Total resident load (excludes in-flight loads).
+    pub fn total_load(&self) -> f64 {
+        self.nodes.iter().map(NodeState::height).sum()
+    }
+
+    /// Total resident task count.
+    pub fn total_tasks(&self) -> usize {
+        self.nodes.iter().map(NodeState::task_count).sum()
+    }
+
+    /// Ids of tasks co-located with (on the same node as) the given node —
+    /// input to the `µ_s` affinity sum.
+    pub fn colocated_ids(&self, v: NodeId) -> Vec<TaskId> {
+        self.nodes[v.idx()].tasks().iter().map(|t| t.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_topology::links::LinkAttrs;
+
+    fn task(id: u64, size: f64) -> Task {
+        Task::new(TaskId(id), size, 0)
+    }
+
+    fn small_state() -> SystemState {
+        let topo = Topology::ring(4);
+        let links = LinkMap::uniform(&topo, LinkAttrs::default());
+        SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none())
+    }
+
+    #[test]
+    fn add_remove_updates_height() {
+        let mut n = NodeState::default();
+        n.add_task(task(0, 2.0));
+        n.add_task(task(1, 3.0));
+        assert_eq!(n.height(), 5.0);
+        assert_eq!(n.task_count(), 2);
+        let t = n.remove_task(TaskId(0)).unwrap();
+        assert_eq!(t.size, 2.0);
+        assert_eq!(n.height(), 3.0);
+        assert!(n.remove_task(TaskId(0)).is_none());
+        assert!(n.has_task(TaskId(1)));
+    }
+
+    #[test]
+    fn consume_work_partial() {
+        let mut n = NodeState::default();
+        n.add_task(task(0, 2.0));
+        let (done, used) = n.consume_work(0.5);
+        assert!(done.is_empty());
+        assert_eq!(used, 0.5);
+        assert_eq!(n.tasks()[0].work, 1.5);
+        // Height only drops when the task completes.
+        assert_eq!(n.height(), 2.0);
+    }
+
+    #[test]
+    fn consume_work_completes_tasks_in_order() {
+        let mut n = NodeState::default();
+        n.add_task(task(0, 1.0));
+        n.add_task(task(1, 1.0));
+        n.add_task(task(2, 1.0));
+        let (done, used) = n.consume_work(2.5);
+        assert_eq!(done, vec![TaskId(0), TaskId(1)]);
+        assert_eq!(used, 2.5);
+        assert_eq!(n.height(), 1.0);
+        assert_eq!(n.tasks()[0].work, 0.5);
+    }
+
+    #[test]
+    fn consume_work_on_empty_node() {
+        let mut n = NodeState::default();
+        let (done, used) = n.consume_work(1.0);
+        assert!(done.is_empty());
+        assert_eq!(used, 0.0);
+    }
+
+    #[test]
+    fn system_heights_and_totals() {
+        let mut s = small_state();
+        s.node_mut(NodeId(0)).add_task(task(0, 4.0));
+        s.node_mut(NodeId(2)).add_task(task(1, 1.0));
+        assert_eq!(s.heights(), vec![4.0, 0.0, 1.0, 0.0]);
+        assert_eq!(s.total_load(), 5.0);
+        assert_eq!(s.total_tasks(), 2);
+        assert_eq!(s.colocated_ids(NodeId(0)), vec![TaskId(0)]);
+    }
+}

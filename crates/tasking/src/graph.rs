@@ -1,0 +1,192 @@
+//! The task-dependency graph `T` (§4.2): vertices are tasks, weighted edges
+//! are the communication volumes between dependent tasks. `T_{i,j}` feeds
+//! the static friction `µ_s` — a task talking heavily to tasks on its node
+//! resists migration.
+
+use crate::task::TaskId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Sparse symmetric task dependency matrix.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    edges: HashMap<(u64, u64), f64>,
+    adj: HashMap<u64, Vec<TaskId>>,
+}
+
+fn key(a: TaskId, b: TaskId) -> (u64, u64) {
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
+}
+
+impl TaskGraph {
+    /// An empty graph (all tasks independent).
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Sets the dependency weight `T_{a,b}` (symmetric; weight must be ≥ 0;
+    /// 0 removes the edge).
+    pub fn set_dependency(&mut self, a: TaskId, b: TaskId, weight: f64) {
+        assert!(weight >= 0.0, "dependency weight must be ≥ 0");
+        assert_ne!(a, b, "a task does not depend on itself");
+        let k = key(a, b);
+        if weight == 0.0 {
+            if self.edges.remove(&k).is_some() {
+                if let Some(l) = self.adj.get_mut(&a.0) {
+                    l.retain(|t| *t != b);
+                }
+                if let Some(l) = self.adj.get_mut(&b.0) {
+                    l.retain(|t| *t != a);
+                }
+            }
+            return;
+        }
+        if self.edges.insert(k, weight).is_none() {
+            self.adj.entry(a.0).or_default().push(b);
+            self.adj.entry(b.0).or_default().push(a);
+        }
+    }
+
+    /// The dependency weight `T_{a,b}` (0 when independent).
+    pub fn dependency(&self, a: TaskId, b: TaskId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        self.edges.get(&key(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// Tasks directly dependent on `t`.
+    pub fn partners(&self, t: TaskId) -> &[TaskId] {
+        self.adj.get(&t.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Sum of `T_{t,x}` over the given set of co-located tasks — the raw
+    /// ingredient of `µ_s` (§4.2).
+    pub fn affinity_to(&self, t: TaskId, colocated: &[TaskId]) -> f64 {
+        colocated.iter().map(|&x| self.dependency(t, x)).sum()
+    }
+
+    /// Total communication weight incident to `t`.
+    pub fn total_dependency(&self, t: TaskId) -> f64 {
+        self.partners(t).iter().map(|&x| self.dependency(t, x)).sum()
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Builds a chain `t0 — t1 — … — tn` with uniform weight (a pipeline).
+    pub fn chain(tasks: &[TaskId], weight: f64) -> Self {
+        let mut g = TaskGraph::new();
+        for w in tasks.windows(2) {
+            g.set_dependency(w[0], w[1], weight);
+        }
+        g
+    }
+
+    /// Random clustered dependencies: tasks are split into `clusters`
+    /// round-robin; within a cluster each pair is linked with probability
+    /// `p_intra` and weight drawn from `[0, w_max]`. Models the paper's
+    /// communicating task groups. Deterministic for a given seed.
+    pub fn clustered(tasks: &[TaskId], clusters: usize, p_intra: f64, w_max: f64, seed: u64) -> Self {
+        assert!(clusters >= 1);
+        assert!((0.0..=1.0).contains(&p_intra));
+        let mut g = TaskGraph::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (i, &a) in tasks.iter().enumerate() {
+            for (j, &b) in tasks.iter().enumerate().skip(i + 1) {
+                if i % clusters == j % clusters && rng.gen_bool(p_intra) {
+                    g.set_dependency(a, b, rng.gen_range(0.0..=w_max));
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_tasks_have_zero_dependency() {
+        let g = TaskGraph::new();
+        assert_eq!(g.dependency(TaskId(0), TaskId(1)), 0.0);
+        assert!(g.partners(TaskId(0)).is_empty());
+    }
+
+    #[test]
+    fn set_and_get_symmetric() {
+        let mut g = TaskGraph::new();
+        g.set_dependency(TaskId(0), TaskId(1), 2.5);
+        assert_eq!(g.dependency(TaskId(0), TaskId(1)), 2.5);
+        assert_eq!(g.dependency(TaskId(1), TaskId(0)), 2.5);
+        assert_eq!(g.partners(TaskId(0)), &[TaskId(1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn zero_weight_removes_edge() {
+        let mut g = TaskGraph::new();
+        g.set_dependency(TaskId(0), TaskId(1), 1.0);
+        g.set_dependency(TaskId(0), TaskId(1), 0.0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.partners(TaskId(0)).is_empty());
+        assert!(g.partners(TaskId(1)).is_empty());
+    }
+
+    #[test]
+    fn affinity_sums_colocated_weights() {
+        let mut g = TaskGraph::new();
+        g.set_dependency(TaskId(0), TaskId(1), 1.0);
+        g.set_dependency(TaskId(0), TaskId(2), 2.0);
+        g.set_dependency(TaskId(0), TaskId(3), 4.0);
+        // Only tasks 1 and 3 are co-located.
+        assert_eq!(g.affinity_to(TaskId(0), &[TaskId(1), TaskId(3)]), 5.0);
+        assert_eq!(g.total_dependency(TaskId(0)), 7.0);
+    }
+
+    #[test]
+    fn self_dependency_is_zero() {
+        let g = TaskGraph::new();
+        assert_eq!(g.dependency(TaskId(5), TaskId(5)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not depend on itself")]
+    fn self_edge_rejected() {
+        let mut g = TaskGraph::new();
+        g.set_dependency(TaskId(1), TaskId(1), 1.0);
+    }
+
+    #[test]
+    fn chain_links_consecutive() {
+        let ids: Vec<TaskId> = (0..4).map(TaskId).collect();
+        let g = TaskGraph::chain(&ids, 1.5);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.dependency(TaskId(0), TaskId(1)), 1.5);
+        assert_eq!(g.dependency(TaskId(0), TaskId(2)), 0.0);
+    }
+
+    #[test]
+    fn clustered_is_deterministic_and_intra_only() {
+        let ids: Vec<TaskId> = (0..12).map(TaskId).collect();
+        let a = TaskGraph::clustered(&ids, 3, 0.8, 2.0, 42);
+        let b = TaskGraph::clustered(&ids, 3, 0.8, 2.0, 42);
+        assert_eq!(a.edge_count(), b.edge_count());
+        // Only same-cluster pairs (i ≡ j mod 3) may be linked.
+        for i in 0..12u64 {
+            for j in (i + 1)..12 {
+                if i % 3 != j % 3 {
+                    assert_eq!(a.dependency(TaskId(i), TaskId(j)), 0.0);
+                }
+            }
+        }
+    }
+}

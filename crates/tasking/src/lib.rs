@@ -1,0 +1,24 @@
+//! # pp-tasking — tasks, dependencies, resources and workloads
+//!
+//! The paper's system model (§4.2) has three inputs besides the network:
+//! the tasks themselves (loads with a size/mass), the task-dependency graph
+//! `T` whose edge weights are inter-task communication volumes, and the
+//! resource matrix `R` tying tasks to nodes holding resources they need.
+//! This crate provides all three plus the synthetic workload generators the
+//! experiments run on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod resources;
+pub mod task;
+pub mod workload;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::graph::TaskGraph;
+    pub use crate::resources::ResourceMatrix;
+    pub use crate::task::{Task, TaskId, TaskIdGen};
+    pub use crate::workload::{ArrivalProcess, Workload};
+}

@@ -1,0 +1,119 @@
+//! The resource dependency matrix `R_{|L|×|V|}` (§4.2): `R_{k,i}` is how
+//! strongly task `k` depends on resources physically present at node `i`
+//! (disks, devices, pinned memory). It feeds the static friction `µ_s` at
+//! the node holding the resource.
+
+use crate::task::TaskId;
+use pp_topology::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Sparse task×node resource affinity matrix.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceMatrix {
+    entries: HashMap<(u64, u32), f64>,
+}
+
+impl ResourceMatrix {
+    /// No resource dependencies at all.
+    pub fn none() -> Self {
+        ResourceMatrix::default()
+    }
+
+    /// Sets `R_{task,node}` (≥ 0; 0 removes the entry).
+    pub fn set(&mut self, task: TaskId, node: NodeId, affinity: f64) {
+        assert!(affinity >= 0.0, "affinity must be ≥ 0");
+        if affinity == 0.0 {
+            self.entries.remove(&(task.0, node.0));
+        } else {
+            self.entries.insert((task.0, node.0), affinity);
+        }
+    }
+
+    /// `R_{task,node}` (0 when absent).
+    pub fn get(&self, task: TaskId, node: NodeId) -> f64 {
+        self.entries.get(&(task.0, node.0)).copied().unwrap_or(0.0)
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pins a random `fraction` of `tasks` to their origin node with the
+    /// given affinity (models device-bound tasks). Deterministic per seed.
+    pub fn pin_fraction(
+        tasks: &[(TaskId, NodeId)],
+        fraction: f64,
+        affinity: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = ResourceMatrix::none();
+        for &(t, n) in tasks {
+            if rng.gen_bool(fraction) {
+                m.set(t, n, affinity);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let m = ResourceMatrix::none();
+        assert_eq!(m.get(TaskId(1), NodeId(2)), 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let mut m = ResourceMatrix::none();
+        m.set(TaskId(1), NodeId(2), 3.0);
+        assert_eq!(m.get(TaskId(1), NodeId(2)), 3.0);
+        assert_eq!(m.get(TaskId(1), NodeId(3)), 0.0);
+        assert_eq!(m.len(), 1);
+        m.set(TaskId(1), NodeId(2), 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn pin_fraction_bounds() {
+        let tasks: Vec<(TaskId, NodeId)> =
+            (0..100).map(|i| (TaskId(i), NodeId((i % 4) as u32))).collect();
+        let all = ResourceMatrix::pin_fraction(&tasks, 1.0, 2.0, 1);
+        assert_eq!(all.len(), 100);
+        let none = ResourceMatrix::pin_fraction(&tasks, 0.0, 2.0, 1);
+        assert!(none.is_empty());
+        let half = ResourceMatrix::pin_fraction(&tasks, 0.5, 2.0, 1);
+        assert!(half.len() > 20 && half.len() < 80, "got {}", half.len());
+    }
+
+    #[test]
+    fn pin_fraction_deterministic() {
+        let tasks: Vec<(TaskId, NodeId)> = (0..50).map(|i| (TaskId(i), NodeId(0))).collect();
+        let a = ResourceMatrix::pin_fraction(&tasks, 0.3, 1.0, 9);
+        let b = ResourceMatrix::pin_fraction(&tasks, 0.3, 1.0, 9);
+        for i in 0..50 {
+            assert_eq!(a.get(TaskId(i), NodeId(0)), b.get(TaskId(i), NodeId(0)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "affinity must be ≥ 0")]
+    fn negative_affinity_rejected() {
+        let mut m = ResourceMatrix::none();
+        m.set(TaskId(0), NodeId(0), -1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Tasks — the paper's *loads* (it uses the two words interchangeably; the
+//! word *task* stresses affinity/dependency, *load* stresses size, §1).
+
+use std::fmt;
+
+/// Globally unique task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A unit of work assigned to some processor.
+///
+/// `size` is the paper's mass `m` — "the computational complexity or the
+/// mnemonic size of the load" (Table 1). `work` is the remaining execution
+/// demand, consumed by the owning node at unit rate; for pure redistribution
+/// experiments (the quiescent assumption of §2) `work` is ignored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Identifier.
+    pub id: TaskId,
+    /// Load quantity / mass `m` (> 0).
+    pub size: f64,
+    /// Remaining execution demand (≥ 0).
+    pub work: f64,
+    /// Simulation time at which the task entered the system.
+    pub created_at: f64,
+    /// Node index where the task was created (its origin; `h₀` is the origin
+    /// node's height at departure time).
+    pub origin: u32,
+}
+
+impl Task {
+    /// Creates a task with `work == size` (the common case: demand equals
+    /// size).
+    pub fn new(id: TaskId, size: f64, origin: u32) -> Self {
+        assert!(size > 0.0, "task size must be positive");
+        Task { id, size, work: size, created_at: 0.0, origin }
+    }
+
+    /// Sets the creation time (builder style).
+    pub fn created_at(mut self, t: f64) -> Self {
+        self.created_at = t;
+        self
+    }
+
+    /// Sets an explicit work demand (builder style).
+    pub fn with_work(mut self, work: f64) -> Self {
+        assert!(work >= 0.0, "work must be non-negative");
+        self.work = work;
+        self
+    }
+
+    /// Whether the task has finished executing.
+    pub fn is_done(&self) -> bool {
+        self.work <= 0.0
+    }
+}
+
+/// Hands out sequential [`TaskId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct TaskIdGen {
+    next: u64,
+}
+
+impl TaskIdGen {
+    /// A generator starting at id 0.
+    pub fn new() -> Self {
+        TaskIdGen::default()
+    }
+
+    /// Returns the next fresh id.
+    pub fn next_id(&mut self) -> TaskId {
+        let id = TaskId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_task_defaults() {
+        let t = Task::new(TaskId(1), 2.5, 7);
+        assert_eq!(t.work, 2.5);
+        assert_eq!(t.origin, 7);
+        assert_eq!(t.created_at, 0.0);
+        assert!(!t.is_done());
+    }
+
+    #[test]
+    fn builders() {
+        let t = Task::new(TaskId(0), 1.0, 0).created_at(5.0).with_work(0.0);
+        assert_eq!(t.created_at, 5.0);
+        assert!(t.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn zero_size_rejected() {
+        let _ = Task::new(TaskId(0), 0.0, 0);
+    }
+
+    #[test]
+    fn id_generator_is_sequential() {
+        let mut g = TaskIdGen::new();
+        assert_eq!(g.next_id(), TaskId(0));
+        assert_eq!(g.next_id(), TaskId(1));
+        assert_eq!(g.next_id(), TaskId(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TaskId(42).to_string(), "t42");
+    }
+}

@@ -1,0 +1,362 @@
+//! Synthetic workload generators: initial load placements (uniform-random,
+//! hotspot, bimodal, ramp) and dynamic arrival processes (Poisson, bursty)
+//! for the §1 scenario of "new tasks entering the system at any time and at
+//! any node".
+
+use crate::task::{Task, TaskIdGen};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An initial placement of tasks onto nodes.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// `tasks[i]` is the list of tasks initially on node `i`.
+    pub tasks: Vec<Vec<Task>>,
+    /// Id generator positioned after the highest id already used (so dynamic
+    /// arrivals can continue the sequence).
+    pub idgen: TaskIdGen,
+}
+
+impl Workload {
+    /// Builds a workload from explicit per-node load quantities; each node's
+    /// quantity is split into tasks of roughly `task_size` each.
+    pub fn from_loads(loads: &[f64], task_size: f64) -> Workload {
+        assert!(task_size > 0.0, "task size must be positive");
+        let mut idgen = TaskIdGen::new();
+        let tasks = loads
+            .iter()
+            .enumerate()
+            .map(|(node, &quantity)| {
+                assert!(quantity >= 0.0, "load quantity must be ≥ 0");
+                let mut rest = quantity;
+                let mut list = Vec::new();
+                while rest > 1e-12 {
+                    let s = rest.min(task_size);
+                    list.push(Task::new(idgen.next_id(), s, node as u32));
+                    rest -= s;
+                }
+                list
+            })
+            .collect();
+        Workload { tasks, idgen }
+    }
+
+    /// Everything on one node: the paper's canonical worst case (a single
+    /// hill on a flat yard). `total` load on `hot`, split into `task_size`
+    /// chunks.
+    pub fn hotspot(nodes: usize, hot: usize, total: f64) -> Workload {
+        Self::hotspot_sized(nodes, hot, total, 1.0)
+    }
+
+    /// [`Workload::hotspot`] with an explicit task size.
+    pub fn hotspot_sized(nodes: usize, hot: usize, total: f64, task_size: f64) -> Workload {
+        assert!(hot < nodes, "hot node out of range");
+        let mut loads = vec![0.0; nodes];
+        loads[hot] = total;
+        Self::from_loads(&loads, task_size)
+    }
+
+    /// Several hotspots of equal height on the given nodes.
+    pub fn multi_hotspot(nodes: usize, hot: &[usize], total: f64) -> Workload {
+        assert!(!hot.is_empty());
+        let mut loads = vec![0.0; nodes];
+        for &h in hot {
+            assert!(h < nodes, "hot node out of range");
+            loads[h] += total / hot.len() as f64;
+        }
+        Self::from_loads(&loads, 1.0)
+    }
+
+    /// Independent uniform loads in `[0, max_per_node]` per node (seeded).
+    pub fn uniform_random(nodes: usize, max_per_node: f64, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let loads: Vec<f64> = (0..nodes).map(|_| rng.gen_range(0.0..max_per_node)).collect();
+        Self::from_loads(&loads, 1.0)
+    }
+
+    /// Bimodal: a `fraction` of nodes get `high`, the rest get `low`
+    /// (seeded shuffle).
+    pub fn bimodal(nodes: usize, fraction: f64, high: f64, low: f64, seed: u64) -> Workload {
+        assert!((0.0..=1.0).contains(&fraction));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..nodes).collect();
+        // Fisher–Yates.
+        for i in (1..nodes).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let cut = (nodes as f64 * fraction).round() as usize;
+        let mut loads = vec![low; nodes];
+        for &i in idx.iter().take(cut) {
+            loads[i] = high;
+        }
+        Self::from_loads(&loads, 1.0)
+    }
+
+    /// Linear ramp: node `i` gets `i · step` load.
+    pub fn ramp(nodes: usize, step: f64) -> Workload {
+        let loads: Vec<f64> = (0..nodes).map(|i| i as f64 * step).collect();
+        Self::from_loads(&loads, 1.0)
+    }
+
+    /// Zipf-distributed task sizes: `count` tasks with sizes
+    /// `base/(rank^skew)` (rank 1..=count), dealt round-robin onto nodes in
+    /// a seeded random order. Models the heavy-tailed job mixes of real
+    /// schedulers — a few huge tasks and a long tail of small ones.
+    pub fn zipf(nodes: usize, count: usize, base: f64, skew: f64, seed: u64) -> Workload {
+        assert!(nodes > 0 && count > 0 && base > 0.0 && skew >= 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idgen = TaskIdGen::new();
+        let mut tasks: Vec<Vec<Task>> = vec![Vec::new(); nodes];
+        for rank in 1..=count {
+            let size = base / (rank as f64).powf(skew);
+            let node = rng.gen_range(0..nodes);
+            tasks[node].push(Task::new(idgen.next_id(), size, node as u32));
+        }
+        Workload { tasks, idgen }
+    }
+
+    /// Builds a workload from an explicit trace of `(node, size)` records,
+    /// in order (record/replay for regression experiments).
+    pub fn from_trace(nodes: usize, trace: &[(usize, f64)]) -> Workload {
+        let mut idgen = TaskIdGen::new();
+        let mut tasks: Vec<Vec<Task>> = vec![Vec::new(); nodes];
+        for &(node, size) in trace {
+            assert!(node < nodes, "trace node out of range");
+            tasks[node].push(Task::new(idgen.next_id(), size, node as u32));
+        }
+        Workload { tasks, idgen }
+    }
+
+    /// Serialises the placement back to a `(node, size)` trace, grouped by
+    /// node (inverse of [`Workload::from_trace`] up to record order).
+    pub fn to_trace(&self) -> Vec<(usize, f64)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .flat_map(|(n, list)| list.iter().map(move |t| (n, t.size)))
+            .collect()
+    }
+
+    /// Total load across all nodes.
+    pub fn total_load(&self) -> f64 {
+        self.tasks.iter().flatten().map(|t| t.size).sum()
+    }
+
+    /// Per-node load quantities (the initial height map `h(v)`).
+    pub fn heights(&self) -> Vec<f64> {
+        self.tasks.iter().map(|l| l.iter().map(|t| t.size).sum()).collect()
+    }
+
+    /// Total number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.iter().map(Vec::len).sum()
+    }
+}
+
+/// A dynamic task arrival process (§1: "new tasks may enter the system at
+/// any time and at any node").
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalProcess {
+    /// No arrivals — the quiescent assumption of the convergence proofs.
+    Quiescent,
+    /// Poisson arrivals: exponential inter-arrival times with the given
+    /// rate (events per time unit); sizes uniform in `[size_min, size_max]`;
+    /// target node uniform.
+    Poisson {
+        /// Average arrivals per time unit.
+        rate: f64,
+        /// Minimum task size.
+        size_min: f64,
+        /// Maximum task size.
+        size_max: f64,
+    },
+    /// On/off bursts: during a burst of `burst_len` time units arrivals
+    /// follow `rate`, then a quiet period of `quiet_len`; the cycle repeats.
+    Bursty {
+        /// Arrival rate inside a burst.
+        rate: f64,
+        /// Burst duration.
+        burst_len: f64,
+        /// Quiet duration.
+        quiet_len: f64,
+        /// Task size during bursts.
+        size: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Samples the next arrival after absolute time `now`:
+    /// `(arrival_time, size)`, or `None` for the quiescent process.
+    pub fn next_after(&self, now: f64, rng: &mut StdRng) -> Option<(f64, f64)> {
+        match *self {
+            ArrivalProcess::Quiescent => None,
+            ArrivalProcess::Poisson { rate, size_min, size_max } => {
+                assert!(rate > 0.0 && size_max >= size_min && size_min > 0.0);
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let dt = -u.ln() / rate;
+                let size =
+                    if size_max > size_min { rng.gen_range(size_min..=size_max) } else { size_min };
+                Some((now + dt, size))
+            }
+            ArrivalProcess::Bursty { rate, burst_len, quiet_len, size } => {
+                assert!(rate > 0.0 && burst_len > 0.0 && quiet_len >= 0.0 && size > 0.0);
+                let cycle = burst_len + quiet_len;
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let mut t = now + (-u.ln() / rate);
+                // Push arrivals landing in a quiet window to the next burst.
+                let phase = t % cycle;
+                if phase >= burst_len {
+                    t += cycle - phase;
+                }
+                Some((t, size))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_loads_splits_into_unit_tasks() {
+        let w = Workload::from_loads(&[2.5, 0.0, 1.0], 1.0);
+        assert_eq!(w.tasks[0].len(), 3); // 1 + 1 + 0.5
+        assert_eq!(w.tasks[1].len(), 0);
+        assert_eq!(w.tasks[2].len(), 1);
+        assert!((w.total_load() - 3.5).abs() < 1e-9);
+        assert_eq!(w.heights(), vec![2.5, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn task_ids_unique_and_origin_recorded() {
+        let w = Workload::from_loads(&[2.0, 2.0], 1.0);
+        let mut ids: Vec<u64> = w.tasks.iter().flatten().map(|t| t.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), w.task_count());
+        for (node, list) in w.tasks.iter().enumerate() {
+            for t in list {
+                assert_eq!(t.origin, node as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_places_everything_on_one_node() {
+        let w = Workload::hotspot(8, 3, 64.0);
+        let h = w.heights();
+        assert_eq!(h[3], 64.0);
+        assert_eq!(h.iter().sum::<f64>(), 64.0);
+        assert_eq!(w.task_count(), 64);
+    }
+
+    #[test]
+    fn multi_hotspot_splits_evenly() {
+        let w = Workload::multi_hotspot(8, &[0, 4], 32.0);
+        let h = w.heights();
+        assert_eq!(h[0], 16.0);
+        assert_eq!(h[4], 16.0);
+        assert_eq!(h[1], 0.0);
+    }
+
+    #[test]
+    fn uniform_random_seeded() {
+        let a = Workload::uniform_random(16, 10.0, 5);
+        let b = Workload::uniform_random(16, 10.0, 5);
+        assert_eq!(a.heights(), b.heights());
+        let c = Workload::uniform_random(16, 10.0, 6);
+        assert_ne!(a.heights(), c.heights());
+        assert!(a.heights().iter().all(|&h| (0.0..10.0).contains(&h)));
+    }
+
+    #[test]
+    fn bimodal_counts() {
+        let w = Workload::bimodal(10, 0.3, 9.0, 1.0, 2);
+        let h = w.heights();
+        let high = h.iter().filter(|&&x| x == 9.0).count();
+        assert_eq!(high, 3);
+        assert_eq!(h.iter().filter(|&&x| x == 1.0).count(), 7);
+    }
+
+    #[test]
+    fn ramp_is_linear() {
+        let w = Workload::ramp(4, 2.0);
+        assert_eq!(w.heights(), vec![0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn zipf_sizes_follow_power_law() {
+        let w = Workload::zipf(8, 100, 10.0, 1.0, 3);
+        assert_eq!(w.task_count(), 100);
+        let mut sizes: Vec<f64> = w.tasks.iter().flatten().map(|t| t.size).collect();
+        sizes.sort_by(|a, b| b.total_cmp(a));
+        assert_eq!(sizes[0], 10.0);
+        assert!((sizes[1] - 5.0).abs() < 1e-12);
+        assert!((sizes[99] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_deterministic_per_seed() {
+        let a = Workload::zipf(8, 50, 4.0, 0.8, 7);
+        let b = Workload::zipf(8, 50, 4.0, 0.8, 7);
+        assert_eq!(a.heights(), b.heights());
+        let c = Workload::zipf(8, 50, 4.0, 0.8, 8);
+        assert_ne!(a.heights(), c.heights());
+    }
+
+    #[test]
+    fn trace_roundtrip() {
+        let trace = vec![(0usize, 2.0), (3, 1.5), (0, 0.5)];
+        let w = Workload::from_trace(4, &trace);
+        assert_eq!(w.heights(), vec![2.5, 0.0, 0.0, 1.5]);
+        // Round trip groups by node but preserves the multiset.
+        let mut got = w.to_trace();
+        let mut want = trace;
+        got.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        want.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace node out of range")]
+    fn trace_rejects_bad_node() {
+        let _ = Workload::from_trace(2, &[(5, 1.0)]);
+    }
+
+    #[test]
+    fn quiescent_never_arrives() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(ArrivalProcess::Quiescent.next_after(0.0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn poisson_mean_interarrival_close_to_inverse_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = ArrivalProcess::Poisson { rate: 2.0, size_min: 1.0, size_max: 1.0 };
+        let mut t = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let (next, size) = p.next_after(t, &mut rng).unwrap();
+            assert!(next > t);
+            assert_eq!(size, 1.0);
+            t = next;
+        }
+        let mean = t / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn bursty_arrivals_only_in_bursts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = ArrivalProcess::Bursty { rate: 5.0, burst_len: 1.0, quiet_len: 4.0, size: 1.0 };
+        let mut t = 0.0;
+        for _ in 0..500 {
+            let (next, _) = p.next_after(t, &mut rng).unwrap();
+            let phase = next % 5.0;
+            assert!(phase < 1.0 + 1e-9, "arrival in quiet window at phase {phase}");
+            t = next;
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Constructors for the standard multiprocessor interconnection topologies
+//! the load-balancing literature evaluates on (mesh, torus, hypercube, …).
+
+use crate::graph::{NodeId, Topology, TopologyKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Converts mixed-radix coordinates to a linear node index.
+fn coords_to_index(coords: &[usize], dims: &[usize]) -> usize {
+    let mut idx = 0;
+    for (c, d) in coords.iter().zip(dims) {
+        idx = idx * d + c;
+    }
+    idx
+}
+
+/// Converts a linear node index to mixed-radix coordinates.
+pub(crate) fn index_to_coords(mut idx: usize, dims: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0; dims.len()];
+    for i in (0..dims.len()).rev() {
+        coords[i] = idx % dims[i];
+        idx /= dims[i];
+    }
+    coords
+}
+
+impl Topology {
+    /// k-ary n-dimensional mesh: nodes at integer coordinates, links between
+    /// coordinate neighbours, no wraparound. `dims` gives the extent per
+    /// dimension, e.g. `&[8, 8]` for an 8×8 mesh.
+    pub fn mesh(dims: &[usize]) -> Topology {
+        Self::grid(dims, false, TopologyKind::Mesh(dims.to_vec()))
+    }
+
+    /// k-ary n-dimensional torus: a mesh with wraparound links.
+    pub fn torus(dims: &[usize]) -> Topology {
+        Self::grid(dims, true, TopologyKind::Torus(dims.to_vec()))
+    }
+
+    fn grid(dims: &[usize], wrap: bool, kind: TopologyKind) -> Topology {
+        assert!(!dims.is_empty(), "need at least one dimension");
+        assert!(dims.iter().all(|&d| d >= 1), "dimensions must be ≥ 1");
+        let n: usize = dims.iter().product();
+        let mut adj = vec![Vec::new(); n];
+        for (idx, list) in adj.iter_mut().enumerate() {
+            let coords = index_to_coords(idx, dims);
+            for (axis, &extent) in dims.iter().enumerate() {
+                if extent < 2 {
+                    continue;
+                }
+                let mut fwd = coords.clone();
+                if coords[axis] + 1 < extent {
+                    fwd[axis] += 1;
+                    list.push(NodeId(coords_to_index(&fwd, dims) as u32));
+                } else if wrap && extent > 2 {
+                    fwd[axis] = 0;
+                    list.push(NodeId(coords_to_index(&fwd, dims) as u32));
+                } else if wrap && extent == 2 && coords[axis] + 1 < extent {
+                    // extent-2 wraparound duplicates the mesh edge; skip.
+                }
+                let mut back = coords.clone();
+                if coords[axis] > 0 {
+                    back[axis] -= 1;
+                    list.push(NodeId(coords_to_index(&back, dims) as u32));
+                } else if wrap && extent > 2 {
+                    back[axis] = extent - 1;
+                    list.push(NodeId(coords_to_index(&back, dims) as u32));
+                }
+            }
+        }
+        Topology::from_adjacency(kind, adj)
+    }
+
+    /// n-dimensional hypercube with `2^dim` nodes; node `u` links to `u ^ (1<<b)`.
+    pub fn hypercube(dim: usize) -> Topology {
+        assert!(dim <= 20, "hypercube dimension unreasonably large");
+        let n = 1usize << dim;
+        let mut adj = vec![Vec::new(); n];
+        for (u, list) in adj.iter_mut().enumerate() {
+            for b in 0..dim {
+                list.push(NodeId((u ^ (1 << b)) as u32));
+            }
+        }
+        Topology::from_adjacency(TopologyKind::Hypercube(dim), adj)
+    }
+
+    /// Simple cycle of `n ≥ 3` nodes.
+    pub fn ring(n: usize) -> Topology {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let mut t = Topology::from_edges(n, &edges);
+        t.set_kind(TopologyKind::Ring);
+        t
+    }
+
+    /// Star: node 0 is the hub, all others are leaves.
+    pub fn star(n: usize) -> Topology {
+        assert!(n >= 2, "a star needs at least 2 nodes");
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (0, i)).collect();
+        let mut t = Topology::from_edges(n, &edges);
+        t.set_kind(TopologyKind::Star);
+        t
+    }
+
+    /// Complete graph on `n` nodes.
+    pub fn complete(n: usize) -> Topology {
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        let mut t = Topology::from_edges(n, &edges);
+        t.set_kind(TopologyKind::Complete);
+        t
+    }
+
+    /// Balanced tree: root 0, each internal node has `arity` children, down
+    /// to the given `depth` (depth 0 = a single root).
+    pub fn tree(arity: usize, depth: usize) -> Topology {
+        assert!(arity >= 1, "arity must be ≥ 1");
+        let mut edges = Vec::new();
+        let mut level: Vec<u32> = vec![0];
+        let mut next_id = 1u32;
+        for _ in 0..depth {
+            let mut next_level = Vec::new();
+            for &parent in &level {
+                for _ in 0..arity {
+                    edges.push((parent, next_id));
+                    next_level.push(next_id);
+                    next_id += 1;
+                }
+            }
+            level = next_level;
+        }
+        let mut t = Topology::from_edges(next_id as usize, &edges);
+        t.set_kind(TopologyKind::Tree(arity));
+        t
+    }
+
+    /// Connected random graph: a random spanning tree (guaranteeing
+    /// connectivity) plus each remaining pair linked with probability `p`.
+    /// Deterministic for a given `seed`.
+    pub fn random(n: usize, p: f64, seed: u64) -> Topology {
+        assert!(n >= 2, "need at least 2 nodes");
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        // Random spanning tree: attach each node to a random earlier node.
+        for v in 1..n as u32 {
+            let u = rng.gen_range(0..v);
+            edges.push((u, v));
+        }
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let mut t = Topology::from_edges(n, &edges);
+        t.set_kind(TopologyKind::Random);
+        t
+    }
+
+    pub(crate) fn set_kind(&mut self, kind: TopologyKind) {
+        *self.kind_mut() = kind;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_2d_structure() {
+        let t = Topology::mesh(&[3, 3]);
+        assert_eq!(t.node_count(), 9);
+        assert_eq!(t.edge_count(), 12);
+        // Corner has 2 neighbours, centre has 4.
+        assert_eq!(t.degree(NodeId(0)), 2);
+        assert_eq!(t.degree(NodeId(4)), 4);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), Some(4));
+    }
+
+    #[test]
+    fn torus_2d_is_regular() {
+        let t = Topology::torus(&[4, 4]);
+        assert_eq!(t.node_count(), 16);
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 4);
+        }
+        assert_eq!(t.edge_count(), 32);
+        assert_eq!(t.diameter(), Some(4));
+    }
+
+    #[test]
+    fn torus_extent_two_does_not_double_edges() {
+        // 2-extent wraparound would duplicate the mesh link; ensure we do not
+        // create parallel edges.
+        let t = Topology::torus(&[2, 2]);
+        assert_eq!(t.edge_count(), 4); // a 4-cycle
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn mesh_1d_is_a_path() {
+        let t = Topology::mesh(&[5]);
+        assert_eq!(t.edge_count(), 4);
+        assert_eq!(t.diameter(), Some(4));
+    }
+
+    #[test]
+    fn torus_1d_is_a_ring() {
+        let t = Topology::torus(&[5]);
+        assert_eq!(t.edge_count(), 5);
+        assert_eq!(t.diameter(), Some(2));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let t = Topology::hypercube(4);
+        assert_eq!(t.node_count(), 16);
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 4);
+        }
+        assert_eq!(t.edge_count(), 32);
+        assert_eq!(t.diameter(), Some(4));
+        // Neighbours differ in exactly one bit.
+        for u in t.nodes() {
+            for &v in t.neighbors(u) {
+                assert_eq!((u.0 ^ v.0).count_ones(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_and_star_and_complete() {
+        let r = Topology::ring(6);
+        assert_eq!(r.edge_count(), 6);
+        assert_eq!(r.diameter(), Some(3));
+
+        let s = Topology::star(5);
+        assert_eq!(s.degree(NodeId(0)), 4);
+        assert_eq!(s.diameter(), Some(2));
+
+        let c = Topology::complete(5);
+        assert_eq!(c.edge_count(), 10);
+        assert_eq!(c.diameter(), Some(1));
+    }
+
+    #[test]
+    fn tree_structure() {
+        let t = Topology::tree(2, 3);
+        assert_eq!(t.node_count(), 15); // 1+2+4+8
+        assert_eq!(t.edge_count(), 14);
+        assert!(t.is_connected());
+        assert_eq!(t.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn tree_depth_zero_is_single_node() {
+        let t = Topology::tree(3, 0);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.edge_count(), 0);
+    }
+
+    #[test]
+    fn random_graph_is_connected_and_deterministic() {
+        let a = Topology::random(32, 0.05, 7);
+        let b = Topology::random(32, 0.05, 7);
+        assert!(a.is_connected());
+        assert_eq!(a.edges(), b.edges());
+        let c = Topology::random(32, 0.05, 8);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn mesh_3d_node_degrees() {
+        let t = Topology::mesh(&[3, 3, 3]);
+        assert_eq!(t.node_count(), 27);
+        // Centre of the cube has 6 neighbours.
+        let center = NodeId(13);
+        assert_eq!(t.degree(center), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_rejected() {
+        let _ = Topology::ring(2);
+    }
+}

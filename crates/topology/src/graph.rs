@@ -1,0 +1,283 @@
+//! The interconnection network graph `G(V, E)` (§4.2).
+//!
+//! Nodes are processors, edges are physical links. The structure is a plain
+//! undirected graph stored as adjacency lists; topology constructors live in
+//! [`crate::generators`].
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a processing node (index into the topology's node array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize` for slice addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// What family a topology belongs to; carried for display and for
+/// family-specific algorithm parameters (e.g. hypercube dimension exchange).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// k-ary n-dimensional mesh (no wraparound).
+    Mesh(Vec<usize>),
+    /// k-ary n-dimensional torus (wraparound).
+    Torus(Vec<usize>),
+    /// n-dimensional hypercube (2ⁿ nodes).
+    Hypercube(usize),
+    /// Simple cycle.
+    Ring,
+    /// One hub connected to all leaves.
+    Star,
+    /// Complete graph.
+    Complete,
+    /// Balanced tree with the given arity.
+    Tree(usize),
+    /// Connected Erdős–Rényi-style random graph.
+    Random,
+    /// Built from an explicit edge list.
+    Custom,
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::Mesh(d) => write!(f, "mesh{d:?}"),
+            TopologyKind::Torus(d) => write!(f, "torus{d:?}"),
+            TopologyKind::Hypercube(n) => write!(f, "hypercube({n})"),
+            TopologyKind::Ring => write!(f, "ring"),
+            TopologyKind::Star => write!(f, "star"),
+            TopologyKind::Complete => write!(f, "complete"),
+            TopologyKind::Tree(a) => write!(f, "tree(arity {a})"),
+            TopologyKind::Random => write!(f, "random"),
+            TopologyKind::Custom => write!(f, "custom"),
+        }
+    }
+}
+
+/// An undirected interconnection network.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    kind: TopologyKind,
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Topology {
+    /// Builds a topology from adjacency lists. Neighbour lists are sorted and
+    /// deduplicated; self-loops are removed.
+    pub fn from_adjacency(kind: TopologyKind, mut adj: Vec<Vec<NodeId>>) -> Self {
+        let n = adj.len() as u32;
+        for (i, list) in adj.iter_mut().enumerate() {
+            list.retain(|v| v.0 != i as u32 && v.0 < n);
+            list.sort_unstable();
+            list.dedup();
+        }
+        // Symmetrise: if u lists v, v must list u.
+        let pairs: Vec<(u32, u32)> = adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, list)| list.iter().map(move |v| (u as u32, v.0)))
+            .collect();
+        for (u, v) in pairs {
+            let back = &mut adj[v as usize];
+            if back.binary_search(&NodeId(u)).is_err() {
+                let pos = back.partition_point(|x| x.0 < u);
+                back.insert(pos, NodeId(u));
+            }
+        }
+        let edge_count = adj.iter().map(|l| l.len()).sum::<usize>() / 2;
+        Topology { kind, adj, edge_count }
+    }
+
+    /// Builds from an explicit edge list over `n` nodes.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            adj[u as usize].push(NodeId(v));
+            adj[v as usize].push(NodeId(u));
+        }
+        Topology::from_adjacency(TopologyKind::Custom, adj)
+    }
+
+    /// The topology family.
+    pub fn kind(&self) -> &TopologyKind {
+        &self.kind
+    }
+
+    pub(crate) fn kind_mut(&mut self) -> &mut TopologyKind {
+        &mut self.kind
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Neighbours of `v`, sorted ascending.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.idx()]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.idx()].len()
+    }
+
+    /// Maximum degree Δ.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).max().unwrap_or(0)
+    }
+
+    /// Whether `u` and `v` share an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u.idx()].binary_search(&v).is_ok()
+    }
+
+    /// All undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for u in self.nodes() {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS hop distances from `from`; unreachable nodes get `usize::MAX`.
+    pub fn bfs_distances(&self, from: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.node_count()];
+        let mut q = VecDeque::new();
+        dist[from.idx()] = 0;
+        q.push_back(from);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.idx()];
+            for &v in self.neighbors(u) {
+                if dist[v.idx()] == usize::MAX {
+                    dist[v.idx()] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Whether the graph is connected (empty graphs count as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        self.bfs_distances(NodeId(0)).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// The diameter (max over all pairs of hop distance); `None` when
+    /// disconnected or empty.
+    pub fn diameter(&self) -> Option<usize> {
+        if self.adj.is_empty() {
+            return None;
+        }
+        let mut best = 0;
+        for u in self.nodes() {
+            let d = self.bfs_distances(u);
+            let m = *d.iter().max().unwrap();
+            if m == usize::MAX {
+                return None;
+            }
+            best = best.max(m);
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_symmetric_adjacency() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.edge_count(), 2);
+        assert!(t.has_edge(NodeId(0), NodeId(1)));
+        assert!(t.has_edge(NodeId(1), NodeId(0)));
+        assert!(!t.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_are_dropped() {
+        let t = Topology::from_edges(2, &[(0, 1), (1, 0), (0, 0)]);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn one_sided_adjacency_is_symmetrised() {
+        let adj = vec![vec![NodeId(1)], vec![]];
+        let t = Topology::from_adjacency(TopologyKind::Custom, adj);
+        assert!(t.has_edge(NodeId(1), NodeId(0)));
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(t.bfs_distances(NodeId(0)), vec![0, 1, 2, 3]);
+        assert_eq!(t.diameter(), Some(3));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+        assert_eq!(t.diameter(), None);
+        assert_eq!(t.bfs_distances(NodeId(0))[2], usize::MAX);
+    }
+
+    #[test]
+    fn edges_listed_once_each() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let e = t.edges();
+        assert_eq!(e.len(), 3);
+        for (u, v) in e {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NodeId(7).to_string(), "v7");
+        assert_eq!(TopologyKind::Hypercube(3).to_string(), "hypercube(3)");
+        assert_eq!(TopologyKind::Mesh(vec![4, 4]).to_string(), "mesh[4, 4]");
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let t = Topology::from_edges(0, &[]);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! # pp-topology — interconnection networks for the particle & plane model
+//!
+//! §4.1 of the paper maps the multiprocessor's interconnection network
+//! `G(V, E)` onto the ground plane (the `M₂` embedding) and carries per-link
+//! bandwidth/distance/fault matrices (`BW`, `D`, `F`, §4.2) from which the
+//! link weight `e_{i,j}` is derived. This crate provides:
+//!
+//! * [`graph::Topology`] — the network graph with the standard families
+//!   (mesh, torus, hypercube, ring, star, tree, complete, random);
+//! * [`embedding::embed`] — the `M₂` ground-plane embedding;
+//! * [`links::LinkMap`] — the attribute matrices and the `e_{i,j}` weight;
+//! * [`spectral`] — Laplacian eigenvalue estimation for the optimal
+//!   diffusion parameter of the Xu–Lau baseline;
+//! * [`coloring::EdgeColoring`] — matchings for dimension exchange.
+//!
+//! ```
+//! use pp_topology::prelude::*;
+//!
+//! let topo = Topology::torus(&[4, 4]);
+//! assert_eq!(topo.node_count(), 16);
+//! let links = LinkMap::uniform(&topo, LinkAttrs::default());
+//! let e = links.weight(NodeId(0), NodeId(1), 1.0).unwrap();
+//! assert!((e - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod embedding;
+pub mod generators;
+pub mod graph;
+pub mod links;
+pub mod paths;
+pub mod spectral;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::coloring::EdgeColoring;
+    pub use crate::embedding::{embed, Point2};
+    pub use crate::graph::{NodeId, Topology, TopologyKind};
+    pub use crate::links::{LinkAttrs, LinkMap};
+    pub use crate::paths::{dijkstra, mean_path_weight, reachable_within, weighted_diameter};
+    pub use crate::spectral::{optimal_diffusion_alpha, safe_diffusion_alpha};
+}

@@ -1,0 +1,177 @@
+//! Laplacian spectrum estimation, used to derive the *optimal first-order
+//! diffusion parameter* `α_opt = 2/(λ₂ + λ_max)` (Xu & Lau 1994) for the
+//! diffusion baseline on any topology.
+//!
+//! Eigenvalues are obtained with plain power iteration: `λ_max` directly on
+//! `L`, and `λ₂` (the smallest non-zero eigenvalue, the algebraic
+//! connectivity) by power iteration on `λ_max·I − L` restricted to the
+//! subspace orthogonal to the constant vector.
+
+use crate::graph::Topology;
+
+/// Multiplies the graph Laplacian by `x` into `out`.
+fn laplacian_mul(topo: &Topology, x: &[f64], out: &mut [f64]) {
+    for u in topo.nodes() {
+        let mut acc = topo.degree(u) as f64 * x[u.idx()];
+        for &v in topo.neighbors(u) {
+            acc -= x[v.idx()];
+        }
+        out[u.idx()] = acc;
+    }
+}
+
+fn normalize(x: &mut [f64]) -> f64 {
+    let n = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if n > 0.0 {
+        for v in x.iter_mut() {
+            *v /= n;
+        }
+    }
+    n
+}
+
+fn project_out_constant(x: &mut [f64]) {
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
+/// Deterministic pseudo-random start vector (golden-ratio hashing of the
+/// index) — keeps the crate free of an RNG dependency here and the results
+/// reproducible.
+fn start_vector(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+            // Map to (-0.5, 0.5).
+            (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+/// Estimates the largest Laplacian eigenvalue `λ_max`.
+pub fn lambda_max(topo: &Topology, iterations: usize) -> f64 {
+    let n = topo.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut x = start_vector(n, 1);
+    normalize(&mut x);
+    let mut y = vec![0.0; n];
+    let mut lambda = 0.0;
+    for _ in 0..iterations {
+        laplacian_mul(topo, &x, &mut y);
+        lambda = normalize(&mut y);
+        std::mem::swap(&mut x, &mut y);
+    }
+    lambda
+}
+
+/// Estimates the algebraic connectivity `λ₂` (smallest non-zero eigenvalue).
+/// Requires a connected topology with ≥ 2 nodes.
+pub fn lambda_2(topo: &Topology, iterations: usize) -> f64 {
+    let n = topo.node_count();
+    assert!(n >= 2, "λ₂ needs at least two nodes");
+    let lmax = lambda_max(topo, iterations).max(f64::EPSILON);
+    // Power-iterate M = (λ_max·I − L) orthogonal to the constant vector; its
+    // dominant eigenvalue there is λ_max − λ₂.
+    let mut x = start_vector(n, 2);
+    project_out_constant(&mut x);
+    normalize(&mut x);
+    let mut y = vec![0.0; n];
+    let mut nu = 0.0;
+    for _ in 0..iterations {
+        laplacian_mul(topo, &x, &mut y);
+        for i in 0..n {
+            y[i] = lmax * x[i] - y[i];
+        }
+        project_out_constant(&mut y);
+        nu = normalize(&mut y);
+        std::mem::swap(&mut x, &mut y);
+    }
+    (lmax - nu).max(0.0)
+}
+
+/// The optimal first-order diffusion parameter `α_opt = 2/(λ₂ + λ_max)`
+/// (Xu & Lau). Guarantees the fastest asymptotic convergence of the FOS
+/// diffusion scheme on this topology.
+pub fn optimal_diffusion_alpha(topo: &Topology, iterations: usize) -> f64 {
+    let lmax = lambda_max(topo, iterations);
+    let l2 = lambda_2(topo, iterations);
+    2.0 / (l2 + lmax)
+}
+
+/// A safe (always convergent, possibly slower) diffusion parameter:
+/// `1/(Δ+1)` with Δ the maximum degree — the classical Cybenko choice.
+pub fn safe_diffusion_alpha(topo: &Topology) -> f64 {
+    1.0 / (topo.max_degree() as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ITERS: usize = 3000;
+
+    #[test]
+    fn hypercube_spectrum_known() {
+        // Laplacian eigenvalues of Q_d are 2k (k = 0..d): λ₂ = 2, λ_max = 2d.
+        let t = Topology::hypercube(4);
+        assert!((lambda_max(&t, ITERS) - 8.0).abs() < 1e-6);
+        assert!((lambda_2(&t, ITERS) - 2.0).abs() < 1e-4);
+        // Hence α_opt = 2/(2+8) = 0.2, the known 1/(d+1) for hypercubes.
+        assert!((optimal_diffusion_alpha(&t, ITERS) - 0.2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K_n has eigenvalues 0 and n (multiplicity n−1).
+        let t = Topology::complete(6);
+        assert!((lambda_max(&t, ITERS) - 6.0).abs() < 1e-6);
+        assert!((lambda_2(&t, ITERS) - 6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ring_spectrum_known() {
+        // C_n eigenvalues: 2 − 2cos(2πk/n); for n = 8: λ₂ = 2−2cos(π/4),
+        // λ_max = 4.
+        let t = Topology::ring(8);
+        let l2_expected = 2.0 - 2.0 * (std::f64::consts::PI / 4.0).cos();
+        assert!((lambda_max(&t, ITERS) - 4.0).abs() < 1e-5);
+        assert!((lambda_2(&t, ITERS) - l2_expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn path_lambda2_below_ring() {
+        // Cutting the ring halves connectivity: λ₂(path) < λ₂(ring).
+        let ring = Topology::ring(8);
+        let path = Topology::mesh(&[8]);
+        assert!(lambda_2(&path, ITERS) < lambda_2(&ring, ITERS));
+    }
+
+    #[test]
+    fn star_lambda_max_is_n() {
+        // Star K_{1,n−1}: λ_max = n.
+        let t = Topology::star(7);
+        assert!((lambda_max(&t, ITERS) - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn safe_alpha_below_one_over_degree() {
+        let t = Topology::torus(&[4, 4]);
+        let a = safe_diffusion_alpha(&t);
+        assert!((a - 0.2).abs() < 1e-12); // Δ = 4 ⇒ 1/5
+    }
+
+    #[test]
+    fn optimal_alpha_is_stable_across_calls() {
+        let t = Topology::mesh(&[5, 5]);
+        let a = optimal_diffusion_alpha(&t, ITERS);
+        let b = optimal_diffusion_alpha(&t, ITERS);
+        assert_eq!(a, b);
+        assert!(a > 0.0 && a < 1.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Bake-off on a mesh hotspot: the particle-plane balancer against every
+//! baseline from §2 of the paper, on identical workloads and seeds.
+//!
+//! Run with: `cargo run --release --example hotspot_mesh`
+
+use particle_plane::prelude::*;
+
+fn run(name_topo: &Topology, balancer: Box<dyn LoadBalancer>, rounds: u64) -> RunReport {
+    let nodes = name_topo.node_count();
+    let workload = Workload::hotspot(nodes, 0, 2.0 * nodes as f64);
+    let mut engine = EngineBuilder::new(name_topo.clone())
+        .workload(workload)
+        .balancer_boxed(balancer)
+        .seed(7)
+        .build();
+    engine.run_rounds(rounds).drain(200.0);
+    engine.report()
+}
+
+fn main() {
+    let topo = Topology::mesh(&[8, 8]);
+    let rounds = 300;
+    let mean = 2.0;
+
+    let balancers: Vec<Box<dyn LoadBalancer>> = vec![
+        Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())),
+        Box::new(DiffusionBalancer::optimal(&topo)),
+        Box::new(DiffusionBalancer::safe(&topo)),
+        Box::new(DimensionExchangeBalancer::new(&topo)),
+        Box::new(GradientModelBalancer::new(mean * 0.75, mean * 1.25)),
+        Box::new(CwnBalancer::new(1.0)),
+        Box::new(RandomNeighborBalancer::new(1.0)),
+        Box::new(SenderInitiatedBalancer::new(mean * 1.5, mean, 2)),
+    ];
+
+    let mut table = TextTable::new(vec![
+        "balancer",
+        "final CoV",
+        "spread",
+        "hops",
+        "traffic",
+        "conv@0.5",
+    ]);
+    for b in balancers {
+        let r = run(&topo, b, rounds);
+        table.row(vec![
+            r.balancer.clone(),
+            fmt(r.final_imbalance.cov, 3),
+            fmt(r.final_imbalance.spread, 1),
+            r.ledger.migration_count().to_string(),
+            fmt(r.ledger.total_weighted_traffic(), 0),
+            r.converged_round(0.5, 3).map(|t| fmt(t, 0)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("8×8 mesh, hotspot of {} units on node 0, {} rounds:\n", 128, rounds);
+    println!("{}", table.render());
+}

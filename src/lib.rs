@@ -1,0 +1,61 @@
+//! # particle-plane
+//!
+//! A production-grade Rust reproduction of Imani & Sarbazi-Azad,
+//! *"A Physical Particle and Plane Framework for Load Balancing in
+//! Multiprocessors"* (IPPS 2006).
+//!
+//! The paper models dynamic load balancing as classical mechanics: loads are
+//! massive objects, the network is a bumpy surface whose height at a node is
+//! that node's total load, and migration is an object sliding downhill
+//! subject to static friction (task/resource affinity), kinetic friction
+//! (communication cost) and an energy budget (the *potential height* flag
+//! carried by each migrating load).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`physics`] — the particle-on-a-plane model of §3 (surfaces, friction,
+//!   energy, contours, theorems).
+//! * [`topology`] — interconnection networks (mesh, torus, hypercube, …),
+//!   embeddings and link attribute matrices (§4.1–4.2).
+//! * [`tasking`] — tasks, dependency graphs, resource matrices and workload
+//!   generators.
+//! * [`sim`] — the discrete-event multiprocessor simulator all balancers run
+//!   on.
+//! * [`core`] — the particle-plane balancer itself plus the classical
+//!   baselines (diffusion, dimension exchange, GM, CWN, …).
+//! * [`metrics`] — imbalance metrics, traffic ledgers, convergence detection.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use particle_plane::prelude::*;
+//!
+//! // A 4×4 torus with one hot node holding all 32 load units.
+//! let topo = Topology::torus(&[4, 4]);
+//! let workload = Workload::hotspot(topo.node_count(), 0, 32.0);
+//! let mut engine = EngineBuilder::new(topo)
+//!     .workload(workload)
+//!     .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
+//!     .seed(42)
+//!     .build();
+//! engine.run_rounds(100).drain(100.0);
+//! let report = engine.report();
+//! assert!(report.final_imbalance.cov < 0.9);
+//! ```
+
+pub use pp_core as core;
+pub use pp_metrics as metrics;
+pub use pp_physics as physics;
+pub use pp_sim as sim;
+pub use pp_tasking as tasking;
+pub use pp_topology as topology;
+
+/// Convenient re-exports of the most used items across the workspace.
+pub mod prelude {
+    pub use pp_core::prelude::*;
+    pub use pp_metrics::prelude::*;
+    pub use pp_physics::prelude::*;
+    pub use pp_sim::prelude::*;
+    pub use pp_tasking::prelude::*;
+    pub use pp_topology::prelude::*;
+}

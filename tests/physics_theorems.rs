@@ -1,0 +1,131 @@
+//! Cross-crate physics validation: the §3.3 theorems checked on both
+//! analytic and grid-sampled surfaces, including the grid surfaces the
+//! load-balancing analogy produces.
+
+use particle_plane::physics::prelude::*;
+
+fn cfg() -> SimConfig {
+    SimConfig { g: 10.0, dt: 1e-3, stop_speed: 1e-4, max_steps: 500_000 }
+}
+
+#[test]
+fn theorem1_invariants_on_sampled_crater() {
+    // Sample the analytic crater onto a grid and re-run the trapping sweep:
+    // the energy invariants must survive interpolation.
+    let crater = AnalyticSurface::Crater {
+        center: Vec2::new(5.0, 5.0),
+        floor_r: 1.0,
+        rim_r: 2.5,
+        rim_height: 1.5,
+    };
+    let grid = GridSurface::sample(&crater, 101, 101, 0.1);
+    let contour = Contour::basin(&grid, Vec2::new(5.0, 5.0), 1.45, 0.1, 60);
+    assert!(contour.area_cells() > 0);
+    for mu in [0.1, 0.3, 0.6] {
+        for start in [Vec2::new(5.5, 5.0), Vec2::new(5.0, 6.5)] {
+            let trial =
+                trapping_trial(&grid, Friction::uniform(mu), cfg(), start, 1.0, &contour, 1.0);
+            assert_ne!(trial.verdict, TheoremVerdict::Violation, "µ={mu} {start:?}: {trial:?}");
+        }
+    }
+}
+
+#[test]
+fn corollary1_frictionless_escapes_any_lower_contour() {
+    // 1-D double well, frictionless: released on the outer slope above the
+    // barrier, the object must cross into the far well (escape the contour
+    // around its own well).
+    let s = AnalyticSurface::DoubleWell { a: 2.0, barrier: 0.5 };
+    let release = Vec2::new(3.6, 0.0); // height = 0.5·((3.6/2)²−1)² ≈ 2.24 > barrier
+    let contour = Contour::disc(Vec2::new(2.0, 0.0), 1.8, 0.05);
+    let trial =
+        trapping_trial(&s, Friction::FRICTIONLESS, cfg(), release, 1.0, &contour, 4.0);
+    assert!(trial.escaped, "{trial:?}");
+    assert_eq!(trial.verdict, TheoremVerdict::Consistent);
+}
+
+#[test]
+fn corollary2_any_friction_eventually_stops() {
+    let s = AnalyticSurface::SinBumps { amp: 1.0, fx: 1.0, fy: 1.0 };
+    for mu in [0.05, 0.2, 0.5] {
+        let mut sim = Simulation::new(
+            &s,
+            Friction::uniform(mu),
+            cfg(),
+            Particle::at_rest(Vec2::new(0.7, 0.9), 1.0),
+        );
+        let out = sim.run_until_rest();
+        assert_eq!(out.reason, StopReason::AtRest, "µ={mu}");
+    }
+}
+
+#[test]
+fn corollary3_travel_shrinks_with_friction_on_bumps() {
+    let s = AnalyticSurface::SinBumps { amp: 2.0, fx: 0.7, fy: 0.7 };
+    let start = Vec2::new(2.2, 0.0);
+    let travel = |mu: f64| {
+        let check = max_travel_check(&s, Friction::uniform(mu), cfg(), start, 1.0, 2.0);
+        assert!(check.ok, "µ={mu}: {check:?}");
+        check.path
+    };
+    let t1 = travel(0.05);
+    let t2 = travel(0.4);
+    assert!(t1 > t2, "path {t1} should exceed {t2}");
+}
+
+#[test]
+fn trapping_radius_bound_is_respected_across_random_geometry() {
+    // Random crater geometries: the object must never come to rest further
+    // from its start than the slack-adjusted h*/µ_k.
+    let geometries = [
+        (1.0, 2.0, 1.0),
+        (0.5, 1.5, 2.0),
+        (2.0, 4.0, 0.8),
+    ];
+    for &(floor_r, rim_r, rim_height) in &geometries {
+        let s = AnalyticSurface::Crater {
+            center: Vec2::ZERO,
+            floor_r,
+            rim_r,
+            rim_height,
+        };
+        let max_slope = rim_height / (rim_r - floor_r);
+        for mu in [0.2, 0.5] {
+            let start = Vec2::new((floor_r + rim_r) / 2.0, 0.0);
+            let check =
+                max_travel_check(&s, Friction::uniform(mu), cfg(), start, 1.0, max_slope);
+            assert!(check.ok, "geometry {floor_r}/{rim_r}/{rim_height} µ={mu}: {check:?}");
+        }
+    }
+}
+
+#[test]
+fn load_surface_analogy_roundtrip() {
+    // Build the yard from a network's height map (the M₃ mapping of §4.1):
+    // heights at embedded node positions, interpolated in between. Checks
+    // that the surface reproduces node heights and slopes toward the
+    // lighter node.
+    use particle_plane::prelude::{embed, Topology};
+    let topo = Topology::mesh(&[3, 3]);
+    let pts = embed(&topo);
+    let heights = [9.0, 4.0, 1.0, 4.0, 1.0, 0.0, 1.0, 0.0, 0.0];
+    let mut grid = GridSurface::flat(3, 3, 1.0);
+    for (i, p) in pts.iter().enumerate() {
+        grid.set(p.x as usize, p.y as usize, heights[i]);
+    }
+    // Node 0 embeds at (0,0) with height 9.
+    assert_eq!(grid.height(Vec2::new(0.0, 0.0)), 9.0);
+    // The gradient at the hot corner points uphill toward it.
+    let g = grid.gradient(Vec2::new(0.2, 0.2));
+    assert!(g.x < 0.0 && g.y < 0.0, "{g:?}");
+    // A particle released near the hot corner slides away from it.
+    let mut sim = Simulation::new(
+        &grid,
+        Friction::uniform(0.2),
+        cfg(),
+        Particle::at_rest(Vec2::new(0.3, 0.3), 1.0),
+    );
+    let out = sim.run_until_rest();
+    let end = out.particle.pos;
+    assert!(end.x > 0.3 || end.y > 0.3, "particle should move off the hill: {end:?}");
+}
