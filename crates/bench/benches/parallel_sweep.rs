@@ -37,9 +37,7 @@ fn bench_sweep(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(5));
     for threads in [1usize, 0] {
         let label = if threads == 1 { "1-thread" } else { "all-cores" };
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| sweep(threads))
-        });
+        group.bench_function(BenchmarkId::from_parameter(label), |b| b.iter(|| sweep(threads)));
     }
     group.finish();
 }

@@ -28,12 +28,8 @@ fn bench_physics(c: &mut Criterion) {
         })
     });
 
-    let crater = AnalyticSurface::Crater {
-        center: Vec2::ZERO,
-        floor_r: 1.0,
-        rim_r: 2.0,
-        rim_height: 1.0,
-    };
+    let crater =
+        AnalyticSurface::Crater { center: Vec2::ZERO, floor_r: 1.0, rim_r: 2.0, rim_height: 1.0 };
     let grid = GridSurface::sample(&crater, 200, 200, 0.05);
     group.bench_function("particle_1k_steps_grid", |b| {
         b.iter(|| {
@@ -56,9 +52,8 @@ fn bench_physics(c: &mut Criterion) {
     });
 
     let contour = Contour::basin(&crater, Vec2::ZERO, 0.95, 0.05, 100);
-    group.bench_function("escape_radius", |b| {
-        b.iter(|| contour.escape_radius(Vec2::new(0.3, 0.2)))
-    });
+    group
+        .bench_function("escape_radius", |b| b.iter(|| contour.escape_radius(Vec2::new(0.3, 0.2))));
 
     group.finish();
 }

@@ -59,7 +59,12 @@ fn main() {
     }
 
     let mut table = TextTable::new(vec![
-        "system", "hops", "Σ heat", "Σ size·e", "heat/traffic", "per-hop correlation",
+        "system",
+        "hops",
+        "Σ heat",
+        "Σ size·e",
+        "heat/traffic",
+        "per-hop correlation",
     ]);
     for r in &rows {
         table.row(vec![
@@ -68,7 +73,11 @@ fn main() {
             fmt(r.total_heat, 1),
             fmt(r.total_traffic, 1),
             fmt(r.ratio, 3),
-            if r.correlation.is_nan() { "n/a (zero variance)".into() } else { fmt(r.correlation, 4) },
+            if r.correlation.is_nan() {
+                "n/a (zero variance)".into()
+            } else {
+                fmt(r.correlation, 4)
+            },
         ]);
     }
     println!("{}", table.render());

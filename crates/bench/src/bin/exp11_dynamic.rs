@@ -58,7 +58,11 @@ fn main() {
     }
 
     let mut table = TextTable::new(vec![
-        "arrival process", "balancer", "steady-state CoV", "tasks completed", "residual load",
+        "arrival process",
+        "balancer",
+        "steady-state CoV",
+        "tasks completed",
+        "residual load",
     ]);
     for r in &rows {
         table.row(vec![

@@ -56,7 +56,12 @@ fn main() {
     });
 
     let mut table = TextTable::new(vec![
-        "nodes", "CoV₀", "CoV final", "t(CoV≤0.5)", "ms/round", "traffic/node",
+        "nodes",
+        "CoV₀",
+        "CoV final",
+        "t(CoV≤0.5)",
+        "ms/round",
+        "traffic/node",
     ]);
     for r in &rows {
         table.row(vec![

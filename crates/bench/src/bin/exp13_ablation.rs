@@ -32,11 +32,10 @@ fn variant(name: &str) -> ParticlePlaneBalancer {
             .named("no-arbiter"),
         "no-motion" => ParticlePlaneBalancer::new(PhysicsConfig { in_motion: false, ..base })
             .named("no-motion"),
-        "no-self-correction" => ParticlePlaneBalancer::new(PhysicsConfig {
-            self_correction: false,
-            ..base
-        })
-        .named("no-self-correction"),
+        "no-self-correction" => {
+            ParticlePlaneBalancer::new(PhysicsConfig { self_correction: false, ..base })
+                .named("no-self-correction")
+        }
         // §5.1's optional extension: annealed stochastic µ_s/µ_k.
         "jittered-friction" => ParticlePlaneBalancer::new(PhysicsConfig {
             jitter: Some(FrictionJitter::new(0.3, 3.0, 100.0)),
@@ -49,8 +48,7 @@ fn variant(name: &str) -> ParticlePlaneBalancer {
 
 fn main() {
     banner("E13", "ablations", "design choices of §5.1–5.2");
-    let variants =
-        ["full", "no-arbiter", "no-motion", "no-self-correction", "jittered-friction"];
+    let variants = ["full", "no-arbiter", "no-motion", "no-self-correction", "jittered-friction"];
     let seeds = [1u64, 2, 3, 4, 5];
     let mut rows = Vec::new();
     for name in variants {
@@ -83,13 +81,11 @@ fn main() {
             final_cov: Summary::of(&covs).mean,
             auc: Summary::of(&aucs).mean,
             hops: Summary::of(&hops).mean,
-            conv05: (convs.len() == seeds.len())
-                .then(|| Summary::of(&convs).mean),
+            conv05: (convs.len() == seeds.len()).then(|| Summary::of(&convs).mean),
         });
     }
 
-    let mut table =
-        TextTable::new(vec!["variant", "final CoV", "CoV AUC", "hops", "t(CoV≤0.5)"]);
+    let mut table = TextTable::new(vec!["variant", "final CoV", "CoV AUC", "hops", "t(CoV≤0.5)"]);
     for r in &rows {
         table.row(vec![
             r.variant.clone(),

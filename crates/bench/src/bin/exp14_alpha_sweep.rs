@@ -64,7 +64,12 @@ fn main() {
     }
 
     let mut table = TextTable::new(vec![
-        "topology", "α", "is α_opt", "γ(α) contraction", "CoV AUC (discrete)", "final CoV",
+        "topology",
+        "α",
+        "is α_opt",
+        "γ(α) contraction",
+        "CoV AUC (discrete)",
+        "final CoV",
     ]);
     for r in &rows {
         table.row(vec![
@@ -87,11 +92,7 @@ fn main() {
         let sub: Vec<&Row> = rows.iter().filter(|r| r.topology == tname).collect();
         let best = sub.iter().map(|r| r.gamma).fold(f64::INFINITY, f64::min);
         let opt = sub.iter().find(|r| r.is_opt).unwrap();
-        assert!(
-            opt.gamma <= best + 1e-9,
-            "{tname}: γ(α_opt) {} vs best {best}",
-            opt.gamma
-        );
+        assert!(opt.gamma <= best + 1e-9, "{tname}: γ(α_opt) {} vs best {best}", opt.gamma);
     }
     println!("\nγ(α_opt) minimises the continuous contraction factor on every family; the");
     println!("discrete-task AUC favours mild over-relaxation (quantisation effect, reported");

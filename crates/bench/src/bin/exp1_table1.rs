@@ -122,7 +122,8 @@ fn main() {
         });
     }
 
-    let mut table = TextTable::new(vec!["physics", "load-balancing meaning", "measured check", "ok"]);
+    let mut table =
+        TextTable::new(vec!["physics", "load-balancing meaning", "measured check", "ok"]);
     for r in &rows {
         table.row(vec![
             r.parameter.clone(),

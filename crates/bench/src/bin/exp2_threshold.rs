@@ -19,10 +19,8 @@ use serde::Serialize;
 /// Does a transfer start in round 1 for the given gap and parameters?
 fn moves(gap: f64, mu_extra: f64, e: f64) -> bool {
     let topo = Topology::mesh(&[2]);
-    let links = LinkMap::uniform(
-        &topo,
-        LinkAttrs { bandwidth: 1.0 / e, distance: 1.0, fault_prob: 0.0 },
-    );
+    let links =
+        LinkMap::uniform(&topo, LinkAttrs { bandwidth: 1.0 / e, distance: 1.0, fault_prob: 0.0 });
     let w = Workload::from_loads(&[gap, 0.0], 1.0);
     // Give every task an extra resource affinity to raise µ_s beyond base.
     let mut res = ResourceMatrix::none();
@@ -58,8 +56,7 @@ fn main() {
     let mut table = TextTable::new(vec!["µ_s", "e_{i,j}", "predicted Δh*", "measured Δh*", "ok"]);
     let mut rows = Vec::new();
     // µ_s = base (1.0) + resource extra; unit loads l = 1.
-    for &(mu_extra, e) in
-        &[(0.0, 1.0), (0.0, 2.0), (1.0, 1.0), (2.0, 1.0), (1.0, 2.0), (4.0, 0.5)]
+    for &(mu_extra, e) in &[(0.0, 1.0), (0.0, 2.0), (1.0, 1.0), (2.0, 1.0), (1.0, 2.0), (4.0, 0.5)]
     {
         let mu_s = cfg.mu_s_base + cfg.c_resource * mu_extra;
         let predicted = movement_threshold(&cfg, mu_s, e, 1.0);
@@ -83,7 +80,10 @@ fn main() {
             fmt(measured, 2),
             if ok { "✓".to_string() } else { "✗".to_string() },
         ]);
-        assert!(ok, "frontier mismatch: µ_s={mu_s} e={e} predicted {predicted} measured {measured}");
+        assert!(
+            ok,
+            "frontier mismatch: µ_s={mu_s} e={e} predicted {predicted} measured {measured}"
+        );
         rows.push(Row { mu_s, e, predicted_gap: predicted, measured_gap: measured });
     }
     println!("{}", table.render());

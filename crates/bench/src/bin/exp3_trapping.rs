@@ -4,8 +4,8 @@
 //! (Corollary 2), sooner for stronger friction.
 
 use pp_bench::{banner, dump_json};
-use pp_physics::prelude::*;
 use pp_metrics::summary::{fmt, TextTable};
+use pp_physics::prelude::*;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -20,12 +20,8 @@ struct Row {
 
 fn main() {
     banner("E3", "trapping under friction", "Corollaries 1–2");
-    let crater = AnalyticSurface::Crater {
-        center: Vec2::ZERO,
-        floor_r: 1.0,
-        rim_r: 2.0,
-        rim_height: 0.6,
-    };
+    let crater =
+        AnalyticSurface::Crater { center: Vec2::ZERO, floor_r: 1.0, rim_r: 2.0, rim_height: 0.6 };
     let cfg = SimConfig { g: 10.0, dt: 1e-3, stop_speed: 1e-4, max_steps: 300_000 };
     let contour = Contour::disc(Vec2::ZERO, 3.0, 0.1);
     // Start on the inner rim slope, just below the peak.
@@ -43,8 +39,7 @@ fn main() {
         let mut stop_times = Vec::new();
         let mut paths = Vec::new();
         for &start in &starts {
-            let friction =
-                if mu == 0.0 { Friction::FRICTIONLESS } else { Friction::uniform(mu) };
+            let friction = if mu == 0.0 { Friction::FRICTIONLESS } else { Friction::uniform(mu) };
             let mut sim = Simulation::new(&crater, friction, cfg, Particle::at_rest(start, 1.0));
             let out = sim.run_until(|s| !contour.contains(s.particle().pos));
             match out.reason {

@@ -42,24 +42,14 @@ fn main() {
     // --- Part A: Corollary 3 on crater basins (objects released at rest).
     let mut rows_a = Vec::new();
     for &rim_height in &[0.3, 0.6, 1.2] {
-        let crater = AnalyticSurface::Crater {
-            center: Vec2::ZERO,
-            floor_r: 1.0,
-            rim_r: 2.0,
-            rim_height,
-        };
+        let crater =
+            AnalyticSurface::Crater { center: Vec2::ZERO, floor_r: 1.0, rim_r: 2.0, rim_height };
         let max_slope = rim_height;
         for &mu in &[0.05, 0.15, 0.4] {
             for &start_r in &[1.2, 1.6, 1.95] {
                 let start = Vec2::new(start_r, 0.0);
-                let check = max_travel_check(
-                    &crater,
-                    Friction::uniform(mu),
-                    cfg,
-                    start,
-                    1.0,
-                    max_slope,
-                );
+                let check =
+                    max_travel_check(&crater, Friction::uniform(mu), cfg, start, 1.0, max_slope);
                 rows_a.push(RowA {
                     rim_height,
                     mu,
@@ -72,9 +62,8 @@ fn main() {
             }
         }
     }
-    let mut table_a = TextTable::new(vec![
-        "rim", "µ", "start r", "h*", "bound h*/µ", "displacement", "ok",
-    ]);
+    let mut table_a =
+        TextTable::new(vec!["rim", "µ", "start r", "h*", "bound h*/µ", "displacement", "ok"]);
     for r in &rows_a {
         table_a.row(vec![
             fmt(r.rim_height, 1),
@@ -128,7 +117,13 @@ fn main() {
         }
     }
     let mut table_b = TextTable::new(vec![
-        "µ", "release x", "h* at entry", "P_c", "r_{c,p}", "theory: can escape", "escaped",
+        "µ",
+        "release x",
+        "h* at entry",
+        "P_c",
+        "r_{c,p}",
+        "theory: can escape",
+        "escaped",
     ]);
     for r in &rows_b {
         table_b.row(vec![
@@ -147,10 +142,7 @@ fn main() {
     // The sufficient condition must be demonstrated in both directions, and
     // low-friction flyers predicted to escape must actually escape (1-D
     // dynamics find the exit).
-    assert!(
-        rows_b.iter().any(|r| r.theory_escape && r.escaped),
-        "no theory-true escape observed"
-    );
+    assert!(rows_b.iter().any(|r| r.theory_escape && r.escaped), "no theory-true escape observed");
     assert!(
         rows_b.iter().any(|r| !r.theory_escape && !r.escaped),
         "no theory-false trapping observed"

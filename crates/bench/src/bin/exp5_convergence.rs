@@ -65,7 +65,13 @@ fn main() {
         }
     }
     let mut table = TextTable::new(vec![
-        "topology", "workload", "CoV₀", "CoV final", "t(CoV≤0.5)", "t(CoV≤0.3)", "hops",
+        "topology",
+        "workload",
+        "CoV₀",
+        "CoV final",
+        "t(CoV≤0.5)",
+        "t(CoV≤0.3)",
+        "hops",
     ]);
     for r in &rows {
         table.row(vec![

@@ -28,21 +28,15 @@ fn main() {
     let mut rows = Vec::new();
     let mut rng = StdRng::seed_from_u64(123);
 
-    for &(beta0, c, t_max) in &[(0.3, 3.0, 100.0), (0.6, 3.0, 100.0), (0.6, 1.0, 100.0), (0.9, 5.0, 50.0)] {
+    for &(beta0, c, t_max) in
+        &[(0.3, 3.0, 100.0), (0.6, 3.0, 100.0), (0.6, 1.0, 100.0), (0.9, 5.0, 50.0)]
+    {
         let a = Arbiter::Stochastic { beta0, c, t_max };
         for &t in &times {
             let p_analytic = a.steepest_probability(&plain, t);
             let n = 8000;
-            let hits =
-                (0..n).filter(|_| a.choose(&scores, t, &mut rng) == Some(2)).count();
-            rows.push(Row {
-                beta0,
-                c,
-                t_max,
-                t,
-                p_analytic,
-                p_sampled: hits as f64 / n as f64,
-            });
+            let hits = (0..n).filter(|_| a.choose(&scores, t, &mut rng) == Some(2)).count();
+            rows.push(Row { beta0, c, t_max, t, p_analytic, p_sampled: hits as f64 / n as f64 });
         }
     }
 

@@ -54,11 +54,7 @@ fn main() {
     let rounds = 400;
     let mut rows = Vec::new();
 
-    for (wname, wgen) in [
-        ("hotspot", 0usize),
-        ("bimodal", 1),
-        ("uniform-random", 2),
-    ] {
+    for (wname, wgen) in [("hotspot", 0usize), ("bimodal", 1), ("uniform-random", 2)] {
         for name in names {
             let mut covs = Vec::new();
             let mut aucs = Vec::new();
@@ -101,7 +97,12 @@ fn main() {
     }
 
     let mut table = TextTable::new(vec![
-        "workload", "balancer", "final CoV (±ci95)", "CoV AUC", "hops", "traffic",
+        "workload",
+        "balancer",
+        "final CoV (±ci95)",
+        "CoV AUC",
+        "hops",
+        "traffic",
     ]);
     for r in &rows {
         table.row(vec![
@@ -119,9 +120,8 @@ fn main() {
     // than diffusion, random and sender-init (the schemes the paper says
     // get stuck on coarse gradients), and its heat-priced traffic must be
     // the highest — the explicit cost of inertia-driven spreading.
-    let get = |w: &str, b: &str| {
-        rows.iter().find(|r| r.workload == w && r.balancer == b).expect("row")
-    };
+    let get =
+        |w: &str, b: &str| rows.iter().find(|r| r.workload == w && r.balancer == b).expect("row");
     let pp = get("hotspot", "particle-plane");
     for other in ["diffusion-opt", "random", "sender-init"] {
         assert!(

@@ -45,8 +45,15 @@ fn main() {
             fault_model: dynamic.then_some(FaultModel { p_down: 0.05, p_up: 0.4 }),
             ..Default::default()
         };
-        let r = run_once(topo, Some(links), w,
-            Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())), config, 400, 9);
+        let r = run_once(
+            topo,
+            Some(links),
+            w,
+            Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())),
+            config,
+            400,
+            9,
+        );
         rows.push(Row {
             fault_prob: f,
             dynamic,
@@ -59,7 +66,13 @@ fn main() {
     }
 
     let mut table = TextTable::new(vec![
-        "fault prob", "dynamic up/down", "e_{i,j}", "final CoV", "hops", "hop faults", "traffic",
+        "fault prob",
+        "dynamic up/down",
+        "e_{i,j}",
+        "final CoV",
+        "hops",
+        "hop faults",
+        "traffic",
     ]);
     for r in &rows {
         table.row(vec![

@@ -58,9 +58,8 @@ fn run(scenario: &str, strength: f64) -> Row {
         .build();
     engine.run_rounds(250).drain(300.0);
 
-    let on_origin = |id: u64| {
-        engine.state().node(NodeId(0)).tasks().iter().any(|t| t.id == TaskId(id))
-    };
+    let on_origin =
+        |id: u64| engine.state().node(NodeId(0)).tasks().iter().any(|t| t.id == TaskId(id));
     let bound_moved = (0..16).filter(|&id| !on_origin(id)).count();
     let free_moved = (16..32).filter(|&id| !on_origin(id)).count();
     Row {
@@ -82,9 +81,8 @@ fn main() {
             rows.push(run(scenario, s));
         }
     }
-    let mut table = TextTable::new(vec![
-        "scenario", "strength", "bound moved", "free moved", "final CoV",
-    ]);
+    let mut table =
+        TextTable::new(vec!["scenario", "strength", "bound moved", "free moved", "final CoV"]);
     for r in &rows {
         table.row(vec![
             r.scenario.clone(),

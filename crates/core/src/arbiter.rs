@@ -63,32 +63,25 @@ impl Arbiter {
     /// Chooses one index into `scores` (`(candidate, steepness a_{i,j})`
     /// pairs; all candidates must already satisfy the feasibility
     /// criterion). Returns `None` for an empty candidate set.
-    pub fn choose<T: Copy>(
-        &self,
-        scores: &[(T, f64)],
-        t: f64,
-        rng: &mut StdRng,
-    ) -> Option<T> {
+    pub fn choose<T: Copy>(&self, scores: &[(T, f64)], t: f64, rng: &mut StdRng) -> Option<T> {
         if scores.is_empty() {
             return None;
         }
         // Index of the steepest candidate.
-        let (best_idx, &(best, a1)) = scores
-            .iter()
-            .enumerate()
-            .max_by(|x, y| x.1 .1.total_cmp(&y.1 .1))
-            .expect("non-empty");
+        let (best_idx, &(best, a1)) =
+            scores.iter().enumerate().max_by(|x, y| x.1 .1.total_cmp(&y.1 .1)).expect("non-empty");
         if scores.len() == 1 {
             return Some(best);
         }
         let beta = self.exploration(t);
         if beta <= 0.0 || !rng.gen_bool(beta.min(1.0)) {
-            return Some(best);
+            return Some(self.steepest_untied(scores, a1, best, rng));
         }
         // Explore: linear weights in relative steepness.
         let am = scores.iter().map(|&(_, a)| a).fold(f64::INFINITY, f64::min);
         let span = (a1 - am).max(1e-12);
-        let weights: Vec<f64> = scores.iter().map(|&(_, a)| 1.0 - (a1 - a) / span + W_FLOOR).collect();
+        let weights: Vec<f64> =
+            scores.iter().map(|&(_, a)| 1.0 - (a1 - a) / span + W_FLOOR).collect();
         let total: f64 = weights.iter().sum();
         let mut pick = rng.gen_range(0.0..total);
         for (i, w) in weights.iter().enumerate() {
@@ -98,6 +91,30 @@ impl Arbiter {
             pick -= w;
         }
         Some(scores[best_idx].0)
+    }
+
+    /// Resolves a "take the steepest" decision. The deterministic arbiter
+    /// keeps `max_by`'s fixed tie order (reproducible ablation baseline);
+    /// the stochastic arbiter draws uniformly among ties, since on a flat
+    /// surface every slope is equally steep and a fixed order would march
+    /// all loads down one corridor (physically, symmetry breaking).
+    fn steepest_untied<T: Copy>(
+        &self,
+        scores: &[(T, f64)],
+        a1: f64,
+        best: T,
+        rng: &mut StdRng,
+    ) -> T {
+        if matches!(self, Arbiter::Deterministic) {
+            return best;
+        }
+        let tol = 1e-12 * a1.abs().max(1.0);
+        let tied = scores.iter().filter(|&&(_, a)| a1 - a <= tol).count();
+        if tied <= 1 {
+            return best;
+        }
+        let pick = rng.gen_range(0..tied);
+        scores.iter().filter(|&&(_, a)| a1 - a <= tol).nth(pick).map(|&(c, _)| c).unwrap_or(best)
     }
 
     /// Analytic probability of choosing the steepest link at time `t` given
@@ -113,15 +130,21 @@ impl Arbiter {
         let span = (a1 - am).max(1e-12);
         let weights: Vec<f64> = scores.iter().map(|&a| 1.0 - (a1 - a) / span + W_FLOOR).collect();
         let total: f64 = weights.iter().sum();
-        // Probability mass of the steepest candidate within the exploration
-        // draw (there may be ties; count the first maximal one).
-        let idx = scores
-            .iter()
-            .enumerate()
-            .max_by(|x, y| x.1.total_cmp(y.1))
-            .map(|(i, _)| i)
-            .unwrap();
-        (1.0 - beta) + beta * weights[idx] / total
+        // Probability mass of one maximal candidate (the one `max_by`
+        // settles on): the exploit path splits its (1−β) share uniformly
+        // among tied maxima for the stochastic arbiter (matching
+        // `steepest_untied`), and the exploration draw adds that
+        // candidate's weight share.
+        let tol = 1e-12 * a1.abs().max(1.0);
+        let tied = scores.iter().filter(|&&a| a1 - a <= tol).count().max(1);
+        let idx =
+            scores.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1)).map(|(i, _)| i).unwrap();
+        let exploit_share = if matches!(self, Arbiter::Deterministic) || tied == 1 {
+            1.0
+        } else {
+            1.0 / tied as f64
+        };
+        (1.0 - beta) * exploit_share + beta * weights[idx] / total
     }
 }
 
@@ -205,6 +228,35 @@ mod tests {
         let plain: Vec<f64> = scores.iter().map(|&(_, s)| s).collect();
         let p = a.steepest_probability(&plain, 10.0);
         let mut r = rng();
+        let hits = (0..20_000).filter(|_| a.choose(&scores, 10.0, &mut r) == Some(1)).count();
+        let emp = hits as f64 / 20_000.0;
+        assert!((p - emp).abs() < 0.02, "analytic {p} empirical {emp}");
+    }
+
+    #[test]
+    fn tied_maxima_split_uniformly() {
+        // On a flat candidate set the stochastic arbiter must not favour any
+        // link (the symmetry breaking that spreads in-motion loads).
+        let a = Arbiter::Stochastic { beta0: 0.3, c: 3.0, t_max: 100.0 };
+        let scores = [(0u32, 2.0), (1, 2.0), (2, 2.0), (3, 2.0)];
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[a.choose(&scores, 0.0, &mut r).unwrap() as usize] += 1;
+        }
+        for c in counts {
+            assert!((1700..2300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn steepest_probability_analytic_matches_sampling_with_ties() {
+        let a = Arbiter::Stochastic { beta0: 0.6, c: 2.0, t_max: 100.0 };
+        let scores = [(0u32, 6.0), (1, 6.0), (2, 3.0)];
+        let plain: Vec<f64> = scores.iter().map(|&(_, s)| s).collect();
+        let p = a.steepest_probability(&plain, 10.0);
+        let mut r = rng();
+        // `max_by` settles on the last tied maximum, index 1.
         let hits = (0..20_000).filter(|_| a.choose(&scores, 10.0, &mut r) == Some(1)).count();
         let emp = hits as f64 / 20_000.0;
         assert!((p - emp).abs() < 0.02, "analytic {p} empirical {emp}");

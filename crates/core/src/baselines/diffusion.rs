@@ -65,7 +65,12 @@ impl LoadBalancer for DiffusionBalancer {
                 if sent + task.size <= quota + 1e-9 {
                     used.insert(task.id.0);
                     sent += task.size;
-                    intents.push(MigrationIntent { task: task.id, to: nb.id, flag: 0.0, heat: 0.0 });
+                    intents.push(MigrationIntent {
+                        task: task.id,
+                        to: nb.id,
+                        flag: 0.0,
+                        heat: 0.0,
+                    });
                 }
             }
         }

@@ -134,9 +134,8 @@ mod tests {
         // in only one class each.
         let topo = Topology::star(5);
         let b = DimensionExchangeBalancer::new(&topo);
-        let idle_classes: usize = (0..b.class_count())
-            .filter(|&c| b.partners[c][1].is_none())
-            .count();
+        let idle_classes: usize =
+            (0..b.class_count()).filter(|&c| b.partners[c][1].is_none()).count();
         assert!(idle_classes >= b.class_count() - 1);
     }
 }

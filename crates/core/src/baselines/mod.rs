@@ -57,10 +57,7 @@ pub(crate) mod testutil {
     }
 
     /// Runs one `decide` for node 0 of a ring with the given loads.
-    pub fn decide_on_ring(
-        loads: &[f64],
-        balancer: impl LoadBalancer,
-    ) -> Vec<MigrationIntent> {
+    pub fn decide_on_ring(loads: &[f64], balancer: impl LoadBalancer) -> Vec<MigrationIntent> {
         let (state, heights) = ring_view_state(loads);
         let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
         let mut rng = StdRng::seed_from_u64(0);

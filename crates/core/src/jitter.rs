@@ -92,8 +92,7 @@ mod tests {
         let j = FrictionJitter::new(0.5, 1.0, 1e9); // effectively constant A
         let mut r = rng();
         let n = 50_000;
-        let mean: f64 =
-            (0..n).map(|_| j.apply(1.0, 0.0, &mut r)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| j.apply(1.0, 0.0, &mut r)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
     }
 

@@ -168,17 +168,10 @@ mod tests {
         let mut tg = TaskGraph::new();
         tg.set_dependency(TaskId(0), TaskId(1), 2.0);
         tg.set_dependency(TaskId(0), TaskId(2), 1.0);
-        let colocated =
-            vec![Task::new(TaskId(1), 1.0, 0), Task::new(TaskId(3), 1.0, 0)];
+        let colocated = vec![Task::new(TaskId(1), 1.0, 0), Task::new(TaskId(3), 1.0, 0)];
         // Only task 1 is co-located; task 2's weight must not count.
-        let mu = static_friction(
-            &cfg(),
-            TaskId(0),
-            NodeId(0),
-            &colocated,
-            &tg,
-            &ResourceMatrix::none(),
-        );
+        let mu =
+            static_friction(&cfg(), TaskId(0), NodeId(0), &colocated, &tg, &ResourceMatrix::none());
         assert_eq!(mu, 1.0 + 2.0);
     }
 
@@ -187,14 +180,8 @@ mod tests {
         let mut tg = TaskGraph::new();
         tg.set_dependency(TaskId(0), TaskId(1), 5.0);
         let colocated = vec![Task::new(TaskId(0), 1.0, 0)];
-        let mu = static_friction(
-            &cfg(),
-            TaskId(0),
-            NodeId(0),
-            &colocated,
-            &tg,
-            &ResourceMatrix::none(),
-        );
+        let mu =
+            static_friction(&cfg(), TaskId(0), NodeId(0), &colocated, &tg, &ResourceMatrix::none());
         assert_eq!(mu, 1.0);
     }
 
@@ -204,8 +191,7 @@ mod tests {
         res.set(TaskId(0), NodeId(3), 4.0);
         let at_resource_node =
             static_friction(&cfg(), TaskId(0), NodeId(3), &[], &TaskGraph::new(), &res);
-        let elsewhere =
-            static_friction(&cfg(), TaskId(0), NodeId(1), &[], &TaskGraph::new(), &res);
+        let elsewhere = static_friction(&cfg(), TaskId(0), NodeId(1), &[], &TaskGraph::new(), &res);
         assert_eq!(at_resource_node, 5.0);
         assert_eq!(elsewhere, 1.0);
     }

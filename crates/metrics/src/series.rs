@@ -73,10 +73,7 @@ impl TimeSeries {
     /// Area under the curve by trapezoid rule (e.g. cumulative imbalance —
     /// lower is better for comparing balancers).
     pub fn auc(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0))
-            .sum()
+        self.points.windows(2).map(|w| 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0)).sum()
     }
 }
 

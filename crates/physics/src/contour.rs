@@ -51,13 +51,7 @@ impl Contour {
     /// This is the natural contour in which an object with potential height
     /// below `level` is confined: leaving the basin requires climbing to
     /// `level` or above.
-    pub fn basin<S: Surface>(
-        surface: &S,
-        p: Vec2,
-        level: f64,
-        cell: f64,
-        max_cells: i64,
-    ) -> Self {
+    pub fn basin<S: Surface>(surface: &S, p: Vec2, level: f64, cell: f64, max_cells: i64) -> Self {
         let start = ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64);
         let mut cells = HashSet::new();
         let mut queue = VecDeque::new();

@@ -285,12 +285,8 @@ mod tests {
     #[test]
     fn object_on_flat_ground_stays_put() {
         let s = AnalyticSurface::Flat { z: 0.0 };
-        let mut sim = Simulation::new(
-            &s,
-            Friction::uniform(0.2),
-            cfg(),
-            Particle::at_rest(Vec2::ZERO, 1.0),
-        );
+        let mut sim =
+            Simulation::new(&s, Friction::uniform(0.2), cfg(), Particle::at_rest(Vec2::ZERO, 1.0));
         let out = sim.run_until_rest();
         assert_eq!(out.reason, StopReason::AtRest);
         assert_eq!(out.particle.pos, Vec2::ZERO);

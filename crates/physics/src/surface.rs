@@ -210,11 +210,7 @@ impl Surface for AnalyticSurface {
                     return (0.0, 0.0, 0.0);
                 }
                 let (rx, ry) = (d.x / r, d.y / r);
-                (
-                    c / r * (1.0 - rx * rx),
-                    -c / r * rx * ry,
-                    c / r * (1.0 - ry * ry),
-                )
+                (c / r * (1.0 - rx * rx), -c / r * rx * ry, c / r * (1.0 - ry * ry))
             }
         }
     }
@@ -247,7 +243,13 @@ impl GridSurface {
     pub fn flat(width: usize, height: usize, cell: f64) -> Self {
         assert!(width >= 2 && height >= 2, "grid needs at least 2×2 corners");
         assert!(cell > 0.0, "cell size must be positive");
-        GridSurface { width, height_cells: height, cell, z: vec![0.0; width * height], walls: false }
+        GridSurface {
+            width,
+            height_cells: height,
+            cell,
+            z: vec![0.0; width * height],
+            walls: false,
+        }
     }
 
     /// Samples an arbitrary surface onto a grid.

@@ -158,12 +158,7 @@ mod tests {
     use crate::surface::AnalyticSurface;
 
     fn crater() -> AnalyticSurface {
-        AnalyticSurface::Crater {
-            center: Vec2::ZERO,
-            floor_r: 1.0,
-            rim_r: 2.0,
-            rim_height: 1.0,
-        }
+        AnalyticSurface::Crater { center: Vec2::ZERO, floor_r: 1.0, rim_r: 2.0, rim_height: 1.0 }
     }
 
     fn cfg() -> SimConfig {
@@ -224,11 +219,7 @@ mod tests {
                     &contour,
                     1.0, // crater rim slope = rim_height/(rim_r−floor_r) = 1
                 );
-                assert_ne!(
-                    trial.verdict,
-                    TheoremVerdict::Violation,
-                    "µ={mu} x0={x0}: {trial:?}"
-                );
+                assert_ne!(trial.verdict, TheoremVerdict::Violation, "µ={mu} x0={x0}: {trial:?}");
             }
         }
     }

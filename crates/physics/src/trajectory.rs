@@ -28,7 +28,10 @@ pub struct Trajectory {
 impl Trajectory {
     /// Records a run until rest (or the step budget), keeping every
     /// `every`-th step plus the final state.
-    pub fn record<S: Surface>(sim: &mut Simulation<'_, S>, every: usize) -> (Trajectory, RunOutcome) {
+    pub fn record<S: Surface>(
+        sim: &mut Simulation<'_, S>,
+        every: usize,
+    ) -> (Trajectory, RunOutcome) {
         let every = every.max(1);
         let mut samples = vec![Self::sample_of(sim)];
         let mut count = 0usize;

@@ -277,8 +277,12 @@ impl Engine {
         self.update_faults();
 
         let heights = self.state.heights();
-        let global =
-            GlobalView { topo: &self.state.topo, heights: &heights, round: self.round, time: self.time };
+        let global = GlobalView {
+            topo: &self.state.topo,
+            heights: &heights,
+            round: self.round,
+            time: self.time,
+        };
         self.balancer.begin_round(&global);
 
         let decisions = self.collect_decisions(&heights);
@@ -382,7 +386,8 @@ impl Engine {
         while attempts < self.config.max_attempts && !self.engine_rng.gen_bool(p_ok.max(1e-12)) {
             attempts += 1;
         }
-        let final_ok = attempts < self.config.max_attempts || self.engine_rng.gen_bool(p_ok.max(1e-12));
+        let final_ok =
+            attempts < self.config.max_attempts || self.engine_rng.gen_bool(p_ok.max(1e-12));
         let (dest, bounced) = if final_ok { (to, false) } else { (from, true) };
         load.hops += 1;
         let flight = Flight {
@@ -402,7 +407,8 @@ impl Engine {
             self.flights.push(Some(flight));
             self.flights.len() - 1
         };
-        self.queue.push(self.time + duration * attempts as f64, Event::LoadArrival { flight: slot });
+        self.queue
+            .push(self.time + duration * attempts as f64, Event::LoadArrival { flight: slot });
     }
 
     fn handle_arrival(&mut self, slot: usize) {
@@ -620,10 +626,7 @@ mod tests {
         }
         fn decide(&self, view: &NodeView<'_>, _rng: &mut StdRng) -> Vec<MigrationIntent> {
             let Some(task) = view.tasks.first() else { return Vec::new() };
-            let Some(lowest) = view
-                .neighbors
-                .iter()
-                .min_by(|a, b| a.height.total_cmp(&b.height))
+            let Some(lowest) = view.neighbors.iter().min_by(|a, b| a.height.total_cmp(&b.height))
             else {
                 return Vec::new();
             };
@@ -678,11 +681,7 @@ mod tests {
         let run = |seed: u64| {
             let topo = Topology::torus(&[4, 4]);
             let w = Workload::uniform_random(16, 10.0, 3);
-            let mut e = EngineBuilder::new(topo)
-                .workload(w)
-                .balancer(GreedyOne)
-                .seed(seed)
-                .build();
+            let mut e = EngineBuilder::new(topo).workload(w).balancer(GreedyOne).seed(seed).build();
             e.run_rounds(30);
             e.heights()
         };
@@ -766,12 +765,8 @@ mod tests {
             LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: 0.999_999 },
         );
         let w = Workload::hotspot(4, 0, 8.0);
-        let mut e = EngineBuilder::new(topo)
-            .links(links)
-            .workload(w)
-            .balancer(GreedyOne)
-            .seed(2)
-            .build();
+        let mut e =
+            EngineBuilder::new(topo).links(links).workload(w).balancer(GreedyOne).seed(2).build();
         e.run_rounds(10);
         e.drain(20.0);
         // All load is back (or still) at node 0; every record is a fault.

@@ -36,10 +36,7 @@ impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: the heap is a max-heap, we want the earliest first; ties
         // break by insertion sequence for determinism.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for Entry {

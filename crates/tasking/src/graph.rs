@@ -94,7 +94,13 @@ impl TaskGraph {
     /// round-robin; within a cluster each pair is linked with probability
     /// `p_intra` and weight drawn from `[0, w_max]`. Models the paper's
     /// communicating task groups. Deterministic for a given seed.
-    pub fn clustered(tasks: &[TaskId], clusters: usize, p_intra: f64, w_max: f64, seed: u64) -> Self {
+    pub fn clustered(
+        tasks: &[TaskId],
+        clusters: usize,
+        p_intra: f64,
+        w_max: f64,
+        seed: u64,
+    ) -> Self {
         assert!(clusters >= 1);
         assert!((0.0..=1.0).contains(&p_intra));
         let mut g = TaskGraph::new();

@@ -127,11 +127,7 @@ mod tests {
         let e = embed(&t);
         for i in 0..e.len() {
             for j in (i + 1)..e.len() {
-                assert!(
-                    e[i].distance(&e[j]) > 1e-9,
-                    "nodes {i} and {j} collide at {:?}",
-                    e[i]
-                );
+                assert!(e[i].distance(&e[j]) > 1e-9, "nodes {i} and {j} collide at {:?}", e[i]);
             }
         }
     }

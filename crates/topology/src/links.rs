@@ -103,10 +103,7 @@ impl LinkMap {
         let mut attrs = HashMap::new();
         for (u, v) in topo.edges() {
             let d = points[u.idx()].distance(&points[v.idx()]).max(1e-9);
-            attrs.insert(
-                key(u, v),
-                LinkAttrs { bandwidth, distance: d, fault_prob: 0.0 },
-            );
+            attrs.insert(key(u, v), LinkAttrs { bandwidth, distance: d, fault_prob: 0.0 });
         }
         LinkMap { attrs }
     }
@@ -270,10 +267,7 @@ mod tests {
     #[should_panic(expected = "invalid link attributes")]
     fn invalid_attrs_rejected() {
         let t = Topology::ring(3);
-        let _ = LinkMap::uniform(
-            &t,
-            LinkAttrs { bandwidth: 0.0, distance: 1.0, fault_prob: 0.0 },
-        );
+        let _ = LinkMap::uniform(&t, LinkAttrs { bandwidth: 0.0, distance: 1.0, fault_prob: 0.0 });
     }
 
     #[test]

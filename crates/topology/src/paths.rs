@@ -22,10 +22,7 @@ impl Eq for HeapEntry {}
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on distance; ties by node id for determinism.
-        other
-            .dist
-            .total_cmp(&self.dist)
-            .then_with(|| other.node.cmp(&self.node))
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
     }
 }
 
@@ -190,10 +187,8 @@ mod tests {
     fn faulty_links_lengthen_paths() {
         let topo = Topology::ring(8);
         let clean = unit_links(&topo);
-        let faulty = LinkMap::uniform(
-            &topo,
-            LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: 0.3 },
-        );
+        let faulty =
+            LinkMap::uniform(&topo, LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: 0.3 });
         let d_clean = weighted_diameter(&topo, &clean, 1.0).unwrap();
         let d_faulty = weighted_diameter(&topo, &faulty, 1.0).unwrap();
         assert!(d_faulty > d_clean);

@@ -33,15 +33,8 @@ fn run(dependency_weight: f64) -> (usize, usize, f64) {
     engine.run_rounds(200).drain(200.0);
 
     let moved = |ids: std::ops::Range<u64>| -> usize {
-        ids.filter(|&id| {
-            !engine
-                .state()
-                .node(NodeId(0))
-                .tasks()
-                .iter()
-                .any(|t| t.id == TaskId(id))
-        })
-        .count()
+        ids.filter(|&id| !engine.state().node(NodeId(0)).tasks().iter().any(|t| t.id == TaskId(id)))
+            .count()
     };
     let pipeline_moved = moved(0..pipeline);
     let filler_moved = moved(pipeline..pipeline + filler);

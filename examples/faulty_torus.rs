@@ -11,10 +11,7 @@ use particle_plane::prelude::*;
 fn run(fault_prob: f64, dynamic: Option<FaultModel>) -> RunReport {
     let topo = Topology::torus(&[8, 8]);
     let nodes = topo.node_count();
-    let links = LinkMap::uniform(
-        &topo,
-        LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob },
-    );
+    let links = LinkMap::uniform(&topo, LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob });
     let workload = Workload::bimodal(nodes, 0.25, 6.0, 0.5, 11);
     let mut engine = EngineBuilder::new(topo)
         .links(links)
@@ -28,18 +25,16 @@ fn run(fault_prob: f64, dynamic: Option<FaultModel>) -> RunReport {
 }
 
 fn main() {
-    let mut table = TextTable::new(vec![
-        "scenario",
-        "final CoV",
-        "hops",
-        "hop faults",
-        "traffic",
-    ]);
+    let mut table = TextTable::new(vec!["scenario", "final CoV", "hops", "hop faults", "traffic"]);
     let scenarios: Vec<(&str, f64, Option<FaultModel>)> = vec![
         ("clean links", 0.0, None),
         ("per-transfer faults f=0.05", 0.05, None),
         ("per-transfer faults f=0.20", 0.20, None),
-        ("dynamic up/down (p_down=.05, p_up=.5)", 0.0, Some(FaultModel { p_down: 0.05, p_up: 0.5 })),
+        (
+            "dynamic up/down (p_down=.05, p_up=.5)",
+            0.0,
+            Some(FaultModel { p_down: 0.05, p_up: 0.5 }),
+        ),
         ("both", 0.10, Some(FaultModel { p_down: 0.05, p_up: 0.5 })),
     ];
     for (name, f, dynamic) in scenarios {

@@ -33,14 +33,8 @@ fn main() {
         Box::new(SenderInitiatedBalancer::new(mean * 1.5, mean, 2)),
     ];
 
-    let mut table = TextTable::new(vec![
-        "balancer",
-        "final CoV",
-        "spread",
-        "hops",
-        "traffic",
-        "conv@0.5",
-    ]);
+    let mut table =
+        TextTable::new(vec!["balancer", "final CoV", "spread", "hops", "traffic", "conv@0.5"]);
     for b in balancers {
         let r = run(&topo, b, rounds);
         table.row(vec![

@@ -26,10 +26,7 @@ fn main() {
             engine.run_rounds(checkpoint - done);
         }
         let im = Imbalance::of(&engine.heights());
-        println!(
-            "{:>5}  {:<6.3} {:<9.3} {:<6.2}",
-            checkpoint, im.cov, im.max_over_mean, im.spread
-        );
+        println!("{:>5}  {:<6.3} {:<9.3} {:<6.2}", checkpoint, im.cov, im.max_over_mean, im.spread);
     }
     engine.drain(100.0);
 

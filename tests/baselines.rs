@@ -8,10 +8,7 @@ use particle_plane::prelude::*;
 /// synchronous-network assumption under which the classical convergence
 /// results were proven.
 fn instant_links(topo: &Topology) -> LinkMap {
-    LinkMap::uniform(
-        topo,
-        LinkAttrs { bandwidth: 1e9, distance: 1e-9, fault_prob: 0.0 },
-    )
+    LinkMap::uniform(topo, LinkAttrs { bandwidth: 1e9, distance: 1e-9, fault_prob: 0.0 })
 }
 
 fn run_with(
@@ -135,12 +132,7 @@ fn every_balancer_conserves_load() {
     ];
     for b in balancers {
         let name = b.name().to_string();
-        let r = run_with(
-            Topology::torus(&[4, 4]),
-            b,
-            Workload::hotspot(16, 3, total),
-            120,
-        );
+        let r = run_with(Topology::torus(&[4, 4]), b, Workload::hotspot(16, 3, total), 120);
         assert!(
             (r.total_load + r.in_flight_load - total).abs() < 1e-6,
             "{name} lost load: resident {} in-flight {}",
@@ -156,12 +148,8 @@ fn particle_plane_beats_no_balancing_everywhere() {
         let n = topo.node_count();
         let w = Workload::bimodal(n, 0.2, 8.0, 1.0, 6);
         let before = Imbalance::of(&w.heights()).cov;
-        let r = run_with(
-            topo,
-            Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())),
-            w,
-            250,
-        );
+        let r =
+            run_with(topo, Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())), w, 250);
         assert!(r.final_imbalance.cov < before, "cov {} vs {before}", r.final_imbalance.cov);
     }
 }

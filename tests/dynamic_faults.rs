@@ -19,8 +19,7 @@ fn arrivals_plus_balancing_keep_cov_bounded() {
     let r = engine.report();
     // Arrivals are uniform, so even unbalanced they stay moderate; the
     // balancer should keep the tail of the CoV series bounded.
-    let tail: Vec<f64> =
-        r.series.points().iter().rev().take(50).map(|&(_, v)| v).collect();
+    let tail: Vec<f64> = r.series.points().iter().rev().take(50).map(|&(_, v)| v).collect();
     let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
     assert!(tail_mean < 1.0, "steady-state CoV {tail_mean}");
     assert!(r.total_load > 0.0);
@@ -39,11 +38,7 @@ fn consumption_drains_the_system() {
     engine.run_rounds(400).drain(100.0);
     let r = engine.report();
     assert!(r.completed_tasks > 0, "tasks should complete");
-    assert!(
-        r.total_load < 64.0,
-        "consumption should have drained load: {}",
-        r.total_load
-    );
+    assert!(r.total_load < 64.0, "consumption should have drained load: {}", r.total_load);
 }
 
 #[test]
@@ -68,19 +63,14 @@ fn balancing_speeds_up_completion_under_hotspot() {
     };
     let with = run(true);
     let without = run(false);
-    assert!(
-        with > without,
-        "balancing should raise throughput: {with} vs {without} tasks done"
-    );
+    assert!(with > without, "balancing should raise throughput: {with} vs {without} tasks done");
 }
 
 #[test]
 fn fault_storm_does_not_lose_load() {
     let topo = Topology::torus(&[5, 5]);
-    let links = LinkMap::uniform(
-        &topo,
-        LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: 0.3 },
-    );
+    let links =
+        LinkMap::uniform(&topo, LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: 0.3 });
     let w = Workload::hotspot(25, 0, 100.0);
     let mut engine = EngineBuilder::new(topo)
         .links(links)
@@ -105,10 +95,8 @@ fn fault_storm_does_not_lose_load() {
 #[test]
 fn balancer_still_converges_with_faulty_links() {
     let topo = Topology::torus(&[6, 6]);
-    let links = LinkMap::uniform(
-        &topo,
-        LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: 0.1 },
-    );
+    let links =
+        LinkMap::uniform(&topo, LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: 0.1 });
     let w = Workload::hotspot(36, 0, 72.0);
     let before = Imbalance::of(&w.heights()).cov;
     let mut engine = EngineBuilder::new(topo)

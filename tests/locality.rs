@@ -108,8 +108,7 @@ fn reachable_set_bounds_actual_migrations() {
     let budget = h0 / (cfg.c0 * mu_k_min);
     let allowed: Vec<NodeId> = reachable_within(&topo, &links, 1.0, NodeId(0), budget);
     for v in topo.nodes() {
-        let holds_origin_task =
-            engine.state().node(v).tasks().iter().any(|t| t.origin == 0);
+        let holds_origin_task = engine.state().node(v).tasks().iter().any(|t| t.origin == 0);
         if holds_origin_task {
             assert!(allowed.contains(&v), "{v} outside the energy-reachable set");
         }

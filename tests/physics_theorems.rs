@@ -38,8 +38,7 @@ fn corollary1_frictionless_escapes_any_lower_contour() {
     let s = AnalyticSurface::DoubleWell { a: 2.0, barrier: 0.5 };
     let release = Vec2::new(3.6, 0.0); // height = 0.5·((3.6/2)²−1)² ≈ 2.24 > barrier
     let contour = Contour::disc(Vec2::new(2.0, 0.0), 1.8, 0.05);
-    let trial =
-        trapping_trial(&s, Friction::FRICTIONLESS, cfg(), release, 1.0, &contour, 4.0);
+    let trial = trapping_trial(&s, Friction::FRICTIONLESS, cfg(), release, 1.0, &contour, 4.0);
     assert!(trial.escaped, "{trial:?}");
     assert_eq!(trial.verdict, TheoremVerdict::Consistent);
 }
@@ -77,23 +76,13 @@ fn corollary3_travel_shrinks_with_friction_on_bumps() {
 fn trapping_radius_bound_is_respected_across_random_geometry() {
     // Random crater geometries: the object must never come to rest further
     // from its start than the slack-adjusted h*/µ_k.
-    let geometries = [
-        (1.0, 2.0, 1.0),
-        (0.5, 1.5, 2.0),
-        (2.0, 4.0, 0.8),
-    ];
+    let geometries = [(1.0, 2.0, 1.0), (0.5, 1.5, 2.0), (2.0, 4.0, 0.8)];
     for &(floor_r, rim_r, rim_height) in &geometries {
-        let s = AnalyticSurface::Crater {
-            center: Vec2::ZERO,
-            floor_r,
-            rim_r,
-            rim_height,
-        };
+        let s = AnalyticSurface::Crater { center: Vec2::ZERO, floor_r, rim_r, rim_height };
         let max_slope = rim_height / (rim_r - floor_r);
         for mu in [0.2, 0.5] {
             let start = Vec2::new((floor_r + rim_r) / 2.0, 0.0);
-            let check =
-                max_travel_check(&s, Friction::uniform(mu), cfg(), start, 1.0, max_slope);
+            let check = max_travel_check(&s, Friction::uniform(mu), cfg(), start, 1.0, max_slope);
             assert!(check.ok, "geometry {floor_r}/{rim_r}/{rim_height} µ={mu}: {check:?}");
         }
     }

@@ -1,0 +1,43 @@
+//! Smoke test for the facade crate's public surface: drives the README /
+//! `src/lib.rs` quickstart (a 4×4 torus with one hot node) entirely through
+//! `particle_plane::prelude::*`, so every re-export the quickstart touches is
+//! exercised end-to-end.
+
+use particle_plane::prelude::*;
+
+#[test]
+fn quickstart_hotspot_on_torus_converges() {
+    let topo = Topology::torus(&[4, 4]);
+    let workload = Workload::hotspot(topo.node_count(), 0, 32.0);
+    let initial = Imbalance::of(&workload.heights());
+    let mut engine = EngineBuilder::new(topo)
+        .workload(workload)
+        .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
+        .seed(42)
+        .build();
+    engine.run_rounds(100).drain(100.0);
+    let report = engine.report();
+    assert!(report.final_imbalance.cov < 0.9, "cov = {}", report.final_imbalance.cov);
+    assert!(
+        report.final_imbalance.cov < initial.cov,
+        "balancing must improve on the initial imbalance ({} vs {})",
+        report.final_imbalance.cov,
+        initial.cov
+    );
+    // The quickstart's run must conserve load: everything still resident.
+    assert!((engine.system_load() - 32.0).abs() < 1e-6);
+    assert_eq!(report.rounds, 100);
+}
+
+#[test]
+fn prelude_exposes_the_documented_types() {
+    // Compile-time re-export check across all six crates, one symbol each:
+    // physics, topology, tasking, sim, core, metrics.
+    let _surface: AnalyticSurface = AnalyticSurface::Bowl { center: Vec2::ZERO, curvature: 1.0 };
+    let topo: Topology = Topology::ring(4);
+    let w: Workload = Workload::hotspot(4, 0, 4.0);
+    let _b: ParticlePlaneBalancer = ParticlePlaneBalancer::new(PhysicsConfig::default());
+    let im: Imbalance = Imbalance::of(&w.heights());
+    assert!(im.cov.is_finite());
+    assert_eq!(topo.node_count(), 4);
+}

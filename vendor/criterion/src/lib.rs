@@ -1,0 +1,225 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! path dependency replaces the real `criterion` with a lightweight
+//! measure-and-print harness exposing the same call surface the workspace's
+//! benches use: `criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! the group tuning knobs (recorded but only loosely honored), and
+//! `Bencher::iter`. Each bench is timed over a handful of samples and the
+//! median per-iteration time is printed; there is no statistical analysis,
+//! no HTML report, and no baseline comparison.
+//!
+//! Passing `--test` (as `cargo test` does for `harness = false` bench
+//! targets) runs every closure exactly once, unmeasured.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The top-level harness handle, one per bench binary.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.0, 10, self.test_mode, f);
+        self
+    }
+}
+
+/// A set of related benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per bench (clamped to `2..=20`; the
+    /// stub keeps runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(2, 20);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub does not warm up.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub times a fixed number of
+    /// samples instead of filling a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().0);
+        run_one(&id, self.sample_size, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the bench closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value opaque to the optimizer.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+/// Runs one benchmark: a calibration pass sizing iterations so a sample
+/// stays cheap, then `samples` timed samples; prints the median.
+fn run_one<F>(id: &str, samples: usize, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1, test_mode };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+    // Calibrate: aim for roughly 10ms per sample, capped for slow routines.
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: 1, test_mode };
+    f(&mut b);
+    let once = b.samples.first().copied().unwrap_or(Duration::from_millis(1));
+    let iters =
+        (Duration::from_millis(10).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64;
+
+    let mut b = Bencher { samples: Vec::new(), iters_per_sample: iters, test_mode };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    b.samples.sort();
+    let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or_default();
+    println!("{id:<60} median {median:>12?} ({samples} samples x {iters} iters)");
+}
+
+/// Bundles bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+        let mut runs = 0;
+        group.bench_function("f", |b| {
+            b.iter(|| ());
+            runs += 1;
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let mut c = Criterion { test_mode: false };
+        c.bench_function(BenchmarkId::new("id", 3), |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+    }
+}

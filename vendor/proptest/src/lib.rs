@@ -1,0 +1,326 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! The build environment has no network access to a crates registry, so this
+//! path dependency replaces the real `proptest` with the subset the
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro over `fn name(arg in strategy, ...)` items, with
+//!   an optional `#![proptest_config(...)]` header;
+//! * range strategies (`0u8..5`, `0.0f64..=1.0`, ...) and
+//!   `prop::collection::vec(elem, size_range)`;
+//! * `prop_assert!` / `prop_assert_eq!`, which simply forward to the std
+//!   assertions.
+//!
+//! Cases are generated from a deterministic per-case RNG (SplitMix64 over the
+//! case index), so failures reproduce exactly on re-run. There is **no
+//! shrinking**: a failing case reports the assertion as-is.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    //! The per-case RNG driving strategy sampling.
+
+    /// A SplitMix64 stream; cheap, seedable, and good enough for case
+    /// generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG fully determined by `seed` (the case index), so every run
+        /// replays the same cases.
+        pub fn deterministic(seed: u64) -> Self {
+            TestRng { state: seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03 }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// A uniform `usize` in `[lo, hi]`.
+        pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+            lo + (self.next_u64() as u128 % (hi as u128 - lo as u128 + 1)) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    self.start().wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let v = self.start + (self.end - self.start) * rng.unit_f64() as $t;
+                    if v < self.end { v } else { self.start }
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    self.start() + (self.end() - self.start()) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_float_range!(f32, f64);
+
+    /// Wraps a fixed value as a strategy (proptest's `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::SizeRange;
+
+    /// A strategy yielding `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_inclusive(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// An inclusive length range for collection strategies, converted from the
+/// range literals used at call sites.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// Checks a condition inside a property, with an optional message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Checks equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Checks inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments `cases` times and runs the
+/// body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..u64::from(__cfg.cases) {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(__case);
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface property tests use.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn int_ranges_in_bounds(x in 3u8..9, y in -2i64..=2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(v in 0.5f64..2.5) {
+            prop_assert!((0.5..2.5).contains(&v));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            a in prop::collection::vec(0.0f64..1.0, 2..5),
+            b in prop::collection::vec(0u32..10, 3..=4),
+        ) {
+            prop_assert!((2..=4).contains(&a.len()));
+            prop_assert!((3..=4).contains(&b.len()));
+            prop_assert!(a.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u8..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let sample = |case: u64| {
+            let mut rng = crate::test_runner::TestRng::deterministic(case);
+            crate::strategy::Strategy::sample(&(0u64..1_000_000), &mut rng)
+        };
+        assert_eq!(sample(7), sample(7));
+        assert_ne!(
+            (0..32).map(sample).collect::<Vec<_>>(),
+            (1..33).map(sample).collect::<Vec<_>>()
+        );
+    }
+}

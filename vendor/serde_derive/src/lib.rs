@@ -1,0 +1,107 @@
+//! Vendored minimal `#[derive(Serialize)]` companion to the `serde` stub.
+//!
+//! Parses the derive input by walking the raw token stream (no `syn`/`quote`
+//! — the offline build has no registry access) and supports the one shape the
+//! workspace derives on: non-generic structs with named fields. The generated
+//! impl lowers each field with `serde::Serialize::to_value` into an
+//! insertion-ordered `serde::Value::Object`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, fields) = parse_struct(&tokens);
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 serde::Value::Object(vec![{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated impl parses")
+}
+
+/// Extracts the struct name and its named-field identifiers.
+fn parse_struct(tokens: &[TokenTree]) -> (String, Vec<String>) {
+    let mut iter = tokens.iter().peekable();
+    // Skip attributes (`#[...]`) and visibility ahead of `struct`.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "struct" {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected struct name, found {other:?}"),
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive input contains `struct`");
+    // The next brace group holds the fields; anything else (generics, tuple
+    // structs, unit structs) is unsupported by this stub.
+    let body = iter
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("serde stub derive supports only structs with named fields (on {name})")
+        });
+    (name, field_names(body))
+}
+
+/// Walks a brace-group body collecting field identifiers: for each
+/// depth-0 `ident :` pair not inside an attribute, records the ident, then
+/// skips to the next depth-0 comma.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            // Field attribute: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "pub" {
+                    i += 1;
+                    // Skip a `pub(...)` restriction group if present.
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                    continue;
+                }
+                // `ident :` introduces a field; `::` would mean a path, but
+                // paths cannot start a named field at depth 0.
+                match tokens.get(i + 1) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {
+                        fields.push(id);
+                        i += 2;
+                        // Skip the type: everything to the next depth-0 comma.
+                        while let Some(tt) = tokens.get(i) {
+                            i += 1;
+                            if let TokenTree::Punct(p) = tt {
+                                if p.as_char() == ',' {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    other => panic!("unsupported field syntax after `{id}`: {other:?}"),
+                }
+            }
+            other => panic!("unsupported token in struct body: {other:?}"),
+        }
+    }
+    fields
+}

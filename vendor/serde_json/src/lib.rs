@@ -1,0 +1,183 @@
+//! Vendored minimal stand-in for `serde_json`.
+//!
+//! Renders the `serde` stub's [`Value`] model to JSON text. Implements the
+//! two entry points the workspace uses: [`to_string`] and
+//! [`to_string_pretty`]. Non-finite floats render as `null`, matching the
+//! real serde_json's default behavior.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The stub's rendering is total, so this is never
+/// produced, but the `Result` return keeps call sites source-compatible with
+/// the real serde_json.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Writes `v` to `out`; `indent = None` means compact, `Some(w)` means
+/// pretty with `w`-space indentation at nesting `depth`.
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` keeps a trailing `.0` for integral floats, matching
+                // the distinction JSON readers expect between 1 and 1.0.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            write_seq(items.iter(), indent, depth, out, '[', ']', |item, d, o| {
+                write_value(item, indent, d, o)
+            });
+        }
+        Value::Object(entries) => {
+            write_seq(entries.iter(), indent, depth, out, '{', '}', |(k, v), d, o| {
+                write_escaped(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(v, indent, d, o);
+            });
+        }
+    }
+}
+
+/// Writes a delimited, comma-separated sequence with optional pretty layout.
+fn write_seq<I, F>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(I::Item, usize, &mut String),
+{
+    out.push(open);
+    if items.len() == 0 {
+        out.push(close);
+        return;
+    }
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        write_item(item, depth + 1, out);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+/// Writes `s` as a JSON string literal with the mandatory escapes.
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{to_string, to_string_pretty};
+    use serde::{Serialize, Value};
+
+    struct Row {
+        name: String,
+        cov: f64,
+        rounds: Option<u64>,
+    }
+
+    impl Serialize for Row {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("name".to_string(), self.name.to_value()),
+                ("cov".to_string(), self.cov.to_value()),
+                ("rounds".to_string(), self.rounds.to_value()),
+            ])
+        }
+    }
+
+    #[test]
+    fn compact_object() {
+        let r = Row { name: "torus".into(), cov: 0.5, rounds: None };
+        assert_eq!(to_string(&r).unwrap(), r#"{"name":"torus","cov":0.5,"rounds":null}"#);
+    }
+
+    #[test]
+    fn pretty_roundtrips_structure() {
+        let rows = vec![
+            Row { name: "a".into(), cov: 1.0, rounds: Some(3) },
+            Row { name: "b".into(), cov: 0.25, rounds: None },
+        ];
+        let s = to_string_pretty(&rows).unwrap();
+        assert!(s.starts_with("[\n  {"));
+        assert!(s.contains("\"cov\": 1.0"));
+        assert!(s.ends_with("\n]"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(to_string("a\"b\\c\n").unwrap(), r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Vec::<u8>::new()).unwrap(), "[]");
+    }
+}
