@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pp_core::balancer::ParticlePlaneBalancer;
 use pp_core::baselines::*;
 use pp_core::params::PhysicsConfig;
-use pp_sim::balancer::{build_view, GlobalView, LoadBalancer};
+use pp_sim::balancer::{build_view, GlobalView, LinkView, LoadBalancer, ViewScratch};
 use pp_sim::state::SystemState;
 use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
@@ -23,7 +23,7 @@ fn loaded_state() -> SystemState {
     for i in 0..64u32 {
         let count = if i == 0 { 64 } else { i % 3 };
         for _ in 0..count {
-            s.node_mut(NodeId(i)).add_task(Task::new(TaskId(id), 1.0, i));
+            s.add_task(NodeId(i), Task::new(TaskId(id), 1.0, i));
             id += 1;
         }
     }
@@ -54,7 +54,16 @@ fn bench_decide(c: &mut Criterion) {
         balancer.begin_round(&global);
         group.bench_function(BenchmarkId::from_parameter(&name), |b| {
             let mut rng = StdRng::seed_from_u64(3);
-            let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 1, 1.0);
+            let mut scratch = ViewScratch::new();
+            let view = build_view(
+                &mut scratch,
+                &state,
+                NodeId(0),
+                &heights,
+                &LinkView::all_up(&state, 1.0),
+                1,
+                1.0,
+            );
             b.iter(|| balancer.decide(&view, &mut rng).len())
         });
     }

@@ -1,0 +1,220 @@
+//! BENCH_2 — tick-throughput benchmark for the engine hot path.
+//!
+//! Measures balance-round throughput (rounds/sec) and per-node decision cost
+//! (ns/node-decision) for the particle-plane balancer on square tori of 64,
+//! 1 024 and 16 384 nodes, sequential and parallel, on a quiescent
+//! redistribution workload. Emits `BENCH_2.json` so successive PRs have a
+//! recorded perf trajectory.
+//!
+//! ```text
+//! bench_ticks [--smoke] [--out PATH] [--baseline PATH] [--check PATH]
+//! ```
+//!
+//! * `--smoke`      few iterations (CI keep-alive; numbers are meaningless)
+//! * `--out PATH`   where to write the JSON (default `BENCH_2.json`)
+//! * `--baseline P` embed the `scenarios` of a previous output as
+//!   `baseline` and compute per-scenario speedups
+//! * `--check PATH` parse PATH as JSON and exit (0 = parses, 1 = does
+//!   not); no benchmark is run
+//!
+//! The benchmark also verifies that sequential and parallel decision sweeps
+//! produce identical run outcomes for the same seed (`reports_identical`).
+
+use pp_core::balancer::ParticlePlaneBalancer;
+use pp_core::params::PhysicsConfig;
+use pp_sim::engine::{EngineBuilder, EngineConfig, RunReport};
+use pp_tasking::workload::Workload;
+use pp_topology::graph::Topology;
+use serde::{Serialize, Value};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const LOAD_PER_NODE: f64 = 10.0;
+
+struct Scenario {
+    name: &'static str,
+    side: usize,
+    rounds: u64,
+    smoke_rounds: u64,
+    parallel: bool,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario { name: "torus64_seq", side: 8, rounds: 3000, smoke_rounds: 5, parallel: false },
+    Scenario { name: "torus1024_seq", side: 32, rounds: 300, smoke_rounds: 3, parallel: false },
+    Scenario { name: "torus1024_par", side: 32, rounds: 300, smoke_rounds: 3, parallel: true },
+    Scenario { name: "torus16384_seq", side: 128, rounds: 25, smoke_rounds: 2, parallel: false },
+    Scenario { name: "torus16384_par", side: 128, rounds: 25, smoke_rounds: 2, parallel: true },
+];
+
+#[derive(Serialize)]
+struct Measurement {
+    name: String,
+    nodes: usize,
+    rounds: u64,
+    parallel: bool,
+    rounds_per_sec: f64,
+    ns_per_node_decision: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    bench: String,
+    mode: String,
+    scenarios: Vec<Measurement>,
+    reports_identical: bool,
+    baseline: Option<Vec<Measurement>>,
+    speedup_rounds_per_sec: Option<Vec<(String, f64)>>,
+}
+
+fn engine_for(side: usize, parallel: bool) -> pp_sim::engine::Engine {
+    let topo = Topology::torus(&[side, side]);
+    let n = topo.node_count();
+    let w = Workload::uniform_random(n, LOAD_PER_NODE, SEED);
+    EngineBuilder::new(topo)
+        .workload(w)
+        .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
+        .config(EngineConfig { parallel_decide: parallel, ..Default::default() })
+        .seed(SEED)
+        .build()
+}
+
+fn measure(sc: &Scenario, smoke: bool) -> Measurement {
+    let rounds = if smoke { sc.smoke_rounds } else { sc.rounds };
+    let n = sc.side * sc.side;
+    let mut engine = engine_for(sc.side, sc.parallel);
+    // Warm up: converge past the initial migration burst so the measured
+    // window is dominated by steady-state tick cost, and warm caches/pools.
+    engine.run_rounds((rounds / 5).max(1));
+    let start = Instant::now();
+    engine.run_rounds(rounds);
+    let elapsed = start.elapsed();
+    let secs = elapsed.as_secs_f64().max(1e-12);
+    Measurement {
+        name: sc.name.to_string(),
+        nodes: n,
+        rounds,
+        parallel: sc.parallel,
+        rounds_per_sec: rounds as f64 / secs,
+        ns_per_node_decision: elapsed.as_nanos() as f64 / (rounds as f64 * n as f64),
+    }
+}
+
+/// Digest of everything observable about a run; byte-identical digests mean
+/// identical `RunReport`s (Debug formatting of f64 is value-exact).
+fn report_digest(r: &RunReport) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{}|{}|{}",
+        r.series.points(),
+        r.final_imbalance,
+        r.ledger.migration_count(),
+        r.ledger.total_load_moved(),
+        r.ledger.total_weighted_traffic(),
+        r.total_load,
+    )
+}
+
+fn seq_par_identical(smoke: bool) -> bool {
+    let rounds = if smoke { 3 } else { 60 };
+    let run = |parallel: bool| {
+        let mut e = engine_for(32, parallel);
+        e.run_rounds(rounds).drain(50.0);
+        report_digest(&e.report())
+    };
+    run(false) == run(true)
+}
+
+fn extract_baseline(path: &str) -> Result<(Vec<Measurement>, Value), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let scenarios = v
+        .get("scenarios")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path} has no `scenarios` array"))?;
+    let mut out = Vec::new();
+    for s in scenarios {
+        let field = |k: &str| s.get(k).and_then(Value::as_f64);
+        out.push(Measurement {
+            name: s.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
+            nodes: field("nodes").unwrap_or(0.0) as usize,
+            rounds: field("rounds").unwrap_or(0.0) as u64,
+            parallel: s.get("parallel").and_then(Value::as_bool).unwrap_or(false),
+            rounds_per_sec: field("rounds_per_sec").unwrap_or(0.0),
+            ns_per_node_decision: field("ns_per_node_decision").unwrap_or(0.0),
+        });
+    }
+    Ok((out, v))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+
+    if let Some(path) = opt("--check") {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| serde_json::from_str(&t).map(|_| ()).map_err(|e| e.to_string()))
+        {
+            Ok(()) => {
+                println!("{path}: OK (valid JSON)");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let smoke = flag("--smoke");
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_2.json".to_string());
+    let baseline = opt("--baseline").map(|p| match extract_baseline(&p) {
+        Ok((b, _)) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    });
+
+    println!("=== BENCH_2: tick throughput ({})", if smoke { "smoke" } else { "full" });
+    let mut scenarios = Vec::new();
+    for sc in SCENARIOS {
+        let m = measure(sc, smoke);
+        println!(
+            "  {:16} {:6} nodes  {:>10.1} rounds/s  {:>10.1} ns/node-decision",
+            m.name, m.nodes, m.rounds_per_sec, m.ns_per_node_decision
+        );
+        scenarios.push(m);
+    }
+
+    let identical = seq_par_identical(smoke);
+    println!("  seq/par reports identical: {identical}");
+    assert!(identical, "parallel decision sweep diverged from sequential");
+
+    let speedups = baseline.as_ref().map(|base| {
+        scenarios
+            .iter()
+            .filter_map(|m| {
+                base.iter().find(|b| b.name == m.name && b.rounds_per_sec > 0.0).map(|b| {
+                    let s = m.rounds_per_sec / b.rounds_per_sec;
+                    println!("  speedup {:16} {s:.2}x", m.name);
+                    (m.name.clone(), s)
+                })
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let output = Output {
+        bench: "BENCH_2 tick throughput (quiescent redistribution, particle-plane)".into(),
+        mode: if smoke { "smoke" } else { "full" }.into(),
+        scenarios,
+        reports_identical: identical,
+        baseline,
+        speedup_rounds_per_sec: speedups,
+    };
+    let json = serde_json::to_string_pretty(&output).expect("serialize");
+    std::fs::write(&out_path, json).expect("write output");
+    println!("[json artifact: {out_path}]");
+}

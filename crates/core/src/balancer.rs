@@ -18,10 +18,31 @@
 
 use crate::arbiter::Arbiter;
 use crate::energy::{hop_heat, updated_flag};
-use crate::feasibility::{motion_candidates, stationary_candidates};
+use crate::feasibility::{motion_candidates_into, stationary_candidates_into, Candidate};
 use crate::params::{kinetic_friction, static_friction, PhysicsConfig};
 use pp_sim::balancer::{LoadBalancer, MigratingLoad, MigrationIntent, NodeView};
 use rand::rngs::StdRng;
+use std::cell::RefCell;
+
+/// Reusable per-thread buffers for one `decide`/`on_arrival` evaluation, so
+/// steady-state decision rounds allocate nothing. Thread-local because
+/// `decide` takes `&self` (the engine may evaluate nodes on a worker pool);
+/// each decision thread warms its own set once and reuses it forever.
+#[derive(Default)]
+struct DecideScratch {
+    /// One-load-per-link-per-tick bookkeeping.
+    link_used: Vec<bool>,
+    /// Effective neighbour heights, updated as the tick commits migrations.
+    h_eff: Vec<f64>,
+    /// `(height, link weight)` pairs fed to the feasibility rules.
+    pairs: Vec<(f64, f64)>,
+    /// Feasible-slope output buffer for the arbiter.
+    candidates: Vec<Candidate>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<DecideScratch> = RefCell::default();
+}
 
 /// The paper's balancer. Construct with [`ParticlePlaneBalancer::new`] or
 /// customise the arbiter/ablations via the builder methods.
@@ -75,57 +96,59 @@ impl LoadBalancer for ParticlePlaneBalancer {
         if m == 0 || view.tasks.is_empty() {
             return Vec::new();
         }
-        let mut intents = Vec::new();
-        let mut link_used = vec![false; m];
-        // Effective heights: updated as this tick commits migrations so that
-        // later decisions see the planned post-transfer surface.
-        let mut h_i = view.height;
-        let mut h_eff: Vec<f64> = view.neighbors.iter().map(|n| n.height).collect();
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let DecideScratch { link_used, h_eff, pairs, candidates } = scratch;
+            let mut intents = Vec::new();
+            link_used.clear();
+            link_used.resize(m, false);
+            // Effective heights: updated as this tick commits migrations so
+            // that later decisions see the planned post-transfer surface.
+            let mut h_i = view.height;
+            h_eff.clear();
+            h_eff.extend(view.neighbors.iter().map(|n| n.height));
 
-        for task in view.tasks {
-            if link_used.iter().all(|&u| u) {
-                break;
-            }
-            let mut mu_s = static_friction(
-                cfg,
-                task.id,
-                view.node,
-                view.tasks,
-                view.task_graph,
-                view.resources,
-            );
-            if let Some(j) = cfg.jitter {
-                mu_s = j.apply(mu_s, view.round as f64, rng);
-            }
-            let mu_k = kinetic_friction(cfg, mu_s);
-            let pairs: Vec<(f64, f64)> = view
-                .neighbors
-                .iter()
-                .enumerate()
-                .map(|(i, n)| {
+            for task in view.tasks {
+                if link_used.iter().all(|&u| u) {
+                    break;
+                }
+                let mut mu_s = static_friction(
+                    cfg,
+                    task.id,
+                    view.node,
+                    view.tasks,
+                    view.task_graph,
+                    view.resources,
+                );
+                if let Some(j) = cfg.jitter {
+                    mu_s = j.apply(mu_s, view.round as f64, rng);
+                }
+                let mu_k = kinetic_friction(cfg, mu_s);
+                pairs.clear();
+                pairs.extend(view.neighbors.iter().enumerate().map(|(i, n)| {
                     if link_used[i] {
                         // Pretend the link is infinitely costly this tick.
                         (f64::INFINITY, n.link_weight)
                     } else {
                         (h_eff[i], n.link_weight)
                     }
-                })
-                .collect();
-            let candidates = stationary_candidates(cfg, task.size, mu_s, h_i, &pairs);
-            let Some(pick) = self.arbiter.choose(&candidates, view.round as f64, rng) else {
-                continue;
-            };
-            let nb = &view.neighbors[pick];
-            // The flag starts at the departure height h₀ = h_i and pays the
-            // first hop's toll up front (§5.1).
-            let flag = updated_flag(cfg, h_i, mu_k, nb.link_weight);
-            let heat = hop_heat(cfg, mu_k, nb.link_weight, task.size);
-            intents.push(MigrationIntent { task: task.id, to: nb.id, flag, heat });
-            link_used[pick] = true;
-            h_i -= task.size;
-            h_eff[pick] += task.size;
-        }
-        intents
+                }));
+                stationary_candidates_into(cfg, task.size, mu_s, h_i, pairs, candidates);
+                let Some(pick) = self.arbiter.choose(candidates, view.round as f64, rng) else {
+                    continue;
+                };
+                let nb = &view.neighbors[pick];
+                // The flag starts at the departure height h₀ = h_i and pays
+                // the first hop's toll up front (§5.1).
+                let flag = updated_flag(cfg, h_i, mu_k, nb.link_weight);
+                let heat = hop_heat(cfg, mu_k, nb.link_weight, task.size);
+                intents.push(MigrationIntent { task: task.id, to: nb.id, flag, heat });
+                link_used[pick] = true;
+                h_i -= task.size;
+                h_eff[pick] += task.size;
+            }
+            intents
+        })
     }
 
     fn on_arrival(
@@ -152,16 +175,20 @@ impl LoadBalancer for ParticlePlaneBalancer {
             mu_s = j.apply(mu_s, view.round as f64, rng);
         }
         let mu_k = kinetic_friction(cfg, mu_s);
-        let pairs: Vec<(f64, f64)> =
-            view.neighbors.iter().map(|n| (n.height, n.link_weight)).collect();
-        let candidates = motion_candidates(cfg, load.flag, mu_k, &pairs);
-        let pick = self.arbiter.choose(&candidates, view.round as f64, rng)?;
-        let nb = &view.neighbors[pick];
-        Some(MigrationIntent {
-            task: load.task.id,
-            to: nb.id,
-            flag: updated_flag(cfg, load.flag, mu_k, nb.link_weight),
-            heat: hop_heat(cfg, mu_k, nb.link_weight, load.task.size),
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let DecideScratch { pairs, candidates, .. } = scratch;
+            pairs.clear();
+            pairs.extend(view.neighbors.iter().map(|n| (n.height, n.link_weight)));
+            motion_candidates_into(cfg, load.flag, mu_k, pairs, candidates);
+            let pick = self.arbiter.choose(candidates, view.round as f64, rng)?;
+            let nb = &view.neighbors[pick];
+            Some(MigrationIntent {
+                task: load.task.id,
+                to: nb.id,
+                flag: updated_flag(cfg, load.flag, mu_k, nb.link_weight),
+                heat: hop_heat(cfg, mu_k, nb.link_weight, load.task.size),
+            })
         })
     }
 }
@@ -169,7 +196,7 @@ impl LoadBalancer for ParticlePlaneBalancer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pp_sim::balancer::build_view;
+    use pp_sim::balancer::{build_view, LinkView, ViewScratch};
     use pp_sim::state::SystemState;
     use pp_tasking::graph::TaskGraph;
     use pp_tasking::resources::ResourceMatrix;
@@ -191,7 +218,7 @@ mod tests {
             let mut rest = l;
             while rest > 1e-9 {
                 let sz = rest.min(1.0);
-                s.node_mut(NodeId(i as u32)).add_task(Task::new(TaskId(id), sz, i as u32));
+                s.add_task(NodeId(i as u32), Task::new(TaskId(id), sz, i as u32));
                 id += 1;
                 rest -= sz;
             }
@@ -203,7 +230,8 @@ mod tests {
     fn flat_system_stays_put() {
         let s = ring_state(&[2.0, 2.0, 2.0, 2.0]);
         let h = s.heights();
-        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(0), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
         let b = det(PhysicsConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         assert!(b.decide(&view, &mut rng).is_empty());
@@ -213,7 +241,8 @@ mod tests {
     fn steep_hotspot_emits_one_task_per_link() {
         let s = ring_state(&[8.0, 0.0, 0.0, 0.0]);
         let h = s.heights();
-        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(0), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
         let b = det(PhysicsConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         let intents = b.decide(&view, &mut rng);
@@ -237,7 +266,8 @@ mod tests {
         // strictly greater than µ_s ⇒ blocked.
         let s = ring_state(&[4.0, 1.0, 4.0, 1.0]);
         let h = s.heights();
-        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(0), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
         let b = det(PhysicsConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         assert!(b.decide(&view, &mut rng).is_empty());
@@ -256,7 +286,8 @@ mod tests {
         }
         s.task_graph = tg;
         let h = s.heights();
-        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(0), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
         let b = det(PhysicsConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         assert!(
@@ -274,7 +305,8 @@ mod tests {
         }
         s.resources = res;
         let h = s.heights();
-        let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(0), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
         let b = det(PhysicsConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         assert!(b.decide(&view, &mut rng).is_empty());
@@ -284,7 +316,8 @@ mod tests {
     fn on_arrival_continues_while_energy_lasts() {
         let s = ring_state(&[0.0, 0.0, 5.0, 0.0]);
         let h = s.heights();
-        let view = build_view(&s, NodeId(1), &h, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(1), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
         let b = det(PhysicsConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         let load = MigratingLoad {
@@ -305,7 +338,8 @@ mod tests {
     fn on_arrival_deposits_when_drained() {
         let s = ring_state(&[3.0, 0.0, 3.0, 3.0]);
         let h = s.heights();
-        let view = build_view(&s, NodeId(1), &h, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(1), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
         let b = det(PhysicsConfig::default());
         let mut rng = StdRng::seed_from_u64(0);
         // flag 0.5: flag' = −0.5 ≤ every neighbour height ⇒ rest here.
@@ -322,7 +356,8 @@ mod tests {
     fn in_motion_ablation_never_forwards() {
         let s = ring_state(&[0.0, 0.0, 5.0, 0.0]);
         let h = s.heights();
-        let view = build_view(&s, NodeId(1), &h, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(1), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
         let cfg = PhysicsConfig { in_motion: false, ..Default::default() };
         let b = det(cfg);
         let mut rng = StdRng::seed_from_u64(0);
@@ -339,7 +374,8 @@ mod tests {
     fn hop_cap_respected() {
         let s = ring_state(&[0.0, 0.0, 0.0, 0.0]);
         let h = s.heights();
-        let view = build_view(&s, NodeId(1), &h, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(1), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
         let cfg = PhysicsConfig { max_hops: 3, ..Default::default() };
         let b = det(cfg);
         let mut rng = StdRng::seed_from_u64(0);
@@ -375,7 +411,9 @@ mod tests {
         // fires unless all four draws harden µ_s: P ≈ 1 − 0.5⁴ ≈ 0.94.
         let mut fired = 0;
         for seed in 0..64 {
-            let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 0, 0.0);
+            let mut scratch = ViewScratch::new();
+            let view =
+                build_view(&mut scratch, &s, NodeId(0), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
             let mut rng = StdRng::seed_from_u64(seed);
             fired += usize::from(!b.decide(&view, &mut rng).is_empty());
         }
@@ -394,7 +432,16 @@ mod tests {
         let b = det(cfg);
         // At round 10_000 the amplitude is ~0: identical to no jitter.
         for seed in 0..32 {
-            let view = build_view(&s, NodeId(0), &h, 1.0, |_, _| true, 10_000, 0.0);
+            let mut scratch = ViewScratch::new();
+            let view = build_view(
+                &mut scratch,
+                &s,
+                NodeId(0),
+                &h,
+                &LinkView::all_up(&s, 1.0),
+                10_000,
+                0.0,
+            );
             let mut rng = StdRng::seed_from_u64(seed);
             assert!(b.decide(&view, &mut rng).is_empty());
         }

@@ -52,7 +52,7 @@ impl LoadBalancer for DiffusionBalancer {
     fn decide(&self, view: &NodeView<'_>, _rng: &mut StdRng) -> Vec<MigrationIntent> {
         let mut intents = Vec::new();
         let mut used: HashSet<u64> = HashSet::new();
-        for nb in &view.neighbors {
+        for nb in view.neighbors {
             if view.height <= nb.height {
                 continue;
             }

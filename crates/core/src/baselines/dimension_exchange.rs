@@ -83,7 +83,7 @@ impl LoadBalancer for DimensionExchangeBalancer {
 mod tests {
     use super::*;
     use crate::baselines::testutil::ring_view_state;
-    use pp_sim::balancer::build_view;
+    use pp_sim::balancer::{build_view, LinkView, ViewScratch};
     use rand::SeedableRng;
 
     #[test]
@@ -96,7 +96,16 @@ mod tests {
         for round in 1..=b.class_count() as u64 {
             let global = GlobalView { topo: &state.topo, heights: &heights, round, time: 0.0 };
             b.begin_round(&global);
-            let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, round, 0.0);
+            let mut scratch = ViewScratch::new();
+            let view = build_view(
+                &mut scratch,
+                &state,
+                NodeId(0),
+                &heights,
+                &LinkView::all_up(&state, 1.0),
+                round,
+                0.0,
+            );
             let intents = b.decide(&view, &mut rng);
             if intents.iter().any(|i| i.to == NodeId(1)) {
                 // (8−2)/2 = 3 units.
@@ -116,7 +125,16 @@ mod tests {
         for round in 1..=b.class_count() as u64 {
             let global = GlobalView { topo: &state.topo, heights: &heights, round, time: 0.0 };
             b.begin_round(&global);
-            let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, round, 0.0);
+            let mut scratch = ViewScratch::new();
+            let view = build_view(
+                &mut scratch,
+                &state,
+                NodeId(0),
+                &heights,
+                &LinkView::all_up(&state, 1.0),
+                round,
+                0.0,
+            );
             assert!(b.decide(&view, &mut rng).is_empty());
         }
     }

@@ -93,7 +93,7 @@ impl LoadBalancer for GradientModelBalancer {
 mod tests {
     use super::*;
     use crate::baselines::testutil::ring_view_state;
-    use pp_sim::balancer::build_view;
+    use pp_sim::balancer::{build_view, LinkView, ViewScratch};
     use pp_topology::graph::NodeId;
     use rand::SeedableRng;
 
@@ -122,7 +122,16 @@ mod tests {
         let mut b = GradientModelBalancer::new(1.0, 4.0);
         let global = GlobalView { topo: &state.topo, heights: &heights, round: 1, time: 0.0 };
         b.begin_round(&global);
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 1, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            1,
+            0.0,
+        );
         let mut rng = StdRng::seed_from_u64(0);
         let intents = b.decide(&view, &mut rng);
         assert_eq!(intents.len(), 1);
@@ -139,7 +148,16 @@ mod tests {
         b.begin_round(&global);
         let mut rng = StdRng::seed_from_u64(0);
         for i in 0..6 {
-            let view = build_view(&state, NodeId(i), &heights, 1.0, |_, _| true, 1, 0.0);
+            let mut scratch = ViewScratch::new();
+            let view = build_view(
+                &mut scratch,
+                &state,
+                NodeId(i),
+                &heights,
+                &LinkView::all_up(&state, 1.0),
+                1,
+                0.0,
+            );
             assert!(b.decide(&view, &mut rng).is_empty());
         }
     }
@@ -149,7 +167,16 @@ mod tests {
         let (b, _) = prepared(&[5.0, 5.0, 5.0, 5.0], 1.0, 4.0);
         assert_eq!(b.proximity(0), u32::MAX);
         let (state, heights) = ring_view_state(&[5.0, 5.0, 5.0, 5.0]);
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 1, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            1,
+            0.0,
+        );
         let mut rng = StdRng::seed_from_u64(0);
         assert!(b.decide(&view, &mut rng).is_empty());
     }

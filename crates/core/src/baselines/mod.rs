@@ -27,7 +27,7 @@ pub use threshold::SenderInitiatedBalancer;
 
 #[cfg(test)]
 pub(crate) mod testutil {
-    use pp_sim::balancer::{build_view, LoadBalancer, MigrationIntent};
+    use pp_sim::balancer::{build_view, LinkView, LoadBalancer, MigrationIntent, ViewScratch};
     use pp_sim::state::SystemState;
     use pp_tasking::graph::TaskGraph;
     use pp_tasking::resources::ResourceMatrix;
@@ -47,7 +47,7 @@ pub(crate) mod testutil {
             let mut rest = l;
             while rest > 1e-9 {
                 let sz = rest.min(1.0);
-                s.node_mut(NodeId(i as u32)).add_task(Task::new(TaskId(id), sz, i as u32));
+                s.add_task(NodeId(i as u32), Task::new(TaskId(id), sz, i as u32));
                 id += 1;
                 rest -= sz;
             }
@@ -59,7 +59,16 @@ pub(crate) mod testutil {
     /// Runs one `decide` for node 0 of a ring with the given loads.
     pub fn decide_on_ring(loads: &[f64], balancer: impl LoadBalancer) -> Vec<MigrationIntent> {
         let (state, heights) = ring_view_state(loads);
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            0,
+            0.0,
+        );
         let mut rng = StdRng::seed_from_u64(0);
         balancer.decide(&view, &mut rng)
     }

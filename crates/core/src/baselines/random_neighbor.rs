@@ -44,14 +44,23 @@ impl LoadBalancer for RandomNeighborBalancer {
 mod tests {
     use super::*;
     use crate::baselines::testutil::ring_view_state;
-    use pp_sim::balancer::build_view;
+    use pp_sim::balancer::{build_view, LinkView, ViewScratch};
     use pp_topology::graph::NodeId;
     use rand::SeedableRng;
 
     #[test]
     fn sends_at_most_one_task() {
         let (state, heights) = ring_view_state(&[9.0, 0.0, 0.0, 0.0]);
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            0,
+            0.0,
+        );
         let b = RandomNeighborBalancer::new(1.0);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
@@ -66,7 +75,16 @@ mod tests {
     #[test]
     fn balanced_system_idle() {
         let (state, heights) = ring_view_state(&[2.0, 2.0, 2.0, 2.0]);
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            0,
+            0.0,
+        );
         let b = RandomNeighborBalancer::new(0.5);
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
@@ -77,7 +95,16 @@ mod tests {
     #[test]
     fn deterministic_per_rng_seed() {
         let (state, heights) = ring_view_state(&[9.0, 5.0, 0.0, 5.0]);
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            0,
+            0.0,
+        );
         let b = RandomNeighborBalancer::new(1.0);
         let run = |seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);

@@ -58,14 +58,23 @@ impl LoadBalancer for SenderInitiatedBalancer {
 mod tests {
     use super::*;
     use crate::baselines::testutil::ring_view_state;
-    use pp_sim::balancer::build_view;
+    use pp_sim::balancer::{build_view, LinkView, ViewScratch};
     use pp_topology::graph::NodeId;
     use rand::SeedableRng;
 
     #[test]
     fn below_watermark_never_sends() {
         let (state, heights) = ring_view_state(&[3.0, 0.0, 0.0, 0.0]);
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            0,
+            0.0,
+        );
         let b = SenderInitiatedBalancer::new(5.0, 1.0, 2);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(b.decide(&view, &mut rng).is_empty());
@@ -74,7 +83,16 @@ mod tests {
     #[test]
     fn probe_finds_idle_neighbor() {
         let (state, heights) = ring_view_state(&[9.0, 0.0, 0.0, 0.0]);
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            0,
+            0.0,
+        );
         let b = SenderInitiatedBalancer::new(5.0, 1.0, 3);
         let mut rng = StdRng::seed_from_u64(0);
         let mut sent = 0;
@@ -87,7 +105,16 @@ mod tests {
     #[test]
     fn busy_neighbors_reject_probe() {
         let (state, heights) = ring_view_state(&[9.0, 8.0, 0.0, 8.0]);
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            0,
+            0.0,
+        );
         let b = SenderInitiatedBalancer::new(5.0, 1.0, 2);
         let mut rng = StdRng::seed_from_u64(0);
         // Neighbours of node 0 (1 and 3) are both at 8 ≥ accept ⇒ no send.

@@ -27,14 +27,26 @@ pub fn stationary_candidates(
     h_i: f64,
     neighbors: &[(f64, f64)],
 ) -> Vec<Candidate> {
-    neighbors
-        .iter()
-        .enumerate()
-        .filter_map(|(idx, &(h_j, e_ij))| {
-            let a = gradient(cfg, h_i, h_j, load, e_ij);
-            (a > mu_s).then_some((idx, a))
-        })
-        .collect()
+    let mut out = Vec::new();
+    stationary_candidates_into(cfg, load, mu_s, h_i, neighbors, &mut out);
+    out
+}
+
+/// [`stationary_candidates`] into a caller-owned buffer (cleared first) —
+/// the allocation-free form the balancer's hot path uses.
+pub fn stationary_candidates_into(
+    cfg: &PhysicsConfig,
+    load: f64,
+    mu_s: f64,
+    h_i: f64,
+    neighbors: &[(f64, f64)],
+    out: &mut Vec<Candidate>,
+) {
+    out.clear();
+    out.extend(neighbors.iter().enumerate().filter_map(|(idx, &(h_j, e_ij))| {
+        let a = gradient(cfg, h_i, h_j, load, e_ij);
+        (a > mu_s).then_some((idx, a))
+    }));
 }
 
 /// In-motion candidates for a load carrying potential-height `flag` with
@@ -47,14 +59,24 @@ pub fn motion_candidates(
     mu_k: f64,
     neighbors: &[(f64, f64)],
 ) -> Vec<Candidate> {
-    neighbors
-        .iter()
-        .enumerate()
-        .filter_map(|(idx, &(h_j, e_ij))| {
-            let a = updated_flag(cfg, flag, mu_k, e_ij) - h_j;
-            (a > 0.0).then_some((idx, a))
-        })
-        .collect()
+    let mut out = Vec::new();
+    motion_candidates_into(cfg, flag, mu_k, neighbors, &mut out);
+    out
+}
+
+/// [`motion_candidates`] into a caller-owned buffer (cleared first).
+pub fn motion_candidates_into(
+    cfg: &PhysicsConfig,
+    flag: f64,
+    mu_k: f64,
+    neighbors: &[(f64, f64)],
+    out: &mut Vec<Candidate>,
+) {
+    out.clear();
+    out.extend(neighbors.iter().enumerate().filter_map(|(idx, &(h_j, e_ij))| {
+        let a = updated_flag(cfg, flag, mu_k, e_ij) - h_j;
+        (a > 0.0).then_some((idx, a))
+    }));
 }
 
 /// The minimum height difference below which no transfer can start, given

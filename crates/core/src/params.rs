@@ -108,9 +108,23 @@ pub fn static_friction(
     task_graph: &TaskGraph,
     resources: &ResourceMatrix,
 ) -> f64 {
-    let affinity: f64 =
-        colocated.iter().filter(|t| t.id != task).map(|t| task_graph.dependency(task, t.id)).sum();
-    cfg.mu_s_base + cfg.c_task * affinity + cfg.c_resource * resources.get(task, node)
+    // Walk the task's (usually short) partner list and test co-location,
+    // instead of hashing every co-located pair; with no dependencies or no
+    // resource pins — the common case — the respective term costs nothing.
+    // The graph has no self-edges, so `t != task` needs no explicit check.
+    let affinity: f64 = if cfg.c_task == 0.0 || task_graph.is_empty() {
+        0.0
+    } else {
+        task_graph
+            .partners_weighted(task)
+            .iter()
+            .filter(|(p, _)| colocated.iter().any(|t| t.id == *p))
+            .map(|&(_, w)| w)
+            .sum()
+    };
+    let resource =
+        if cfg.c_resource == 0.0 || resources.is_empty() { 0.0 } else { resources.get(task, node) };
+    cfg.mu_s_base + cfg.c_task * affinity + cfg.c_resource * resource
 }
 
 /// `µ_k = max(c_µ·µ_s, µ_k_min)` — kinetic friction proportional to static

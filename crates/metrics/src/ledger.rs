@@ -26,7 +26,7 @@ pub struct MigrationRecord {
 }
 
 /// Accumulated migration/traffic statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrafficLedger {
     records: Vec<MigrationRecord>,
     total_load_moved: f64,

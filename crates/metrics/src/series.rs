@@ -2,7 +2,7 @@
 //! experiments ("the scheme converges to a nearly perfect load balance").
 
 /// A `(time, value)` series, appended in time order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     points: Vec<(f64, f64)>,
 }
@@ -19,6 +19,12 @@ impl TimeSeries {
             assert!(time >= last, "samples must arrive in time order");
         }
         self.points.push((time, value));
+    }
+
+    /// Pre-reserves room for `extra` further samples, so subsequent pushes
+    /// up to that count cannot reallocate.
+    pub fn reserve(&mut self, extra: usize) {
+        self.points.reserve(extra);
     }
 
     /// All samples.

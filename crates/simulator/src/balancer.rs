@@ -18,6 +18,7 @@ use crate::state::SystemState;
 use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
 use pp_tasking::task::{Task, TaskId};
+use pp_topology::edgeset::EdgeBitSet;
 use pp_topology::graph::{NodeId, Topology};
 use pp_topology::links::LinkAttrs;
 use rand::rngs::StdRng;
@@ -45,8 +46,9 @@ pub struct NodeView<'a> {
     /// Its resident tasks.
     pub tasks: &'a [Task],
     /// Its live neighbours (links currently down are omitted — this is how
-    /// fault awareness reaches the policy).
-    pub neighbors: Vec<NeighborInfo>,
+    /// fault awareness reaches the policy). Borrowed from the
+    /// [`ViewScratch`] the view was built into.
+    pub neighbors: &'a [NeighborInfo],
     /// The task dependency graph `T`.
     pub task_graph: &'a TaskGraph,
     /// The resource matrix `R`.
@@ -55,6 +57,51 @@ pub struct NodeView<'a> {
     pub round: u64,
     /// Simulation time.
     pub time: f64,
+}
+
+/// Reusable backing storage for a [`NodeView`]'s neighbour list. One
+/// instance per decision thread; [`build_view`] overwrites it each call, so
+/// steady-state view construction performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct ViewScratch {
+    neighbors: Vec<NeighborInfo>,
+}
+
+impl ViewScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        ViewScratch::default()
+    }
+}
+
+/// Per-edge link context for view building: edge-indexed attributes,
+/// optionally precomputed `e_{i,j}` weights for a fixed `c`, and the set of
+/// edges currently down.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkView<'a> {
+    /// Link attributes by edge id (see [`pp_topology::links::LinkTable`]).
+    pub attrs: &'a [LinkAttrs],
+    /// Precomputed weights by edge id; `None` computes `attrs.weight(c)`
+    /// per neighbour (fine for tests, avoided on the engine hot path).
+    pub weights: Option<&'a [f64]>,
+    /// The constant `c` used when `weights` is `None`.
+    pub weight_c: f64,
+    /// Edges currently down; `None` means every link is up.
+    pub down: Option<&'a EdgeBitSet>,
+}
+
+impl<'a> LinkView<'a> {
+    /// A link view over `state`'s attribute table with all links up and
+    /// weights computed on the fly — the test/diagnostic configuration.
+    pub fn all_up(state: &'a SystemState, weight_c: f64) -> Self {
+        LinkView { attrs: state.links().attrs(), weights: None, weight_c, down: None }
+    }
+
+    /// Whether the edge is currently up.
+    #[inline]
+    pub fn is_up(&self, e: pp_topology::graph::EdgeId) -> bool {
+        self.down.is_none_or(|d| !d.contains(e))
+    }
 }
 
 /// Global per-round snapshot passed to [`LoadBalancer::begin_round`].
@@ -139,37 +186,47 @@ impl LoadBalancer for NullBalancer {
     }
 }
 
-/// Builds the [`NodeView`] of `node` from system state (helper shared by the
+/// Builds the [`NodeView`] of `node` into `scratch` (helper shared by the
 /// engine and by balancer unit tests).
+///
+/// The neighbour list is written into `scratch` and borrowed by the
+/// returned view, so steady-state calls allocate nothing. Neighbours and
+/// their edge ids come from the topology's CSR slices; link attributes and
+/// weights are read from the edge-indexed tables in `links` — no hashing
+/// anywhere on the path.
 pub fn build_view<'a>(
+    scratch: &'a mut ViewScratch,
     state: &'a SystemState,
     node: NodeId,
-    heights: &[f64],
-    weight_c: f64,
-    is_link_up: impl Fn(NodeId, NodeId) -> bool,
+    heights: &'a [f64],
+    links: &LinkView<'_>,
     round: u64,
     time: f64,
 ) -> NodeView<'a> {
-    let neighbors = state
-        .topo
-        .neighbors(node)
-        .iter()
-        .filter(|&&j| is_link_up(node, j))
-        .map(|&j| {
-            let attrs = *state.links.get(node, j).expect("missing link attributes");
-            NeighborInfo {
-                id: j,
-                height: heights[j.idx()],
-                link_weight: attrs.weight(weight_c),
-                attrs,
-            }
-        })
-        .collect();
+    scratch.neighbors.clear();
+    let nbrs = state.topo.neighbors(node);
+    let eids = state.topo.neighbor_edge_ids(node);
+    for (&j, &e) in nbrs.iter().zip(eids) {
+        if !links.is_up(e) {
+            continue;
+        }
+        let attrs = links.attrs[e.idx()];
+        let link_weight = match links.weights {
+            Some(w) => w[e.idx()],
+            None => attrs.weight(links.weight_c),
+        };
+        scratch.neighbors.push(NeighborInfo {
+            id: j,
+            height: heights[j.idx()],
+            link_weight,
+            attrs,
+        });
+    }
     NodeView {
         node,
         height: heights[node.idx()],
         tasks: state.node(node).tasks(),
-        neighbors,
+        neighbors: &scratch.neighbors,
         task_graph: &state.task_graph,
         resources: &state.resources,
         round,
@@ -184,14 +241,27 @@ mod tests {
     use pp_topology::links::LinkMap;
     use rand::SeedableRng;
 
-    #[test]
-    fn null_balancer_does_nothing() {
+    fn ring_state() -> SystemState {
         let topo = Topology::ring(4);
         let links = LinkMap::uniform(&topo, LinkAttrs::default());
-        let mut state = SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none());
-        state.node_mut(NodeId(0)).add_task(Task::new(TaskId(0), 5.0, 0));
+        SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none())
+    }
+
+    #[test]
+    fn null_balancer_does_nothing() {
+        let mut state = ring_state();
+        state.add_task(NodeId(0), Task::new(TaskId(0), 5.0, 0));
+        let mut scratch = ViewScratch::new();
         let heights = state.heights();
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 0, 0.0);
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            0,
+            0.0,
+        );
         let mut rng = StdRng::seed_from_u64(0);
         let b = NullBalancer;
         assert!(b.decide(&view, &mut rng).is_empty());
@@ -200,11 +270,18 @@ mod tests {
 
     #[test]
     fn view_includes_all_up_neighbors() {
-        let topo = Topology::ring(4);
-        let links = LinkMap::uniform(&topo, LinkAttrs::default());
-        let state = SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none());
+        let state = ring_state();
         let heights = vec![1.0, 2.0, 3.0, 4.0];
-        let view = build_view(&state, NodeId(0), &heights, 1.0, |_, _| true, 3, 1.5);
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(0),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            3,
+            1.5,
+        );
         assert_eq!(view.neighbors.len(), 2);
         assert_eq!(view.round, 3);
         let ids: Vec<u32> = view.neighbors.iter().map(|n| n.id.0).collect();
@@ -214,23 +291,65 @@ mod tests {
 
     #[test]
     fn down_links_hidden_from_view() {
-        let topo = Topology::ring(4);
-        let links = LinkMap::uniform(&topo, LinkAttrs::default());
-        let state = SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none());
+        let state = ring_state();
         let heights = vec![0.0; 4];
-        let view =
-            build_view(&state, NodeId(0), &heights, 1.0, |u, v| !(u.0 == 0 && v.0 == 1), 0, 0.0);
+        let mut down = EdgeBitSet::new(state.topo.edge_count());
+        down.insert(state.topo.edge_index(NodeId(0), NodeId(1)).unwrap());
+        let links = LinkView { down: Some(&down), ..LinkView::all_up(&state, 1.0) };
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &state, NodeId(0), &heights, &links, 0, 0.0);
         let ids: Vec<u32> = view.neighbors.iter().map(|n| n.id.0).collect();
         assert_eq!(ids, vec![3]);
     }
 
     #[test]
-    fn default_on_arrival_deposits() {
-        let topo = Topology::ring(4);
-        let links = LinkMap::uniform(&topo, LinkAttrs::default());
-        let state = SystemState::new(topo, links, TaskGraph::new(), ResourceMatrix::none());
+    fn scratch_is_reusable_across_nodes() {
+        let state = ring_state();
         let heights = vec![0.0; 4];
-        let view = build_view(&state, NodeId(1), &heights, 1.0, |_, _| true, 0, 0.0);
+        let mut scratch = ViewScratch::new();
+        for node in [NodeId(0), NodeId(2), NodeId(1)] {
+            let view = build_view(
+                &mut scratch,
+                &state,
+                node,
+                &heights,
+                &LinkView::all_up(&state, 1.0),
+                0,
+                0.0,
+            );
+            assert_eq!(view.neighbors.len(), 2);
+            assert_eq!(view.node, node);
+        }
+    }
+
+    #[test]
+    fn precomputed_weights_override_on_the_fly() {
+        let state = ring_state();
+        let heights = vec![0.0; 4];
+        let table: Vec<f64> = (0..state.topo.edge_count()).map(|i| 10.0 + i as f64).collect();
+        let links = LinkView { weights: Some(&table), ..LinkView::all_up(&state, 1.0) };
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &state, NodeId(0), &heights, &links, 0, 0.0);
+        for nb in view.neighbors {
+            let e = state.topo.edge_index(NodeId(0), nb.id).unwrap();
+            assert_eq!(nb.link_weight, table[e.idx()]);
+        }
+    }
+
+    #[test]
+    fn default_on_arrival_deposits() {
+        let state = ring_state();
+        let heights = vec![0.0; 4];
+        let mut scratch = ViewScratch::new();
+        let view = build_view(
+            &mut scratch,
+            &state,
+            NodeId(1),
+            &heights,
+            &LinkView::all_up(&state, 1.0),
+            0,
+            0.0,
+        );
         let mut rng = StdRng::seed_from_u64(0);
         let load = MigratingLoad {
             task: Task::new(TaskId(9), 1.0, 0),

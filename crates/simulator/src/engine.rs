@@ -14,8 +14,11 @@
 //! completing and removing tasks, and a dynamic [`ArrivalProcess`] may
 //! inject new tasks — the non-quiescent regime of §1.
 
-use crate::balancer::{build_view, GlobalView, LoadBalancer, MigratingLoad, MigrationIntent};
+use crate::balancer::{
+    build_view, GlobalView, LinkView, LoadBalancer, MigratingLoad, MigrationIntent, ViewScratch,
+};
 use crate::events::{Event, EventQueue};
+use crate::pool::WorkerPool;
 use crate::state::SystemState;
 use pp_metrics::imbalance::Imbalance;
 use pp_metrics::ledger::{MigrationRecord, TrafficLedger};
@@ -24,11 +27,12 @@ use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
 use pp_tasking::task::{Task, TaskIdGen};
 use pp_tasking::workload::{ArrivalProcess, Workload};
-use pp_topology::graph::{NodeId, Topology};
+use pp_topology::edgeset::EdgeBitSet;
+use pp_topology::graph::{EdgeId, NodeId, Topology};
 use pp_topology::links::{LinkAttrs, LinkMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::sync::Mutex;
 
 /// Dynamic link fault process: at every balance tick each up link goes down
 /// with probability `p_down`, each down link recovers with probability
@@ -74,6 +78,10 @@ impl Default for EngineConfig {
     }
 }
 
+/// One partition of the parallel decision sweep: disjoint slices of the
+/// decision buffers and per-node RNGs, claimed by exactly one worker.
+type DecisionPartition<'a> = Mutex<(&'a mut [Vec<MigrationIntent>], &'a mut [StdRng])>;
+
 #[derive(Debug, Clone, Copy)]
 struct Flight {
     load: MigratingLoad,
@@ -85,8 +93,11 @@ struct Flight {
     bounced: bool,
 }
 
-/// Summary of a finished run.
-#[derive(Debug, Clone)]
+/// Summary of a finished run. `PartialEq` compares every recorded artifact
+/// (series, ledger, totals), so equality means the runs were outcome-
+/// identical — used by the determinism tests comparing sequential and
+/// parallel decision sweeps.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Policy name.
     pub balancer: String,
@@ -132,17 +143,21 @@ pub struct Engine {
     ledger: TrafficLedger,
     series: TimeSeries,
     idgen: TaskIdGen,
-    down_links: HashSet<(u32, u32)>,
+    /// Edge-indexed set of links currently down.
+    down_links: EdgeBitSet,
+    /// Precomputed `e_{i,j}` per edge id for `config.weight_c`.
+    link_weights: Vec<f64>,
+    /// Per-node decision slots, kept across ticks. Each sweep overwrites a
+    /// slot with the Vec `decide` returns — empty (capacity-free) in steady
+    /// state, so quiescent rounds neither allocate nor free; a tick with
+    /// migrations pays one Vec per emitting node.
+    decisions: Vec<Vec<MigrationIntent>>,
+    /// View scratch for the sequential sweep and in-motion arrivals.
+    scratch: ViewScratch,
+    /// Lazily created persistent worker pool for `parallel_decide`.
+    pool: Option<WorkerPool>,
     in_flight_load: f64,
     completed_tasks: usize,
-}
-
-fn link_key(u: NodeId, v: NodeId) -> (u32, u32) {
-    if u.0 <= v.0 {
-        (u.0, v.0)
-    } else {
-        (v.0, u.0)
-    }
 }
 
 impl Engine {
@@ -178,7 +193,14 @@ impl Engine {
 
     /// Links currently down.
     pub fn down_link_count(&self) -> usize {
-        self.down_links.len()
+        self.down_links.count()
+    }
+
+    /// Pre-reserves metric storage for `n` further rounds, so recording a
+    /// sample during a tick never reallocates (useful for allocation-free
+    /// steady-state measurement).
+    pub fn reserve_rounds(&mut self, n: u64) {
+        self.series.reserve(n as usize);
     }
 
     /// Runs `n` balance rounds (processing all intervening events) and
@@ -203,7 +225,7 @@ impl Engine {
         let mut streak = 0usize;
         for i in 0..max_rounds {
             self.run_rounds(1);
-            let cov = Imbalance::of(&self.state.heights()).cov;
+            let cov = self.state.cov();
             if cov <= eps {
                 streak += 1;
                 if streak >= window {
@@ -234,7 +256,7 @@ impl Engine {
             balancer: self.balancer.name().to_string(),
             rounds: self.round,
             time: self.time,
-            final_imbalance: Imbalance::of(&self.state.heights()),
+            final_imbalance: Imbalance::of(self.state.height_slice()),
             series: self.series.clone(),
             ledger: self.ledger.clone(),
             total_load: self.state.total_load(),
@@ -265,8 +287,8 @@ impl Engine {
         if dt > 0.0 && self.config.consume_rate > 0.0 {
             let amount = dt * self.config.consume_rate;
             for i in 0..self.state.node_count() {
-                let (done, _) = self.state.node_mut(NodeId(i as u32)).consume_work(amount);
-                self.completed_tasks += done.len();
+                let (done, _) = self.state.consume_work(NodeId(i as u32), amount);
+                self.completed_tasks += done;
             }
         }
         self.time = self.time.max(t);
@@ -276,125 +298,157 @@ impl Engine {
         self.round += 1;
         self.update_faults();
 
-        let heights = self.state.heights();
         let global = GlobalView {
             topo: &self.state.topo,
-            heights: &heights,
+            heights: self.state.height_slice(),
             round: self.round,
             time: self.time,
         };
         self.balancer.begin_round(&global);
 
-        let decisions = self.collect_decisions(&heights);
-        for (i, intents) in decisions.into_iter().enumerate() {
-            for intent in intents {
+        self.collect_decisions();
+        // Swap the decision buffers out so `launch` may mutate state while
+        // we drain them; the buffers (and their capacity) come back after.
+        let mut decisions = std::mem::take(&mut self.decisions);
+        for (i, intents) in decisions.iter_mut().enumerate() {
+            for intent in intents.drain(..) {
                 self.launch(NodeId(i as u32), intent);
             }
         }
-        self.series.push(self.time, Imbalance::of(&self.state.heights()).cov);
+        self.decisions = decisions;
+        self.series.push(self.time, self.state.cov());
     }
 
     fn update_faults(&mut self) {
         let Some(fm) = self.config.fault_model else { return };
-        for (u, v) in self.state.topo.edges() {
-            let k = link_key(u, v);
-            if self.down_links.contains(&k) {
+        for e in 0..self.state.topo.edge_count() as u32 {
+            let e = EdgeId(e);
+            if self.down_links.contains(e) {
                 if self.engine_rng.gen_bool(fm.p_up) {
-                    self.down_links.remove(&k);
+                    self.down_links.remove(e);
                 }
             } else if self.engine_rng.gen_bool(fm.p_down) {
-                self.down_links.insert(k);
+                self.down_links.insert(e);
             }
         }
     }
 
-    fn is_link_up(&self, u: NodeId, v: NodeId) -> bool {
-        !self.down_links.contains(&link_key(u, v))
+    /// The live edge between `u` and `v`, if both the edge exists and its
+    /// link is up.
+    fn live_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.state.topo.edge_index(u, v).filter(|&e| !self.down_links.contains(e))
     }
 
-    fn collect_decisions(&mut self, heights: &[f64]) -> Vec<Vec<MigrationIntent>> {
+    /// Fills `self.decisions` with each node's migration intents for this
+    /// tick. Decisions are pure functions of the tick-start height snapshot
+    /// (nothing mutates state until the launch phase), so evaluating them
+    /// sequentially or across the worker pool yields identical results.
+    fn collect_decisions(&mut self) {
         let n = self.state.node_count();
-        let state = &self.state;
-        let balancer = &*self.balancer;
-        let config = self.config;
-        let down = &self.down_links;
         let round = self.round;
         let time = self.time;
-        let is_up = |u: NodeId, v: NodeId| !down.contains(&link_key(u, v));
 
-        if config.parallel_decide && n >= 64 {
-            let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-            let chunk = n.div_ceil(threads);
-            let mut decisions: Vec<Vec<MigrationIntent>> = vec![Vec::new(); n];
-            let rngs = &mut self.node_rngs;
-            crossbeam::thread::scope(|s| {
-                for (ci, (dchunk, rchunk)) in
-                    decisions.chunks_mut(chunk).zip(rngs.chunks_mut(chunk)).enumerate()
-                {
-                    let base = ci * chunk;
-                    s.spawn(move |_| {
-                        for (k, (slot, rng)) in dchunk.iter_mut().zip(rchunk).enumerate() {
-                            let node = NodeId((base + k) as u32);
-                            let view = build_view(
-                                state,
-                                node,
-                                heights,
-                                config.weight_c,
-                                is_up,
-                                round,
-                                time,
-                            );
-                            *slot = balancer.decide(&view, rng);
-                        }
-                    });
+        if self.config.parallel_decide && n >= 64 {
+            let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+            let workers = pool.workers();
+            let chunk = n.div_ceil(workers);
+            let state = &self.state;
+            let heights = state.height_slice();
+            let links = LinkView {
+                attrs: state.links().attrs(),
+                weights: Some(&self.link_weights),
+                weight_c: self.config.weight_c,
+                down: if self.down_links.none_set() { None } else { Some(&self.down_links) },
+            };
+            let balancer = &*self.balancer;
+            // Hand each partition its disjoint slice pair through a mutex;
+            // exactly one worker executes each partition, so the lock is
+            // uncontended — it exists to make the disjointness safe.
+            let parts: Vec<DecisionPartition<'_>> = self
+                .decisions
+                .chunks_mut(chunk)
+                .zip(self.node_rngs.chunks_mut(chunk))
+                .map(Mutex::new)
+                .collect();
+            pool.run(&|part, scratch| {
+                let Some(cell) = parts.get(part) else { return };
+                let mut guard = cell.lock().expect("partition lock");
+                let (dchunk, rchunk) = &mut *guard;
+                let base = part * chunk;
+                for (k, (slot, rng)) in dchunk.iter_mut().zip(rchunk.iter_mut()).enumerate() {
+                    let node = NodeId((base + k) as u32);
+                    let view = build_view(scratch, state, node, heights, &links, round, time);
+                    *slot = balancer.decide(&view, rng);
                 }
-            })
-            .expect("decision threads panicked");
-            decisions
+            });
         } else {
-            (0..n)
-                .map(|i| {
-                    let node = NodeId(i as u32);
-                    let view =
-                        build_view(state, node, heights, config.weight_c, is_up, round, time);
-                    balancer.decide(&view, &mut self.node_rngs[i])
-                })
-                .collect()
+            let state = &self.state;
+            let heights = state.height_slice();
+            let links = LinkView {
+                attrs: state.links().attrs(),
+                weights: Some(&self.link_weights),
+                weight_c: self.config.weight_c,
+                down: if self.down_links.none_set() { None } else { Some(&self.down_links) },
+            };
+            let balancer = &*self.balancer;
+            for i in 0..n {
+                let node = NodeId(i as u32);
+                let view = build_view(&mut self.scratch, state, node, heights, &links, round, time);
+                self.decisions[i] = balancer.decide(&view, &mut self.node_rngs[i]);
+            }
         }
     }
 
     /// Validates and launches one migration from `from`.
     fn launch(&mut self, from: NodeId, intent: MigrationIntent) {
         // Destination must be a live neighbour.
-        if !self.state.topo.has_edge(from, intent.to) || !self.is_link_up(from, intent.to) {
+        let Some(edge) = self.live_edge(from, intent.to) else {
             return;
-        }
+        };
         // Task must still be resident (a node might double-propose).
-        let Some(task) = self.state.node_mut(from).remove_task(intent.task) else {
+        let Some(task) = self.state.remove_task(from, intent.task) else {
             return;
         };
         let load = MigratingLoad { task, flag: intent.flag, hops: 0, source: from };
-        self.launch_load(from, intent.to, load, intent.heat);
+        self.launch_load(from, intent.to, edge, load, intent.heat);
     }
 
-    fn launch_load(&mut self, from: NodeId, to: NodeId, mut load: MigratingLoad, heat: f64) {
-        let attrs = *self.state.links.get(from, to).expect("missing link attrs");
+    fn launch_load(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        edge: EdgeId,
+        mut load: MigratingLoad,
+        heat: f64,
+    ) {
+        let attrs = self.state.links().get(edge);
         let duration = attrs.transfer_time(load.task.size);
-        // Geometric retry sampling, capped by the attempt budget.
-        let p_ok = attrs.success_probability(duration);
-        let mut attempts = 1;
-        while attempts < self.config.max_attempts && !self.engine_rng.gen_bool(p_ok.max(1e-12)) {
-            attempts += 1;
-        }
-        let final_ok =
-            attempts < self.config.max_attempts || self.engine_rng.gen_bool(p_ok.max(1e-12));
-        let (dest, bounced) = if final_ok { (to, false) } else { (from, true) };
+        // Attempts until first success are geometric in the per-try success
+        // probability; sample the count directly with one uniform draw
+        // instead of one Bernoulli draw per retry, then cap at the budget.
+        // `G = 1 + ⌊ln(1−U)/ln(1−p)⌋`; the transfer bounces iff G exceeds
+        // the budget.
+        let p_ok = attrs.success_probability(duration).max(1e-12);
+        let budget = self.config.max_attempts.max(1);
+        let (attempts, bounced) = if p_ok >= 1.0 {
+            (1, false)
+        } else {
+            let u: f64 = self.engine_rng.gen_range(0.0..1.0);
+            let g = 1.0 + ((1.0 - u).ln() / (1.0 - p_ok).ln()).floor();
+            if g > budget as f64 {
+                (budget, true)
+            } else {
+                (g as u32, false)
+            }
+        };
+        let (dest, bounced) = if bounced { (from, true) } else { (to, false) };
         load.hops += 1;
         let flight = Flight {
             load,
             from,
             to: dest,
-            link_weight: attrs.weight(self.config.weight_c),
+            link_weight: self.link_weights[edge.idx()],
             heat,
             attempts,
             bounced,
@@ -428,38 +482,38 @@ impl Engine {
 
         if flight.bounced {
             // The transfer failed for good; the load stays at its source.
-            self.state.node_mut(flight.to).add_task(flight.load.task);
+            self.state.add_task(flight.to, flight.load.task);
             return;
         }
 
         // In-motion decision: may the load keep sliding (§5.1)?
-        let heights = self.state.heights();
-        let view = {
-            let down = &self.down_links;
-            build_view(
-                &self.state,
-                flight.to,
-                &heights,
-                self.config.weight_c,
-                |u, v| !down.contains(&link_key(u, v)),
-                self.round,
-                self.time,
-            )
+        let links = LinkView {
+            attrs: self.state.links().attrs(),
+            weights: Some(&self.link_weights),
+            weight_c: self.config.weight_c,
+            down: if self.down_links.none_set() { None } else { Some(&self.down_links) },
         };
+        let view = build_view(
+            &mut self.scratch,
+            &self.state,
+            flight.to,
+            self.state.height_slice(),
+            &links,
+            self.round,
+            self.time,
+        );
         let rng = &mut self.node_rngs[flight.to.idx()];
         let onward = self.balancer.on_arrival(&view, &flight.load, rng);
         match onward {
-            Some(intent)
-                if self.state.topo.has_edge(flight.to, intent.to)
-                    && self.is_link_up(flight.to, intent.to) =>
-            {
-                let mut load = flight.load;
-                load.flag = intent.flag;
-                self.launch_load(flight.to, intent.to, load, intent.heat);
-            }
-            _ => {
-                self.state.node_mut(flight.to).add_task(flight.load.task);
-            }
+            Some(intent) => match self.live_edge(flight.to, intent.to) {
+                Some(edge) => {
+                    let mut load = flight.load;
+                    load.flag = intent.flag;
+                    self.launch_load(flight.to, intent.to, edge, load, intent.heat);
+                }
+                None => self.state.add_task(flight.to, flight.load.task),
+            },
+            None => self.state.add_task(flight.to, flight.load.task),
         }
     }
 
@@ -470,7 +524,7 @@ impl Engine {
             // Current arrival: place a task on a uniformly random node.
             let node = NodeId(self.engine_rng.gen_range(0..n as u32));
             let task = Task::new(self.idgen.next_id(), size, node.0).created_at(self.time);
-            self.state.node_mut(node).add_task(task);
+            self.state.add_task(node, task);
             self.queue.push(next, Event::TaskArrival);
         }
     }
@@ -571,11 +625,13 @@ impl EngineBuilder {
             idgen = w.idgen.clone();
             for (i, tasks) in w.tasks.into_iter().enumerate() {
                 for t in tasks {
-                    state.node_mut(NodeId(i as u32)).add_task(t);
+                    state.add_task(NodeId(i as u32), t);
                 }
             }
         }
         let n = state.node_count();
+        let link_weights = state.links().weights(self.config.weight_c);
+        let edge_count = state.topo.edge_count();
         let mix = |i: u64| -> u64 {
             // SplitMix64-style mixing for independent per-node streams.
             let mut z = self.seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -600,11 +656,15 @@ impl EngineBuilder {
             ledger: TrafficLedger::new(),
             series: TimeSeries::new(),
             idgen,
-            down_links: HashSet::new(),
+            down_links: EdgeBitSet::new(edge_count),
+            link_weights,
+            decisions: (0..n).map(|_| Vec::new()).collect(),
+            scratch: ViewScratch::new(),
+            pool: None,
             in_flight_load: 0.0,
             completed_tasks: 0,
         };
-        engine.series.push(0.0, Imbalance::of(&engine.state.heights()).cov);
+        engine.series.push(0.0, engine.state.cov());
         if !matches!(engine.config.arrival, ArrivalProcess::Quiescent) {
             engine.queue.push(0.0, Event::TaskArrival);
         }
@@ -789,7 +849,39 @@ mod tests {
                 .build();
             e.run_rounds(25);
             e.drain(10.0);
-            e.heights()
+            (e.heights(), e.report())
+        };
+        let (h_seq, r_seq) = build(false);
+        let (h_par, r_par) = build(true);
+        assert_eq!(h_seq, h_par);
+        // Not just final heights: every recorded artifact (CoV series,
+        // migration ledger, totals) must be byte-identical.
+        assert_eq!(r_seq, r_par);
+    }
+
+    #[test]
+    fn parallel_decide_deterministic_with_faults_and_arrivals() {
+        // The full event mix — fault process, Poisson arrivals, work
+        // consumption — must still be seq/par identical, because all engine
+        // RNG draws happen outside the decision sweep.
+        let build = |parallel: bool| {
+            let topo = Topology::torus(&[8, 8]);
+            let w = Workload::uniform_random(64, 6.0, 3);
+            let mut e = EngineBuilder::new(topo)
+                .workload(w)
+                .balancer(GreedyOne)
+                .config(EngineConfig {
+                    parallel_decide: parallel,
+                    consume_rate: 0.2,
+                    fault_model: Some(FaultModel { p_down: 0.05, p_up: 0.5 }),
+                    arrival: ArrivalProcess::Poisson { rate: 2.0, size_min: 0.5, size_max: 1.5 },
+                    ..Default::default()
+                })
+                .seed(17)
+                .build();
+            e.run_rounds(40);
+            e.drain(20.0);
+            e.report()
         };
         assert_eq!(build(false), build(true));
     }

@@ -11,22 +11,26 @@
 //! [`parallel::par_map`] fans independent simulations out over threads for
 //! parameter sweeps.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool (`pool`) contains one
+// documented lifetime erasure behind a module-level `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod balancer;
 pub mod engine;
 pub mod events;
 pub mod parallel;
+pub mod pool;
 pub mod state;
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::balancer::{
-        build_view, GlobalView, LoadBalancer, MigratingLoad, MigrationIntent, NeighborInfo,
-        NodeView, NullBalancer,
+        build_view, GlobalView, LinkView, LoadBalancer, MigratingLoad, MigrationIntent,
+        NeighborInfo, NodeView, NullBalancer, ViewScratch,
     };
     pub use crate::engine::{Engine, EngineBuilder, EngineConfig, FaultModel, RunReport};
     pub use crate::parallel::par_map;
+    pub use crate::pool::WorkerPool;
     pub use crate::state::{NodeState, SystemState};
 }

@@ -1,0 +1,199 @@
+//! A persistent worker pool for parallel per-node decision sweeps.
+//!
+//! The engine previously spawned a fresh `crossbeam::thread::scope` (OS
+//! threads and all) every balance tick; at tick rates in the thousands per
+//! second the spawn/join cost dwarfed the decisions themselves. This pool is
+//! created once per [`crate::engine::Engine`] and reused: each tick the
+//! engine submits one job per partition, the workers (each owning a
+//! long-lived [`ViewScratch`]) execute them, and [`WorkerPool::run`] returns
+//! once every partition has been acknowledged.
+//!
+//! Determinism: partitions are fixed index ranges and every node uses its
+//! own RNG, so results are byte-identical to the sequential sweep no matter
+//! which worker executes which partition.
+
+#![allow(unsafe_code)] // one lifetime erasure, justified below
+
+use crate::balancer::ViewScratch;
+use crossbeam::channel::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// The job closure as the workers see it: `(partition index, &mut scratch)`.
+type JobFn<'a> = &'a (dyn Fn(usize, &mut ViewScratch) + Sync);
+
+/// A job envelope carrying an erased-lifetime pointer to the caller's
+/// closure. Safe to send because [`WorkerPool::run`] blocks until every
+/// worker has acknowledged, so the pointee outlives all uses.
+struct Job {
+    f: *const (dyn Fn(usize, &mut ViewScratch) + Sync),
+    part: usize,
+}
+
+// SAFETY: the pointer targets a closure that `run` keeps alive (borrowed for
+// the whole call) and that is `Sync`, so shared use from worker threads is
+// sound.
+unsafe impl Send for Job {}
+
+/// A fixed-size pool of decision workers. Dropping it shuts the workers
+/// down and joins them.
+pub struct WorkerPool {
+    job_tx: Option<Sender<Job>>,
+    done_rx: Receiver<bool>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least 1), each with its own reusable
+    /// [`ViewScratch`].
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (job_tx, job_rx) = channel::unbounded::<Job>();
+        let (done_tx, done_rx) = channel::unbounded::<bool>();
+        let handles = (0..workers)
+            .map(|_| {
+                let job_rx = job_rx.clone();
+                let done_tx = done_tx.clone();
+                std::thread::spawn(move || {
+                    let mut scratch = ViewScratch::new();
+                    while let Ok(job) = job_rx.recv() {
+                        // SAFETY: `run` is still blocked waiting for this
+                        // job's ack, so the closure behind the pointer is
+                        // alive; see the invariant on `Job`.
+                        let f = unsafe { &*job.f };
+                        // Catch job panics so the ack is ALWAYS sent — a
+                        // lost ack would leave `run` blocked forever (a
+                        // hang instead of a diagnostic).
+                        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            f(job.part, &mut scratch)
+                        }))
+                        .is_ok();
+                        if done_tx.send(ok).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { job_tx: Some(job_tx), done_rx, handles, workers }
+    }
+
+    /// Number of worker threads (also the partition count `run` submits).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes `f(part, scratch)` for every partition `0..workers()`,
+    /// distributed over the pool, and returns when all have completed.
+    ///
+    /// `f` may borrow from the caller's stack: the call blocks until every
+    /// worker acknowledged, so the borrow outlives every use.
+    ///
+    /// # Panics
+    /// Panics if any job panicked on a worker — but only after every
+    /// partition has been acknowledged, so no worker can still hold the
+    /// job closure when the unwind leaves this frame.
+    pub fn run(&self, f: JobFn<'_>) {
+        // SAFETY: erase the closure borrow's lifetime so it can ride through
+        // the channel. The only readers are the workers servicing exactly
+        // the jobs submitted below, and we block on their acks (even when a
+        // job panicked) before returning — the closure cannot be dropped
+        // while any worker can still reach it.
+        let f: *const (dyn Fn(usize, &mut ViewScratch) + Sync) = unsafe { std::mem::transmute(f) };
+        let tx = self.job_tx.as_ref().expect("pool is live until dropped");
+        for part in 0..self.workers {
+            tx.send(Job { f, part }).expect("worker pool disconnected");
+        }
+        let mut panicked = 0usize;
+        for _ in 0..self.workers {
+            if !self.done_rx.recv().expect("a decision worker died") {
+                panicked += 1;
+            }
+        }
+        assert!(panicked == 0, "{panicked} decision job(s) panicked on the worker pool");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channel ends every worker's recv loop.
+        self.job_tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_partition_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..50 {
+            pool.run(&|part, _scratch| {
+                hits[part].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 50);
+        }
+    }
+
+    #[test]
+    fn borrows_caller_stack_safely() {
+        let pool = WorkerPool::new(3);
+        let data = [1u64, 2, 3];
+        let sum = AtomicUsize::new(0);
+        pool.run(&|part, _| {
+            sum.fetch_add(data[part] as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = WorkerPool::new(1);
+        let count = AtomicUsize::new(0);
+        pool.run(&|part, _| {
+            assert_eq!(part, 0);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(2);
+        pool.run(&|_, _| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn zero_requested_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn panicking_job_panics_run_instead_of_hanging() {
+        let pool = WorkerPool::new(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|part, _| {
+                if part == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "run must propagate the job panic");
+        // The pool survives: the healthy workers still process later jobs.
+        let count = AtomicUsize::new(0);
+        pool.run(&|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+}

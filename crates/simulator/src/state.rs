@@ -1,12 +1,19 @@
 //! Mutable system state: which tasks live on which node, per-node heights
 //! (the `h(v)` map that forms the yard's surface), and the static system
 //! description (topology, link matrices, task graph, resources).
+//!
+//! The height map and the imbalance sufficient statistics (`n`, `Σh`, `Σh²`)
+//! are maintained *incrementally*: every task add/remove/consume goes
+//! through [`SystemState`] mutators that diff the affected node's height, so
+//! the per-tick hot path reads heights and the CoV without rebuilding
+//! anything — [`SystemState::height_slice`] and [`SystemState::cov`] are
+//! allocation-free O(1)/O(0) lookups.
 
 use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
 use pp_tasking::task::{Task, TaskId};
 use pp_topology::graph::{NodeId, Topology};
-use pp_topology::links::LinkMap;
+use pp_topology::links::{LinkMap, LinkTable};
 
 /// One processor's resident tasks.
 #[derive(Debug, Clone, Default)]
@@ -56,8 +63,24 @@ impl NodeState {
     /// Consumes up to `amount` of work from the queue front; completed tasks
     /// are removed entirely (their load leaves the system). Returns the list
     /// of completed task ids and the amount of work actually consumed.
-    pub fn consume_work(&mut self, mut amount: f64) -> (Vec<TaskId>, f64) {
+    pub fn consume_work(&mut self, amount: f64) -> (Vec<TaskId>, f64) {
         let mut done = Vec::new();
+        let (_, consumed) = self.consume_work_with(amount, |id| done.push(id));
+        (done, consumed)
+    }
+
+    /// Allocation-free [`NodeState::consume_work`]: returns only the number
+    /// of completed tasks and the work consumed.
+    pub fn consume_work_counted(&mut self, amount: f64) -> (usize, f64) {
+        self.consume_work_with(amount, |_| {})
+    }
+
+    fn consume_work_with(
+        &mut self,
+        mut amount: f64,
+        mut on_done: impl FnMut(TaskId),
+    ) -> (usize, f64) {
+        let mut completed = 0usize;
         let mut consumed = 0.0;
         while amount > 0.0 {
             let Some(front) = self.tasks.first_mut() else { break };
@@ -68,14 +91,15 @@ impl NodeState {
             }
             amount -= front.work;
             consumed += front.work;
-            done.push(front.id);
+            on_done(front.id);
+            completed += 1;
             let t = self.tasks.remove(0);
             self.height -= t.size;
         }
         if self.height < 0.0 {
             self.height = 0.0;
         }
-        (done, consumed)
+        (completed, consumed)
     }
 }
 
@@ -84,25 +108,54 @@ impl NodeState {
 pub struct SystemState {
     /// The interconnection network.
     pub topo: Topology,
-    /// Per-link bandwidth/distance/fault attributes.
-    pub links: LinkMap,
     /// The task dependency graph `T`.
     pub task_graph: TaskGraph,
     /// The resource matrix `R`.
     pub resources: ResourceMatrix,
+    links: LinkTable,
     nodes: Vec<NodeState>,
+    /// Height cache, mirrored exactly from `nodes[i].height()`.
+    heights: Vec<f64>,
+    /// Incremental `Σh` over all nodes (imbalance sufficient statistic).
+    height_sum: f64,
+    /// Incremental `Σh²` over all nodes.
+    height_sq_sum: f64,
+    /// Height mutations since construction — with the peaks below, bounds
+    /// the accumulated floating-point drift of the incremental sums.
+    stat_ops: u64,
+    /// Largest `|Σh|` magnitude the sum has reached.
+    stat_peak_sum: f64,
+    /// Largest `|Σh²|` magnitude the squared sum has reached (tracked
+    /// separately: the two live in different units, and a shared bound
+    /// would force the exact fallback whenever `Σh² ≫ Σh`).
+    stat_peak_sq: f64,
 }
 
 impl SystemState {
-    /// Creates a state with empty nodes.
+    /// Creates a state with empty nodes. Link attributes are flattened over
+    /// the topology's stable edge ids at construction; they are immutable
+    /// afterwards.
     pub fn new(
         topo: Topology,
         links: LinkMap,
         task_graph: TaskGraph,
         resources: ResourceMatrix,
     ) -> Self {
-        let nodes = (0..topo.node_count()).map(|_| NodeState::default()).collect();
-        SystemState { topo, links, task_graph, resources, nodes }
+        let n = topo.node_count();
+        let links = LinkTable::new(&topo, &links);
+        SystemState {
+            topo,
+            task_graph,
+            resources,
+            links,
+            nodes: (0..n).map(|_| NodeState::default()).collect(),
+            heights: vec![0.0; n],
+            height_sum: 0.0,
+            height_sq_sum: 0.0,
+            stat_ops: 0,
+            stat_peak_sum: 0.0,
+            stat_peak_sq: 0.0,
+        }
     }
 
     /// Immutable access to a node.
@@ -110,24 +163,138 @@ impl SystemState {
         &self.nodes[v.idx()]
     }
 
-    /// Mutable access to a node.
-    pub fn node_mut(&mut self, v: NodeId) -> &mut NodeState {
-        &mut self.nodes[v.idx()]
-    }
-
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
 
-    /// The height map `h(v)` over all nodes — the yard's surface.
-    pub fn heights(&self) -> Vec<f64> {
-        self.nodes.iter().map(NodeState::height).collect()
+    /// The edge-indexed link attribute table.
+    pub fn links(&self) -> &LinkTable {
+        &self.links
     }
 
-    /// Total resident load (excludes in-flight loads).
+    /// Adds a task to node `v`, updating the height cache and imbalance
+    /// statistics.
+    pub fn add_task(&mut self, v: NodeId, task: Task) {
+        let old = self.nodes[v.idx()].height;
+        self.nodes[v.idx()].add_task(task);
+        self.refresh_height(v, old);
+    }
+
+    /// Removes and returns the task with the given id from node `v`, if
+    /// resident.
+    pub fn remove_task(&mut self, v: NodeId, id: TaskId) -> Option<Task> {
+        let old = self.nodes[v.idx()].height;
+        let task = self.nodes[v.idx()].remove_task(id);
+        if task.is_some() {
+            self.refresh_height(v, old);
+        }
+        task
+    }
+
+    /// Consumes up to `amount` of work on node `v`; returns the number of
+    /// tasks completed and the work consumed. Allocation-free.
+    pub fn consume_work(&mut self, v: NodeId, amount: f64) -> (usize, f64) {
+        let old = self.nodes[v.idx()].height;
+        let out = self.nodes[v.idx()].consume_work_counted(amount);
+        // A completed zero-work task changes the height without consuming
+        // anything, so refresh on either signal.
+        if out.0 > 0 || out.1 > 0.0 {
+            self.refresh_height(v, old);
+        }
+        out
+    }
+
+    #[inline]
+    fn refresh_height(&mut self, v: NodeId, old: f64) {
+        let new = self.nodes[v.idx()].height;
+        self.heights[v.idx()] = new;
+        self.height_sum += new - old;
+        self.height_sq_sum += new * new - old * old;
+        self.stat_ops += 1;
+        self.stat_peak_sum = self.stat_peak_sum.max(self.height_sum.abs());
+        self.stat_peak_sq = self.stat_peak_sq.max(self.height_sq_sum.abs());
+    }
+
+    /// Upper bound on the floating-point drift `peak` can have accumulated:
+    /// each of the `stat_ops` updates contributes at most one rounding of a
+    /// value bounded by the peak magnitude (×8 safety).
+    #[inline]
+    fn drift_floor(&self, peak: f64) -> f64 {
+        (self.stat_ops as f64 + 1.0) * f64::EPSILON * peak * 8.0
+    }
+
+    /// The height map `h(v)` over all nodes — the yard's surface. Borrowed
+    /// view of the incrementally maintained cache; no allocation.
+    #[inline]
+    pub fn height_slice(&self) -> &[f64] {
+        &self.heights
+    }
+
+    /// The height map as an owned vector (prefer
+    /// [`SystemState::height_slice`] on hot paths).
+    pub fn heights(&self) -> Vec<f64> {
+        self.heights.clone()
+    }
+
+    /// Coefficient of variation `σ/µ` of the height map, from the
+    /// incremental sufficient statistics — no pass over the nodes on the
+    /// common path. Matches `Imbalance::of(heights).cov` up to
+    /// floating-point accumulation order.
+    ///
+    /// When the incremental mean or variance is within the accumulated
+    /// drift bound (e.g. a surface that has gone flat — `σ/µ` would divide
+    /// two ulp-scale artifacts), the result is recomputed exactly from the
+    /// height cache in one allocation-free pass.
+    pub fn cov(&self) -> f64 {
+        let n = self.nodes.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let mean = self.height_sum / nf;
+        let var = self.height_sq_sum / nf - mean * mean;
+        if self.height_sum.abs() <= self.drift_floor(self.stat_peak_sum)
+            || var * nf <= self.drift_floor(self.stat_peak_sq)
+        {
+            return self.cov_exact();
+        }
+        var.sqrt() / mean
+    }
+
+    /// Two-pass CoV over the height cache: exact, allocation-free, O(n).
+    fn cov_exact(&self) -> f64 {
+        let n = self.heights.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let mean = self.heights.iter().sum::<f64>() / nf;
+        if mean.abs() == 0.0 {
+            return 0.0;
+        }
+        let var = self.heights.iter().map(|&h| (h - mean) * (h - mean)).sum::<f64>() / nf;
+        var.sqrt() / mean
+    }
+
+    /// Mean node height, from the incremental statistics (drift-guarded the
+    /// same way as [`SystemState::cov`]).
+    pub fn mean_height(&self) -> f64 {
+        let n = self.nodes.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if self.height_sum.abs() <= self.drift_floor(self.stat_peak_sum) {
+            return self.total_load() / n as f64;
+        }
+        self.height_sum / n as f64
+    }
+
+    /// Total resident load (excludes in-flight loads). Exact sum over the
+    /// height cache (the incremental `Σh` is reserved for the CoV, where
+    /// accumulation drift is tolerable).
     pub fn total_load(&self) -> f64 {
-        self.nodes.iter().map(NodeState::height).sum()
+        self.heights.iter().sum()
     }
 
     /// Total resident task count.
@@ -197,6 +364,21 @@ mod tests {
     }
 
     #[test]
+    fn consume_work_counted_matches_listing() {
+        let mut a = NodeState::default();
+        let mut b = NodeState::default();
+        for i in 0..3 {
+            a.add_task(task(i, 1.0));
+            b.add_task(task(i, 1.0));
+        }
+        let (done, used_a) = a.consume_work(2.5);
+        let (count, used_b) = b.consume_work_counted(2.5);
+        assert_eq!(done.len(), count);
+        assert_eq!(used_a, used_b);
+        assert_eq!(a.height(), b.height());
+    }
+
+    #[test]
     fn consume_work_on_empty_node() {
         let mut n = NodeState::default();
         let (done, used) = n.consume_work(1.0);
@@ -207,11 +389,69 @@ mod tests {
     #[test]
     fn system_heights_and_totals() {
         let mut s = small_state();
-        s.node_mut(NodeId(0)).add_task(task(0, 4.0));
-        s.node_mut(NodeId(2)).add_task(task(1, 1.0));
+        s.add_task(NodeId(0), task(0, 4.0));
+        s.add_task(NodeId(2), task(1, 1.0));
         assert_eq!(s.heights(), vec![4.0, 0.0, 1.0, 0.0]);
+        assert_eq!(s.height_slice(), &[4.0, 0.0, 1.0, 0.0]);
         assert_eq!(s.total_load(), 5.0);
         assert_eq!(s.total_tasks(), 2);
         assert_eq!(s.colocated_ids(NodeId(0)), vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn incremental_stats_track_mutations() {
+        let mut s = small_state();
+        s.add_task(NodeId(0), task(0, 4.0));
+        s.add_task(NodeId(1), task(1, 2.0));
+        s.add_task(NodeId(1), task(2, 2.0));
+        let expect = pp_metrics::imbalance::Imbalance::of(s.height_slice());
+        assert!((s.cov() - expect.cov).abs() < 1e-12, "{} vs {}", s.cov(), expect.cov);
+        assert!((s.mean_height() - expect.mean).abs() < 1e-12);
+
+        s.remove_task(NodeId(1), TaskId(1)).unwrap();
+        s.consume_work(NodeId(0), 4.0); // completes the size-4 task
+        let expect = pp_metrics::imbalance::Imbalance::of(s.height_slice());
+        assert!((s.cov() - expect.cov).abs() < 1e-12, "{} vs {}", s.cov(), expect.cov);
+        assert_eq!(s.heights(), vec![0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_work_task_completion_refreshes_height() {
+        // A task can carry load (size) but no work; completing it consumes
+        // nothing yet still lowers the height — the cache must follow.
+        let mut s = small_state();
+        s.add_task(NodeId(1), Task::new(TaskId(0), 2.0, 1).with_work(0.0));
+        assert_eq!(s.height_slice()[1], 2.0);
+        let (done, used) = s.consume_work(NodeId(1), 1.0);
+        assert_eq!((done, used), (1, 0.0));
+        assert_eq!(s.height_slice()[1], 0.0);
+        assert_eq!(s.total_load(), 0.0);
+        assert_eq!(s.cov(), 0.0);
+    }
+
+    #[test]
+    fn remove_missing_task_is_a_clean_noop() {
+        let mut s = small_state();
+        s.add_task(NodeId(0), task(0, 1.0));
+        let cov = s.cov();
+        assert!(s.remove_task(NodeId(2), TaskId(0)).is_none());
+        assert_eq!(s.cov(), cov);
+        assert_eq!(s.total_load(), 1.0);
+    }
+
+    #[test]
+    fn empty_system_cov_is_zero() {
+        let s = small_state();
+        assert_eq!(s.cov(), 0.0);
+        assert_eq!(s.mean_height(), 0.0);
+        assert_eq!(s.total_load(), 0.0);
+    }
+
+    #[test]
+    fn link_table_flattened_at_construction() {
+        let s = small_state();
+        assert_eq!(s.links().len(), s.topo.edge_count());
+        let e = s.topo.edge_index(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(s.links().get(e), LinkAttrs::default());
     }
 }

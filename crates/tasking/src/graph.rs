@@ -9,10 +9,15 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Sparse symmetric task dependency matrix.
+///
+/// Stored twice for the two access patterns: a pair-keyed map for point
+/// lookups, and a weighted adjacency list so the `µ_s` hot path can walk a
+/// task's (usually short) partner list with one hash lookup instead of
+/// hashing every co-located pair.
 #[derive(Debug, Clone, Default)]
 pub struct TaskGraph {
     edges: HashMap<(u64, u64), f64>,
-    adj: HashMap<u64, Vec<TaskId>>,
+    adj: HashMap<u64, Vec<(TaskId, f64)>>,
 }
 
 fn key(a: TaskId, b: TaskId) -> (u64, u64) {
@@ -38,17 +43,25 @@ impl TaskGraph {
         if weight == 0.0 {
             if self.edges.remove(&k).is_some() {
                 if let Some(l) = self.adj.get_mut(&a.0) {
-                    l.retain(|t| *t != b);
+                    l.retain(|(t, _)| *t != b);
                 }
                 if let Some(l) = self.adj.get_mut(&b.0) {
-                    l.retain(|t| *t != a);
+                    l.retain(|(t, _)| *t != a);
                 }
             }
             return;
         }
         if self.edges.insert(k, weight).is_none() {
-            self.adj.entry(a.0).or_default().push(b);
-            self.adj.entry(b.0).or_default().push(a);
+            self.adj.entry(a.0).or_default().push((b, weight));
+            self.adj.entry(b.0).or_default().push((a, weight));
+        } else {
+            for (from, to) in [(a, b), (b, a)] {
+                if let Some(l) = self.adj.get_mut(&from.0) {
+                    if let Some(entry) = l.iter_mut().find(|(t, _)| *t == to) {
+                        entry.1 = weight;
+                    }
+                }
+            }
         }
     }
 
@@ -60,25 +73,37 @@ impl TaskGraph {
         self.edges.get(&key(a, b)).copied().unwrap_or(0.0)
     }
 
-    /// Tasks directly dependent on `t`.
-    pub fn partners(&self, t: TaskId) -> &[TaskId] {
+    /// Tasks directly dependent on `t`, with their weights `T_{t,x}`.
+    pub fn partners_weighted(&self, t: TaskId) -> &[(TaskId, f64)] {
         self.adj.get(&t.0).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Sum of `T_{t,x}` over the given set of co-located tasks — the raw
     /// ingredient of `µ_s` (§4.2).
     pub fn affinity_to(&self, t: TaskId, colocated: &[TaskId]) -> f64 {
-        colocated.iter().map(|&x| self.dependency(t, x)).sum()
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        self.partners_weighted(t)
+            .iter()
+            .filter(|(p, _)| colocated.contains(p))
+            .map(|&(_, w)| w)
+            .sum()
     }
 
     /// Total communication weight incident to `t`.
     pub fn total_dependency(&self, t: TaskId) -> f64 {
-        self.partners(t).iter().map(|&x| self.dependency(t, x)).sum()
+        self.partners_weighted(t).iter().map(|&(_, w)| w).sum()
     }
 
     /// Number of dependency edges.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Whether the graph has no edges (every task independent).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
     }
 
     /// Builds a chain `t0 — t1 — … — tn` with uniform weight (a pipeline).
@@ -124,7 +149,7 @@ mod tests {
     fn independent_tasks_have_zero_dependency() {
         let g = TaskGraph::new();
         assert_eq!(g.dependency(TaskId(0), TaskId(1)), 0.0);
-        assert!(g.partners(TaskId(0)).is_empty());
+        assert!(g.partners_weighted(TaskId(0)).is_empty());
     }
 
     #[test]
@@ -133,7 +158,7 @@ mod tests {
         g.set_dependency(TaskId(0), TaskId(1), 2.5);
         assert_eq!(g.dependency(TaskId(0), TaskId(1)), 2.5);
         assert_eq!(g.dependency(TaskId(1), TaskId(0)), 2.5);
-        assert_eq!(g.partners(TaskId(0)), &[TaskId(1)]);
+        assert_eq!(g.partners_weighted(TaskId(0)), &[(TaskId(1), 2.5)]);
         assert_eq!(g.edge_count(), 1);
     }
 
@@ -143,8 +168,8 @@ mod tests {
         g.set_dependency(TaskId(0), TaskId(1), 1.0);
         g.set_dependency(TaskId(0), TaskId(1), 0.0);
         assert_eq!(g.edge_count(), 0);
-        assert!(g.partners(TaskId(0)).is_empty());
-        assert!(g.partners(TaskId(1)).is_empty());
+        assert!(g.partners_weighted(TaskId(0)).is_empty());
+        assert!(g.partners_weighted(TaskId(1)).is_empty());
     }
 
     #[test]

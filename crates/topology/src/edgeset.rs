@@ -1,0 +1,123 @@
+//! An edge-indexed bitset over a topology's stable edge ids.
+//!
+//! Replaces hash-set membership (`HashSet<(u32, u32)>`) for per-edge state
+//! like dynamic link faults: one bit per undirected edge, addressed by
+//! [`EdgeId`], so the balance-tick hot path checks link state with a shift
+//! and a mask instead of hashing a node pair.
+
+use crate::graph::EdgeId;
+
+/// A fixed-capacity bitset keyed by [`EdgeId`].
+#[derive(Debug, Clone, Default)]
+pub struct EdgeBitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl EdgeBitSet {
+    /// An empty set over `len` edges (ids `0..len`).
+    pub fn new(len: usize) -> Self {
+        EdgeBitSet { words: vec![0; len.div_ceil(64)], len, ones: 0 }
+    }
+
+    /// Capacity in edges.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn loc(&self, e: EdgeId) -> (usize, u64) {
+        debug_assert!(e.idx() < self.len, "edge id {e} out of range {}", self.len);
+        (e.idx() / 64, 1u64 << (e.idx() % 64))
+    }
+
+    /// Whether the edge's bit is set.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        let (w, m) = self.loc(e);
+        self.words[w] & m != 0
+    }
+
+    /// Sets the edge's bit; returns `true` if it was newly set.
+    #[inline]
+    pub fn insert(&mut self, e: EdgeId) -> bool {
+        let (w, m) = self.loc(e);
+        let fresh = self.words[w] & m == 0;
+        self.words[w] |= m;
+        self.ones += usize::from(fresh);
+        fresh
+    }
+
+    /// Clears the edge's bit; returns `true` if it was set.
+    #[inline]
+    pub fn remove(&mut self, e: EdgeId) -> bool {
+        let (w, m) = self.loc(e);
+        let was = self.words[w] & m != 0;
+        self.words[w] &= !m;
+        self.ones -= usize::from(was);
+        was
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.ones
+    }
+
+    /// Whether no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Clears every bit, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = EdgeBitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert!(!s.contains(EdgeId(0)));
+        assert!(s.insert(EdgeId(0)));
+        assert!(!s.insert(EdgeId(0)), "second insert is a no-op");
+        assert!(s.insert(EdgeId(64)));
+        assert!(s.insert(EdgeId(129)));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(EdgeId(64)));
+        assert!(s.remove(EdgeId(64)));
+        assert!(!s.remove(EdgeId(64)));
+        assert_eq!(s.count(), 2);
+        assert!(!s.contains(EdgeId(64)));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = EdgeBitSet::new(10);
+        s.insert(EdgeId(3));
+        s.insert(EdgeId(9));
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert!(s.none_set());
+        assert_eq!(s.len(), 10);
+        assert!(!s.contains(EdgeId(3)));
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = EdgeBitSet::new(0);
+        assert!(s.is_empty());
+        assert!(s.none_set());
+    }
+}

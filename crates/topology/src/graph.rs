@@ -1,8 +1,12 @@
 //! The interconnection network graph `G(V, E)` (§4.2).
 //!
-//! Nodes are processors, edges are physical links. The structure is a plain
-//! undirected graph stored as adjacency lists; topology constructors live in
-//! [`crate::generators`].
+//! Nodes are processors, edges are physical links. The graph is undirected
+//! and stored in CSR (compressed sparse row) form: one flat `targets` array
+//! holding every node's sorted neighbour list back to back, with an
+//! `offsets` table slicing it per node. Each directed slot also carries the
+//! *stable edge id* of its undirected edge, so edge-indexed side tables
+//! (link attributes, precomputed weights, up/down bitsets) can be addressed
+//! without hashing. Topology constructors live in [`crate::generators`].
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -22,6 +26,26 @@ impl NodeId {
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an undirected edge: a dense index in `0..edge_count()`,
+/// assigned in `(u, v)` order with `u < v` and stable for the lifetime of
+/// the topology. Used to address edge-indexed side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The index as `usize` for slice addressing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
     }
 }
 
@@ -65,12 +89,18 @@ impl fmt::Display for TopologyKind {
     }
 }
 
-/// An undirected interconnection network.
+/// An undirected interconnection network in CSR form.
 #[derive(Debug, Clone)]
 pub struct Topology {
     kind: TopologyKind,
-    adj: Vec<Vec<NodeId>>,
-    edge_count: usize,
+    /// Per-node slice bounds into `targets`/`slot_edges` (`n + 1` entries).
+    offsets: Vec<u32>,
+    /// Flattened sorted neighbour lists.
+    targets: Vec<NodeId>,
+    /// Stable edge id of each directed slot (parallel to `targets`).
+    slot_edges: Vec<EdgeId>,
+    /// Endpoints `(u, v)` with `u < v`, indexed by edge id.
+    edge_list: Vec<(NodeId, NodeId)>,
 }
 
 impl Topology {
@@ -96,8 +126,33 @@ impl Topology {
                 back.insert(pos, NodeId(u));
             }
         }
-        let edge_count = adj.iter().map(|l| l.len()).sum::<usize>() / 2;
-        Topology { kind, adj, edge_count }
+        // Flatten to CSR and assign edge ids in (u, v), u < v order. For a
+        // back slot (u > v) the id was already assigned while walking v's
+        // list, and v < u means v's slice is fully built — look it up there.
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        let mut slot_edges = vec![EdgeId(0); total];
+        let mut edge_list = Vec::with_capacity(total / 2);
+        offsets.push(0u32);
+        for list in &adj {
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as u32);
+        }
+        for (u, list) in adj.iter().enumerate() {
+            let base = offsets[u] as usize;
+            for (slot, &v) in list.iter().enumerate() {
+                if (u as u32) < v.0 {
+                    slot_edges[base + slot] = EdgeId(edge_list.len() as u32);
+                    edge_list.push((NodeId(u as u32), v));
+                } else {
+                    let vbase = offsets[v.idx()] as usize;
+                    let pos = adj[v.idx()].binary_search(&NodeId(u as u32)).expect("symmetric");
+                    slot_edges[base + slot] = slot_edges[vbase + pos];
+                }
+            }
+        }
+        Topology { kind, offsets, targets, slot_edges, edge_list }
     }
 
     /// Builds from an explicit edge list over `n` nodes.
@@ -122,50 +177,81 @@ impl Topology {
 
     /// Number of nodes `|V|`.
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of undirected edges `|E|`.
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.edge_list.len()
     }
 
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.adj.len() as u32).map(NodeId)
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// The CSR slice bounds of `v`.
+    #[inline]
+    fn span(&self, v: NodeId) -> (usize, usize) {
+        (self.offsets[v.idx()] as usize, self.offsets[v.idx() + 1] as usize)
     }
 
     /// Neighbours of `v`, sorted ascending.
+    #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v.idx()]
+        let (lo, hi) = self.span(v);
+        &self.targets[lo..hi]
+    }
+
+    /// Edge ids of `v`'s links, parallel to [`Topology::neighbors`]: the
+    /// `k`-th entry is the undirected edge id of the link to the `k`-th
+    /// neighbour.
+    #[inline]
+    pub fn neighbor_edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        let (lo, hi) = self.span(v);
+        &self.slot_edges[lo..hi]
     }
 
     /// Degree of `v`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.idx()].len()
+        let (lo, hi) = self.span(v);
+        hi - lo
     }
 
     /// Maximum degree Δ.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(|l| l.len()).max().unwrap_or(0)
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Whether `u` and `v` share an edge.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj[u.idx()].binary_search(&v).is_ok()
+        self.neighbors(u).binary_search(&v).is_ok()
     }
 
-    /// All undirected edges as `(u, v)` with `u < v`.
+    /// The stable id of the `(u, v)` edge, if it exists. O(log deg) — no
+    /// hashing.
+    #[inline]
+    pub fn edge_index(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (lo, _) = self.span(u);
+        self.neighbors(u).binary_search(&v).ok().map(|pos| self.slot_edges[lo + pos])
+    }
+
+    /// Endpoints `(u, v)` of an edge, with `u < v`.
+    #[inline]
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edge_list[e.idx()]
+    }
+
+    /// All undirected edges as `(u, v)` with `u < v`, indexed by edge id.
+    /// Borrowed view — no allocation.
+    pub fn edge_slice(&self) -> &[(NodeId, NodeId)] {
+        &self.edge_list
+    }
+
+    /// All undirected edges as `(u, v)` with `u < v` (owned copy; prefer
+    /// [`Topology::edge_slice`] on hot paths).
     pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
-        let mut out = Vec::with_capacity(self.edge_count);
-        for u in self.nodes() {
-            for &v in self.neighbors(u) {
-                if u < v {
-                    out.push((u, v));
-                }
-            }
-        }
-        out
+        self.edge_list.clone()
     }
 
     /// BFS hop distances from `from`; unreachable nodes get `usize::MAX`.
@@ -188,7 +274,7 @@ impl Topology {
 
     /// Whether the graph is connected (empty graphs count as connected).
     pub fn is_connected(&self) -> bool {
-        if self.adj.is_empty() {
+        if self.node_count() == 0 {
             return true;
         }
         self.bfs_distances(NodeId(0)).iter().all(|&d| d != usize::MAX)
@@ -197,7 +283,7 @@ impl Topology {
     /// The diameter (max over all pairs of hop distance); `None` when
     /// disconnected or empty.
     pub fn diameter(&self) -> Option<usize> {
-        if self.adj.is_empty() {
+        if self.node_count() == 0 {
             return None;
         }
         let mut best = 0;
@@ -279,5 +365,40 @@ mod tests {
         let t = Topology::from_edges(0, &[]);
         assert!(t.is_connected());
         assert_eq!(t.diameter(), None);
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_stable() {
+        let t = Topology::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        // Ids cover 0..edge_count, assigned in (u, v) u < v order.
+        for (i, &(u, v)) in t.edge_slice().iter().enumerate() {
+            assert!(u < v);
+            assert_eq!(t.edge_index(u, v), Some(EdgeId(i as u32)));
+            assert_eq!(t.edge_index(v, u), Some(EdgeId(i as u32)), "symmetric lookup");
+            assert_eq!(t.edge_endpoints(EdgeId(i as u32)), (u, v));
+        }
+        assert_eq!(t.edge_slice().len(), t.edge_count());
+        assert_eq!(t.edge_index(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn neighbor_edge_ids_parallel_to_neighbors() {
+        let t = Topology::from_edges(5, &[(0, 1), (0, 2), (0, 4), (1, 2), (3, 4)]);
+        for u in t.nodes() {
+            let nbrs = t.neighbors(u);
+            let eids = t.neighbor_edge_ids(u);
+            assert_eq!(nbrs.len(), eids.len());
+            for (&v, &e) in nbrs.iter().zip(eids) {
+                assert_eq!(t.edge_index(u, v), Some(e));
+                let (a, b) = t.edge_endpoints(e);
+                assert!((a, b) == (u.min(v), u.max(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_matches_edge_slice() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(t.edges(), t.edge_slice().to_vec());
     }
 }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod coloring;
+pub mod edgeset;
 pub mod embedding;
 pub mod generators;
 pub mod graph;
@@ -37,9 +38,10 @@ pub mod spectral;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::coloring::EdgeColoring;
+    pub use crate::edgeset::EdgeBitSet;
     pub use crate::embedding::{embed, Point2};
-    pub use crate::graph::{NodeId, Topology, TopologyKind};
-    pub use crate::links::{LinkAttrs, LinkMap};
+    pub use crate::graph::{EdgeId, NodeId, Topology, TopologyKind};
+    pub use crate::links::{LinkAttrs, LinkMap, LinkTable};
     pub use crate::paths::{dijkstra, mean_path_weight, reachable_within, weighted_diameter};
     pub use crate::spectral::{optimal_diffusion_alpha, safe_diffusion_alpha};
 }

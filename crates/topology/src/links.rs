@@ -14,7 +14,7 @@
 //! link, the more likely it is to hit a fault, hence the heavier the link).
 
 use crate::embedding::Point2;
-use crate::graph::{NodeId, Topology};
+use crate::graph::{EdgeId, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -169,6 +169,59 @@ impl LinkMap {
     }
 }
 
+/// Edge-id-indexed link attributes: the hot-path view of a [`LinkMap`],
+/// flattened over a topology's stable edge ids so the per-tick loops address
+/// link attributes and precomputed weights by array index instead of hashing
+/// `(u, v)` pairs.
+#[derive(Debug, Clone)]
+pub struct LinkTable {
+    attrs: Vec<LinkAttrs>,
+}
+
+impl LinkTable {
+    /// Flattens `map` over `topo`'s edge ids.
+    ///
+    /// # Panics
+    /// Panics if any edge of `topo` is missing from `map`.
+    pub fn new(topo: &Topology, map: &LinkMap) -> Self {
+        let attrs = topo
+            .edge_slice()
+            .iter()
+            .map(|&(u, v)| *map.get(u, v).expect("link attributes missing for an edge"))
+            .collect();
+        LinkTable { attrs }
+    }
+
+    /// Attributes of the edge, by id.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> LinkAttrs {
+        self.attrs[e.idx()]
+    }
+
+    /// The whole edge-indexed attribute slice.
+    #[inline]
+    pub fn attrs(&self) -> &[LinkAttrs] {
+        &self.attrs
+    }
+
+    /// Precomputes the paper's `e_{i,j}` weight for every edge with the
+    /// configuration constant `c` — one `powf` per edge at build time
+    /// instead of one per neighbour per node per tick.
+    pub fn weights(&self, c: f64) -> Vec<f64> {
+        self.attrs.iter().map(|a| a.weight(c)).collect()
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +321,28 @@ mod tests {
     fn invalid_attrs_rejected() {
         let t = Topology::ring(3);
         let _ = LinkMap::uniform(&t, LinkAttrs { bandwidth: 0.0, distance: 1.0, fault_prob: 0.0 });
+    }
+
+    #[test]
+    fn link_table_matches_map() {
+        let t = Topology::torus(&[3, 3]);
+        let m = LinkMap::random(&t, 11, (0.5, 2.0), (1.0, 3.0), 0.2);
+        let table = LinkTable::new(&t, &m);
+        assert_eq!(table.len(), t.edge_count());
+        let weights = table.weights(2.0);
+        for (i, &(u, v)) in t.edge_slice().iter().enumerate() {
+            let e = t.edge_index(u, v).unwrap();
+            assert_eq!(table.get(e), *m.get(u, v).unwrap());
+            assert_eq!(weights[i], m.get(u, v).unwrap().weight(2.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "link attributes missing")]
+    fn link_table_rejects_partial_map() {
+        let t = Topology::ring(4);
+        let partial = LinkMap::uniform(&Topology::ring(3), LinkAttrs::default());
+        let _ = LinkTable::new(&t, &partial);
     }
 
     #[test]

@@ -126,7 +126,12 @@ fn parallel_decide_engine_matches_sequential() {
             .seed(31)
             .build();
         engine.run_rounds(120).drain(300.0);
-        engine.heights()
+        (engine.heights(), engine.report())
     };
-    assert_eq!(build(false), build(true));
+    let (h_seq, r_seq) = build(false);
+    let (h_par, r_par) = build(true);
+    assert_eq!(h_seq, h_par);
+    // Byte-identical reports: the persistent worker pool must not perturb
+    // the per-node RNG streams or the event ordering in any way.
+    assert_eq!(r_seq, r_par);
 }

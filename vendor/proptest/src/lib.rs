@@ -141,6 +141,24 @@ pub mod strategy {
 
     impl_strategy_float_range!(f32, f64);
 
+    macro_rules! impl_strategy_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_tuple!(A, B);
+    impl_strategy_tuple!(A, B, C);
+    impl_strategy_tuple!(A, B, C, D);
+
     /// Wraps a fixed value as a strategy (proptest's `Just`).
     #[derive(Clone, Debug)]
     pub struct Just<T: Clone>(pub T);

@@ -32,6 +32,50 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Object field lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (ints and uints widen); `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool; `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The array items; `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can be lowered to a JSON [`Value`].
 pub trait Serialize {
     /// Lowers `self` into the JSON value model.

@@ -1,22 +1,33 @@
 //! Vendored minimal stand-in for `serde_json`.
 //!
-//! Renders the `serde` stub's [`Value`] model to JSON text. Implements the
-//! two entry points the workspace uses: [`to_string`] and
-//! [`to_string_pretty`]. Non-finite floats render as `null`, matching the
-//! real serde_json's default behavior.
+//! Renders the `serde` stub's [`Value`] model to JSON text and parses JSON
+//! text back into it. Implements the entry points the workspace uses:
+//! [`to_string`], [`to_string_pretty`] and [`from_str`]. Non-finite floats
+//! render as `null`, matching the real serde_json's default behavior.
 
-use serde::{Serialize, Value};
+pub use serde::Value;
+
+use serde::Serialize;
 use std::fmt;
 
-/// Serialization error. The stub's rendering is total, so this is never
-/// produced, but the `Result` return keeps call sites source-compatible with
-/// the real serde_json.
+/// Serialization/deserialization error. Rendering is total; parsing reports
+/// the byte offset and a short description of the first problem found.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
+
+impl Error {
+    fn parse(offset: usize, msg: impl Into<String>) -> Self {
+        Error(format!("JSON parse error at byte {offset}: {}", msg.into()))
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialization error")
+        if self.0.is_empty() {
+            f.write_str("JSON serialization error")
+        } else {
+            f.write_str(&self.0)
+        }
     }
 }
 
@@ -109,6 +120,201 @@ fn write_seq<I, F>(
     out.push(close);
 }
 
+/// Parses JSON text into the [`Value`] model. Accepts exactly the grammar
+/// [`to_string`] emits (all of standard JSON except `\uXXXX` surrogate
+/// pairs, which decode per-escape).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(self.pos, format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(Error::parse(self.pos, "expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::parse(self.pos, "invalid \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error::parse(self.pos, "invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse(start, "invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) });
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse(start, format!("invalid number `{text}`")))
+    }
+}
+
 /// Writes `s` as a JSON string literal with the mandatory escapes.
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
@@ -128,7 +334,7 @@ fn write_escaped(s: &str, out: &mut String) {
 
 #[cfg(test)]
 mod tests {
-    use super::{to_string, to_string_pretty};
+    use super::{from_str, to_string, to_string_pretty};
     use serde::{Serialize, Value};
 
     struct Row {
@@ -179,5 +385,51 @@ mod tests {
     #[test]
     fn empty_containers() {
         assert_eq!(to_string_pretty(&Vec::<u8>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str(r#""hi\n\"x\"""#).unwrap(), Value::Str("hi\n\"x\"".into()));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = from_str(r#"{"a": [1, 2.0, {"b": null}], "c": "d"}"#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[1].as_f64(), Some(2.0));
+        assert!(matches!(a[2].get("b"), Some(Value::Null)));
+        assert_eq!(v.get("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let r = Row { name: "torus [4, 4]".into(), cov: 0.125, rounds: Some(10) };
+        let parsed = from_str(&to_string_pretty(&r).unwrap()).unwrap();
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("torus [4, 4]"));
+        assert_eq!(parsed.get("cov").unwrap().as_f64(), Some(0.125));
+        assert_eq!(parsed.get("rounds").unwrap().as_f64(), Some(10.0));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str(r#"{"a" 1}"#).is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn parse_unicode_escapes_and_raw() {
+        assert_eq!(from_str(r#""Aµ""#).unwrap(), Value::Str("Aµ".into()));
     }
 }
