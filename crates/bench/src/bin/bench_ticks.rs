@@ -15,7 +15,8 @@
 //! * `--baseline P` embed the `scenarios` of a previous output as
 //!   `baseline` and compute per-scenario speedups
 //! * `--check PATH` parse PATH as JSON and exit (0 = parses, 1 = does
-//!   not); no benchmark is run
+//!   not, with a missing file reported as `NOT FOUND` rather than a parse
+//!   error); no benchmark is run
 //!
 //! The benchmark also verifies that sequential and parallel decision sweeps
 //! produce identical run outcomes for the same seed (`reports_identical`).
@@ -153,16 +154,13 @@ fn main() {
         |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
 
     if let Some(path) = opt("--check") {
-        match std::fs::read_to_string(&path)
-            .map_err(|e| e.to_string())
-            .and_then(|t| serde_json::from_str(&t).map(|_| ()).map_err(|e| e.to_string()))
-        {
+        match pp_bench::check_json_file(&path) {
             Ok(()) => {
                 println!("{path}: OK (valid JSON)");
                 return;
             }
             Err(e) => {
-                eprintln!("{path}: INVALID: {e}");
+                eprintln!("{path}: {e}");
                 std::process::exit(1);
             }
         }

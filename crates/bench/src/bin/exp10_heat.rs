@@ -2,16 +2,13 @@
 //! systems the heat billed by the energy model (`Σ E_h`) must track the
 //! measured weighted traffic (`Σ size·e_{i,j}`) record-by-record
 //! (correlation ≈ 1) and in total (constant ratio `c₀·g·µ_k` when µ_k is
-//! uniform).
+//! uniform). Each system is one [`ScenarioSpec`] with a different
+//! `LinkSpec::Random` attribute envelope.
 
-use pp_bench::{banner, dump_json, run_once};
-use pp_core::balancer::ParticlePlaneBalancer;
-use pp_core::params::PhysicsConfig;
+use pp_bench::{banner, dump_json};
 use pp_metrics::summary::{fmt, TextTable};
-use pp_sim::engine::EngineConfig;
-use pp_tasking::workload::Workload;
-use pp_topology::graph::Topology;
-use pp_topology::links::LinkMap;
+use pp_scenario::spec::{DurationSpec, LinkSpec, ScenarioSpec, WorkloadSpec};
+use pp_topology::spec::TopologySpec;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -33,19 +30,16 @@ fn main() {
         ("heterogeneous distance", 3, (1.0, 1.0), (0.5, 3.0)),
         ("fully heterogeneous", 4, (0.5, 3.0), (0.5, 3.0)),
     ] {
-        let topo = Topology::torus(&[8, 8]);
-        let n = topo.node_count();
-        let links = LinkMap::random(&topo, seed, bw, d, 0.0);
-        let w = Workload::bimodal(n, 0.3, 6.3, 1.7, seed);
-        let r = run_once(
-            topo,
-            Some(links),
-            w,
-            Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())),
-            EngineConfig::default(),
-            300,
+        let spec = ScenarioSpec {
+            name: format!("e10-{}", name.replace(' ', "-")),
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            links: LinkSpec::Random { seed, bw, d, f_max: 0.0 },
+            workload: WorkloadSpec::Bimodal { fraction: 0.3, high: 6.3, low: 1.7, seed },
+            duration: DurationSpec { rounds: 300, drain: 1000.0 },
             seed,
-        );
+            ..ScenarioSpec::default()
+        };
+        let r = spec.run().expect("valid scenario");
         let heat = r.ledger.total_heat();
         let traffic = r.ledger.total_weighted_traffic();
         rows.push(Row {

@@ -1,15 +1,13 @@
 //! E12 — scalability: network sizes from 16 to 1024 nodes on square tori;
 //! rounds-to-balance, wall time per round, and traffic per node. Sizes run
-//! concurrently through the crossbeam sweep runner.
+//! concurrently through the crossbeam sweep runner; each size is the same
+//! [`ScenarioSpec`] with a different torus extent.
 
-use pp_bench::{banner, dump_json, initial_cov, run_once};
-use pp_core::balancer::ParticlePlaneBalancer;
-use pp_core::params::PhysicsConfig;
+use pp_bench::{banner, dump_json, initial_cov};
 use pp_metrics::summary::{fmt, TextTable};
-use pp_sim::engine::EngineConfig;
+use pp_scenario::spec::{DurationSpec, ScenarioSpec, WorkloadSpec};
 use pp_sim::parallel::par_map;
-use pp_tasking::workload::Workload;
-use pp_topology::graph::Topology;
+use pp_topology::spec::TopologySpec;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -29,21 +27,19 @@ fn main() {
     let rounds = 500u64;
 
     let rows: Vec<Row> = par_map(sides, 0, |side| {
-        let topo = Topology::torus(&[side, side]);
-        let n = topo.node_count();
-        // Same per-node mean everywhere: bimodal 25% hot.
-        let w = Workload::bimodal(n, 0.25, 8.0, 1.0, 7);
-        let init = initial_cov(&w);
+        let spec = ScenarioSpec {
+            name: format!("e12-torus-{side}x{side}"),
+            topology: TopologySpec::Torus { dims: vec![side, side] },
+            // Same per-node mean everywhere: bimodal 25% hot.
+            workload: WorkloadSpec::Bimodal { fraction: 0.25, high: 8.0, low: 1.0, seed: 7 },
+            duration: DurationSpec { rounds, drain: 1000.0 },
+            seed: 13,
+            ..ScenarioSpec::default()
+        };
+        let n = spec.topology.node_count();
+        let init = initial_cov(&spec.workload.build(n));
         let start = Instant::now();
-        let r = run_once(
-            topo,
-            None,
-            w,
-            Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())),
-            EngineConfig::default(),
-            rounds,
-            13,
-        );
+        let r = spec.run().expect("valid scenario");
         let wall = start.elapsed().as_secs_f64() * 1000.0;
         Row {
             nodes: n,

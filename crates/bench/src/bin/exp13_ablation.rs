@@ -1,17 +1,16 @@
 //! E13 — ablations of the paper's design choices (DESIGN.md §5): the
 //! stochastic arbiter vs deterministic steepest-descent, the in-motion
 //! (inertia) phase vs single-hop migration, and the `−2l` self-correction
-//! term vs the raw gradient.
+//! term vs the raw gradient. Each variant is one [`BalancerSpec`] inside
+//! an otherwise identical [`ScenarioSpec`].
 
-use pp_bench::{banner, dump_json, run_once};
+use pp_bench::{banner, dump_json};
 use pp_core::arbiter::Arbiter;
-use pp_core::balancer::ParticlePlaneBalancer;
 use pp_core::jitter::FrictionJitter;
 use pp_core::params::PhysicsConfig;
 use pp_metrics::summary::{fmt, Summary, TextTable};
-use pp_sim::engine::EngineConfig;
-use pp_tasking::workload::Workload;
-use pp_topology::graph::Topology;
+use pp_scenario::spec::{BalancerSpec, DurationSpec, ScenarioSpec, WorkloadSpec};
+use pp_topology::spec::TopologySpec;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -23,25 +22,22 @@ struct Row {
     conv05: Option<f64>,
 }
 
-fn variant(name: &str) -> ParticlePlaneBalancer {
+fn variant(name: &str) -> BalancerSpec {
     let base = PhysicsConfig::default();
+    let pp = |config: PhysicsConfig, arbiter: Option<Arbiter>| BalancerSpec::ParticlePlane {
+        config,
+        arbiter,
+        name: (name != "full").then(|| name.to_string()),
+    };
     match name {
-        "full" => ParticlePlaneBalancer::new(base),
-        "no-arbiter" => ParticlePlaneBalancer::new(base)
-            .with_arbiter(Arbiter::Deterministic)
-            .named("no-arbiter"),
-        "no-motion" => ParticlePlaneBalancer::new(PhysicsConfig { in_motion: false, ..base })
-            .named("no-motion"),
-        "no-self-correction" => {
-            ParticlePlaneBalancer::new(PhysicsConfig { self_correction: false, ..base })
-                .named("no-self-correction")
-        }
+        "full" => pp(base, None),
+        "no-arbiter" => pp(base, Some(Arbiter::Deterministic)),
+        "no-motion" => pp(PhysicsConfig { in_motion: false, ..base }, None),
+        "no-self-correction" => pp(PhysicsConfig { self_correction: false, ..base }, None),
         // §5.1's optional extension: annealed stochastic µ_s/µ_k.
-        "jittered-friction" => ParticlePlaneBalancer::new(PhysicsConfig {
-            jitter: Some(FrictionJitter::new(0.3, 3.0, 100.0)),
-            ..base
-        })
-        .named("jittered-friction"),
+        "jittered-friction" => {
+            pp(PhysicsConfig { jitter: Some(FrictionJitter::new(0.3, 3.0, 100.0)), ..base }, None)
+        }
         _ => unreachable!(),
     }
 }
@@ -50,6 +46,7 @@ fn main() {
     banner("E13", "ablations", "design choices of §5.1–5.2");
     let variants = ["full", "no-arbiter", "no-motion", "no-self-correction", "jittered-friction"];
     let seeds = [1u64, 2, 3, 4, 5];
+    let n = 64usize;
     let mut rows = Vec::new();
     for name in variants {
         let mut covs = Vec::new();
@@ -57,18 +54,16 @@ fn main() {
         let mut hops = Vec::new();
         let mut convs = Vec::new();
         for &seed in &seeds {
-            let topo = Topology::torus(&[8, 8]);
-            let n = topo.node_count();
-            let w = Workload::hotspot(n, 0, 2.0 * n as f64);
-            let r = run_once(
-                topo,
-                None,
-                w,
-                Box::new(variant(name)),
-                EngineConfig::default(),
-                400,
+            let spec = ScenarioSpec {
+                name: format!("e13-{name}-{seed}"),
+                topology: TopologySpec::Torus { dims: vec![8, 8] },
+                workload: WorkloadSpec::Hotspot { node: 0, total: 2.0 * n as f64, task_size: 1.0 },
+                balancer: variant(name),
+                duration: DurationSpec { rounds: 400, drain: 1000.0 },
                 seed,
-            );
+                ..ScenarioSpec::default()
+            };
+            let r = spec.run().expect("valid scenario");
             covs.push(r.final_imbalance.cov);
             aucs.push(r.series.auc());
             hops.push(r.ledger.migration_count() as f64);

@@ -4,12 +4,12 @@
 //! optimum minimises cumulative imbalance, so the E7 comparison really runs
 //! against the *best* diffusion.
 
-use pp_bench::{banner, dump_json, instant_links, run_once};
-use pp_core::baselines::DiffusionBalancer;
+use pp_bench::{banner, dump_json};
 use pp_metrics::summary::{fmt, TextTable};
-use pp_sim::engine::EngineConfig;
-use pp_tasking::workload::Workload;
-use pp_topology::graph::Topology;
+use pp_scenario::spec::{
+    BalancerSpec, DiffusionAlpha, DurationSpec, LinkSpec, ScenarioSpec, WorkloadSpec,
+};
+use pp_topology::spec::TopologySpec;
 use pp_topology::spectral::{lambda_2, lambda_max, optimal_diffusion_alpha};
 use serde::Serialize;
 
@@ -27,14 +27,14 @@ struct Row {
 
 fn main() {
     banner("E14", "Xu–Lau optimal diffusion parameter", "reference [19] (used by the E7 baseline)");
-    let topologies: Vec<(String, Topology)> = vec![
-        ("mesh 8×8".into(), Topology::mesh(&[8, 8])),
-        ("torus 8×8".into(), Topology::torus(&[8, 8])),
-        ("hypercube 6".into(), Topology::hypercube(6)),
+    let topologies: Vec<(String, TopologySpec)> = vec![
+        ("mesh 8×8".into(), TopologySpec::Mesh { dims: vec![8, 8] }),
+        ("torus 8×8".into(), TopologySpec::Torus { dims: vec![8, 8] }),
+        ("hypercube 6".into(), TopologySpec::Hypercube { dim: 6 }),
     ];
     let mut rows = Vec::new();
-    for (tname, topo) in topologies {
-        let n = topo.node_count();
+    for (tname, tspec) in topologies {
+        let topo = tspec.build();
         let a_opt = optimal_diffusion_alpha(&topo, 2000);
         let l2 = lambda_2(&topo, 2000);
         let lmax = lambda_max(&topo, 2000);
@@ -42,16 +42,17 @@ fn main() {
         for &factor in &[0.25, 0.5, 0.75, 1.0, 1.25, 1.5] {
             let alpha = (a_opt * factor).clamp(1e-6, 1.0);
             let gamma = (1.0 - alpha * l2).abs().max((1.0 - alpha * lmax).abs());
-            let w = Workload::uniform_random(n, 12.0, 9);
-            let r = run_once(
-                topo.clone(),
-                Some(instant_links(&topo)),
-                w,
-                Box::new(DiffusionBalancer::new(alpha)),
-                EngineConfig::default(),
-                150,
-                4,
-            );
+            let spec = ScenarioSpec {
+                name: format!("e14-{}-a{factor}", tspec.label().replace(' ', "-")),
+                topology: tspec.clone(),
+                links: LinkSpec::Instant,
+                workload: WorkloadSpec::UniformRandom { max_per_node: 12.0, seed: 9 },
+                balancer: BalancerSpec::Diffusion { alpha: DiffusionAlpha::Fixed(alpha) },
+                duration: DurationSpec { rounds: 150, drain: 1000.0 },
+                seed: 4,
+                ..ScenarioSpec::default()
+            };
+            let r = spec.run().expect("valid scenario");
             rows.push(Row {
                 topology: tname.clone(),
                 alpha,

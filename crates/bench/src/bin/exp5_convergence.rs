@@ -1,15 +1,13 @@
 //! E5 — Theorem 2: convergence to a nearly perfect balance. Runs the
 //! particle-plane balancer on every standard topology family × workload
 //! shape and reports the imbalance trajectory: initial CoV, rounds to
-//! CoV ≤ 0.5 and ≤ 0.3, and the final state.
+//! CoV ≤ 0.5 and ≤ 0.3, and the final state. The whole matrix is built
+//! declaratively: one [`ScenarioSpec`] per cell.
 
-use pp_bench::{banner, dump_json, initial_cov, run_once};
-use pp_core::balancer::ParticlePlaneBalancer;
-use pp_core::params::PhysicsConfig;
+use pp_bench::{banner, dump_json, initial_cov};
 use pp_metrics::summary::{fmt, TextTable};
-use pp_sim::engine::EngineConfig;
-use pp_tasking::workload::Workload;
-use pp_topology::graph::Topology;
+use pp_scenario::spec::{DurationSpec, ScenarioSpec, WorkloadSpec};
+use pp_topology::spec::TopologySpec;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -25,37 +23,37 @@ struct Row {
 
 fn main() {
     banner("E5", "convergence of the particle-plane scheme", "Theorem 2");
-    let topologies: Vec<(String, Topology)> = vec![
-        ("mesh 8×8".into(), Topology::mesh(&[8, 8])),
-        ("torus 8×8".into(), Topology::torus(&[8, 8])),
-        ("hypercube 6".into(), Topology::hypercube(6)),
-        ("ring 64".into(), Topology::ring(64)),
-        ("random 64".into(), Topology::random(64, 0.05, 3)),
+    let topologies = vec![
+        TopologySpec::Mesh { dims: vec![8, 8] },
+        TopologySpec::Torus { dims: vec![8, 8] },
+        TopologySpec::Hypercube { dim: 6 },
+        TopologySpec::Ring { n: 64 },
+        TopologySpec::Random { n: 64, p: 0.05, seed: 3 },
     ];
     let mut rows = Vec::new();
-    for (tname, topo) in topologies {
+    for topo in topologies {
         let n = topo.node_count();
         // Mean loads sit well above the friction floor (µ_s·e + 2l ≈ 3) so
         // the relative residual imbalance stays small.
-        let workloads: Vec<(String, Workload)> = vec![
-            ("hotspot".into(), Workload::hotspot(n, 0, 2.0 * n as f64)),
-            ("uniform-random".into(), Workload::uniform_random(n, 12.0, 5)),
-            ("bimodal".into(), Workload::bimodal(n, 0.25, 16.0, 2.0, 5)),
+        let workloads = vec![
+            WorkloadSpec::Hotspot { node: 0, total: 2.0 * n as f64, task_size: 1.0 },
+            WorkloadSpec::UniformRandom { max_per_node: 12.0, seed: 5 },
+            WorkloadSpec::Bimodal { fraction: 0.25, high: 16.0, low: 2.0, seed: 5 },
         ];
-        for (wname, w) in workloads {
-            let init = initial_cov(&w);
-            let r = run_once(
-                topo.clone(),
-                None,
-                w,
-                Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())),
-                EngineConfig::default(),
-                600,
-                11,
-            );
+        for workload in workloads {
+            let spec = ScenarioSpec {
+                name: format!("e5-{}-{}", topo.label().replace(' ', "-"), workload.label()),
+                topology: topo.clone(),
+                workload,
+                duration: DurationSpec { rounds: 600, drain: 1000.0 },
+                seed: 11,
+                ..ScenarioSpec::default()
+            };
+            let init = initial_cov(&spec.workload.build(n));
+            let r = spec.run().expect("valid scenario");
             rows.push(Row {
-                topology: tname.clone(),
-                workload: wname,
+                topology: spec.topology.label(),
+                workload: spec.workload.label().to_string(),
                 initial_cov: init,
                 final_cov: r.final_imbalance.cov,
                 rounds_to_05: r.converged_round(0.5, 3),

@@ -1,16 +1,14 @@
 //! E8 — §4.2's fault model: sweep per-transfer link fault probability and
 //! the dynamic up/down process; measure the effective link weight `e_{i,j}`
 //! (which the paper's formula inflates with fault exposure), balance
-//! quality, retries and traffic.
+//! quality, retries and traffic. Each sweep point is one [`ScenarioSpec`]
+//! differing only in its link/fault-plan fields.
 
-use pp_bench::{banner, dump_json, run_once};
-use pp_core::balancer::ParticlePlaneBalancer;
-use pp_core::params::PhysicsConfig;
+use pp_bench::{banner, dump_json};
 use pp_metrics::summary::{fmt, TextTable};
-use pp_sim::engine::{EngineConfig, FaultModel};
-use pp_tasking::workload::Workload;
-use pp_topology::graph::Topology;
-use pp_topology::links::{LinkAttrs, LinkMap};
+use pp_scenario::spec::{DurationSpec, FaultPlanSpec, LinkSpec, ScenarioSpec, WorkloadSpec};
+use pp_topology::links::LinkAttrs;
+use pp_topology::spec::TopologySpec;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,6 +24,7 @@ struct Row {
 
 fn main() {
     banner("E8", "fault tolerance", "§4.2 fault model (F matrix, e_{i,j} formula)");
+    let n = 64usize;
     let mut rows = Vec::new();
     for &(f, dynamic) in &[
         (0.0, false),
@@ -36,28 +35,21 @@ fn main() {
         (0.0, true),
         (0.1, true),
     ] {
-        let topo = Topology::torus(&[8, 8]);
-        let n = topo.node_count();
-        let attrs = LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: f };
-        let links = LinkMap::uniform(&topo, attrs);
-        let w = Workload::hotspot(n, 0, 2.0 * n as f64);
-        let config = EngineConfig {
-            fault_model: dynamic.then_some(FaultModel { p_down: 0.05, p_up: 0.4 }),
-            ..Default::default()
+        let spec = ScenarioSpec {
+            name: format!("e8-f{f}-{}", if dynamic { "dynamic" } else { "static" }),
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            links: LinkSpec::Uniform { bandwidth: 1.0, distance: 1.0, fault_prob: f },
+            workload: WorkloadSpec::Hotspot { node: 0, total: 2.0 * n as f64, task_size: 1.0 },
+            faults: FaultPlanSpec { model: dynamic.then_some((0.05, 0.4)) },
+            duration: DurationSpec { rounds: 400, drain: 1000.0 },
+            seed: 9,
+            ..ScenarioSpec::default()
         };
-        let r = run_once(
-            topo,
-            Some(links),
-            w,
-            Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())),
-            config,
-            400,
-            9,
-        );
+        let r = spec.run().expect("valid scenario");
         rows.push(Row {
             fault_prob: f,
             dynamic,
-            link_weight: attrs.weight(1.0),
+            link_weight: LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob: f }.weight(1.0),
             final_cov: r.final_imbalance.cov,
             hops: r.ledger.migration_count(),
             hop_faults: r.ledger.fault_count(),

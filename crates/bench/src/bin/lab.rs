@@ -1,0 +1,296 @@
+//! pp-lab — run any declarative scenario by name or from a JSON spec file
+//! and emit a deterministic golden report.
+//!
+//! ```text
+//! lab --list                          list registered scenarios
+//! lab <name> [--smoke] [--out PATH]   run one scenario, write its report
+//! lab --file SPEC.json [--smoke]      run a scenario from a JSON spec
+//! lab --spec <name>                   print a scenario's JSON spec
+//! lab --all --smoke --out-dir DIR     run every scenario, one report each
+//! lab --check PATH                    validate a golden-report JSON file
+//! lab --emit-golden DIR               write smoke goldens for the pinned set
+//! lab --verify-golden DIR             re-run the pinned set, byte-compare
+//! ```
+//!
+//! `--smoke` caps every run at a few rounds so the whole registry finishes
+//! in CI seconds; reports are byte-identical across same-seed runs (the
+//! scenario-matrix CI job runs everything twice and diffs). The *pinned*
+//! subset under `golden/` additionally catches behavioral drift: any
+//! engine/balancer change that alters an outcome shows up as a golden
+//! diff and must be re-committed deliberately.
+
+use pp_scenario::registry;
+use pp_scenario::report::GoldenReport;
+use pp_scenario::spec::ScenarioSpec;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Smoke caps: enough rounds to exercise arrivals/faults/speeds, few
+/// enough that all scenarios finish in seconds.
+const SMOKE_ROUNDS: u64 = 8;
+const SMOKE_DRAIN: f64 = 25.0;
+
+/// The pinned golden subset: one scenario per major subsystem (classic
+/// redistribution, new arrival models, trace replay, faults, speeds).
+const PINNED: &[&str] = &[
+    "hotspot-torus",
+    "bursty-onoff",
+    "diurnal-wave",
+    "moving-hotspot",
+    "hetero-speeds",
+    "trace-replay",
+    "faulty-torus",
+];
+
+fn run_to_report(spec: &ScenarioSpec, smoke: bool) -> Result<GoldenReport, String> {
+    let spec = if smoke { spec.smoke(SMOKE_ROUNDS, SMOKE_DRAIN) } else { spec.clone() };
+    let report = spec.run()?;
+    Ok(GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &report))
+}
+
+fn write_report(g: &GoldenReport, path: &Path) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    std::fs::write(path, g.to_canonical_json()).map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
+fn cmd_list() -> ExitCode {
+    let all = registry::registry();
+    println!("{} registered scenarios:\n", all.len());
+    for s in &all {
+        println!("  {}", s.summary());
+    }
+    println!("\nrun one with: lab <name> [--smoke] [--out PATH]");
+    ExitCode::SUCCESS
+}
+
+fn cmd_check(path: &str) -> ExitCode {
+    match pp_bench::read_artifact(path) {
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(text) => match GoldenReport::check_text(&text) {
+            Ok(name) => {
+                println!("{path}: OK (golden report for `{name}`)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+fn cmd_spec(name: &str) -> ExitCode {
+    match registry::by_name(name) {
+        Some(s) => {
+            println!("{}", s.to_json_pretty());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown scenario `{name}`; try --list");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(spec: &ScenarioSpec, smoke: bool, out: Option<&str>) -> ExitCode {
+    if let Err(e) = spec.validate() {
+        eprintln!("invalid scenario: {e}");
+        return ExitCode::FAILURE;
+    }
+    match run_to_report(spec, smoke) {
+        Ok(g) => {
+            println!(
+                "{}: {} rounds, final cov {:.4}, {} migrations, traffic {:.1}",
+                g.scenario, g.rounds, g.final_cov, g.migrations, g.weighted_traffic
+            );
+            if let Some(path) = out {
+                if let Err(e) = write_report(&g, Path::new(path)) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("[golden report: {path}]");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_all(smoke: bool, out_dir: Option<&str>) -> ExitCode {
+    let all = registry::registry();
+    println!("running {} scenarios ({}):", all.len(), if smoke { "smoke" } else { "full" });
+    for s in &all {
+        match run_to_report(s, smoke) {
+            Ok(g) => {
+                println!(
+                    "  {:28} rounds={:4} cov={:8.4} migrations={:6}",
+                    g.scenario, g.rounds, g.final_cov, g.migrations
+                );
+                if let Some(dir) = out_dir {
+                    let path = PathBuf::from(dir).join(format!("{}.json", s.name));
+                    if let Err(e) = write_report(&g, &path) {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {}: {e}", s.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(dir) = out_dir {
+        println!("[reports under {dir}/]");
+    }
+    ExitCode::SUCCESS
+}
+
+fn pinned_specs() -> Vec<ScenarioSpec> {
+    PINNED
+        .iter()
+        .map(|name| registry::by_name(name).unwrap_or_else(|| panic!("pinned `{name}` missing")))
+        .collect()
+}
+
+fn cmd_emit_golden(dir: &str) -> ExitCode {
+    for spec in pinned_specs() {
+        match run_to_report(&spec, true) {
+            Ok(g) => {
+                let path = PathBuf::from(dir).join(format!("{}.json", spec.name));
+                if let Err(e) = write_report(&g, &path) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("error: {}: {e}", spec.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify_golden(dir: &str) -> ExitCode {
+    let mut drifted = Vec::new();
+    for spec in pinned_specs() {
+        let path = PathBuf::from(dir).join(format!("{}.json", spec.name));
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{}: cannot read committed golden: {e}", path.display());
+                drifted.push(spec.name.clone());
+                continue;
+            }
+        };
+        let fresh = match run_to_report(&spec, true) {
+            Ok(g) => g.to_canonical_json(),
+            Err(e) => {
+                eprintln!("{}: run failed: {e}", spec.name);
+                drifted.push(spec.name.clone());
+                continue;
+            }
+        };
+        if fresh == committed {
+            println!("  {:28} OK", spec.name);
+        } else {
+            eprintln!("  {:28} DRIFT (report differs from {})", spec.name, path.display());
+            drifted.push(spec.name.clone());
+        }
+    }
+    if drifted.is_empty() {
+        println!("all {} pinned goldens match", PINNED.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\ngolden drift in {drifted:?}.\nIf the behavior change is intended, regenerate with: \
+             cargo run --release -p pp-bench --bin lab -- --emit-golden golden"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: lab --list\n       lab <name> [--smoke] [--out PATH]\n       lab --file SPEC.json \
+         [--smoke] [--out PATH]\n       lab --spec <name>\n       lab --all [--smoke] [--out-dir \
+         DIR]\n       lab --check PATH\n       lab --emit-golden DIR\n       lab --verify-golden \
+         DIR"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let smoke = flag("--smoke");
+
+    if flag("--list") {
+        return cmd_list();
+    }
+    if let Some(path) = opt("--check") {
+        return cmd_check(&path);
+    }
+    if let Some(name) = opt("--spec") {
+        return cmd_spec(&name);
+    }
+    if let Some(dir) = opt("--emit-golden") {
+        return cmd_emit_golden(&dir);
+    }
+    if let Some(dir) = opt("--verify-golden") {
+        return cmd_verify_golden(&dir);
+    }
+    if flag("--all") {
+        return cmd_all(smoke, opt("--out-dir").as_deref());
+    }
+    if let Some(path) = opt("--file") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let spec = match ScenarioSpec::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return cmd_run(&spec, smoke, opt("--out").as_deref());
+    }
+    // First non-flag argument that is not the value of a value-taking
+    // flag is the scenario name (`lab --out r.json hotspot-torus` and
+    // `lab hotspot-torus --out r.json` both work).
+    const VALUE_FLAGS: &[&str] =
+        &["--out", "--out-dir", "--file", "--check", "--spec", "--emit-golden", "--verify-golden"];
+    let name = args.iter().enumerate().find_map(|(i, a)| {
+        let is_flag_value = i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
+        (!a.starts_with("--") && !is_flag_value).then(|| a.clone())
+    });
+    match name {
+        Some(name) => match registry::by_name(&name) {
+            Some(spec) => cmd_run(&spec, smoke, opt("--out").as_deref()),
+            None => {
+                eprintln!("unknown scenario `{name}`; try --list");
+                ExitCode::FAILURE
+            }
+        },
+        None => usage(),
+    }
+}

@@ -58,6 +58,49 @@ pub fn banner(id: &str, title: &str, paper_ref: &str) {
     println!("    paper artifact: {paper_ref}\n");
 }
 
+/// Why a JSON artifact check failed: the file is absent/unreadable, or it
+/// exists but does not parse. The distinction matters for CI diagnostics —
+/// a parse error on a missing file sends people hunting for corruption
+/// that is not there.
+#[derive(Debug)]
+pub enum CheckError {
+    /// The path does not exist.
+    NotFound(String),
+    /// The path exists but cannot be read.
+    Unreadable(String),
+    /// The contents are not valid JSON.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::NotFound(e) => write!(f, "NOT FOUND ({e})"),
+            CheckError::Unreadable(e) => write!(f, "UNREADABLE ({e})"),
+            CheckError::Invalid(e) => write!(f, "INVALID: {e}"),
+        }
+    }
+}
+
+/// Reads an artifact file, classifying the failure as missing vs
+/// unreadable (the distinction [`CheckError`] exists for).
+pub fn read_artifact(path: &str) -> Result<String, CheckError> {
+    std::fs::read_to_string(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CheckError::NotFound(e.to_string())
+        } else {
+            CheckError::Unreadable(e.to_string())
+        }
+    })
+}
+
+/// Checks that `path` exists and parses as JSON, distinguishing a missing
+/// file from a corrupt one.
+pub fn check_json_file(path: &str) -> Result<(), CheckError> {
+    let text = read_artifact(path)?;
+    serde_json::from_str(&text).map(|_| ()).map_err(|e| CheckError::Invalid(e.to_string()))
+}
+
 /// Writes a JSON artifact for EXPERIMENTS.md bookkeeping. Failures to
 /// create the directory are reported but non-fatal (the table on stdout is
 /// the primary output).
@@ -114,5 +157,28 @@ mod tests {
     fn initial_cov_of_hotspot() {
         let w = Workload::hotspot(16, 0, 16.0);
         assert!(initial_cov(&w) > 3.0);
+    }
+
+    #[test]
+    fn check_json_file_distinguishes_failure_modes() {
+        let dir = std::env::temp_dir().join("pp-bench-check-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let missing = dir.join("no-such-file.json");
+        let _ = std::fs::remove_file(&missing);
+        match check_json_file(missing.to_str().unwrap()) {
+            Err(CheckError::NotFound(_)) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, "{ not json").unwrap();
+        match check_json_file(corrupt.to_str().unwrap()) {
+            Err(CheckError::Invalid(e)) => assert!(e.contains("parse error"), "{e}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+
+        let good = dir.join("good.json");
+        std::fs::write(&good, r#"{"a": [1, 2.5], "b": null}"#).unwrap();
+        assert!(check_json_file(good.to_str().unwrap()).is_ok());
     }
 }

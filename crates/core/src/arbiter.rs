@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Link-choice policy.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Arbiter {
     /// Always take the steepest feasible slope (the ablation baseline and
     /// the `t → ∞` limit of the stochastic rule).
@@ -43,12 +43,64 @@ impl Default for Arbiter {
     }
 }
 
+impl serde::Serialize for Arbiter {
+    fn to_value(&self) -> serde::Value {
+        match *self {
+            Arbiter::Deterministic => serde::Value::Object(vec![(
+                "kind".to_string(),
+                serde::Value::Str("deterministic".to_string()),
+            )]),
+            Arbiter::Stochastic { beta0, c, t_max } => serde::Value::Object(vec![
+                ("kind".to_string(), serde::Value::Str("stochastic".to_string())),
+                ("beta0".to_string(), beta0.to_value()),
+                ("c".to_string(), c.to_value()),
+                ("t_max".to_string(), t_max.to_value()),
+            ]),
+        }
+    }
+}
+
+impl serde::Deserialize for Arbiter {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let kind: String = v.field("kind")?;
+        let arbiter = match kind.as_str() {
+            "deterministic" => Arbiter::Deterministic,
+            "stochastic" => Arbiter::Stochastic {
+                beta0: v.field("beta0")?,
+                c: v.field("c")?,
+                t_max: v.field("t_max")?,
+            },
+            other => return Err(format!("unknown arbiter kind `{other}`")),
+        };
+        arbiter.validate()?;
+        Ok(arbiter)
+    }
+}
+
 /// Weight floor of the exploration draw: the flattest feasible link keeps
 /// this relative weight, realising the "rare probabilities for choosing the
 /// less steep slopes".
 const W_FLOOR: f64 = 0.1;
 
 impl Arbiter {
+    /// Validates the annealing parameter ranges — the single source of
+    /// truth shared by JSON deserialization and `pp-scenario` spec
+    /// validation.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Arbiter::Deterministic => Ok(()),
+            Arbiter::Stochastic { beta0, c, t_max } => {
+                if !(0.0..1.0).contains(&beta0) {
+                    return Err(format!("beta0 {beta0} not in [0, 1)"));
+                }
+                if !c.is_finite() || c <= 0.0 || !t_max.is_finite() || t_max <= 0.0 {
+                    return Err("arbiter decay rate and t_max must be finite and positive".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// The exploration probability `β(t)` (0 for the deterministic rule).
     pub fn exploration(&self, t: f64) -> f64 {
         match *self {

@@ -22,7 +22,42 @@ pub struct FrictionJitter {
     pub t_max: f64,
 }
 
+impl serde::Serialize for FrictionJitter {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("amplitude".to_string(), self.amplitude.to_value()),
+            ("c".to_string(), self.c.to_value()),
+            ("t_max".to_string(), self.t_max.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for FrictionJitter {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let jitter = FrictionJitter {
+            amplitude: v.field("amplitude")?,
+            c: v.field("c")?,
+            t_max: v.field("t_max")?,
+        };
+        jitter.validate()?;
+        Ok(jitter)
+    }
+}
+
 impl FrictionJitter {
+    /// Validates the parameter ranges — the single source of truth shared
+    /// by [`FrictionJitter::new`], JSON deserialization and
+    /// `PhysicsConfig::validate`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.amplitude) {
+            return Err(format!("jitter amplitude {} not in [0, 1)", self.amplitude));
+        }
+        if !self.c.is_finite() || self.c <= 0.0 || !self.t_max.is_finite() || self.t_max <= 0.0 {
+            return Err("jitter decay rate and t_max must be finite and positive".into());
+        }
+        Ok(())
+    }
+
     /// Creates a jitter model.
     ///
     /// # Panics

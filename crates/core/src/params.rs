@@ -19,7 +19,7 @@ use pp_topology::graph::NodeId;
 /// Configuration constants of the particle-plane balancer (the paper's
 /// "configuration parameters which describe the system's characteristics",
 /// §6).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhysicsConfig {
     /// Gravity `g` — scales all energies (default 1; only ratios matter).
     pub g: f64,
@@ -72,6 +72,45 @@ impl Default for PhysicsConfig {
     }
 }
 
+impl serde::Serialize for PhysicsConfig {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("g".to_string(), self.g.to_value()),
+            ("mu_s_base".to_string(), self.mu_s_base.to_value()),
+            ("c_task".to_string(), self.c_task.to_value()),
+            ("c_resource".to_string(), self.c_resource.to_value()),
+            ("c_mu".to_string(), self.c_mu.to_value()),
+            ("mu_k_min".to_string(), self.mu_k_min.to_value()),
+            ("c0".to_string(), self.c0.to_value()),
+            ("self_correction".to_string(), self.self_correction.to_value()),
+            ("in_motion".to_string(), self.in_motion.to_value()),
+            ("max_hops".to_string(), self.max_hops.to_value()),
+            ("jitter".to_string(), self.jitter.as_ref().map(|j| j.to_value()).to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for PhysicsConfig {
+    /// Lifts a config from JSON. Missing fields fall back to the default,
+    /// so a spec only needs to spell out what it overrides.
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let d = PhysicsConfig::default();
+        Ok(PhysicsConfig {
+            g: v.field_opt("g")?.unwrap_or(d.g),
+            mu_s_base: v.field_opt("mu_s_base")?.unwrap_or(d.mu_s_base),
+            c_task: v.field_opt("c_task")?.unwrap_or(d.c_task),
+            c_resource: v.field_opt("c_resource")?.unwrap_or(d.c_resource),
+            c_mu: v.field_opt("c_mu")?.unwrap_or(d.c_mu),
+            mu_k_min: v.field_opt("mu_k_min")?.unwrap_or(d.mu_k_min),
+            c0: v.field_opt("c0")?.unwrap_or(d.c0),
+            self_correction: v.field_opt("self_correction")?.unwrap_or(d.self_correction),
+            in_motion: v.field_opt("in_motion")?.unwrap_or(d.in_motion),
+            max_hops: v.field_opt("max_hops")?.unwrap_or(d.max_hops),
+            jitter: v.field_opt("jitter")?,
+        })
+    }
+}
+
 impl PhysicsConfig {
     /// Validates constant ranges.
     pub fn validate(&self) -> Result<(), String> {
@@ -86,6 +125,9 @@ impl PhysicsConfig {
         }
         if !self.c0.is_finite() || self.c0 <= 0.0 {
             return Err("c0 must be > 0".into());
+        }
+        if let Some(jitter) = &self.jitter {
+            jitter.validate()?;
         }
         Ok(())
     }
@@ -154,6 +196,39 @@ mod tests {
     #[test]
     fn default_config_is_valid() {
         assert!(cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn physics_config_json_round_trip() {
+        use crate::jitter::FrictionJitter;
+        use serde::{Deserialize, Serialize};
+        let original = PhysicsConfig {
+            mu_s_base: 2.5,
+            c_mu: 0.75,
+            self_correction: false,
+            max_hops: 17,
+            jitter: Some(FrictionJitter::new(0.3, 3.0, 100.0)),
+            ..PhysicsConfig::default()
+        };
+        let value = original.to_value();
+        let back = PhysicsConfig::from_value(&value).expect("lift");
+        assert_eq!(back.mu_s_base, original.mu_s_base);
+        assert_eq!(back.c_mu, original.c_mu);
+        assert_eq!(back.self_correction, original.self_correction);
+        assert_eq!(back.max_hops, original.max_hops);
+        assert_eq!(back.jitter, original.jitter);
+        // Byte-identical on a second lowering.
+        assert_eq!(value, back.to_value());
+    }
+
+    #[test]
+    fn physics_config_partial_json_uses_defaults() {
+        use serde::{Deserialize, Value};
+        let v = Value::Object(vec![("mu_s_base".to_string(), Value::Float(4.0))]);
+        let cfg = PhysicsConfig::from_value(&v).expect("lift");
+        assert_eq!(cfg.mu_s_base, 4.0);
+        assert_eq!(cfg.c_mu, PhysicsConfig::default().c_mu);
+        assert_eq!(cfg.jitter, None);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! The registry of named, validated scenarios: the paper's experiment
+//! setups plus the workload families the ROADMAP asks for (bursty ON/OFF,
+//! diurnal sine-wave, adversarial moving hotspot, heterogeneous node
+//! speeds, recorded-trace replay). Every entry is a plain [`ScenarioSpec`]
+//! — runnable from `pp-lab`, tests, benches and CI alike, and printable
+//! as JSON with `pp-lab <name> --spec`.
+
+use crate::spec::{
+    ArrivalSpec, BalancerSpec, DiffusionAlpha, DurationSpec, EngineKnobs, FaultPlanSpec, LinkSpec,
+    ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
+};
+use pp_tasking::workload::{record_trace, ArrivalProcess};
+use pp_topology::spec::TopologySpec;
+
+fn base(name: &str, description: &str) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.to_string(),
+        description: description.to_string(),
+        ..ScenarioSpec::default()
+    }
+}
+
+/// All registered scenarios, in display order. Names are unique; every
+/// entry validates (enforced by a test).
+pub fn registry() -> Vec<ScenarioSpec> {
+    // The replay scenario's recorded trace (deterministic per seed).
+    let trace = record_trace(
+        &ArrivalProcess::MovingHotspot { rate: 4.0, size: 1.0, dwell: 10.0, stride: 5 },
+        16,
+        60.0,
+        7,
+    );
+    let all = vec![
+        // 1. The paper's canonical worst case: one hill on a flat yard.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            workload: WorkloadSpec::Hotspot { node: 0, total: 128.0, task_size: 1.0 },
+            ..base("hotspot-torus", "single 128-unit hotspot on an 8x8 torus (Theorem 2 in action)")
+        },
+        // 2. Uniform random initial imbalance on a hypercube.
+        ScenarioSpec {
+            topology: TopologySpec::Hypercube { dim: 6 },
+            workload: WorkloadSpec::UniformRandom { max_per_node: 12.0, seed: 5 },
+            ..base("uniform-hypercube", "uniform-random loads on a 6-cube")
+        },
+        // 3. Bimodal split on a mesh (no wraparound shortcuts).
+        ScenarioSpec {
+            topology: TopologySpec::Mesh { dims: vec![8, 8] },
+            workload: WorkloadSpec::Bimodal { fraction: 0.25, high: 16.0, low: 2.0, seed: 5 },
+            ..base("bimodal-mesh", "25% of nodes at 16 units, the rest at 2, on an 8x8 mesh")
+        },
+        // 4. Linear ramp on a ring — the slowest-mixing family.
+        ScenarioSpec {
+            topology: TopologySpec::Ring { n: 32 },
+            workload: WorkloadSpec::Ramp { step: 0.5 },
+            duration: DurationSpec { rounds: 400, drain: 100.0 },
+            ..base("ramp-ring", "linear load ramp around a 32-ring (diameter-limited mixing)")
+        },
+        // 5. Heavy-tailed tasks over heterogeneous faulty links.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            links: LinkSpec::Random { seed: 21, bw: (0.5, 2.0), d: (0.5, 2.0), f_max: 0.02 },
+            workload: WorkloadSpec::Zipf { count: 1024, base: 1.0, skew: 0.3, seed: 21 },
+            duration: DurationSpec { rounds: 300, drain: 500.0 },
+            ..base("zipf-heterogeneous", "1024 zipf tasks over random link attributes")
+        },
+        // 6. Bursty ON/OFF arrivals against a consuming system.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![6, 6] },
+            arrival: ArrivalSpec::Bursty { rate: 12.0, burst_len: 5.0, quiet_len: 20.0, size: 1.0 },
+            engine: EngineKnobs { consume_rate: 0.3, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 500, drain: 100.0 },
+            ..base(
+                "bursty-onoff",
+                "ON/OFF arrival bursts (12/s for 5s, quiet 20s) with consumption",
+            )
+        },
+        // 7. Diurnal sine-wave load — the day/night cycle.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![6, 6] },
+            arrival: ArrivalSpec::Diurnal {
+                base_rate: 6.0,
+                amplitude: 0.8,
+                period: 100.0,
+                size_min: 0.5,
+                size_max: 1.5,
+            },
+            engine: EngineKnobs { consume_rate: 0.2, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 500, drain: 100.0 },
+            ..base(
+                "diurnal-wave",
+                "sine-wave arrival rate (amplitude 0.8, period 100) with consumption",
+            )
+        },
+        // 8. The adversarial moving hotspot: arrivals chase the balancer.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            arrival: ArrivalSpec::MovingHotspot { rate: 10.0, size: 1.0, dwell: 25.0, stride: 27 },
+            engine: EngineKnobs { consume_rate: 0.15, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 400, drain: 100.0 },
+            ..base("moving-hotspot", "all arrivals target one node that jumps every 25 time units")
+        },
+        // 9. Heterogeneous node speeds: fast nodes drain, slow nodes pile up.
+        ScenarioSpec {
+            topology: TopologySpec::Mesh { dims: vec![8, 8] },
+            workload: WorkloadSpec::UniformRandom { max_per_node: 10.0, seed: 9 },
+            arrival: ArrivalSpec::Poisson { rate: 6.0, size_min: 0.5, size_max: 1.5 },
+            speeds: SpeedSpec::TwoTier { fast_fraction: 0.25, fast: 3.0, slow: 0.75, seed: 9 },
+            engine: EngineKnobs { consume_rate: 0.25, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 400, drain: 100.0 },
+            ..base(
+                "hetero-speeds",
+                "25% of nodes consume 4x faster (two-tier speeds) under arrivals",
+            )
+        },
+        // 10. Recorded-trace replay: a moving-hotspot trace captured once,
+        // replayed record-for-record (the regression-testing workhorse).
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![4, 4] },
+            arrival: ArrivalSpec::Replay {
+                events: trace.iter().map(|ev| (ev.time, ev.node, ev.size)).collect(),
+            },
+            engine: EngineKnobs { consume_rate: 0.1, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 120, drain: 100.0 },
+            ..base("trace-replay", "replays a recorded 60-time-unit moving-hotspot arrival trace")
+        },
+        // 11. Fault tolerance: per-transfer faults + dynamic up/down links.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            links: LinkSpec::Uniform { bandwidth: 1.0, distance: 1.0, fault_prob: 0.1 },
+            workload: WorkloadSpec::Bimodal { fraction: 0.25, high: 6.0, low: 0.5, seed: 11 },
+            faults: FaultPlanSpec { model: Some((0.05, 0.5)) },
+            duration: DurationSpec { rounds: 250, drain: 200.0 },
+            ..base("faulty-torus", "10% per-transfer link faults plus a Markov up/down process")
+        },
+        // 12. Dependency pipeline: chained tasks resist migration.
+        ScenarioSpec {
+            topology: TopologySpec::Mesh { dims: vec![4, 4] },
+            workload: WorkloadSpec::Hotspot { node: 0, total: 32.0, task_size: 1.0 },
+            task_graph: TaskGraphSpec::Chain { count: 16, weight: 8.0 },
+            duration: DurationSpec { rounds: 200, drain: 200.0 },
+            ..base("dependency-pipeline", "16 chained + 16 free tasks on one node of a 4x4 mesh")
+        },
+        // 13. Resource pinning: half the hotspot is nailed to its node.
+        ScenarioSpec {
+            topology: TopologySpec::Mesh { dims: vec![4, 4] },
+            workload: WorkloadSpec::Hotspot { node: 0, total: 32.0, task_size: 1.0 },
+            resources: ResourceSpec::PinFirst { count: 16, node: 0, strength: 8.0 },
+            duration: DurationSpec { rounds: 200, drain: 200.0 },
+            ..base("pinned-resources", "16 of 32 hotspot tasks pinned to node 0 (µ_s ∝ R_{k,i})")
+        },
+        // 14. Classical baseline: Xu–Lau optimal diffusion on the same hotspot.
+        ScenarioSpec {
+            topology: TopologySpec::Mesh { dims: vec![8, 8] },
+            links: LinkSpec::Instant,
+            workload: WorkloadSpec::Hotspot { node: 0, total: 128.0, task_size: 1.0 },
+            balancer: BalancerSpec::Diffusion { alpha: DiffusionAlpha::Optimal },
+            ..base("diffusion-baseline", "Xu-Lau optimal diffusion on the mesh hotspot (reference)")
+        },
+        // 15. Classical baseline: dimension exchange on its home topology.
+        ScenarioSpec {
+            topology: TopologySpec::Hypercube { dim: 5 },
+            links: LinkSpec::Instant,
+            workload: WorkloadSpec::UniformRandom { max_per_node: 12.0, seed: 3 },
+            balancer: BalancerSpec::DimensionExchange,
+            ..base("dimension-exchange-cube", "Cybenko dimension exchange on a 5-cube (reference)")
+        },
+        // 16. Big parallel sweep: the 1k-node scale point with the parallel
+        // decision path on (what bench_ticks measures, as a scenario).
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![32, 32] },
+            workload: WorkloadSpec::UniformRandom { max_per_node: 10.0, seed: 42 },
+            engine: EngineKnobs { parallel_decide: true, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 100, drain: 100.0 },
+            ..base("torus1k-parallel", "1024-node torus with the parallel decision sweep")
+        },
+    ];
+    all
+}
+
+/// Looks a scenario up by name.
+pub fn by_name(name: &str) -> Option<ScenarioSpec> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// All registered names, in display order.
+pub fn names() -> Vec<String> {
+    registry().into_iter().map(|s| s.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_is_large_and_unique() {
+        let all = registry();
+        assert!(all.len() >= 10, "registry has only {} scenarios", all.len());
+        let names: HashSet<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), all.len(), "duplicate scenario names");
+        // The ROADMAP-mandated workload families are all present.
+        for required in
+            ["bursty-onoff", "diurnal-wave", "moving-hotspot", "hetero-speeds", "trace-replay"]
+        {
+            assert!(names.contains(required), "missing required scenario `{required}`");
+        }
+    }
+
+    #[test]
+    fn every_entry_validates() {
+        for s in registry() {
+            s.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn every_entry_builds_an_engine() {
+        for s in registry() {
+            let engine = s.build_engine().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(engine.state().node_count(), s.topology.node_count(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("hotspot-torus").is_some());
+        assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn invalid_arbiter_fails_validation_and_parse_alike() {
+        // validate() and the JSON Deserialize path share Arbiter::validate,
+        // so a spec cannot pass one and fail the other.
+        use pp_core::arbiter::Arbiter;
+        use pp_core::params::PhysicsConfig;
+        let mut s = by_name("hotspot-torus").expect("registered");
+        s.balancer = BalancerSpec::ParticlePlane {
+            config: PhysicsConfig::default(),
+            arbiter: Some(Arbiter::Stochastic { beta0: 1.5, c: -1.0, t_max: 0.0 }),
+            name: None,
+        };
+        assert!(s.validate().is_err());
+        assert!(ScenarioSpec::from_json(&s.to_json_pretty()).is_err());
+    }
+
+    #[test]
+    fn every_entry_round_trips_through_json() {
+        for s in registry() {
+            let json = s.to_json_pretty();
+            let back = ScenarioSpec::from_json(&json)
+                .unwrap_or_else(|e| panic!("{}: parse error {e}", s.name));
+            assert_eq!(back, s, "{} did not round-trip", s.name);
+            // And the re-serialization is byte-identical.
+            assert_eq!(back.to_json_pretty(), json, "{} JSON not canonical", s.name);
+        }
+    }
+
+    #[test]
+    fn smoke_runs_are_deterministic_per_seed() {
+        // Every registered scenario, in miniature: two same-seed runs must
+        // be outcome-identical (RunReport implements PartialEq over every
+        // recorded artifact).
+        for s in registry() {
+            let small = s.smoke(3, 10.0);
+            let a = small.run().unwrap_or_else(|e| panic!("{e}"));
+            let b = small.run().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(a, b, "{} diverged across same-seed runs", s.name);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The golden report: a deterministic, byte-stable JSON rendering of a
+//! scenario run. Two runs of the same spec must produce byte-identical
+//! golden reports (floats render value-exactly via the vendored writer),
+//! which is what the CI scenario matrix asserts; a pinned subset is
+//! committed under `golden/` and diffed on every push.
+
+use pp_sim::engine::RunReport;
+use serde::Serialize;
+
+/// Everything observable about a finished run, flattened for JSON. Field
+/// order is fixed — the report is compared byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GoldenReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy display name.
+    pub balancer: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Balance rounds executed.
+    pub rounds: u64,
+    /// Final simulation time.
+    pub time: f64,
+    /// Final coefficient of variation of the height map.
+    pub final_cov: f64,
+    /// Final mean height.
+    pub final_mean: f64,
+    /// Final max−min height spread.
+    pub final_spread: f64,
+    /// Migration hops recorded.
+    pub migrations: usize,
+    /// Total load moved across links.
+    pub load_moved: f64,
+    /// Σ size·e_{i,j} over all hops.
+    pub weighted_traffic: f64,
+    /// Σ E_h billed by the energy model.
+    pub heat: f64,
+    /// Hops that hit at least one link fault.
+    pub hop_faults: usize,
+    /// Resident load at the end.
+    pub total_load: f64,
+    /// Load still in flight at the end.
+    pub in_flight_load: f64,
+    /// Tasks completed by work consumption.
+    pub completed_tasks: usize,
+    /// The full CoV time series, `(time, cov)` per sample.
+    pub cov_series: Vec<(f64, f64)>,
+}
+
+impl GoldenReport {
+    /// Flattens a [`RunReport`].
+    pub fn from_run(scenario: &str, seed: u64, nodes: usize, r: &RunReport) -> GoldenReport {
+        GoldenReport {
+            scenario: scenario.to_string(),
+            balancer: r.balancer.clone(),
+            seed,
+            nodes,
+            rounds: r.rounds,
+            time: r.time,
+            final_cov: r.final_imbalance.cov,
+            final_mean: r.final_imbalance.mean,
+            final_spread: r.final_imbalance.spread,
+            migrations: r.ledger.migration_count(),
+            load_moved: r.ledger.total_load_moved(),
+            weighted_traffic: r.ledger.total_weighted_traffic(),
+            heat: r.ledger.total_heat(),
+            hop_faults: r.ledger.fault_count(),
+            total_load: r.total_load,
+            in_flight_load: r.in_flight_load,
+            completed_tasks: r.completed_tasks,
+            cov_series: r.series.points().to_vec(),
+        }
+    }
+
+    /// The canonical byte-stable rendering (pretty JSON + trailing
+    /// newline, so committed files diff cleanly).
+    pub fn to_canonical_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("report serialization is total");
+        s.push('\n');
+        s
+    }
+
+    /// Checks that `text` parses as a golden report: valid JSON carrying
+    /// every required field with the right shape. Returns the scenario
+    /// name.
+    pub fn check_text(text: &str) -> Result<String, String> {
+        let v = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let name: String = v.field("scenario")?;
+        for key in
+            ["balancer", "rounds", "time", "final_cov", "migrations", "total_load", "cov_series"]
+        {
+            if v.get(key).is_none() {
+                return Err(format!("missing field `{key}`"));
+            }
+        }
+        let _: Vec<(f64, f64)> = v.field("cov_series")?;
+        Ok(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn golden_report_is_byte_deterministic() {
+        let spec = registry::by_name("hotspot-torus").expect("registered").smoke(5, 20.0);
+        let a = spec.run().expect("run");
+        let b = spec.run().expect("run");
+        let ga = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &a);
+        let gb = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &b);
+        assert_eq!(ga, gb);
+        assert_eq!(ga.to_canonical_json(), gb.to_canonical_json());
+    }
+
+    #[test]
+    fn canonical_json_round_checks() {
+        let spec = registry::by_name("hotspot-torus").expect("registered").smoke(3, 10.0);
+        let r = spec.run().expect("run");
+        let g = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &r);
+        let text = g.to_canonical_json();
+        assert_eq!(GoldenReport::check_text(&text).expect("checks"), "hotspot-torus");
+        assert!(GoldenReport::check_text("{}").is_err());
+        assert!(GoldenReport::check_text("not json").is_err());
+    }
+}

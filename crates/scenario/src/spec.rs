@@ -1,0 +1,989 @@
+//! The declarative scenario schema: every knob of an experiment —
+//! topology, link attributes, initial workload, task-graph/resource
+//! affinities, balancing policy, dynamic arrivals, fault plan, node
+//! speeds, engine configuration and duration — as plain data that can be
+//! validated, serialized to JSON, diffed and replayed. See
+//! `docs/adr/ADR-003-scenario-subsystem.md` for the design discussion.
+
+use pp_core::arbiter::Arbiter;
+use pp_core::balancer::ParticlePlaneBalancer;
+use pp_core::baselines::{
+    CwnBalancer, DiffusionBalancer, DimensionExchangeBalancer, GradientModelBalancer,
+    RandomNeighborBalancer, SenderInitiatedBalancer,
+};
+use pp_core::params::PhysicsConfig;
+use pp_sim::balancer::{LoadBalancer, NullBalancer};
+use pp_sim::engine::{Engine, EngineBuilder, EngineConfig, FaultModel, RunReport};
+use pp_tasking::graph::TaskGraph;
+use pp_tasking::resources::ResourceMatrix;
+use pp_tasking::task::TaskId;
+use pp_tasking::workload::{validate_trace, ArrivalProcess, TraceEvent, Workload};
+use pp_topology::graph::{NodeId, Topology};
+use pp_topology::links::{LinkAttrs, LinkMap};
+use pp_topology::spec::TopologySpec;
+
+/// Per-link attribute selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkSpec {
+    /// Every link shares the same attributes.
+    Uniform {
+        /// Bandwidth (load units per time unit).
+        bandwidth: f64,
+        /// Physical length / base latency.
+        distance: f64,
+        /// Per-time-unit fault probability in `[0, 1)`.
+        fault_prob: f64,
+    },
+    /// Links fast enough that transfers land within the tick — the
+    /// synchronous assumption of the classical convergence analyses.
+    Instant,
+    /// Heterogeneous seeded random attributes.
+    Random {
+        /// Attribute seed.
+        seed: u64,
+        /// Bandwidth range `[min, max]`.
+        bw: (f64, f64),
+        /// Distance range `[min, max]`.
+        d: (f64, f64),
+        /// Fault probability upper bound.
+        f_max: f64,
+    },
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::Uniform { bandwidth: 1.0, distance: 1.0, fault_prob: 0.0 }
+    }
+}
+
+impl LinkSpec {
+    /// Parameter-range check (no topology needed).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            LinkSpec::Uniform { bandwidth, distance, fault_prob } => {
+                LinkAttrs { bandwidth, distance, fault_prob }.validate()
+            }
+            LinkSpec::Instant => Ok(()),
+            LinkSpec::Random { bw, d, f_max, .. } => {
+                if !(bw.0 > 0.0 && bw.1 >= bw.0) {
+                    return Err(format!("bad bandwidth range {bw:?}"));
+                }
+                if !(d.0 > 0.0 && d.1 >= d.0) {
+                    return Err(format!("bad distance range {d:?}"));
+                }
+                if !(0.0..1.0).contains(&f_max) {
+                    return Err(format!("fault bound {f_max} not in [0, 1)"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the link map for `topo`.
+    pub fn build(&self, topo: &Topology) -> LinkMap {
+        match *self {
+            LinkSpec::Uniform { bandwidth, distance, fault_prob } => {
+                LinkMap::uniform(topo, LinkAttrs { bandwidth, distance, fault_prob })
+            }
+            LinkSpec::Instant => LinkMap::uniform(
+                topo,
+                LinkAttrs { bandwidth: 1e9, distance: 1e-9, fault_prob: 0.0 },
+            ),
+            LinkSpec::Random { seed, bw, d, f_max } => LinkMap::random(topo, seed, bw, d, f_max),
+        }
+    }
+}
+
+/// Initial placement of load onto nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// No initial load (dynamic-arrival scenarios).
+    Empty,
+    /// All load on one node.
+    Hotspot {
+        /// The hot node.
+        node: usize,
+        /// Total load.
+        total: f64,
+        /// Task granularity.
+        task_size: f64,
+    },
+    /// Several equal hotspots.
+    MultiHotspot {
+        /// The hot nodes.
+        nodes: Vec<usize>,
+        /// Total load split evenly among them.
+        total: f64,
+    },
+    /// Independent uniform loads in `[0, max_per_node]`.
+    UniformRandom {
+        /// Per-node maximum.
+        max_per_node: f64,
+        /// Placement seed.
+        seed: u64,
+    },
+    /// A fraction of nodes get `high`, the rest `low`.
+    Bimodal {
+        /// Fraction of high nodes in `[0, 1]`.
+        fraction: f64,
+        /// High load.
+        high: f64,
+        /// Low load.
+        low: f64,
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Node `i` gets `i · step`.
+    Ramp {
+        /// Per-node increment.
+        step: f64,
+    },
+    /// Zipf-distributed task sizes dealt onto random nodes.
+    Zipf {
+        /// Number of tasks.
+        count: usize,
+        /// Largest task size.
+        base: f64,
+        /// Power-law skew.
+        skew: f64,
+        /// Placement seed.
+        seed: u64,
+    },
+    /// Explicit per-node load quantities.
+    Loads {
+        /// `loads[i]` goes to node `i` (length must match the topology).
+        loads: Vec<f64>,
+        /// Task granularity.
+        task_size: f64,
+    },
+    /// Explicit `(node, size)` task records (initial-placement replay).
+    Trace {
+        /// The records, in order.
+        records: Vec<(usize, f64)>,
+    },
+}
+
+impl WorkloadSpec {
+    /// Parameter check against a node count.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        match self {
+            WorkloadSpec::Empty => Ok(()),
+            WorkloadSpec::Hotspot { node, total, task_size } => {
+                if *node >= n {
+                    return Err(format!("hot node {node} out of range (n={n})"));
+                }
+                if *total < 0.0 || *task_size <= 0.0 {
+                    return Err("hotspot total must be ≥ 0 and task size > 0".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::MultiHotspot { nodes, total } => {
+                if nodes.is_empty() {
+                    return Err("multi-hotspot needs at least one node".into());
+                }
+                if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
+                    return Err(format!("hot node {bad} out of range (n={n})"));
+                }
+                if *total < 0.0 {
+                    return Err("total load must be ≥ 0".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::UniformRandom { max_per_node, .. } => {
+                if *max_per_node <= 0.0 {
+                    return Err("max_per_node must be > 0".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::Bimodal { fraction, high, low, .. } => {
+                if !(0.0..=1.0).contains(fraction) {
+                    return Err(format!("fraction {fraction} not in [0, 1]"));
+                }
+                if *high < 0.0 || *low < 0.0 {
+                    return Err("bimodal loads must be ≥ 0".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::Ramp { step } => {
+                if *step < 0.0 {
+                    return Err("ramp step must be ≥ 0".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::Zipf { count, base, skew, .. } => {
+                if *count == 0 || *base <= 0.0 || *skew < 0.0 {
+                    return Err("zipf needs count > 0, base > 0, skew ≥ 0".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::Loads { loads, task_size } => {
+                if loads.len() != n {
+                    return Err(format!("loads length {} ≠ node count {n}", loads.len()));
+                }
+                if loads.iter().any(|&l| l < 0.0 || !l.is_finite()) {
+                    return Err("loads must be finite and ≥ 0".into());
+                }
+                if *task_size <= 0.0 {
+                    return Err("task size must be > 0".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::Trace { records } => {
+                if let Some(&(bad, _)) = records.iter().find(|&&(v, _)| v >= n) {
+                    return Err(format!("trace node {bad} out of range (n={n})"));
+                }
+                if records.iter().any(|&(_, s)| s <= 0.0 || !s.is_finite()) {
+                    return Err("trace sizes must be finite and > 0".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the workload for `n` nodes.
+    pub fn build(&self, n: usize) -> Workload {
+        match self {
+            WorkloadSpec::Empty => Workload::from_loads(&vec![0.0; n], 1.0),
+            WorkloadSpec::Hotspot { node, total, task_size } => {
+                Workload::hotspot_sized(n, *node, *total, *task_size)
+            }
+            WorkloadSpec::MultiHotspot { nodes, total } => {
+                Workload::multi_hotspot(n, nodes, *total)
+            }
+            WorkloadSpec::UniformRandom { max_per_node, seed } => {
+                Workload::uniform_random(n, *max_per_node, *seed)
+            }
+            WorkloadSpec::Bimodal { fraction, high, low, seed } => {
+                Workload::bimodal(n, *fraction, *high, *low, *seed)
+            }
+            WorkloadSpec::Ramp { step } => Workload::ramp(n, *step),
+            WorkloadSpec::Zipf { count, base, skew, seed } => {
+                Workload::zipf(n, *count, *base, *skew, *seed)
+            }
+            WorkloadSpec::Loads { loads, task_size } => Workload::from_loads(loads, *task_size),
+            WorkloadSpec::Trace { records } => Workload::from_trace(n, records),
+        }
+    }
+
+    /// Short label for tables (`hotspot`, `bimodal`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadSpec::Empty => "empty",
+            WorkloadSpec::Hotspot { .. } => "hotspot",
+            WorkloadSpec::MultiHotspot { .. } => "multi-hotspot",
+            WorkloadSpec::UniformRandom { .. } => "uniform-random",
+            WorkloadSpec::Bimodal { .. } => "bimodal",
+            WorkloadSpec::Ramp { .. } => "ramp",
+            WorkloadSpec::Zipf { .. } => "zipf",
+            WorkloadSpec::Loads { .. } => "loads",
+            WorkloadSpec::Trace { .. } => "trace",
+        }
+    }
+}
+
+/// Task dependency structure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum TaskGraphSpec {
+    /// No dependencies.
+    #[default]
+    None,
+    /// The first `count` task ids (0..count) form a chain of the given
+    /// weight — the pipeline-stage pattern.
+    Chain {
+        /// Number of chained tasks.
+        count: u64,
+        /// Dependency weight between consecutive tasks.
+        weight: f64,
+    },
+}
+
+impl TaskGraphSpec {
+    /// Builds the task graph.
+    pub fn build(&self) -> TaskGraph {
+        match *self {
+            TaskGraphSpec::None => TaskGraph::new(),
+            TaskGraphSpec::Chain { count, weight } => {
+                let ids: Vec<TaskId> = (0..count).map(TaskId).collect();
+                TaskGraph::chain(&ids, weight)
+            }
+        }
+    }
+
+    /// Parameter check.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            TaskGraphSpec::None => Ok(()),
+            TaskGraphSpec::Chain { weight, .. } => {
+                if weight < 0.0 {
+                    return Err("chain weight must be ≥ 0".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Task-to-node resource affinities.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ResourceSpec {
+    /// No resource pins.
+    #[default]
+    None,
+    /// The first `count` task ids are pinned to `node` with the given
+    /// affinity strength.
+    PinFirst {
+        /// Number of pinned tasks (ids 0..count).
+        count: u64,
+        /// The node they are pinned to.
+        node: usize,
+        /// Affinity strength added to `µ_s` away from the node.
+        strength: f64,
+    },
+}
+
+impl ResourceSpec {
+    /// Builds the resource matrix.
+    pub fn build(&self) -> ResourceMatrix {
+        match *self {
+            ResourceSpec::None => ResourceMatrix::none(),
+            ResourceSpec::PinFirst { count, node, strength } => {
+                let mut res = ResourceMatrix::none();
+                for id in 0..count {
+                    res.set(TaskId(id), NodeId(node as u32), strength);
+                }
+                res
+            }
+        }
+    }
+
+    /// Parameter check against a node count.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        match *self {
+            ResourceSpec::None => Ok(()),
+            ResourceSpec::PinFirst { node, strength, .. } => {
+                if node >= n {
+                    return Err(format!("pin node {node} out of range (n={n})"));
+                }
+                if strength < 0.0 {
+                    return Err("pin strength must be ≥ 0".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Balancing policy selection. Policies that need the topology (diffusion's
+/// optimal α, dimension exchange's edge coloring) get it at build time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BalancerSpec {
+    /// The paper's particle-plane balancer.
+    ParticlePlane {
+        /// Physical constants.
+        config: PhysicsConfig,
+        /// Link-choice policy (None = the default annealed stochastic).
+        arbiter: Option<Arbiter>,
+        /// Display-name override.
+        name: Option<String>,
+    },
+    /// Cybenko diffusion.
+    Diffusion {
+        /// Diffusion parameter choice.
+        alpha: DiffusionAlpha,
+    },
+    /// Cybenko dimension exchange over an edge coloring.
+    DimensionExchange,
+    /// Lin–Keller gradient model.
+    GradientModel {
+        /// Low-water mark.
+        low: f64,
+        /// High-water mark.
+        high: f64,
+    },
+    /// Shu–Kale contracting within a neighborhood.
+    Cwn {
+        /// Imbalance threshold.
+        threshold: f64,
+    },
+    /// Random-neighbor strawman.
+    RandomNeighbor {
+        /// Imbalance threshold.
+        threshold: f64,
+    },
+    /// Eager et al. sender-initiated threshold policy.
+    SenderInitiated {
+        /// Send threshold.
+        t_high: f64,
+        /// Accept threshold.
+        t_accept: f64,
+        /// Probe count.
+        probes: usize,
+    },
+    /// Do nothing (control runs).
+    Null,
+}
+
+/// How the diffusion parameter is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DiffusionAlpha {
+    /// Xu–Lau optimal `2/(λ₂+λ_max)`.
+    Optimal,
+    /// The always-stable `1/(deg_max+1)`.
+    Safe,
+    /// A fixed value.
+    Fixed(f64),
+}
+
+impl Default for BalancerSpec {
+    fn default() -> Self {
+        BalancerSpec::ParticlePlane { config: PhysicsConfig::default(), arbiter: None, name: None }
+    }
+}
+
+impl BalancerSpec {
+    /// Parameter check.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            BalancerSpec::ParticlePlane { config, arbiter, .. } => {
+                config.validate()?;
+                if let Some(a) = arbiter {
+                    a.validate()?;
+                }
+                Ok(())
+            }
+            BalancerSpec::Diffusion { alpha: DiffusionAlpha::Fixed(a) } => {
+                if !(*a > 0.0 && *a <= 1.0) {
+                    return Err(format!("diffusion α {a} not in (0, 1]"));
+                }
+                Ok(())
+            }
+            BalancerSpec::Diffusion { .. } | BalancerSpec::DimensionExchange => Ok(()),
+            BalancerSpec::GradientModel { low, high } => {
+                // Negated so NaN thresholds fail validation too.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(high > low) {
+                    return Err(format!("gradient-model low {low} must be < high {high}"));
+                }
+                Ok(())
+            }
+            BalancerSpec::Cwn { threshold } | BalancerSpec::RandomNeighbor { threshold } => {
+                if *threshold < 0.0 {
+                    return Err("threshold must be ≥ 0".into());
+                }
+                Ok(())
+            }
+            BalancerSpec::SenderInitiated { t_high, t_accept, probes } => {
+                // Negated so NaN thresholds fail validation too.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(t_high >= t_accept) {
+                    return Err(format!("t_high {t_high} must be ≥ t_accept {t_accept}"));
+                }
+                if *probes == 0 {
+                    return Err("need at least one probe".into());
+                }
+                Ok(())
+            }
+            BalancerSpec::Null => Ok(()),
+        }
+    }
+
+    /// Builds the policy for `topo`.
+    pub fn build(&self, topo: &Topology) -> Box<dyn LoadBalancer> {
+        match self {
+            BalancerSpec::ParticlePlane { config, arbiter, name } => {
+                let mut b = ParticlePlaneBalancer::new(*config);
+                if let Some(a) = arbiter {
+                    b = b.with_arbiter(*a);
+                }
+                if let Some(n) = name {
+                    b = b.named(n);
+                }
+                Box::new(b)
+            }
+            BalancerSpec::Diffusion { alpha } => Box::new(match alpha {
+                DiffusionAlpha::Optimal => DiffusionBalancer::optimal(topo),
+                DiffusionAlpha::Safe => DiffusionBalancer::safe(topo),
+                DiffusionAlpha::Fixed(a) => DiffusionBalancer::new(*a),
+            }),
+            BalancerSpec::DimensionExchange => Box::new(DimensionExchangeBalancer::new(topo)),
+            BalancerSpec::GradientModel { low, high } => {
+                Box::new(GradientModelBalancer::new(*low, *high))
+            }
+            BalancerSpec::Cwn { threshold } => Box::new(CwnBalancer::new(*threshold)),
+            BalancerSpec::RandomNeighbor { threshold } => {
+                Box::new(RandomNeighborBalancer::new(*threshold))
+            }
+            BalancerSpec::SenderInitiated { t_high, t_accept, probes } => {
+                Box::new(SenderInitiatedBalancer::new(*t_high, *t_accept, *probes))
+            }
+            BalancerSpec::Null => Box::new(NullBalancer),
+        }
+    }
+}
+
+/// Dynamic arrivals: either a stochastic process or a recorded trace
+/// replayed record-for-record (or both are absent for quiescent runs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum ArrivalSpec {
+    /// No arrivals.
+    #[default]
+    Quiescent,
+    /// Homogeneous Poisson arrivals (uniform target node).
+    Poisson {
+        /// Arrivals per time unit.
+        rate: f64,
+        /// Minimum task size.
+        size_min: f64,
+        /// Maximum task size.
+        size_max: f64,
+    },
+    /// ON/OFF bursts.
+    Bursty {
+        /// In-burst rate.
+        rate: f64,
+        /// Burst duration.
+        burst_len: f64,
+        /// Quiet duration.
+        quiet_len: f64,
+        /// Task size.
+        size: f64,
+    },
+    /// Sine-wave diurnal load.
+    Diurnal {
+        /// Mean rate over a period.
+        base_rate: f64,
+        /// Relative swing in `[0, 1]`.
+        amplitude: f64,
+        /// Cycle length.
+        period: f64,
+        /// Minimum task size.
+        size_min: f64,
+        /// Maximum task size.
+        size_max: f64,
+    },
+    /// Adversarial moving hotspot.
+    MovingHotspot {
+        /// Arrival rate.
+        rate: f64,
+        /// Task size.
+        size: f64,
+        /// Dwell time per node.
+        dwell: f64,
+        /// Node stride between dwells.
+        stride: u32,
+    },
+    /// Replay a recorded `(time, node, size)` trace.
+    Replay {
+        /// The records.
+        events: Vec<(f64, u32, f64)>,
+    },
+}
+
+impl ArrivalSpec {
+    /// Parameter check against a node count.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        match self {
+            ArrivalSpec::Quiescent => Ok(()),
+            ArrivalSpec::Poisson { rate, size_min, size_max } => {
+                if !(*rate > 0.0 && *size_min > 0.0 && size_max >= size_min) {
+                    return Err("poisson needs rate > 0 and 0 < size_min ≤ size_max".into());
+                }
+                Ok(())
+            }
+            ArrivalSpec::Bursty { rate, burst_len, quiet_len, size } => {
+                if !(*rate > 0.0 && *burst_len > 0.0 && *quiet_len >= 0.0 && *size > 0.0) {
+                    return Err("bursty needs rate, burst_len, size > 0 and quiet_len ≥ 0".into());
+                }
+                Ok(())
+            }
+            ArrivalSpec::Diurnal { base_rate, amplitude, period, size_min, size_max } => {
+                if !(*base_rate > 0.0 && *period > 0.0) {
+                    return Err("diurnal needs base_rate and period > 0".into());
+                }
+                if !(0.0..=1.0).contains(amplitude) {
+                    return Err(format!("diurnal amplitude {amplitude} not in [0, 1]"));
+                }
+                if !(*size_min > 0.0 && size_max >= size_min) {
+                    return Err("diurnal needs 0 < size_min ≤ size_max".into());
+                }
+                Ok(())
+            }
+            ArrivalSpec::MovingHotspot { rate, size, dwell, .. } => {
+                if !(*rate > 0.0 && *size > 0.0 && *dwell > 0.0) {
+                    return Err("moving hotspot needs rate, size, dwell > 0".into());
+                }
+                Ok(())
+            }
+            ArrivalSpec::Replay { events } => {
+                let trace: Vec<TraceEvent> = events
+                    .iter()
+                    .map(|&(time, node, size)| TraceEvent { time, node, size })
+                    .collect();
+                validate_trace(&trace, n)
+            }
+        }
+    }
+
+    /// The `(process, trace)` pair the engine builder consumes: replay
+    /// scenarios yield a trace and a quiescent process, everything else a
+    /// process and an empty trace.
+    pub fn build(&self) -> (ArrivalProcess, Vec<TraceEvent>) {
+        match self {
+            ArrivalSpec::Quiescent => (ArrivalProcess::Quiescent, Vec::new()),
+            ArrivalSpec::Poisson { rate, size_min, size_max } => (
+                ArrivalProcess::Poisson { rate: *rate, size_min: *size_min, size_max: *size_max },
+                Vec::new(),
+            ),
+            ArrivalSpec::Bursty { rate, burst_len, quiet_len, size } => (
+                ArrivalProcess::Bursty {
+                    rate: *rate,
+                    burst_len: *burst_len,
+                    quiet_len: *quiet_len,
+                    size: *size,
+                },
+                Vec::new(),
+            ),
+            ArrivalSpec::Diurnal { base_rate, amplitude, period, size_min, size_max } => (
+                ArrivalProcess::Diurnal {
+                    base_rate: *base_rate,
+                    amplitude: *amplitude,
+                    period: *period,
+                    size_min: *size_min,
+                    size_max: *size_max,
+                },
+                Vec::new(),
+            ),
+            ArrivalSpec::MovingHotspot { rate, size, dwell, stride } => (
+                ArrivalProcess::MovingHotspot {
+                    rate: *rate,
+                    size: *size,
+                    dwell: *dwell,
+                    stride: *stride,
+                },
+                Vec::new(),
+            ),
+            ArrivalSpec::Replay { events } => (
+                ArrivalProcess::Quiescent,
+                events.iter().map(|&(time, node, size)| TraceEvent { time, node, size }).collect(),
+            ),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArrivalSpec::Quiescent => "quiescent",
+            ArrivalSpec::Poisson { .. } => "poisson",
+            ArrivalSpec::Bursty { .. } => "bursty",
+            ArrivalSpec::Diurnal { .. } => "diurnal",
+            ArrivalSpec::MovingHotspot { .. } => "moving-hotspot",
+            ArrivalSpec::Replay { .. } => "trace-replay",
+        }
+    }
+}
+
+/// Per-node speed multipliers on the work-consumption rate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum SpeedSpec {
+    /// Homogeneous unit speed.
+    #[default]
+    Uniform,
+    /// A seeded-random fraction of nodes run fast, the rest slow.
+    TwoTier {
+        /// Fraction of fast nodes in `[0, 1]`.
+        fast_fraction: f64,
+        /// Fast-node multiplier.
+        fast: f64,
+        /// Slow-node multiplier.
+        slow: f64,
+        /// Assignment seed.
+        seed: u64,
+    },
+    /// Speeds ramp linearly from `min` (node 0) to `max` (node n−1).
+    LinearRamp {
+        /// Slowest multiplier.
+        min: f64,
+        /// Fastest multiplier.
+        max: f64,
+    },
+}
+
+impl SpeedSpec {
+    /// Parameter check.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            SpeedSpec::Uniform => Ok(()),
+            SpeedSpec::TwoTier { fast_fraction, fast, slow, .. } => {
+                if !(0.0..=1.0).contains(&fast_fraction) {
+                    return Err(format!("fast fraction {fast_fraction} not in [0, 1]"));
+                }
+                if !(fast > 0.0 && slow > 0.0) {
+                    return Err("speed multipliers must be > 0".into());
+                }
+                Ok(())
+            }
+            SpeedSpec::LinearRamp { min, max } => {
+                if !(min > 0.0 && max >= min) {
+                    return Err(format!("bad speed ramp [{min}, {max}]"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the speed vector for `n` nodes (empty = homogeneous, the
+    /// engine's fast path).
+    pub fn build(&self, n: usize) -> Vec<f64> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        match *self {
+            SpeedSpec::Uniform => Vec::new(),
+            SpeedSpec::TwoTier { fast_fraction, fast, slow, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut idx: Vec<usize> = (0..n).collect();
+                // Fisher–Yates, matching the bimodal workload shuffle.
+                for i in (1..n).rev() {
+                    let j = rng.gen_range(0..=i);
+                    idx.swap(i, j);
+                }
+                let cut = (n as f64 * fast_fraction).round() as usize;
+                let mut speeds = vec![slow; n];
+                for &i in idx.iter().take(cut) {
+                    speeds[i] = fast;
+                }
+                speeds
+            }
+            SpeedSpec::LinearRamp { min, max } => {
+                if n == 1 {
+                    return vec![min];
+                }
+                (0..n).map(|i| min + (max - min) * i as f64 / (n - 1) as f64).collect()
+            }
+        }
+    }
+}
+
+/// The dynamic link up/down plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlanSpec {
+    /// Markov up/down process applied to every link each round.
+    pub model: Option<(f64, f64)>,
+}
+
+impl FaultPlanSpec {
+    /// Parameter check.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some((p_down, p_up)) = self.model {
+            if !(0.0..=1.0).contains(&p_down) || !(0.0..=1.0).contains(&p_up) {
+                return Err(format!("fault probabilities ({p_down}, {p_up}) not in [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The engine's fault model.
+    pub fn build(&self) -> Option<FaultModel> {
+        self.model.map(|(p_down, p_up)| FaultModel { p_down, p_up })
+    }
+}
+
+/// Engine knobs lifted straight into [`EngineConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineKnobs {
+    /// Interval between balance rounds.
+    pub tick: f64,
+    /// Link-weight constant `c`.
+    pub weight_c: f64,
+    /// Work consumed per node per time unit.
+    pub consume_rate: f64,
+    /// Transfer attempts per hop.
+    pub max_attempts: u32,
+    /// Parallel decision sweep.
+    pub parallel_decide: bool,
+}
+
+impl Default for EngineKnobs {
+    fn default() -> Self {
+        let d = EngineConfig::default();
+        EngineKnobs {
+            tick: d.tick,
+            weight_c: d.weight_c,
+            consume_rate: d.consume_rate,
+            max_attempts: d.max_attempts,
+            parallel_decide: d.parallel_decide,
+        }
+    }
+}
+
+impl EngineKnobs {
+    /// Parameter check.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.tick > 0.0 && self.tick.is_finite()) {
+            return Err(format!("tick {} must be finite and > 0", self.tick));
+        }
+        // Negated so a NaN weight constant fails validation too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.weight_c > 0.0) {
+            return Err("weight_c must be > 0".into());
+        }
+        if self.consume_rate < 0.0 {
+            return Err("consume_rate must be ≥ 0".into());
+        }
+        if self.max_attempts == 0 {
+            return Err("need at least one transfer attempt".into());
+        }
+        Ok(())
+    }
+}
+
+/// How long the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurationSpec {
+    /// Balance rounds to execute.
+    pub rounds: u64,
+    /// Extra drain time after the last round (lets in-flight loads land).
+    pub drain: f64,
+}
+
+impl Default for DurationSpec {
+    fn default() -> Self {
+        DurationSpec { rounds: 200, drain: 100.0 }
+    }
+}
+
+/// A complete, self-contained experiment description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Registry key (kebab-case) and display name.
+    pub name: String,
+    /// One-line description of what the scenario exercises.
+    pub description: String,
+    /// Network topology.
+    pub topology: TopologySpec,
+    /// Link attributes.
+    pub links: LinkSpec,
+    /// Initial load placement.
+    pub workload: WorkloadSpec,
+    /// Task dependency structure.
+    pub task_graph: TaskGraphSpec,
+    /// Resource pins.
+    pub resources: ResourceSpec,
+    /// Balancing policy.
+    pub balancer: BalancerSpec,
+    /// Dynamic arrivals.
+    pub arrival: ArrivalSpec,
+    /// Link up/down plan.
+    pub faults: FaultPlanSpec,
+    /// Node speed multipliers.
+    pub speeds: SpeedSpec,
+    /// Engine configuration.
+    pub engine: EngineKnobs,
+    /// Run length.
+    pub duration: DurationSpec,
+    /// Master seed for all randomness.
+    pub seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            name: "unnamed".to_string(),
+            description: String::new(),
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            links: LinkSpec::default(),
+            workload: WorkloadSpec::Empty,
+            task_graph: TaskGraphSpec::None,
+            resources: ResourceSpec::None,
+            balancer: BalancerSpec::default(),
+            arrival: ArrivalSpec::Quiescent,
+            faults: FaultPlanSpec::default(),
+            speeds: SpeedSpec::Uniform,
+            engine: EngineKnobs::default(),
+            duration: DurationSpec::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Validates every component and their cross-references.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario needs a name".into());
+        }
+        let wrap = |part: &str, e: String| format!("scenario `{}`: {part}: {e}", self.name);
+        self.topology.validate().map_err(|e| wrap("topology", e))?;
+        let n = self.topology.node_count();
+        self.links.validate().map_err(|e| wrap("links", e))?;
+        self.workload.validate(n).map_err(|e| wrap("workload", e))?;
+        self.task_graph.validate().map_err(|e| wrap("task_graph", e))?;
+        self.resources.validate(n).map_err(|e| wrap("resources", e))?;
+        self.balancer.validate().map_err(|e| wrap("balancer", e))?;
+        self.arrival.validate(n).map_err(|e| wrap("arrival", e))?;
+        self.faults.validate().map_err(|e| wrap("faults", e))?;
+        self.speeds.validate().map_err(|e| wrap("speeds", e))?;
+        self.engine.validate().map_err(|e| wrap("engine", e))?;
+        Ok(())
+    }
+
+    /// Builds a ready-to-run engine from the spec (validating first).
+    pub fn build_engine(&self) -> Result<Engine, String> {
+        self.validate()?;
+        let topo = self.topology.build();
+        let n = topo.node_count();
+        let links = self.links.build(&topo);
+        let workload = self.workload.build(n);
+        let (arrival, trace) = self.arrival.build();
+        let config = EngineConfig {
+            tick: self.engine.tick,
+            weight_c: self.engine.weight_c,
+            consume_rate: self.engine.consume_rate,
+            max_attempts: self.engine.max_attempts,
+            parallel_decide: self.engine.parallel_decide,
+            fault_model: self.faults.build(),
+            arrival,
+        };
+        let balancer = self.balancer.build(&topo);
+        Ok(EngineBuilder::new(topo)
+            .links(links)
+            .workload(workload)
+            .task_graph(self.task_graph.build())
+            .resources(self.resources.build())
+            .balancer_boxed(balancer)
+            .config(config)
+            .node_speeds(self.speeds.build(n))
+            .arrival_trace(trace)
+            .seed(self.seed)
+            .build())
+    }
+
+    /// Runs the scenario to completion: `duration.rounds` balance rounds
+    /// followed by a `duration.drain` network drain.
+    pub fn run(&self) -> Result<RunReport, String> {
+        let mut engine = self.build_engine()?;
+        engine.run_rounds(self.duration.rounds).drain(self.duration.drain);
+        Ok(engine.report())
+    }
+
+    /// A copy scaled down for CI smoke runs: at most `rounds` rounds and
+    /// `drain` drain time, everything else untouched.
+    pub fn smoke(&self, rounds: u64, drain: f64) -> ScenarioSpec {
+        let mut s = self.clone();
+        s.duration.rounds = s.duration.rounds.min(rounds);
+        s.duration.drain = s.duration.drain.min(drain);
+        s
+    }
+
+    /// One-line summary for `pp-lab --list`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:28} {:14} workload={:14} arrival={:14} n={:5} rounds={}",
+            self.name,
+            self.topology.label(),
+            self.workload.label(),
+            self.arrival.label(),
+            self.topology.node_count(),
+            self.duration.rounds,
+        )
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based `ScenarioSpec -> JSON -> ScenarioSpec` round-trips over
+//! randomized specs (the registry test covers the 16 curated entries; this
+//! covers the combinatorial space of variants and parameter values).
+
+use pp_scenario::spec::{
+    ArrivalSpec, BalancerSpec, DiffusionAlpha, DurationSpec, EngineKnobs, FaultPlanSpec, LinkSpec,
+    ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
+};
+use pp_topology::spec::TopologySpec;
+use proptest::prelude::*;
+
+fn topology_variant(idx: u8, n: usize) -> TopologySpec {
+    match idx % 6 {
+        0 => TopologySpec::Mesh { dims: vec![n.max(1), 3] },
+        1 => TopologySpec::Torus { dims: vec![n.max(3)] },
+        2 => TopologySpec::Hypercube { dim: (n % 6) + 1 },
+        3 => TopologySpec::Ring { n: n.max(3) },
+        4 => TopologySpec::Tree { arity: 2, depth: n % 4 },
+        _ => TopologySpec::Random { n: n.max(2), p: 0.1, seed: n as u64 },
+    }
+}
+
+fn workload_variant(idx: u8, x: f64, seed: u64) -> WorkloadSpec {
+    match idx % 6 {
+        0 => WorkloadSpec::Empty,
+        1 => WorkloadSpec::Hotspot { node: 0, total: x, task_size: 1.0 },
+        2 => WorkloadSpec::UniformRandom { max_per_node: x.max(0.1), seed },
+        3 => WorkloadSpec::Bimodal { fraction: 0.5, high: x, low: 0.0, seed },
+        4 => WorkloadSpec::Zipf { count: 10, base: x.max(0.1), skew: 1.0, seed },
+        _ => WorkloadSpec::Trace { records: vec![(0, x.max(0.1)), (0, 1.0)] },
+    }
+}
+
+fn arrival_variant(idx: u8, x: f64) -> ArrivalSpec {
+    let x = x.max(0.1);
+    match idx % 6 {
+        0 => ArrivalSpec::Quiescent,
+        1 => ArrivalSpec::Poisson { rate: x, size_min: 1.0, size_max: 2.0 },
+        2 => ArrivalSpec::Bursty { rate: x, burst_len: 1.0, quiet_len: x, size: 1.0 },
+        3 => ArrivalSpec::Diurnal {
+            base_rate: x,
+            amplitude: 0.5,
+            period: 10.0,
+            size_min: 0.5,
+            size_max: 1.5,
+        },
+        4 => ArrivalSpec::MovingHotspot { rate: x, size: 1.0, dwell: x, stride: 3 },
+        _ => ArrivalSpec::Replay { events: vec![(0.5, 0, x), (1.5, 0, 1.0)] },
+    }
+}
+
+fn balancer_variant(idx: u8, x: f64) -> BalancerSpec {
+    let x = x.max(0.1);
+    match idx % 6 {
+        0 => BalancerSpec::default(),
+        1 => BalancerSpec::Diffusion { alpha: DiffusionAlpha::Fixed((x / 100.0).clamp(0.01, 1.0)) },
+        2 => BalancerSpec::DimensionExchange,
+        3 => BalancerSpec::GradientModel { low: x, high: x + 1.0 },
+        4 => BalancerSpec::SenderInitiated { t_high: x + 1.0, t_accept: x, probes: 2 },
+        _ => BalancerSpec::Null,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn randomized_specs_round_trip(
+        t_idx in 0u8..6,
+        w_idx in 0u8..6,
+        a_idx in 0u8..6,
+        b_idx in 0u8..6,
+        n in 2usize..9,
+        x in 0.0f64..100.0,
+        seed in 0u64..10_000,
+        rounds in 1u64..5000,
+        fault in 0u8..2,
+        speed in 0u8..3,
+    ) {
+        let spec = ScenarioSpec {
+            name: format!("prop-{t_idx}-{w_idx}-{a_idx}-{b_idx}"),
+            description: "randomized round-trip case".to_string(),
+            topology: topology_variant(t_idx, n),
+            links: if seed % 2 == 0 {
+                LinkSpec::Instant
+            } else {
+                LinkSpec::Random { seed, bw: (0.5, 2.0), d: (0.5, 2.0), f_max: 0.1 }
+            },
+            workload: workload_variant(w_idx, x, seed),
+            task_graph: if seed % 3 == 0 {
+                TaskGraphSpec::Chain { count: n as u64, weight: x }
+            } else {
+                TaskGraphSpec::None
+            },
+            resources: if seed % 5 == 0 {
+                ResourceSpec::PinFirst { count: n as u64, node: 0, strength: x }
+            } else {
+                ResourceSpec::None
+            },
+            balancer: balancer_variant(b_idx, x),
+            arrival: arrival_variant(a_idx, x),
+            faults: FaultPlanSpec { model: (fault == 1).then_some((0.1, 0.5)) },
+            speeds: match speed {
+                0 => SpeedSpec::Uniform,
+                1 => SpeedSpec::TwoTier { fast_fraction: 0.5, fast: 2.0, slow: 0.5, seed },
+                _ => SpeedSpec::LinearRamp { min: 0.5, max: 2.0 },
+            },
+            engine: EngineKnobs { consume_rate: x / 100.0, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds, drain: x },
+            seed,
+        };
+        let json = spec.to_json_pretty();
+        let back = ScenarioSpec::from_json(&json).expect("round-trip parse");
+        prop_assert_eq!(&back, &spec);
+        // Canonical: a second lowering is byte-identical.
+        prop_assert_eq!(back.to_json_pretty(), json);
+    }
+}

@@ -26,7 +26,7 @@ use pp_metrics::series::TimeSeries;
 use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
 use pp_tasking::task::{Task, TaskIdGen};
-use pp_tasking::workload::{ArrivalProcess, Workload};
+use pp_tasking::workload::{validate_trace, ArrivalProcess, TraceEvent, Workload};
 use pp_topology::edgeset::EdgeBitSet;
 use pp_topology::graph::{EdgeId, NodeId, Topology};
 use pp_topology::links::{LinkAttrs, LinkMap};
@@ -156,6 +156,10 @@ pub struct Engine {
     scratch: ViewScratch,
     /// Lazily created persistent worker pool for `parallel_decide`.
     pool: Option<WorkerPool>,
+    /// Per-node speed multipliers on `consume_rate` (empty = homogeneous).
+    speeds: Vec<f64>,
+    /// Recorded arrival trace being replayed (indexed by `TraceArrival`).
+    trace: Vec<TraceEvent>,
     in_flight_load: f64,
     completed_tasks: usize,
 }
@@ -276,19 +280,24 @@ impl Engine {
                 Event::BalanceTick => unreachable!("ticks are driven by run_rounds"),
                 Event::LoadArrival { flight } => self.handle_arrival(flight),
                 Event::TaskArrival => self.handle_task_arrival(),
+                Event::TraceArrival { record } => self.handle_trace_arrival(record),
             }
         }
     }
 
-    /// Advances the clock to `t`, consuming work on every node.
+    /// Advances the clock to `t`, consuming work on every node (scaled by
+    /// the node's speed multiplier when heterogeneous speeds are set).
     fn advance_time_to(&mut self, t: f64) {
         let dt = t - self.time;
         debug_assert!(dt >= -1e-9, "time went backwards: {} -> {}", self.time, t);
         if dt > 0.0 && self.config.consume_rate > 0.0 {
             let amount = dt * self.config.consume_rate;
             for i in 0..self.state.node_count() {
-                let (done, _) = self.state.consume_work(NodeId(i as u32), amount);
-                self.completed_tasks += done;
+                let scaled = if self.speeds.is_empty() { amount } else { amount * self.speeds[i] };
+                if scaled > 0.0 {
+                    let (done, _) = self.state.consume_work(NodeId(i as u32), scaled);
+                    self.completed_tasks += done;
+                }
             }
         }
         self.time = self.time.max(t);
@@ -521,12 +530,19 @@ impl Engine {
         let n = self.state.node_count();
         if let Some((next, size)) = self.config.arrival.next_after(self.time, &mut self.engine_rng)
         {
-            // Current arrival: place a task on a uniformly random node.
-            let node = NodeId(self.engine_rng.gen_range(0..n as u32));
+            // Current arrival: the process picks the target (uniform for
+            // all processes except the moving hotspot).
+            let node = NodeId(self.config.arrival.target_node(self.time, n, &mut self.engine_rng));
             let task = Task::new(self.idgen.next_id(), size, node.0).created_at(self.time);
             self.state.add_task(node, task);
             self.queue.push(next, Event::TaskArrival);
         }
+    }
+
+    fn handle_trace_arrival(&mut self, record: usize) {
+        let ev = self.trace[record];
+        let task = Task::new(self.idgen.next_id(), ev.size, ev.node).created_at(self.time);
+        self.state.add_task(NodeId(ev.node), task);
     }
 }
 
@@ -539,6 +555,8 @@ pub struct EngineBuilder {
     resources: ResourceMatrix,
     balancer: Option<Box<dyn LoadBalancer>>,
     config: EngineConfig,
+    speeds: Vec<f64>,
+    trace: Vec<TraceEvent>,
     seed: u64,
 }
 
@@ -553,6 +571,8 @@ impl EngineBuilder {
             resources: ResourceMatrix::none(),
             balancer: None,
             config: EngineConfig::default(),
+            speeds: Vec::new(),
+            trace: Vec::new(),
             seed: 0,
         }
     }
@@ -599,6 +619,22 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets per-node speed multipliers on `consume_rate` — heterogeneous
+    /// processors where some nodes retire work faster than others. An empty
+    /// vector (the default) means homogeneous unit speed.
+    pub fn node_speeds(mut self, speeds: Vec<f64>) -> Self {
+        self.speeds = speeds;
+        self
+    }
+
+    /// Schedules a recorded arrival trace for replay: every record becomes
+    /// one arrival event at its absolute time, on its node, with its size.
+    /// Composes with the dynamic [`ArrivalProcess`] (both inject tasks).
+    pub fn arrival_trace(mut self, trace: Vec<TraceEvent>) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Sets the master seed for all randomness.
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
@@ -608,10 +644,23 @@ impl EngineBuilder {
     /// Builds the engine.
     ///
     /// # Panics
-    /// Panics if no balancer was provided or the workload size does not
-    /// match the topology.
+    /// Panics if no balancer was provided, the workload size does not match
+    /// the topology, the speed vector has the wrong length or non-positive
+    /// entries, or the arrival trace fails validation.
     pub fn build(self) -> Engine {
         let balancer = self.balancer.expect("a balancer is required");
+        if !self.speeds.is_empty() {
+            assert_eq!(
+                self.speeds.len(),
+                self.topo.node_count(),
+                "speed vector length must match the topology"
+            );
+            assert!(
+                self.speeds.iter().all(|&s| s.is_finite() && s > 0.0),
+                "node speeds must be finite and positive"
+            );
+        }
+        validate_trace(&self.trace, self.topo.node_count()).expect("invalid arrival trace");
         let links =
             self.links.unwrap_or_else(|| LinkMap::uniform(&self.topo, LinkAttrs::default()));
         let mut state = SystemState::new(self.topo, links, self.task_graph, self.resources);
@@ -661,12 +710,17 @@ impl EngineBuilder {
             decisions: (0..n).map(|_| Vec::new()).collect(),
             scratch: ViewScratch::new(),
             pool: None,
+            speeds: self.speeds,
+            trace: self.trace,
             in_flight_load: 0.0,
             completed_tasks: 0,
         };
         engine.series.push(0.0, engine.state.cov());
         if !matches!(engine.config.arrival, ArrivalProcess::Quiescent) {
             engine.queue.push(0.0, Event::TaskArrival);
+        }
+        for (record, ev) in engine.trace.iter().enumerate() {
+            engine.queue.push(ev.time, Event::TraceArrival { record });
         }
         engine
     }
@@ -905,6 +959,107 @@ mod tests {
         let topo = Topology::ring(4);
         let w = Workload::hotspot(5, 0, 1.0);
         let _ = EngineBuilder::new(topo).workload(w).balancer(NullBalancer).build();
+    }
+
+    #[test]
+    fn heterogeneous_speeds_scale_consumption() {
+        // Node 0 runs at 2x, node 2 at 0.5x; equal initial loads drain
+        // proportionally to speed.
+        let topo = Topology::ring(4);
+        let w = Workload::from_loads(&[8.0, 8.0, 8.0, 8.0], 1.0);
+        let mut e = EngineBuilder::new(topo)
+            .workload(w)
+            .balancer(NullBalancer)
+            .config(EngineConfig { consume_rate: 1.0, ..Default::default() })
+            .node_speeds(vec![2.0, 1.0, 0.5, 1.0])
+            .seed(0)
+            .build();
+        e.run_rounds(4);
+        let h = e.heights();
+        assert!((h[0] - 0.0).abs() < 1e-9, "{h:?}"); // 8 − 4·2 = 0
+        assert!((h[1] - 4.0).abs() < 1e-9, "{h:?}"); // 8 − 4·1
+        assert!((h[2] - 6.0).abs() < 1e-9, "{h:?}"); // 8 − 4·0.5
+    }
+
+    #[test]
+    #[should_panic(expected = "speed vector length")]
+    fn wrong_speed_length_rejected() {
+        let _ = EngineBuilder::new(Topology::ring(4))
+            .balancer(NullBalancer)
+            .node_speeds(vec![1.0, 1.0])
+            .build();
+    }
+
+    #[test]
+    fn trace_replay_injects_exact_arrivals() {
+        use pp_tasking::workload::TraceEvent;
+        let topo = Topology::ring(4);
+        let trace = vec![
+            TraceEvent { time: 0.5, node: 1, size: 2.0 },
+            TraceEvent { time: 1.5, node: 3, size: 1.0 },
+            TraceEvent { time: 7.0, node: 1, size: 4.0 },
+        ];
+        let mut e =
+            EngineBuilder::new(topo).balancer(NullBalancer).arrival_trace(trace).seed(0).build();
+        e.run_rounds(2);
+        // After t=2 only the first two records have landed.
+        assert_eq!(e.heights(), vec![0.0, 2.0, 0.0, 1.0]);
+        e.run_rounds(5);
+        assert_eq!(e.heights(), vec![0.0, 6.0, 0.0, 1.0]);
+        assert_eq!(e.state().total_tasks(), 3);
+    }
+
+    #[test]
+    fn trace_replay_is_deterministic() {
+        use pp_tasking::workload::{record_trace, ArrivalProcess};
+        let p = ArrivalProcess::MovingHotspot { rate: 2.0, size: 1.0, dwell: 3.0, stride: 5 };
+        let trace = record_trace(&p, 16, 30.0, 4);
+        let run = || {
+            let mut e = EngineBuilder::new(Topology::torus(&[4, 4]))
+                .balancer(GreedyOne)
+                .arrival_trace(trace.clone())
+                .seed(2)
+                .build();
+            e.run_rounds(40);
+            e.drain(20.0);
+            e.report()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn trace_with_bad_node_rejected() {
+        use pp_tasking::workload::TraceEvent;
+        let _ = EngineBuilder::new(Topology::ring(4))
+            .balancer(NullBalancer)
+            .arrival_trace(vec![TraceEvent { time: 0.0, node: 9, size: 1.0 }])
+            .build();
+    }
+
+    #[test]
+    fn moving_hotspot_arrivals_land_on_schedule() {
+        use pp_tasking::workload::ArrivalProcess;
+        // With the null balancer every arrival stays where it lands; dwell
+        // longer than the run keeps the target at node 0's epoch-0 slot.
+        let mut e = EngineBuilder::new(Topology::ring(8))
+            .balancer(NullBalancer)
+            .config(EngineConfig {
+                arrival: ArrivalProcess::MovingHotspot {
+                    rate: 5.0,
+                    size: 1.0,
+                    dwell: 1000.0,
+                    stride: 3,
+                },
+                ..Default::default()
+            })
+            .seed(5)
+            .build();
+        e.run_rounds(20);
+        let h = e.heights();
+        let elsewhere: f64 = h.iter().enumerate().filter(|&(i, _)| i != 0).map(|(_, &x)| x).sum();
+        assert!(h[0] > 0.0, "hotspot node got nothing: {h:?}");
+        assert_eq!(elsewhere, 0.0, "arrivals leaked off the hotspot: {h:?}");
     }
 
     #[test]

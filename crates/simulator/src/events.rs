@@ -16,6 +16,12 @@ pub enum Event {
     },
     /// The dynamic arrival process injects a new task.
     TaskArrival,
+    /// A recorded trace replays one arrival (index into the engine's trace
+    /// table; the record carries node and size).
+    TraceArrival {
+        /// Index into the engine's replay trace.
+        record: usize,
+    },
 }
 
 #[derive(Debug)]

@@ -20,5 +20,5 @@ pub mod prelude {
     pub use crate::graph::TaskGraph;
     pub use crate::resources::ResourceMatrix;
     pub use crate::task::{Task, TaskId, TaskIdGen};
-    pub use crate::workload::{ArrivalProcess, Workload};
+    pub use crate::workload::{record_trace, validate_trace, ArrivalProcess, TraceEvent, Workload};
 }

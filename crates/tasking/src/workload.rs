@@ -1,7 +1,8 @@
 //! Synthetic workload generators: initial load placements (uniform-random,
-//! hotspot, bimodal, ramp) and dynamic arrival processes (Poisson, bursty)
-//! for the §1 scenario of "new tasks entering the system at any time and at
-//! any node".
+//! hotspot, bimodal, ramp, zipf, trace) and dynamic arrival processes
+//! (Poisson, bursty ON/OFF, diurnal sine-wave, adversarial moving hotspot,
+//! recorded-trace replay) for the §1 scenario of "new tasks entering the
+//! system at any time and at any node".
 
 use crate::task::{Task, TaskIdGen};
 use rand::rngs::StdRng;
@@ -183,6 +184,38 @@ pub enum ArrivalProcess {
         /// Task size during bursts.
         size: f64,
     },
+    /// Diurnal load: an inhomogeneous Poisson process whose rate follows a
+    /// sine wave, `λ(t) = base_rate·(1 + amplitude·sin(2πt/period))` —
+    /// the day/night cycle of user-facing services. Sampled by thinning
+    /// against the peak rate, so arrivals stay exact for any `amplitude`.
+    Diurnal {
+        /// Mean arrival rate over a full period.
+        base_rate: f64,
+        /// Relative swing in `[0, 1]`; 1 means the trough is silent.
+        amplitude: f64,
+        /// Cycle length in time units.
+        period: f64,
+        /// Minimum task size.
+        size_min: f64,
+        /// Maximum task size.
+        size_max: f64,
+    },
+    /// Adversarial moving hotspot: Poisson arrivals in time, but every task
+    /// lands on one *current* hot node that jumps by `stride` every `dwell`
+    /// time units — the worst case for any balancer that assumes the
+    /// imbalance stays where it last was.
+    MovingHotspot {
+        /// Arrival rate while the hotspot sits anywhere.
+        rate: f64,
+        /// Task size.
+        size: f64,
+        /// Time the hotspot stays on one node.
+        dwell: f64,
+        /// Node-index jump between consecutive hotspot positions (taken
+        /// modulo the node count; pick it co-prime to the node count to
+        /// sweep the whole machine).
+        stride: u32,
+    },
 }
 
 impl ArrivalProcess {
@@ -211,8 +244,110 @@ impl ArrivalProcess {
                 }
                 Some((t, size))
             }
+            ArrivalProcess::Diurnal { base_rate, amplitude, period, size_min, size_max } => {
+                assert!(base_rate > 0.0 && period > 0.0, "rate and period must be positive");
+                assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0, 1]");
+                assert!(size_max >= size_min && size_min > 0.0);
+                // Thinning (Lewis–Shedler): candidates at the peak rate
+                // λ_max, each kept with probability λ(t)/λ_max. Exact for
+                // an inhomogeneous Poisson process.
+                let rate_max = base_rate * (1.0 + amplitude);
+                let mut t = now;
+                let tau = 2.0 * std::f64::consts::PI / period;
+                loop {
+                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    t += -u.ln() / rate_max;
+                    let rate_t = base_rate * (1.0 + amplitude * (tau * t).sin());
+                    let accept: f64 = rng.gen_range(0.0..1.0);
+                    if accept * rate_max <= rate_t {
+                        let size = if size_max > size_min {
+                            rng.gen_range(size_min..=size_max)
+                        } else {
+                            size_min
+                        };
+                        return Some((t, size));
+                    }
+                }
+            }
+            ArrivalProcess::MovingHotspot { rate, size, dwell, .. } => {
+                assert!(rate > 0.0 && size > 0.0 && dwell > 0.0);
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                Some((now + (-u.ln() / rate), size))
+            }
         }
     }
+
+    /// Picks the node an arrival at time `now` lands on, for a system of
+    /// `n` nodes. Uniform for every process except the moving hotspot,
+    /// whose target is a deterministic function of time. Always consumes
+    /// exactly one RNG draw for the uniform processes, so swapping
+    /// processes does not shift the caller's RNG stream shape.
+    pub fn target_node(&self, now: f64, n: usize, rng: &mut StdRng) -> u32 {
+        assert!(n > 0, "need at least one node");
+        match *self {
+            ArrivalProcess::MovingHotspot { dwell, stride, .. } => {
+                let epoch = (now.max(0.0) / dwell) as u64;
+                ((epoch * u64::from(stride)) % n as u64) as u32
+            }
+            _ => rng.gen_range(0..n as u32),
+        }
+    }
+}
+
+/// One record of a timed arrival trace: at `time`, a task of `size` lands
+/// on `node`. Traces recorded from one run (or from production logs) can be
+/// replayed bit-exactly through `pp-sim`'s builder, which turns each record
+/// into a scheduled arrival event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Absolute arrival time (≥ 0).
+    pub time: f64,
+    /// Destination node index.
+    pub node: u32,
+    /// Task size (> 0).
+    pub size: f64,
+}
+
+/// Validates a trace against a node count: times finite and non-negative,
+/// nodes in range, sizes positive. Order does not matter (the event queue
+/// sorts), but a sorted trace is easier to diff.
+pub fn validate_trace(trace: &[TraceEvent], nodes: usize) -> Result<(), String> {
+    for (i, ev) in trace.iter().enumerate() {
+        if !ev.time.is_finite() || ev.time < 0.0 {
+            return Err(format!("trace[{i}]: time {} must be finite and ≥ 0", ev.time));
+        }
+        if ev.node as usize >= nodes {
+            return Err(format!("trace[{i}]: node {} out of range (n={nodes})", ev.node));
+        }
+        if !ev.size.is_finite() || ev.size <= 0.0 {
+            return Err(format!("trace[{i}]: size {} must be finite and > 0", ev.size));
+        }
+    }
+    Ok(())
+}
+
+/// Records a trace by sampling `process` until `horizon`: the offline
+/// "record" half of record/replay regression testing. Deterministic per
+/// seed.
+pub fn record_trace(
+    process: &ArrivalProcess,
+    nodes: usize,
+    horizon: f64,
+    seed: u64,
+) -> Vec<TraceEvent> {
+    assert!(horizon >= 0.0 && horizon.is_finite());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Vec::new();
+    let mut t = 0.0;
+    while let Some((next, size)) = process.next_after(t, &mut rng) {
+        if next > horizon {
+            break;
+        }
+        let node = process.target_node(next, nodes, &mut rng);
+        trace.push(TraceEvent { time: next, node, size });
+        t = next;
+    }
+    trace
 }
 
 #[cfg(test)]
@@ -358,5 +493,115 @@ mod tests {
             assert!(phase < 1.0 + 1e-9, "arrival in quiet window at phase {phase}");
             t = next;
         }
+    }
+
+    #[test]
+    fn diurnal_mean_rate_matches_base_rate() {
+        // Over whole periods the sine integrates away: the long-run mean
+        // arrival rate is base_rate regardless of amplitude.
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = ArrivalProcess::Diurnal {
+            base_rate: 4.0,
+            amplitude: 0.9,
+            period: 10.0,
+            size_min: 1.0,
+            size_max: 1.0,
+        };
+        let horizon = 5_000.0; // 500 whole periods
+        let mut t = 0.0;
+        let mut count = 0u64;
+        while let Some((next, _)) = p.next_after(t, &mut rng) {
+            if next > horizon {
+                break;
+            }
+            t = next;
+            count += 1;
+        }
+        let mean_rate = count as f64 / horizon;
+        assert!((mean_rate - 4.0).abs() < 0.15, "mean rate {mean_rate}");
+    }
+
+    #[test]
+    fn diurnal_peak_outdraws_trough() {
+        // Count arrivals landing in the peak half vs the trough half of the
+        // cycle; with amplitude 0.9 the ratio must be decisive.
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = ArrivalProcess::Diurnal {
+            base_rate: 2.0,
+            amplitude: 0.9,
+            period: 20.0,
+            size_min: 0.5,
+            size_max: 1.5,
+        };
+        let (mut peak, mut trough) = (0u64, 0u64);
+        let mut t = 0.0;
+        for _ in 0..20_000 {
+            let (next, size) = p.next_after(t, &mut rng).unwrap();
+            assert!(next > t);
+            assert!((0.5..=1.5).contains(&size));
+            // sin > 0 on the first half of each period.
+            if (next % 20.0) < 10.0 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+            t = next;
+        }
+        assert!(peak > 3 * trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn moving_hotspot_targets_follow_schedule() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = ArrivalProcess::MovingHotspot { rate: 1.0, size: 1.0, dwell: 5.0, stride: 3 };
+        // Within one dwell window the target is fixed; across windows it
+        // advances by the stride (mod n).
+        assert_eq!(p.target_node(0.0, 16, &mut rng), 0);
+        assert_eq!(p.target_node(4.9, 16, &mut rng), 0);
+        assert_eq!(p.target_node(5.1, 16, &mut rng), 3);
+        assert_eq!(p.target_node(10.1, 16, &mut rng), 6);
+        assert_eq!(p.target_node(27.5, 16, &mut rng), 15); // epoch 5 · 3 = 15
+        assert_eq!(p.target_node(30.0, 16, &mut rng), 2); // 18 mod 16
+    }
+
+    #[test]
+    fn uniform_processes_target_uniformly() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = ArrivalProcess::Poisson { rate: 1.0, size_min: 1.0, size_max: 1.0 };
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[p.target_node(0.0, 4, &mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn record_trace_is_deterministic_and_valid() {
+        let p = ArrivalProcess::MovingHotspot { rate: 3.0, size: 0.5, dwell: 2.0, stride: 5 };
+        let a = record_trace(&p, 16, 50.0, 7);
+        let b = record_trace(&p, 16, 50.0, 7);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|ev| ev.time <= 50.0));
+        validate_trace(&a, 16).expect("recorded trace validates");
+        // Times are strictly increasing (each sample continues from the
+        // previous arrival).
+        for w in a.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+        let c = record_trace(&p, 16, 50.0, 8);
+        assert_ne!(a, c, "different seed, different trace");
+    }
+
+    #[test]
+    fn validate_trace_rejects_bad_records() {
+        let ok = TraceEvent { time: 1.0, node: 0, size: 1.0 };
+        assert!(validate_trace(&[ok], 4).is_ok());
+        assert!(validate_trace(&[TraceEvent { time: -1.0, ..ok }], 4).is_err());
+        assert!(validate_trace(&[TraceEvent { node: 4, ..ok }], 4).is_err());
+        assert!(validate_trace(&[TraceEvent { size: 0.0, ..ok }], 4).is_err());
+        assert!(validate_trace(&[TraceEvent { time: f64::NAN, ..ok }], 4).is_err());
     }
 }

@@ -1,0 +1,129 @@
+//! Property-based tests for the dynamic arrival models: bursty ON/OFF,
+//! diurnal sine-wave and the adversarial moving hotspot. Each generator
+//! must (a) keep its arrivals inside the windows its parameters define,
+//! (b) pin its long-run mean arrival rate to the analytic value, and
+//! (c) be bit-deterministic per seed (the foundation of the golden-report
+//! CI gate).
+
+use pp_tasking::workload::{record_trace, validate_trace, ArrivalProcess};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Samples arrivals until `horizon`, returning the count.
+fn count_until(p: &ArrivalProcess, horizon: f64, seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut count = 0u64;
+    while let Some((next, _)) = p.next_after(t, &mut rng) {
+        if next > horizon {
+            break;
+        }
+        t = next;
+        count += 1;
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bursty_arrivals_stay_inside_bursts(
+        rate in 2.0f64..20.0,
+        burst_len in 0.5f64..4.0,
+        quiet_len in 0.5f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let p = ArrivalProcess::Bursty { rate, burst_len, quiet_len, size: 1.0 };
+        let cycle = burst_len + quiet_len;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0;
+        for _ in 0..200 {
+            let (next, size) = p.next_after(t, &mut rng).unwrap();
+            prop_assert!(next > t, "time must advance");
+            prop_assert_eq!(size, 1.0);
+            let phase = next % cycle;
+            // An arrival pushed to the next burst start may land at phase
+            // ≈ cycle − ε through float rounding; that is the burst
+            // boundary, not the quiet window.
+            let eps = 1e-9 * next.abs().max(1.0);
+            prop_assert!(
+                phase <= burst_len + eps || cycle - phase <= eps,
+                "arrival at quiet phase {} (cycle {})", phase, cycle
+            );
+            t = next;
+        }
+    }
+
+    #[test]
+    fn diurnal_long_run_rate_is_base_rate(
+        base_rate in 1.0f64..6.0,
+        amplitude in 0.0f64..1.0,
+        period in 5.0f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        // Over whole periods the sine integrates to zero, so the mean rate
+        // is base_rate for any amplitude. 400 periods keeps the sampling
+        // error well under the 10% tolerance.
+        let p = ArrivalProcess::Diurnal {
+            base_rate, amplitude, period, size_min: 1.0, size_max: 1.0,
+        };
+        let horizon = 400.0 * period;
+        let mean = count_until(&p, horizon, seed) as f64 / horizon;
+        prop_assert!(
+            (mean - base_rate).abs() < 0.1 * base_rate,
+            "mean rate {} vs base {}", mean, base_rate
+        );
+    }
+
+    #[test]
+    fn diurnal_deterministic_per_seed(
+        base_rate in 1.0f64..6.0,
+        amplitude in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let p = ArrivalProcess::Diurnal {
+            base_rate, amplitude, period: 10.0, size_min: 0.5, size_max: 1.5,
+        };
+        let a = record_trace(&p, 8, 50.0, seed);
+        let b = record_trace(&p, 8, 50.0, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn moving_hotspot_rate_and_schedule(
+        rate in 1.0f64..10.0,
+        dwell in 1.0f64..20.0,
+        stride in 1u32..16,
+        seed in 0u64..1000,
+    ) {
+        // Arrival times are plain Poisson: the long-run rate is `rate`.
+        let p = ArrivalProcess::MovingHotspot { rate, size: 1.0, dwell, stride };
+        let horizon = 2000.0;
+        let mean = count_until(&p, horizon, seed) as f64 / horizon;
+        prop_assert!((mean - rate).abs() < 0.1 * rate, "mean rate {} vs {}", mean, rate);
+
+        // Targets follow the deterministic dwell schedule, independent of
+        // the RNG, and never leave the node range.
+        let n = 16usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for k in 0..50u64 {
+            let t = k as f64 * dwell + 0.5 * dwell;
+            let expect = ((k * u64::from(stride)) % n as u64) as u32;
+            prop_assert_eq!(p.target_node(t, n, &mut rng), expect);
+        }
+    }
+
+    #[test]
+    fn recorded_traces_always_validate_and_replay_identically(
+        rate in 1.0f64..8.0,
+        nodes in 2usize..32,
+        seed in 0u64..1000,
+    ) {
+        let p = ArrivalProcess::Poisson { rate, size_min: 0.5, size_max: 1.5 };
+        let trace = record_trace(&p, nodes, 40.0, seed);
+        prop_assert!(validate_trace(&trace, nodes).is_ok());
+        prop_assert_eq!(record_trace(&p, nodes, 40.0, seed), trace);
+    }
+}

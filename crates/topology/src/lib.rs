@@ -33,6 +33,7 @@ pub mod generators;
 pub mod graph;
 pub mod links;
 pub mod paths;
+pub mod spec;
 pub mod spectral;
 
 /// One-stop imports.
@@ -43,5 +44,6 @@ pub mod prelude {
     pub use crate::graph::{EdgeId, NodeId, Topology, TopologyKind};
     pub use crate::links::{LinkAttrs, LinkMap, LinkTable};
     pub use crate::paths::{dijkstra, mean_path_weight, reachable_within, weighted_diameter};
+    pub use crate::spec::TopologySpec;
     pub use crate::spectral::{optimal_diffusion_alpha, safe_diffusion_alpha};
 }

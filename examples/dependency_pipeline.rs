@@ -2,35 +2,27 @@
 //! heavily resist migration (their mutual dependency raises `µ_s`/`µ_k`),
 //! while independent filler tasks spread freely. The example measures how
 //! many of each kind leave their origin node as the dependency weight
-//! grows.
+//! grows. The setup is the registry's `dependency-pipeline` scenario with
+//! the chain weight swept.
 //!
 //! Run with: `cargo run --release --example dependency_pipeline`
 
 use particle_plane::prelude::*;
 
-/// Builds a hotspot of `pipeline` chained tasks plus `filler` independent
-/// tasks on node 0 and reports how many of each migrated away.
+/// Builds a hotspot of 16 chained tasks plus 16 independent fillers on
+/// node 0 and reports how many of each migrated away.
 fn run(dependency_weight: f64) -> (usize, usize, f64) {
-    let topo = Topology::mesh(&[4, 4]);
-    let nodes = topo.node_count();
     let pipeline = 16u64;
     let filler = 16u64;
 
-    let mut loads = vec![0.0; nodes];
-    loads[0] = (pipeline + filler) as f64;
-    let workload = Workload::from_loads(&loads, 1.0);
+    let mut spec = by_name("dependency-pipeline").expect("registered scenario");
     // Task ids are assigned in order: 0..16 become the pipeline, the rest
     // are filler.
-    let pipeline_ids: Vec<TaskId> = (0..pipeline).map(TaskId).collect();
-    let task_graph = TaskGraph::chain(&pipeline_ids, dependency_weight);
+    spec.task_graph = TaskGraphSpec::Chain { count: pipeline, weight: dependency_weight };
+    spec.seed = 21;
 
-    let mut engine = EngineBuilder::new(topo)
-        .workload(workload)
-        .task_graph(task_graph)
-        .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
-        .seed(21)
-        .build();
-    engine.run_rounds(200).drain(200.0);
+    let mut engine = spec.build_engine().expect("valid scenario");
+    engine.run_rounds(spec.duration.rounds).drain(spec.duration.drain);
 
     let moved = |ids: std::ops::Range<u64>| -> usize {
         ids.filter(|&id| !engine.state().node(NodeId(0)).tasks().iter().any(|t| t.id == TaskId(id)))

@@ -2,40 +2,31 @@
 //! per-transfer* (fault probability raising `e_{i,j}`) and *go down
 //! dynamically* (a Markov up/down process). The particle-plane balancer
 //! keeps converging because down links vanish from its view and faulty
-//! links weigh more in `tan β`.
+//! links weigh more in `tan β`. Every variant is the registry's
+//! `faulty-torus` scenario with its link/fault-plan fields overridden.
 //!
 //! Run with: `cargo run --release --example faulty_torus`
 
 use particle_plane::prelude::*;
 
-fn run(fault_prob: f64, dynamic: Option<FaultModel>) -> RunReport {
-    let topo = Topology::torus(&[8, 8]);
-    let nodes = topo.node_count();
-    let links = LinkMap::uniform(&topo, LinkAttrs { bandwidth: 1.0, distance: 1.0, fault_prob });
-    let workload = Workload::bimodal(nodes, 0.25, 6.0, 0.5, 11);
-    let mut engine = EngineBuilder::new(topo)
-        .links(links)
-        .workload(workload)
-        .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
-        .config(EngineConfig { fault_model: dynamic, ..Default::default() })
-        .seed(13)
-        .build();
-    engine.run_rounds(250).drain(200.0);
-    engine.report()
+fn run(fault_prob: f64, dynamic: Option<(f64, f64)>) -> RunReport {
+    let mut spec = by_name("faulty-torus").expect("registered scenario");
+    spec.links = LinkSpec::Uniform { bandwidth: 1.0, distance: 1.0, fault_prob };
+    spec.faults = FaultPlanSpec { model: dynamic };
+    spec.duration = DurationSpec { rounds: 250, drain: 200.0 };
+    spec.seed = 13;
+    spec.run().expect("valid scenario")
 }
 
 fn main() {
     let mut table = TextTable::new(vec!["scenario", "final CoV", "hops", "hop faults", "traffic"]);
-    let scenarios: Vec<(&str, f64, Option<FaultModel>)> = vec![
+    type Scenario = (&'static str, f64, Option<(f64, f64)>);
+    let scenarios: Vec<Scenario> = vec![
         ("clean links", 0.0, None),
         ("per-transfer faults f=0.05", 0.05, None),
         ("per-transfer faults f=0.20", 0.20, None),
-        (
-            "dynamic up/down (p_down=.05, p_up=.5)",
-            0.0,
-            Some(FaultModel { p_down: 0.05, p_up: 0.5 }),
-        ),
-        ("both", 0.10, Some(FaultModel { p_down: 0.05, p_up: 0.5 })),
+        ("dynamic up/down (p_down=.05, p_up=.5)", 0.0, Some((0.05, 0.5))),
+        ("both", 0.10, Some((0.05, 0.5))),
     ];
     for (name, f, dynamic) in scenarios {
         let r = run(f, dynamic);

@@ -1,42 +1,39 @@
 //! Bake-off on a mesh hotspot: the particle-plane balancer against every
-//! baseline from §2 of the paper, on identical workloads and seeds.
+//! baseline from §2 of the paper, on identical workloads and seeds. One
+//! declarative scenario; only the `balancer` field varies.
 //!
 //! Run with: `cargo run --release --example hotspot_mesh`
 
 use particle_plane::prelude::*;
 
-fn run(name_topo: &Topology, balancer: Box<dyn LoadBalancer>, rounds: u64) -> RunReport {
-    let nodes = name_topo.node_count();
-    let workload = Workload::hotspot(nodes, 0, 2.0 * nodes as f64);
-    let mut engine = EngineBuilder::new(name_topo.clone())
-        .workload(workload)
-        .balancer_boxed(balancer)
-        .seed(7)
-        .build();
-    engine.run_rounds(rounds).drain(200.0);
-    engine.report()
-}
-
 fn main() {
-    let topo = Topology::mesh(&[8, 8]);
     let rounds = 300;
     let mean = 2.0;
 
-    let balancers: Vec<Box<dyn LoadBalancer>> = vec![
-        Box::new(ParticlePlaneBalancer::new(PhysicsConfig::default())),
-        Box::new(DiffusionBalancer::optimal(&topo)),
-        Box::new(DiffusionBalancer::safe(&topo)),
-        Box::new(DimensionExchangeBalancer::new(&topo)),
-        Box::new(GradientModelBalancer::new(mean * 0.75, mean * 1.25)),
-        Box::new(CwnBalancer::new(1.0)),
-        Box::new(RandomNeighborBalancer::new(1.0)),
-        Box::new(SenderInitiatedBalancer::new(mean * 1.5, mean, 2)),
+    let balancers: Vec<BalancerSpec> = vec![
+        BalancerSpec::ParticlePlane { config: PhysicsConfig::default(), arbiter: None, name: None },
+        BalancerSpec::Diffusion { alpha: DiffusionAlpha::Optimal },
+        BalancerSpec::Diffusion { alpha: DiffusionAlpha::Safe },
+        BalancerSpec::DimensionExchange,
+        BalancerSpec::GradientModel { low: mean * 0.75, high: mean * 1.25 },
+        BalancerSpec::Cwn { threshold: 1.0 },
+        BalancerSpec::RandomNeighbor { threshold: 1.0 },
+        BalancerSpec::SenderInitiated { t_high: mean * 1.5, t_accept: mean, probes: 2 },
     ];
 
     let mut table =
         TextTable::new(vec!["balancer", "final CoV", "spread", "hops", "traffic", "conv@0.5"]);
-    for b in balancers {
-        let r = run(&topo, b, rounds);
+    for balancer in balancers {
+        let spec = ScenarioSpec {
+            name: "hotspot-mesh-bakeoff".to_string(),
+            topology: TopologySpec::Mesh { dims: vec![8, 8] },
+            workload: WorkloadSpec::Hotspot { node: 0, total: 128.0, task_size: 1.0 },
+            balancer,
+            duration: DurationSpec { rounds, drain: 200.0 },
+            seed: 7,
+            ..ScenarioSpec::default()
+        };
+        let r = spec.run().expect("valid scenario");
         table.row(vec![
             r.balancer.clone(),
             fmt(r.final_imbalance.cov, 3),

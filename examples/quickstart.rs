@@ -1,23 +1,21 @@
 //! Quickstart: balance a single hotspot on a small torus with the
 //! particle-plane algorithm and watch the imbalance decay (Theorem 2 in
-//! action).
+//! action). The setup comes from the scenario registry — the same
+//! `hotspot-torus` spec is runnable from the `pp-lab` CLI, tests and CI.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use particle_plane::prelude::*;
 
 fn main() {
-    // An 8×8 torus; node 0 starts with all 128 units of load — the tallest
-    // possible hill on an otherwise flat yard.
-    let topo = Topology::torus(&[8, 8]);
-    let nodes = topo.node_count();
-    let workload = Workload::hotspot(nodes, 0, 128.0);
+    // The registered canonical worst case: an 8×8 torus, node 0 holding
+    // all 128 units of load — the tallest possible hill on a flat yard.
+    let spec = by_name("hotspot-torus").expect("registered scenario");
+    println!("scenario: {} — {}\n", spec.name, spec.description);
 
-    let mut engine = EngineBuilder::new(topo)
-        .workload(workload)
-        .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
-        .seed(42)
-        .build();
+    // Build the engine from the spec, but drive it by hand so we can
+    // sample the imbalance trajectory at checkpoints.
+    let mut engine = spec.build_engine().expect("valid scenario");
 
     println!("round  cov     max/mean  spread");
     for checkpoint in [0u64, 1, 2, 5, 10, 20, 50, 100, 200] {

@@ -2,7 +2,9 @@
 //! by "fine-tuning the configuration parameters". This example sweeps the
 //! friction scale over a heterogeneous cluster (zipf task sizes, random
 //! link attributes) with the crossbeam sweep runner and prints the
-//! balance-versus-traffic frontier that the operator picks from.
+//! balance-versus-traffic frontier that the operator picks from. The
+//! cluster is one declarative scenario; the sweep rewrites only the
+//! balancer's `mu_s_base`.
 //!
 //! Run with: `cargo run --release --example tuning_sweep`
 
@@ -19,22 +21,24 @@ struct Point {
 fn main() {
     let sweep: Vec<f64> = vec![0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
     let points: Vec<Point> = par_map(sweep, 0, |mu_base| {
-        let topo = Topology::torus(&[8, 8]);
-        let n = topo.node_count();
-        let links = LinkMap::random(&topo, 21, (0.5, 2.0), (0.5, 2.0), 0.02);
         // Many small heavy-tailed tasks: sizes in [0.125, 1], mean node
         // height ≈ 2.9 — atomic sizes stay below the −2l threshold scale so
         // friction, not granularity, is the knob under test.
-        let workload = Workload::zipf(n, 1024, 1.0, 0.3, 21);
-        let cfg = PhysicsConfig { mu_s_base: mu_base, ..PhysicsConfig::default() };
-        let mut engine = EngineBuilder::new(topo)
-            .links(links)
-            .workload(workload)
-            .balancer(ParticlePlaneBalancer::new(cfg))
-            .seed(21)
-            .build();
-        engine.run_rounds(300).drain(500.0);
-        let r = engine.report();
+        let spec = ScenarioSpec {
+            name: format!("tuning-mu{mu_base}"),
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            links: LinkSpec::Random { seed: 21, bw: (0.5, 2.0), d: (0.5, 2.0), f_max: 0.02 },
+            workload: WorkloadSpec::Zipf { count: 1024, base: 1.0, skew: 0.3, seed: 21 },
+            balancer: BalancerSpec::ParticlePlane {
+                config: PhysicsConfig { mu_s_base: mu_base, ..PhysicsConfig::default() },
+                arbiter: None,
+                name: None,
+            },
+            duration: DurationSpec { rounds: 300, drain: 500.0 },
+            seed: 21,
+            ..ScenarioSpec::default()
+        };
+        let r = spec.run().expect("valid scenario");
         Point {
             mu_base,
             final_cov: r.final_imbalance.cov,

@@ -24,6 +24,8 @@
 //! * [`core`] — the particle-plane balancer itself plus the classical
 //!   baselines (diffusion, dimension exchange, GM, CWN, …).
 //! * [`metrics`] — imbalance metrics, traffic ledgers, convergence detection.
+//! * [`scenario`] — declarative, JSON-serializable experiment scenarios and
+//!   the registry behind the `pp-lab` runner.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@
 pub use pp_core as core;
 pub use pp_metrics as metrics;
 pub use pp_physics as physics;
+pub use pp_scenario as scenario;
 pub use pp_sim as sim;
 pub use pp_tasking as tasking;
 pub use pp_topology as topology;
@@ -55,6 +58,7 @@ pub mod prelude {
     pub use pp_core::prelude::*;
     pub use pp_metrics::prelude::*;
     pub use pp_physics::prelude::*;
+    pub use pp_scenario::prelude::*;
     pub use pp_sim::prelude::*;
     pub use pp_tasking::prelude::*;
     pub use pp_topology::prelude::*;

@@ -2,11 +2,13 @@
 //!
 //! The build environment has no network access to a crates registry, so this
 //! path dependency replaces the real `serde`. Instead of the full
-//! `Serializer`/`Deserializer` machinery it exposes a single [`Serialize`]
-//! trait that lowers a value into a small JSON [`Value`] model, which
-//! `serde_json` then renders. `#[derive(Serialize)]` is provided by the
-//! sibling `serde_derive` stub and supports plain structs with named fields —
-//! the only shape this workspace derives on.
+//! `Serializer`/`Deserializer` machinery it exposes a [`Serialize`] trait
+//! that lowers a value into a small JSON [`Value`] model (which `serde_json`
+//! renders) and a mirror-image [`Deserialize`] trait that lifts a parsed
+//! [`Value`] back into a typed value. `#[derive(Serialize)]` is provided by
+//! the sibling `serde_derive` stub and supports plain structs with named
+//! fields — the only shape this workspace derives on; `Deserialize` impls
+//! for aggregate types are written by hand.
 
 pub use serde_derive::Serialize;
 
@@ -74,12 +76,59 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as `u64`; `None` for anything but a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`; `None` for non-integers and out-of-range uints.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Typed lookup of a required object field: `get(key)` lifted through
+    /// [`Deserialize`], with the key name in the error message.
+    pub fn field<T: Deserialize>(&self, key: &str) -> Result<T, String> {
+        match self.get(key) {
+            Some(v) => T::from_value(v).map_err(|e| format!("field `{key}`: {e}")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    /// Typed lookup of an optional object field: a missing key or an
+    /// explicit `null` both yield `None`.
+    pub fn field_opt<T: Deserialize>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None | Some(Value::Null) => Ok(None),
+            Some(v) => T::from_value(v).map(Some).map_err(|e| format!("field `{key}`: {e}")),
+        }
+    }
 }
 
 /// Types that can be lowered to a JSON [`Value`].
 pub trait Serialize {
     /// Lowers `self` into the JSON value model.
     fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
 }
 
 impl Serialize for bool {
@@ -186,9 +235,141 @@ impl_serialize_tuple! {
     (A: 0, B: 1, C: 2, D: 3)
 }
 
+/// Types that can be lifted back out of a JSON [`Value`]. Errors are plain
+/// strings describing the first mismatch found.
+pub trait Deserialize: Sized {
+    /// Lifts a value out of the JSON value model.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| format!("expected bool, got {v:?}"))
+    }
+}
+
+macro_rules! impl_deserialize_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let i = v.as_i64().ok_or_else(|| format!("expected integer, got {v:?}"))?;
+                <$t>::try_from(i).map_err(|_| format!("integer {i} out of range"))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_deserialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let u = v.as_u64().ok_or_else(|| format!("expected unsigned integer, got {v:?}"))?;
+                <$t>::try_from(u).map_err(|_| format!("integer {u} out of range"))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_f64().ok_or_else(|| format!("expected number, got {v:?}"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str().map(str::to_string).ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let items = v.as_array().ok_or_else(|| format!("expected array, got {v:?}"))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| format!("index {i}: {e}")))
+            .collect()
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let items = v.as_array().ok_or_else(|| format!("expected array, got {v:?}"))?;
+                if items.len() != $len {
+                    return Err(format!("expected {}-tuple, got {} items", $len, items.len()));
+                }
+                Ok(($($name::from_value(&items[$idx])
+                    .map_err(|e| format!("tuple index {}: {e}", $idx))?,)+))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (A: 0; 1)
+    (A: 0, B: 1; 2)
+    (A: 0, B: 1, C: 2; 3)
+    (A: 0, B: 1, C: 2, D: 3; 4)
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{Serialize, Value};
+    use super::{Deserialize, Serialize, Value};
+
+    #[test]
+    fn primitives_lift() {
+        assert_eq!(u32::from_value(&Value::UInt(7)), Ok(7));
+        assert_eq!(i64::from_value(&Value::Int(-3)), Ok(-3));
+        assert_eq!(f64::from_value(&Value::UInt(2)), Ok(2.0));
+        assert_eq!(bool::from_value(&Value::Bool(true)), Ok(true));
+        assert_eq!(String::from_value(&Value::Str("x".into())), Ok("x".to_string()));
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u32::from_value(&Value::Str("7".into())).is_err());
+    }
+
+    #[test]
+    fn aggregates_lift() {
+        let arr = Value::Array(vec![Value::UInt(1), Value::UInt(2)]);
+        assert_eq!(Vec::<u32>::from_value(&arr), Ok(vec![1, 2]));
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::UInt(5)), Ok(Some(5)));
+        let pair = Value::Array(vec![Value::UInt(3), Value::Float(0.5)]);
+        assert_eq!(<(usize, f64)>::from_value(&pair), Ok((3, 0.5)));
+        assert!(<(usize, f64)>::from_value(&Value::Array(vec![Value::UInt(3)])).is_err());
+    }
+
+    #[test]
+    fn field_lookups() {
+        let obj =
+            Value::Object(vec![("a".to_string(), Value::UInt(1)), ("b".to_string(), Value::Null)]);
+        assert_eq!(obj.field::<u64>("a"), Ok(1));
+        assert!(obj.field::<u64>("missing").unwrap_err().contains("missing field"));
+        assert_eq!(obj.field_opt::<u64>("b"), Ok(None));
+        assert_eq!(obj.field_opt::<u64>("missing"), Ok(None));
+        assert_eq!(obj.field_opt::<u64>("a"), Ok(Some(1)));
+    }
 
     #[test]
     fn primitives_lower() {
