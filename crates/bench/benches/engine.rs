@@ -42,14 +42,14 @@ fn bench_engine(c: &mut Criterion) {
                 e.round()
             })
         });
-        group.bench_function(BenchmarkId::new("particle-plane-par", n), |b| {
+        group.bench_function(BenchmarkId::new("particle-plane-sharded", n), |b| {
             b.iter(|| {
                 let topo = Topology::torus(&[side, side]);
                 let w = Workload::uniform_random(n, 4.0, 1);
                 let mut e = EngineBuilder::new(topo)
                     .workload(w)
                     .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
-                    .config(EngineConfig { parallel_decide: true, ..Default::default() })
+                    .config(EngineConfig { shards: 8, ..Default::default() })
                     .seed(1)
                     .build();
                 e.run_rounds(10);

@@ -1,25 +1,40 @@
-//! BENCH_2 — tick-throughput benchmark for the engine hot path.
+//! BENCH_4 — tick-throughput benchmark for the sharded tick pipeline.
 //!
-//! Measures balance-round throughput (rounds/sec) and per-node decision cost
-//! (ns/node-decision) for the particle-plane balancer on square tori of 64,
-//! 1 024 and 16 384 nodes, sequential and parallel, on a quiescent
-//! redistribution workload. Emits `BENCH_2.json` so successive PRs have a
-//! recorded perf trajectory.
+//! Measures steady-state balance-round throughput (rounds/sec) and
+//! per-node decision cost (ns/node-decision) for the particle-plane
+//! balancer on square tori of 64, 1 024, 16 384 and 65 536 nodes, on a
+//! quiescent redistribution workload. Each scale is measured twice:
+//!
+//! * `*_seq`   — `shards = 1`: the sequential reference pipeline (no
+//!   activity tracking, the legacy flat sweep's cost model);
+//! * `*_shard` — `shards = K` row bands: the sharded pipeline, with
+//!   halo-exact shard-level activity tracking and (on multi-core hosts)
+//!   the worker pool fanning whole shards out over threads.
+//!
+//! Emits `BENCH_4.json` so successive PRs have a recorded perf trajectory.
 //!
 //! ```text
-//! bench_ticks [--smoke] [--out PATH] [--baseline PATH] [--check PATH]
+//! bench_ticks [--smoke] [--enforce] [--shards K] [--threads T]
+//!             [--out PATH] [--baseline PATH] [--check PATH]
 //! ```
 //!
 //! * `--smoke`      few iterations (CI keep-alive; numbers are meaningless)
-//! * `--out PATH`   where to write the JSON (default `BENCH_2.json`)
+//! * `--enforce`    exit non-zero unless the sharded pipeline meets the
+//!   scaling expectations (≥ 1× sequential at 1 024 nodes, ≥ 1.5× at
+//!   16 384) — the CI perf gate
+//! * `--shards K`   override the shard count of every `*_shard` scenario
+//! * `--threads T`  override the sweep worker-thread count everywhere
+//! * `--out PATH`   where to write the JSON (default `BENCH_4.json`)
 //! * `--baseline P` embed the `scenarios` of a previous output as
-//!   `baseline` and compute per-scenario speedups
+//!   `baseline` and compute per-scenario speedups (BENCH_2.json's
+//!   `*_seq` names line up, continuing the trajectory)
 //! * `--check PATH` parse PATH as JSON and exit (0 = parses, 1 = does
 //!   not, with a missing file reported as `NOT FOUND` rather than a parse
 //!   error); no benchmark is run
 //!
-//! The benchmark also verifies that sequential and parallel decision sweeps
-//! produce identical run outcomes for the same seed (`reports_identical`).
+//! The benchmark also verifies that the sequential and sharded pipelines
+//! produce identical run outcomes for the same seed (`reports_identical`),
+//! including a multi-threaded shard sweep.
 
 use pp_core::balancer::ParticlePlaneBalancer;
 use pp_core::params::PhysicsConfig;
@@ -35,17 +50,64 @@ const LOAD_PER_NODE: f64 = 10.0;
 struct Scenario {
     name: &'static str,
     side: usize,
+    /// Warm-up rounds before the timer starts: enough to converge past the
+    /// initial migration burst, so the measured window is steady state.
+    warm: u64,
     rounds: u64,
     smoke_rounds: u64,
-    parallel: bool,
+    shards: usize,
 }
 
 const SCENARIOS: &[Scenario] = &[
-    Scenario { name: "torus64_seq", side: 8, rounds: 3000, smoke_rounds: 5, parallel: false },
-    Scenario { name: "torus1024_seq", side: 32, rounds: 300, smoke_rounds: 3, parallel: false },
-    Scenario { name: "torus1024_par", side: 32, rounds: 300, smoke_rounds: 3, parallel: true },
-    Scenario { name: "torus16384_seq", side: 128, rounds: 25, smoke_rounds: 2, parallel: false },
-    Scenario { name: "torus16384_par", side: 128, rounds: 25, smoke_rounds: 2, parallel: true },
+    Scenario { name: "torus64_seq", side: 8, warm: 200, rounds: 3000, smoke_rounds: 5, shards: 1 },
+    Scenario {
+        name: "torus1024_seq",
+        side: 32,
+        warm: 400,
+        rounds: 300,
+        smoke_rounds: 3,
+        shards: 1,
+    },
+    Scenario {
+        name: "torus1024_shard",
+        side: 32,
+        warm: 400,
+        rounds: 3000,
+        smoke_rounds: 3,
+        shards: 16,
+    },
+    Scenario {
+        name: "torus16384_seq",
+        side: 128,
+        warm: 250,
+        rounds: 25,
+        smoke_rounds: 2,
+        shards: 1,
+    },
+    Scenario {
+        name: "torus16384_shard",
+        side: 128,
+        warm: 250,
+        rounds: 500,
+        smoke_rounds: 2,
+        shards: 64,
+    },
+    Scenario {
+        name: "torus65536_seq",
+        side: 256,
+        warm: 120,
+        rounds: 8,
+        smoke_rounds: 1,
+        shards: 1,
+    },
+    Scenario {
+        name: "torus65536_shard",
+        side: 256,
+        warm: 120,
+        rounds: 200,
+        smoke_rounds: 1,
+        shards: 128,
+    },
 ];
 
 #[derive(Serialize)]
@@ -53,9 +115,27 @@ struct Measurement {
     name: String,
     nodes: usize,
     rounds: u64,
-    parallel: bool,
+    shards: usize,
+    threads: usize,
     rounds_per_sec: f64,
+    /// Wall time divided by decisions actually evaluated in the measured
+    /// window (skipped shards evaluate none), so `*_seq` and `*_shard`
+    /// rows report comparable per-decision cost; 0 when the window
+    /// evaluated no decisions at all (fully quiescent).
     ns_per_node_decision: f64,
+    /// Fraction of shard-ticks skipped as quiescent during the whole run
+    /// (warm-up included) — 0 for the sequential reference.
+    skip_ratio: f64,
+}
+
+#[derive(Serialize)]
+struct Expectation {
+    nodes: usize,
+    sequential_rps: f64,
+    sharded_rps: f64,
+    ratio: f64,
+    required: f64,
+    pass: bool,
 }
 
 #[derive(Serialize)]
@@ -64,40 +144,52 @@ struct Output {
     mode: String,
     scenarios: Vec<Measurement>,
     reports_identical: bool,
+    expectations: Vec<Expectation>,
     baseline: Option<Vec<Measurement>>,
     speedup_rounds_per_sec: Option<Vec<(String, f64)>>,
 }
 
-fn engine_for(side: usize, parallel: bool) -> pp_sim::engine::Engine {
+fn engine_for(side: usize, shards: usize, threads: usize) -> pp_sim::engine::Engine {
     let topo = Topology::torus(&[side, side]);
     let n = topo.node_count();
     let w = Workload::uniform_random(n, LOAD_PER_NODE, SEED);
     EngineBuilder::new(topo)
         .workload(w)
         .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
-        .config(EngineConfig { parallel_decide: parallel, ..Default::default() })
+        .config(EngineConfig { shards, threads, ..Default::default() })
         .seed(SEED)
         .build()
 }
 
-fn measure(sc: &Scenario, smoke: bool) -> Measurement {
-    let rounds = if smoke { sc.smoke_rounds } else { sc.rounds };
+fn measure(sc: &Scenario, smoke: bool, shards_override: usize, threads: usize) -> Measurement {
+    let (warm, rounds) = if smoke { (1, sc.smoke_rounds) } else { (sc.warm, sc.rounds) };
+    let shards = if sc.shards > 1 && shards_override > 0 { shards_override } else { sc.shards };
     let n = sc.side * sc.side;
-    let mut engine = engine_for(sc.side, sc.parallel);
+    let mut engine = engine_for(sc.side, shards, threads);
     // Warm up: converge past the initial migration burst so the measured
     // window is dominated by steady-state tick cost, and warm caches/pools.
-    engine.run_rounds((rounds / 5).max(1));
+    engine.run_rounds(warm.max(1));
+    engine.reserve_rounds(rounds);
+    let evaluated_before = engine.shard_stats().nodes_evaluated;
     let start = Instant::now();
     engine.run_rounds(rounds);
     let elapsed = start.elapsed();
     let secs = elapsed.as_secs_f64().max(1e-12);
+    let evaluated = engine.shard_stats().nodes_evaluated - evaluated_before;
+    let layout = engine.shard_layout();
     Measurement {
         name: sc.name.to_string(),
         nodes: n,
         rounds,
-        parallel: sc.parallel,
+        shards: layout.shards,
+        threads: layout.threads,
         rounds_per_sec: rounds as f64 / secs,
-        ns_per_node_decision: elapsed.as_nanos() as f64 / (rounds as f64 * n as f64),
+        ns_per_node_decision: if evaluated == 0 {
+            0.0
+        } else {
+            elapsed.as_nanos() as f64 / evaluated as f64
+        },
+        skip_ratio: engine.shard_stats().skip_ratio(),
     }
 }
 
@@ -115,19 +207,22 @@ fn report_digest(r: &RunReport) -> String {
     )
 }
 
-fn seq_par_identical(smoke: bool) -> bool {
+/// The sequential reference vs the sharded pipeline — single- and
+/// multi-threaded — must be outcome-identical for the same seed.
+fn seq_shard_identical(smoke: bool) -> bool {
     let rounds = if smoke { 3 } else { 60 };
-    let run = |parallel: bool| {
-        let mut e = engine_for(32, parallel);
+    let run = |shards: usize, threads: usize| {
+        let mut e = engine_for(32, shards, threads);
         e.run_rounds(rounds).drain(50.0);
         report_digest(&e.report())
     };
-    run(false) == run(true)
+    let seq = run(1, 1);
+    seq == run(16, 1) && seq == run(16, 2) && seq == run(5, 3)
 }
 
-fn extract_baseline(path: &str) -> Result<(Vec<Measurement>, Value), String> {
+fn extract_baseline(path: &str) -> Result<Vec<Measurement>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let v = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
     let scenarios = v
         .get("scenarios")
         .and_then(Value::as_array)
@@ -139,12 +234,40 @@ fn extract_baseline(path: &str) -> Result<(Vec<Measurement>, Value), String> {
             name: s.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
             nodes: field("nodes").unwrap_or(0.0) as usize,
             rounds: field("rounds").unwrap_or(0.0) as u64,
-            parallel: s.get("parallel").and_then(Value::as_bool).unwrap_or(false),
+            shards: field("shards").unwrap_or(0.0) as usize,
+            threads: field("threads").unwrap_or(0.0) as usize,
             rounds_per_sec: field("rounds_per_sec").unwrap_or(0.0),
             ns_per_node_decision: field("ns_per_node_decision").unwrap_or(0.0),
+            skip_ratio: field("skip_ratio").unwrap_or(0.0),
         });
     }
-    Ok((out, v))
+    Ok(out)
+}
+
+/// The scaling contract: sharded ≥ sequential at 1 024 nodes, ≥ 1.5× at
+/// 16 384 (the two scales BENCH_2 showed the work-stealing path *losing*).
+fn expectations(scenarios: &[Measurement]) -> Vec<Expectation> {
+    let rps = |name: &str| {
+        scenarios.iter().find(|m| m.name == name).map(|m| m.rounds_per_sec).unwrap_or(0.0)
+    };
+    [
+        (1024, "torus1024_seq", "torus1024_shard", 1.0),
+        (16384, "torus16384_seq", "torus16384_shard", 1.5),
+    ]
+    .into_iter()
+    .map(|(nodes, seq, shard, required)| {
+        let (s, p) = (rps(seq), rps(shard));
+        let ratio = if s > 0.0 { p / s } else { 0.0 };
+        Expectation {
+            nodes,
+            sequential_rps: s,
+            sharded_rps: p,
+            ratio,
+            required,
+            pass: ratio >= required,
+        }
+    })
+    .collect()
 }
 
 fn main() {
@@ -167,29 +290,52 @@ fn main() {
     }
 
     let smoke = flag("--smoke");
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_2.json".to_string());
+    let enforce = flag("--enforce");
+    if smoke && enforce {
+        // Smoke numbers are explicitly meaningless: warm-up is one round,
+        // the system never quiesces, and the ratio is noise. Refuse rather
+        // than gate on it.
+        eprintln!("error: --enforce requires full measurement mode; drop --smoke");
+        std::process::exit(2);
+    }
+    let shards_override: usize =
+        opt("--shards").map(|s| s.parse().expect("--shards N")).unwrap_or(0);
+    let threads: usize = opt("--threads").map(|s| s.parse().expect("--threads N")).unwrap_or(0);
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_4.json".to_string());
     let baseline = opt("--baseline").map(|p| match extract_baseline(&p) {
-        Ok((b, _)) => b,
+        Ok(b) => b,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
     });
 
-    println!("=== BENCH_2: tick throughput ({})", if smoke { "smoke" } else { "full" });
+    println!("=== BENCH_4: sharded tick throughput ({})", if smoke { "smoke" } else { "full" });
     let mut scenarios = Vec::new();
     for sc in SCENARIOS {
-        let m = measure(sc, smoke);
+        let m = measure(sc, smoke, shards_override, threads);
         println!(
-            "  {:16} {:6} nodes  {:>10.1} rounds/s  {:>10.1} ns/node-decision",
-            m.name, m.nodes, m.rounds_per_sec, m.ns_per_node_decision
+            "  {:17} {:6} nodes  K={:<3} {:>10.1} rounds/s  {:>9.1} ns/node-decision  skip={:.2}",
+            m.name, m.nodes, m.shards, m.rounds_per_sec, m.ns_per_node_decision, m.skip_ratio
         );
         scenarios.push(m);
     }
 
-    let identical = seq_par_identical(smoke);
-    println!("  seq/par reports identical: {identical}");
-    assert!(identical, "parallel decision sweep diverged from sequential");
+    let identical = seq_shard_identical(smoke);
+    println!("  seq/sharded reports identical: {identical}");
+    assert!(identical, "sharded decision sweep diverged from sequential");
+
+    let expect = expectations(&scenarios);
+    for e in &expect {
+        println!(
+            "  scaling @ {:5} nodes: sharded/seq = {:.2}x (required {:.1}x) → {}",
+            e.nodes,
+            e.ratio,
+            e.required,
+            if e.pass { "pass" } else { "FAIL" }
+        );
+    }
+    let all_pass = expect.iter().all(|e| e.pass);
 
     let speedups = baseline.as_ref().map(|base| {
         scenarios
@@ -197,7 +343,7 @@ fn main() {
             .filter_map(|m| {
                 base.iter().find(|b| b.name == m.name && b.rounds_per_sec > 0.0).map(|b| {
                     let s = m.rounds_per_sec / b.rounds_per_sec;
-                    println!("  speedup {:16} {s:.2}x", m.name);
+                    println!("  speedup {:17} {s:.2}x", m.name);
                     (m.name.clone(), s)
                 })
             })
@@ -205,14 +351,20 @@ fn main() {
     });
 
     let output = Output {
-        bench: "BENCH_2 tick throughput (quiescent redistribution, particle-plane)".into(),
+        bench: "BENCH_4 sharded tick throughput (quiescent redistribution, particle-plane)".into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
         scenarios,
         reports_identical: identical,
+        expectations: expect,
         baseline,
         speedup_rounds_per_sec: speedups,
     };
     let json = serde_json::to_string_pretty(&output).expect("serialize");
     std::fs::write(&out_path, json).expect("write output");
     println!("[json artifact: {out_path}]");
+
+    if enforce && !all_pass {
+        eprintln!("error: sharded pipeline failed a scaling expectation (see above)");
+        std::process::exit(1);
+    }
 }

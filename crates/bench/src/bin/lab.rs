@@ -12,6 +12,14 @@
 //! lab --verify-golden DIR             re-run the pinned set, byte-compare
 //! ```
 //!
+//! `--shards K` / `--threads T` override the spec's engine knobs for the
+//! running commands (`lab <name>`, `--file`, `--all`): `K` spatial shards
+//! for the decision sweep, `T` worker threads. Outcomes are byte-identical
+//! for every layout — only the throughput changes — so overriding the
+//! knobs never drifts a golden report's *measurements*; a run with
+//! explicit `K ≥ 2` records the layout in the report's `shard_layout`
+//! metadata.
+//!
 //! `--smoke` caps every run at a few rounds so the whole registry finishes
 //! in CI seconds; reports are byte-identical across same-seed runs (the
 //! scenario-matrix CI job runs everything twice and diffs). The *pinned*
@@ -44,8 +52,21 @@ const PINNED: &[&str] = &[
 
 fn run_to_report(spec: &ScenarioSpec, smoke: bool) -> Result<GoldenReport, String> {
     let spec = if smoke { spec.smoke(SMOKE_ROUNDS, SMOKE_DRAIN) } else { spec.clone() };
-    let report = spec.run()?;
-    Ok(GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &report))
+    let mut engine = spec.build_engine()?;
+    let layout = engine.shard_layout();
+    engine.run_rounds(spec.duration.rounds).drain(spec.duration.drain);
+    let report = engine.report();
+    let mut g = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &report);
+    // Surface the layout only when the *spec* pins an explicit shard count:
+    // auto layouts depend on the host's core count and would make golden
+    // reports machine-dependent. Threads are omitted for the same reason.
+    if spec.engine.shards >= 2 {
+        g = g.with_shard_layout(format!(
+            "shards={} boundary={}",
+            layout.shards, layout.boundary_nodes
+        ));
+    }
+    Ok(g)
 }
 
 fn write_report(g: &GoldenReport, path: &Path) -> Result<(), String> {
@@ -126,8 +147,18 @@ fn cmd_run(spec: &ScenarioSpec, smoke: bool, out: Option<&str>) -> ExitCode {
     }
 }
 
-fn cmd_all(smoke: bool, out_dir: Option<&str>) -> ExitCode {
-    let all = registry::registry();
+fn cmd_all(
+    smoke: bool,
+    out_dir: Option<&str>,
+    shards: Option<&str>,
+    threads: Option<&str>,
+) -> ExitCode {
+    let mut all = registry::registry();
+    for s in &mut all {
+        if let Err(code) = apply_overrides(s, shards, threads) {
+            return code;
+        }
+    }
     println!("running {} scenarios ({}):", all.len(), if smoke { "smoke" } else { "full" });
     for s in &all {
         match run_to_report(s, smoke) {
@@ -224,12 +255,29 @@ fn cmd_verify_golden(dir: &str) -> ExitCode {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lab --list\n       lab <name> [--smoke] [--out PATH]\n       lab --file SPEC.json \
-         [--smoke] [--out PATH]\n       lab --spec <name>\n       lab --all [--smoke] [--out-dir \
+        "usage: lab --list\n       lab <name> [--smoke] [--shards K] [--threads T] [--out PATH]\n  \
+         \x20    lab --file SPEC.json [--smoke] [--shards K] [--threads T] [--out PATH]\n       \
+         lab --spec <name>\n       lab --all [--smoke] [--shards K] [--threads T] [--out-dir \
          DIR]\n       lab --check PATH\n       lab --emit-golden DIR\n       lab --verify-golden \
          DIR"
     );
     ExitCode::FAILURE
+}
+
+/// Applies the `--shards`/`--threads` CLI overrides to a spec's engine
+/// knobs (a parse failure falls through to `usage`).
+fn apply_overrides(
+    spec: &mut ScenarioSpec,
+    shards: Option<&str>,
+    threads: Option<&str>,
+) -> Result<(), ExitCode> {
+    if let Some(k) = shards {
+        spec.engine.shards = k.parse().map_err(|_| usage())?;
+    }
+    if let Some(t) = threads {
+        spec.engine.threads = t.parse().map_err(|_| usage())?;
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -254,8 +302,10 @@ fn main() -> ExitCode {
     if let Some(dir) = opt("--verify-golden") {
         return cmd_verify_golden(&dir);
     }
+    let shards = opt("--shards");
+    let threads = opt("--threads");
     if flag("--all") {
-        return cmd_all(smoke, opt("--out-dir").as_deref());
+        return cmd_all(smoke, opt("--out-dir").as_deref(), shards.as_deref(), threads.as_deref());
     }
     if let Some(path) = opt("--file") {
         let text = match std::fs::read_to_string(&path) {
@@ -265,27 +315,45 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let spec = match ScenarioSpec::from_json(&text) {
+        let mut spec = match ScenarioSpec::from_json(&text) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("cannot parse {path}: {e}");
                 return ExitCode::FAILURE;
             }
         };
+        if let Err(code) = apply_overrides(&mut spec, shards.as_deref(), threads.as_deref()) {
+            return code;
+        }
         return cmd_run(&spec, smoke, opt("--out").as_deref());
     }
     // First non-flag argument that is not the value of a value-taking
     // flag is the scenario name (`lab --out r.json hotspot-torus` and
     // `lab hotspot-torus --out r.json` both work).
-    const VALUE_FLAGS: &[&str] =
-        &["--out", "--out-dir", "--file", "--check", "--spec", "--emit-golden", "--verify-golden"];
+    const VALUE_FLAGS: &[&str] = &[
+        "--out",
+        "--out-dir",
+        "--file",
+        "--check",
+        "--spec",
+        "--emit-golden",
+        "--verify-golden",
+        "--shards",
+        "--threads",
+    ];
     let name = args.iter().enumerate().find_map(|(i, a)| {
         let is_flag_value = i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
         (!a.starts_with("--") && !is_flag_value).then(|| a.clone())
     });
     match name {
         Some(name) => match registry::by_name(&name) {
-            Some(spec) => cmd_run(&spec, smoke, opt("--out").as_deref()),
+            Some(mut spec) => {
+                if let Err(code) = apply_overrides(&mut spec, shards.as_deref(), threads.as_deref())
+                {
+                    return code;
+                }
+                cmd_run(&spec, smoke, opt("--out").as_deref())
+            }
             None => {
                 eprintln!("unknown scenario `{name}`; try --list");
                 ExitCode::FAILURE

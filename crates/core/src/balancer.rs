@@ -90,6 +90,19 @@ impl LoadBalancer for ParticlePlaneBalancer {
         &self.name
     }
 
+    /// Without friction jitter the balancer is quiescence-stable, which
+    /// lets the engine's sharded pipeline skip sweeps over untouched
+    /// shards: candidate sets are pure functions of (tasks, heights, live
+    /// links) — `round`/`time` reach the arbiter only *after* a non-empty
+    /// candidate set exists — and [`Arbiter::choose`] draws from the RNG
+    /// only for 2+ candidates and returns `None` only on an empty set, so
+    /// an empty decision implies every candidate set was empty and zero
+    /// draws occurred. With jitter enabled `µ_s` takes a per-task draw
+    /// every round, so skipping would desync the node's RNG stream.
+    fn quiescence_stable(&self) -> bool {
+        self.cfg.jitter.is_none()
+    }
+
     fn decide(&self, view: &NodeView<'_>, rng: &mut StdRng) -> Vec<MigrationIntent> {
         let cfg = &self.cfg;
         let m = view.neighbors.len();
@@ -392,6 +405,37 @@ mod tests {
     #[should_panic(expected = "invalid physics configuration")]
     fn invalid_config_rejected() {
         let _ = ParticlePlaneBalancer::new(PhysicsConfig { c_mu: 0.0, ..Default::default() });
+    }
+
+    #[test]
+    fn quiescence_stable_unless_jittered() {
+        use crate::jitter::FrictionJitter;
+        assert!(ParticlePlaneBalancer::new(PhysicsConfig::default()).quiescence_stable());
+        let jittered = PhysicsConfig {
+            jitter: Some(FrictionJitter::new(0.5, 1.0, 100.0)),
+            ..Default::default()
+        };
+        // Jitter draws from the node RNG every round even when nothing
+        // moves, so the sharded skip must stay off.
+        assert!(!ParticlePlaneBalancer::new(jittered).quiescence_stable());
+    }
+
+    #[test]
+    fn empty_decision_draws_nothing_from_the_rng() {
+        // The quiescence_stable contract: a decide that returns no intents
+        // must leave the RNG stream untouched (the arbiter only draws once
+        // a non-empty candidate set exists).
+        let s = ring_state(&[2.0, 2.0, 2.0, 2.0]);
+        let h = s.heights();
+        let mut scratch = ViewScratch::new();
+        let view = build_view(&mut scratch, &s, NodeId(0), &h, &LinkView::all_up(&s, 1.0), 0, 0.0);
+        let b = ParticlePlaneBalancer::new(PhysicsConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut witness = StdRng::seed_from_u64(7);
+        assert!(b.decide(&view, &mut rng).is_empty());
+        assert!(b.decide(&view, &mut rng).is_empty());
+        use rand::Rng;
+        assert_eq!(rng.gen_range(0.0f64..1.0), witness.gen_range(0.0f64..1.0));
     }
 
     #[test]

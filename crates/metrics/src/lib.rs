@@ -3,8 +3,9 @@
 //! Everything the experiments measure: instantaneous [`imbalance::Imbalance`]
 //! statistics of a load distribution, the [`ledger::TrafficLedger`] recording
 //! every migration (and the paper's *heat ≡ traffic* analogy, §4.1),
-//! [`series::TimeSeries`] with convergence detection for Theorem 2, and
-//! [`summary`] helpers for multi-run tables.
+//! [`series::TimeSeries`] with convergence detection for Theorem 2,
+//! [`shard::ShardAccum`] mergeable per-shard sweep counters for the sharded
+//! tick pipeline, and [`summary`] helpers for multi-run tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,6 +13,7 @@
 pub mod imbalance;
 pub mod ledger;
 pub mod series;
+pub mod shard;
 pub mod summary;
 
 /// One-stop imports.
@@ -19,5 +21,6 @@ pub mod prelude {
     pub use crate::imbalance::{rmse_vs_ideal, Imbalance};
     pub use crate::ledger::{pearson, MigrationRecord, TrafficLedger};
     pub use crate::series::TimeSeries;
+    pub use crate::shard::ShardAccum;
     pub use crate::summary::{fmt, Summary, TextTable};
 }

@@ -1,0 +1,142 @@
+//! Per-shard decision-sweep accounting for the sharded tick pipeline.
+//!
+//! Each shard of the engine owns one [`ShardAccum`] and feeds it during its
+//! own decision sweep with no synchronization; after the sweep the engine
+//! merges the shard accumulators **in fixed shard order** into one
+//! system-wide view. The counters are diagnostics only — they are kept out
+//! of `RunReport`, whose byte-identity between sequential and sharded runs
+//! is the pipeline's correctness contract (a K-shard run evaluates and
+//! skips different shard counts than a 1-shard run, so these numbers are
+//! layout-dependent by design).
+
+/// Additive counters for one shard's (or, after merging, the whole
+/// system's) decision sweeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardAccum {
+    /// Ticks in which the shard was evaluated (its nodes' `decide` ran).
+    pub ticks_evaluated: u64,
+    /// Ticks in which the shard was skipped as quiescent.
+    pub ticks_skipped: u64,
+    /// Total node decisions evaluated.
+    pub nodes_evaluated: u64,
+    /// Total migration intents emitted.
+    pub intents_emitted: u64,
+}
+
+impl ShardAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        ShardAccum::default()
+    }
+
+    /// Records one evaluated tick covering `nodes` decisions that emitted
+    /// `intents` migration intents.
+    pub fn record_evaluated(&mut self, nodes: u64, intents: u64) {
+        self.ticks_evaluated += 1;
+        self.nodes_evaluated += nodes;
+        self.intents_emitted += intents;
+    }
+
+    /// Records one tick in which the shard was skipped as quiescent.
+    pub fn record_skipped(&mut self) {
+        self.ticks_skipped += 1;
+    }
+
+    /// Folds another accumulator into this one. Addition is commutative,
+    /// but callers merge in fixed shard order anyway so any future
+    /// order-sensitive field keeps a defined meaning.
+    pub fn merge(&mut self, other: &ShardAccum) {
+        self.ticks_evaluated += other.ticks_evaluated;
+        self.ticks_skipped += other.ticks_skipped;
+        self.nodes_evaluated += other.nodes_evaluated;
+        self.intents_emitted += other.intents_emitted;
+    }
+
+    /// Fraction of shard-ticks skipped as quiescent (0 when nothing ran).
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.ticks_evaluated + self.ticks_skipped;
+        if total == 0 {
+            return 0.0;
+        }
+        self.ticks_skipped as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut a = ShardAccum::new();
+        a.record_evaluated(16, 3);
+        a.record_evaluated(16, 0);
+        a.record_skipped();
+        assert_eq!(a.ticks_evaluated, 2);
+        assert_eq!(a.ticks_skipped, 1);
+        assert_eq!(a.nodes_evaluated, 32);
+        assert_eq!(a.intents_emitted, 3);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = ShardAccum::new();
+        a.record_evaluated(8, 1);
+        let mut b = ShardAccum::new();
+        b.record_evaluated(4, 2);
+        b.record_skipped();
+        a.merge(&b);
+        assert_eq!(
+            a,
+            ShardAccum {
+                ticks_evaluated: 2,
+                ticks_skipped: 1,
+                nodes_evaluated: 12,
+                intents_emitted: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn merge_order_independent_for_sums() {
+        let parts = [
+            ShardAccum {
+                ticks_evaluated: 1,
+                ticks_skipped: 2,
+                nodes_evaluated: 3,
+                intents_emitted: 4,
+            },
+            ShardAccum {
+                ticks_evaluated: 5,
+                ticks_skipped: 0,
+                nodes_evaluated: 7,
+                intents_emitted: 0,
+            },
+            ShardAccum {
+                ticks_evaluated: 0,
+                ticks_skipped: 9,
+                nodes_evaluated: 0,
+                intents_emitted: 1,
+            },
+        ];
+        let mut fwd = ShardAccum::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = ShardAccum::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn skip_ratio_bounds() {
+        let mut a = ShardAccum::new();
+        assert_eq!(a.skip_ratio(), 0.0);
+        a.record_skipped();
+        assert_eq!(a.skip_ratio(), 1.0);
+        a.record_evaluated(1, 0);
+        assert_eq!(a.skip_ratio(), 0.5);
+    }
+}

@@ -174,6 +174,25 @@ pub fn registry() -> Vec<ScenarioSpec> {
             duration: DurationSpec { rounds: 100, drain: 100.0 },
             ..base("torus1k-parallel", "1024-node torus with the parallel decision sweep")
         },
+        // 17. Production scale, explicitly sharded: the 16k-node torus
+        // split into 64 row bands (what BENCH_4 measures, as a scenario).
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![128, 128] },
+            workload: WorkloadSpec::UniformRandom { max_per_node: 8.0, seed: 42 },
+            engine: EngineKnobs { shards: 64, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 60, drain: 100.0 },
+            ..base("torus16k-sharded", "16,384-node torus on the 64-shard tick pipeline")
+        },
+        // 18. The 65,536-node scale point: one hotspot on a 256×256 torus,
+        // 128 shards — far shards sleep until the balancing wave reaches
+        // their halo (the shard-level activity tracking showcase).
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![256, 256] },
+            workload: WorkloadSpec::Hotspot { node: 0, total: 2048.0, task_size: 1.0 },
+            engine: EngineKnobs { shards: 128, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 40, drain: 100.0 },
+            ..base("torus65536-sharded", "65,536-node torus, 128 shards, spreading hotspot")
+        },
     ];
     all
 }

@@ -5,11 +5,14 @@
 //! committed under `golden/` and diffed on every push.
 
 use pp_sim::engine::RunReport;
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// Everything observable about a finished run, flattened for JSON. Field
-/// order is fixed — the report is compared byte-for-byte.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// order is fixed — the report is compared byte-for-byte. `Serialize` is
+/// hand-written so that `shard_layout` is *omitted* (not `null`) when the
+/// scenario does not request explicit sharding, keeping default-layout
+/// goldens byte-identical to those emitted before the field existed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct GoldenReport {
     /// Scenario name.
     pub scenario: String,
@@ -45,8 +48,42 @@ pub struct GoldenReport {
     pub in_flight_load: f64,
     /// Tasks completed by work consumption.
     pub completed_tasks: usize,
+    /// The shard layout, when the scenario requests explicit sharding
+    /// (`engine.shards ≥ 2`): `"shards=K boundary=B"`. `None` (and absent
+    /// from the JSON) otherwise. Machine-independent: derived from the
+    /// spec's shard count and the topology, never from the core count.
+    pub shard_layout: Option<String>,
     /// The full CoV time series, `(time, cov)` per sample.
     pub cov_series: Vec<(f64, f64)>,
+}
+
+impl Serialize for GoldenReport {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("balancer".to_string(), self.balancer.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("rounds".to_string(), self.rounds.to_value()),
+            ("time".to_string(), self.time.to_value()),
+            ("final_cov".to_string(), self.final_cov.to_value()),
+            ("final_mean".to_string(), self.final_mean.to_value()),
+            ("final_spread".to_string(), self.final_spread.to_value()),
+            ("migrations".to_string(), self.migrations.to_value()),
+            ("load_moved".to_string(), self.load_moved.to_value()),
+            ("weighted_traffic".to_string(), self.weighted_traffic.to_value()),
+            ("heat".to_string(), self.heat.to_value()),
+            ("hop_faults".to_string(), self.hop_faults.to_value()),
+            ("total_load".to_string(), self.total_load.to_value()),
+            ("in_flight_load".to_string(), self.in_flight_load.to_value()),
+            ("completed_tasks".to_string(), self.completed_tasks.to_value()),
+        ];
+        if let Some(layout) = &self.shard_layout {
+            entries.push(("shard_layout".to_string(), layout.to_value()));
+        }
+        entries.push(("cov_series".to_string(), self.cov_series.to_value()));
+        Value::Object(entries)
+    }
 }
 
 impl GoldenReport {
@@ -70,8 +107,16 @@ impl GoldenReport {
             total_load: r.total_load,
             in_flight_load: r.in_flight_load,
             completed_tasks: r.completed_tasks,
+            shard_layout: None,
             cov_series: r.series.points().to_vec(),
         }
+    }
+
+    /// Attaches shard-layout metadata (`"shards=K boundary=B"`). Only
+    /// called for scenarios whose spec requests `engine.shards ≥ 2`.
+    pub fn with_shard_layout(mut self, layout: String) -> GoldenReport {
+        self.shard_layout = Some(layout);
+        self
     }
 
     /// The canonical byte-stable rendering (pretty JSON + trailing
@@ -114,6 +159,19 @@ mod tests {
         let gb = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &b);
         assert_eq!(ga, gb);
         assert_eq!(ga.to_canonical_json(), gb.to_canonical_json());
+    }
+
+    #[test]
+    fn shard_layout_field_omitted_unless_set() {
+        let spec = registry::by_name("hotspot-torus").expect("registered").smoke(3, 10.0);
+        let r = spec.run().expect("run");
+        let plain = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &r);
+        assert!(!plain.to_canonical_json().contains("shard_layout"));
+        let tagged = plain.clone().with_shard_layout("shards=4 boundary=32".into());
+        let text = tagged.to_canonical_json();
+        assert!(text.contains("\"shard_layout\": \"shards=4 boundary=32\""));
+        // Metadata rides along without disturbing the checker.
+        assert_eq!(GoldenReport::check_text(&text).expect("checks"), "hotspot-torus");
     }
 
     #[test]

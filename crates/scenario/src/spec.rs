@@ -798,8 +798,14 @@ pub struct EngineKnobs {
     pub consume_rate: f64,
     /// Transfer attempts per hop.
     pub max_attempts: u32,
-    /// Parallel decision sweep.
+    /// Compatibility alias: with `shards = 0`, selects one shard per
+    /// available core (machine-dependent — prefer `shards`).
     pub parallel_decide: bool,
+    /// Shard count `K` for the sharded tick pipeline (0 = auto; 1 = the
+    /// sequential reference; clamped to the node count at build).
+    pub shards: usize,
+    /// Sweep worker threads (0 = auto: one per core, capped at `K`).
+    pub threads: usize,
 }
 
 impl Default for EngineKnobs {
@@ -811,6 +817,8 @@ impl Default for EngineKnobs {
             consume_rate: d.consume_rate,
             max_attempts: d.max_attempts,
             parallel_decide: d.parallel_decide,
+            shards: d.shards,
+            threads: d.threads,
         }
     }
 }
@@ -940,6 +948,8 @@ impl ScenarioSpec {
             consume_rate: self.engine.consume_rate,
             max_attempts: self.engine.max_attempts,
             parallel_decide: self.engine.parallel_decide,
+            shards: self.engine.shards,
+            threads: self.engine.threads,
             fault_model: self.faults.build(),
             arrival,
         };

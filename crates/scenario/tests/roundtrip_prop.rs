@@ -105,7 +105,12 @@ proptest! {
                 1 => SpeedSpec::TwoTier { fast_fraction: 0.5, fast: 2.0, slow: 0.5, seed },
                 _ => SpeedSpec::LinearRamp { min: 0.5, max: 2.0 },
             },
-            engine: EngineKnobs { consume_rate: x / 100.0, ..EngineKnobs::default() },
+            engine: EngineKnobs {
+                consume_rate: x / 100.0,
+                shards: (seed % 9) as usize,
+                threads: (seed % 4) as usize,
+                ..EngineKnobs::default()
+            },
             duration: DurationSpec { rounds, drain: x },
             seed,
         };

@@ -160,6 +160,22 @@ pub trait LoadBalancer: Send + Sync {
     /// Migration decisions for a stationary node at a balance tick.
     fn decide(&self, view: &NodeView<'_>, rng: &mut StdRng) -> Vec<MigrationIntent>;
 
+    /// Whether `decide` is **quiescence-stable**: given a view whose tasks,
+    /// heights and live neighbour links are unchanged since a call that
+    /// returned no intents, `decide` is guaranteed to (a) return no intents
+    /// again and (b) draw nothing from the RNG — regardless of the `round`
+    /// and `time` fields, which keep advancing.
+    ///
+    /// The engine's sharded tick pipeline uses this to skip the decision
+    /// sweep over shards whose state (and halo) has not changed, with
+    /// byte-identical outcomes. Policies with per-round internal state
+    /// (`begin_round`), round-dependent randomness, or RNG draws on the
+    /// empty-decision path must return `false` — the default, which is
+    /// always safe.
+    fn quiescence_stable(&self) -> bool {
+        false
+    }
+
     /// Decision for a load arriving at `view.node` mid-flight: `Some` to
     /// forward it onward, `None` to deposit it here. Default: deposit.
     fn on_arrival(
@@ -183,6 +199,10 @@ impl LoadBalancer for NullBalancer {
 
     fn decide(&self, _view: &NodeView<'_>, _rng: &mut StdRng) -> Vec<MigrationIntent> {
         Vec::new()
+    }
+
+    fn quiescence_stable(&self) -> bool {
+        true
     }
 }
 

@@ -3,12 +3,34 @@
 //! Time advances event-to-event; balance rounds fire every `tick` time
 //! units. At each round the engine snapshots the height map, lets the
 //! policy refresh per-round state ([`LoadBalancer::begin_round`]), collects
-//! per-node decisions (optionally in parallel — decisions are pure functions
-//! of the snapshot), validates and launches the migrations. In-flight loads
-//! occupy the network for `d + size/bw` time units, may hit link faults
-//! (retried with the configured budget, bounced back to the source when it
-//! is exhausted), and on landing may be *forwarded onward* by policies with
-//! in-motion behaviour (the paper's sliding object, §5.1).
+//! per-node decisions **shard by shard**, validates and launches the
+//! migrations. In-flight loads occupy the network for `d + size/bw` time
+//! units, may hit link faults (retried with the configured budget, bounced
+//! back to the source when it is exhausted), and on landing may be
+//! *forwarded onward* by policies with in-motion behaviour (the paper's
+//! sliding object, §5.1).
+//!
+//! ## Sharded tick pipeline
+//!
+//! The topology is split once, at build time, into `K` contiguous shards
+//! ([`pp_topology::partition::Partition`]). Each shard owns its decision
+//! buffers, its per-node RNG streams, a reusable view scratch and a
+//! mergeable [`ShardAccum`]; the decision sweep processes whole shards —
+//! on the calling thread when one worker suffices, otherwise distributed
+//! over a persistent [`WorkerPool`] where workers pull whole shards off a
+//! queue instead of stealing individual nodes. Because decisions are pure
+//! functions of the tick-start snapshot and every node draws from its own
+//! RNG stream, the sweep's outcome is byte-identical for every `(K,
+//! threads)` choice — including `K = 1`, the sequential reference.
+//!
+//! On top of the decomposition sits exact **shard-level activity
+//! tracking**: every state mutation marks the owning shard dirty (and, for
+//! boundary nodes, the shards listed in the partition's halo-derived
+//! adjacency), and a shard whose last sweep emitted nothing stays clean
+//! until someone it can observe changes. When the policy opts in via
+//! [`LoadBalancer::quiescence_stable`] and `K ≥ 2`, clean shards skip their
+//! sweep entirely — provably without observable effect (see
+//! `docs/adr/ADR-004-sharded-ticks.md` for the argument).
 //!
 //! Between events each node optionally consumes work (`consume_rate`),
 //! completing and removing tasks, and a dynamic [`ArrivalProcess`] may
@@ -23,6 +45,7 @@ use crate::state::SystemState;
 use pp_metrics::imbalance::Imbalance;
 use pp_metrics::ledger::{MigrationRecord, TrafficLedger};
 use pp_metrics::series::TimeSeries;
+use pp_metrics::shard::ShardAccum;
 use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
 use pp_tasking::task::{Task, TaskIdGen};
@@ -30,8 +53,10 @@ use pp_tasking::workload::{validate_trace, ArrivalProcess, TraceEvent, Workload}
 use pp_topology::edgeset::EdgeBitSet;
 use pp_topology::graph::{EdgeId, NodeId, Topology};
 use pp_topology::links::{LinkAttrs, LinkMap};
+use pp_topology::partition::Partition;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt;
 use std::sync::Mutex;
 
 /// Dynamic link fault process: at every balance tick each up link goes down
@@ -56,8 +81,22 @@ pub struct EngineConfig {
     pub consume_rate: f64,
     /// Transfer attempts per hop before the load bounces back.
     pub max_attempts: u32,
-    /// Evaluate per-node decisions on multiple threads.
+    /// Compatibility alias for the retired per-node work-stealing sweep:
+    /// when `shards` is 0 (auto), `true` selects one shard per available
+    /// core — like the old path, only for 64+ nodes, so small systems keep
+    /// the inline sweep's cost model. Prefer setting `shards`/`threads`
+    /// directly.
     pub parallel_decide: bool,
+    /// Number of spatial shards `K` the decision sweep is partitioned into
+    /// (0 = auto: 1, or one per available core when `parallel_decide` is
+    /// set). Clamped to the node count. `K = 1` is the sequential
+    /// reference pipeline; `K ≥ 2` enables shard-level activity tracking
+    /// for [`LoadBalancer::quiescence_stable`] policies.
+    pub shards: usize,
+    /// Worker threads for the shard sweep (0 = auto: one per available
+    /// core, capped at `K`). With 1 thread shards run inline on the
+    /// calling thread — no pool, no locks.
+    pub threads: usize,
     /// Dynamic link up/down process (None = all links always up).
     pub fault_model: Option<FaultModel>,
     /// Dynamic task arrivals.
@@ -72,15 +111,57 @@ impl Default for EngineConfig {
             consume_rate: 0.0,
             max_attempts: 3,
             parallel_decide: false,
+            shards: 0,
+            threads: 0,
             fault_model: None,
             arrival: ArrivalProcess::Quiescent,
         }
     }
 }
 
-/// One partition of the parallel decision sweep: disjoint slices of the
-/// decision buffers and per-node RNGs, claimed by exactly one worker.
-type DecisionPartition<'a> = Mutex<(&'a mut [Vec<MigrationIntent>], &'a mut [StdRng])>;
+/// The resolved shard execution layout of a built engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// Number of shards `K`.
+    pub shards: usize,
+    /// Worker threads serving the sweep.
+    pub threads: usize,
+    /// Nodes with at least one neighbour in another shard.
+    pub boundary_nodes: usize,
+}
+
+impl fmt::Display for ShardLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shards={} threads={} boundary={}",
+            self.shards, self.threads, self.boundary_nodes
+        )
+    }
+}
+
+/// Per-shard execution state: everything a sweep worker touches for one
+/// shard, owned by that shard so no two workers share mutable data.
+struct ShardSlot {
+    /// Per-owned-node decision slots, kept across ticks. Each sweep
+    /// overwrites a slot with the Vec `decide` returns — empty
+    /// (capacity-free) in steady state, so quiescent rounds neither
+    /// allocate nor free.
+    decisions: Vec<Vec<MigrationIntent>>,
+    /// Per-owned-node RNG streams (seeded exactly as the flat engine did,
+    /// so sharding never changes a node's stream).
+    rngs: Vec<StdRng>,
+    /// Reusable neighbour-view scratch for this shard's sweeps.
+    scratch: ViewScratch,
+    /// Mergeable sweep counters (merged in shard order on demand).
+    accum: ShardAccum,
+    /// Whether state this shard can observe (its nodes, their tasks, its
+    /// incident links, its halo neighbours' heights) changed since its
+    /// last sweep that emitted nothing.
+    dirty: bool,
+    /// Whether the current tick's sweep evaluated this shard.
+    evaluated: bool,
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Flight {
@@ -138,7 +219,6 @@ pub struct Engine {
     round: u64,
     flights: Vec<Option<Flight>>,
     free_slots: Vec<usize>,
-    node_rngs: Vec<StdRng>,
     engine_rng: StdRng,
     ledger: TrafficLedger,
     series: TimeSeries,
@@ -147,14 +227,13 @@ pub struct Engine {
     down_links: EdgeBitSet,
     /// Precomputed `e_{i,j}` per edge id for `config.weight_c`.
     link_weights: Vec<f64>,
-    /// Per-node decision slots, kept across ticks. Each sweep overwrites a
-    /// slot with the Vec `decide` returns — empty (capacity-free) in steady
-    /// state, so quiescent rounds neither allocate nor free; a tick with
-    /// migrations pays one Vec per emitting node.
-    decisions: Vec<Vec<MigrationIntent>>,
-    /// View scratch for the sequential sweep and in-motion arrivals.
-    scratch: ViewScratch,
-    /// Lazily created persistent worker pool for `parallel_decide`.
+    /// The spatial decomposition driving the sweep (fixed at build time).
+    partition: Partition,
+    /// Per-shard execution state, indexed by shard id.
+    shards: Vec<ShardSlot>,
+    /// Resolved sweep worker count (1 = inline, no pool).
+    threads: usize,
+    /// Lazily created persistent worker pool (only when `threads > 1`).
     pool: Option<WorkerPool>,
     /// Per-node speed multipliers on `consume_rate` (empty = homogeneous).
     speeds: Vec<f64>,
@@ -198,6 +277,41 @@ impl Engine {
     /// Links currently down.
     pub fn down_link_count(&self) -> usize {
         self.down_links.count()
+    }
+
+    /// The resolved shard execution layout.
+    pub fn shard_layout(&self) -> ShardLayout {
+        ShardLayout {
+            shards: self.partition.shard_count(),
+            threads: self.threads,
+            boundary_nodes: self.partition.boundary_total(),
+        }
+    }
+
+    /// The spatial decomposition the sweep runs over.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Sweep counters merged over all shards, in fixed shard order.
+    pub fn shard_stats(&self) -> ShardAccum {
+        let mut total = ShardAccum::new();
+        for slot in &self.shards {
+            total.merge(&slot.accum);
+        }
+        total
+    }
+
+    /// Marks the shards that can observe node `v` (its own plus, for
+    /// boundary nodes, every halo-adjacent shard) as needing evaluation.
+    /// Called on every mutation of `v`'s tasks or height.
+    #[inline]
+    fn mark_node_dirty(&mut self, v: NodeId) {
+        let s = self.partition.shard_of(v);
+        self.shards[s].dirty = true;
+        for &a in self.partition.adjacent_shards(v) {
+            self.shards[a as usize].dirty = true;
+        }
     }
 
     /// Pre-reserves metric storage for `n` further rounds, so recording a
@@ -295,8 +409,12 @@ impl Engine {
             for i in 0..self.state.node_count() {
                 let scaled = if self.speeds.is_empty() { amount } else { amount * self.speeds[i] };
                 if scaled > 0.0 {
-                    let (done, _) = self.state.consume_work(NodeId(i as u32), scaled);
+                    let v = NodeId(i as u32);
+                    let (done, used) = self.state.consume_work(v, scaled);
                     self.completed_tasks += done;
+                    if done > 0 || used > 0.0 {
+                        self.mark_node_dirty(v);
+                    }
                 }
             }
         }
@@ -316,15 +434,26 @@ impl Engine {
         self.balancer.begin_round(&global);
 
         self.collect_decisions();
-        // Swap the decision buffers out so `launch` may mutate state while
-        // we drain them; the buffers (and their capacity) come back after.
-        let mut decisions = std::mem::take(&mut self.decisions);
-        for (i, intents) in decisions.iter_mut().enumerate() {
-            for intent in intents.drain(..) {
-                self.launch(NodeId(i as u32), intent);
+        // Commit phase: drain the evaluated shards' decision buffers in
+        // fixed shard order — shards are contiguous ascending id ranges, so
+        // this is exactly the flat engine's ascending-node launch order.
+        // Skipped shards hold no intents (their buffers were drained the
+        // last time they were evaluated). Buffers are swapped out so
+        // `launch` may mutate state while we drain them; they (and their
+        // capacity) come back after.
+        for s in 0..self.shards.len() {
+            if !self.shards[s].evaluated {
+                continue;
             }
+            let (start, _) = self.partition.range(s);
+            let mut decisions = std::mem::take(&mut self.shards[s].decisions);
+            for (k, intents) in decisions.iter_mut().enumerate() {
+                for intent in intents.drain(..) {
+                    self.launch(NodeId(start + k as u32), intent);
+                }
+            }
+            self.shards[s].decisions = decisions;
         }
-        self.decisions = decisions;
         self.series.push(self.time, self.state.cov());
     }
 
@@ -332,12 +461,26 @@ impl Engine {
         let Some(fm) = self.config.fault_model else { return };
         for e in 0..self.state.topo.edge_count() as u32 {
             let e = EdgeId(e);
-            if self.down_links.contains(e) {
-                if self.engine_rng.gen_bool(fm.p_up) {
+            let flipped = if self.down_links.contains(e) {
+                let up = self.engine_rng.gen_bool(fm.p_up);
+                if up {
                     self.down_links.remove(e);
                 }
-            } else if self.engine_rng.gen_bool(fm.p_down) {
-                self.down_links.insert(e);
+                up
+            } else {
+                let down = self.engine_rng.gen_bool(fm.p_down);
+                if down {
+                    self.down_links.insert(e);
+                }
+                down
+            };
+            if flipped {
+                // A link flip changes only its two endpoints' views.
+                let (u, v) = self.state.topo.edge_endpoints(e);
+                let su = self.partition.shard_of(u);
+                let sv = self.partition.shard_of(v);
+                self.shards[su].dirty = true;
+                self.shards[sv].dirty = true;
             }
         }
     }
@@ -348,63 +491,80 @@ impl Engine {
         self.state.topo.edge_index(u, v).filter(|&e| !self.down_links.contains(e))
     }
 
-    /// Fills `self.decisions` with each node's migration intents for this
-    /// tick. Decisions are pure functions of the tick-start height snapshot
-    /// (nothing mutates state until the launch phase), so evaluating them
-    /// sequentially or across the worker pool yields identical results.
+    /// Fills each shard's decision buffers with its nodes' migration
+    /// intents for this tick. Decisions are pure functions of the
+    /// tick-start height snapshot (nothing mutates state until the launch
+    /// phase) and every node draws from its own RNG stream, so evaluating
+    /// shards inline, across the worker pool, or skipping provably
+    /// quiescent ones yields identical results.
     fn collect_decisions(&mut self) {
-        let n = self.state.node_count();
         let round = self.round;
         let time = self.time;
+        // Shard-level activity tracking only has resolution at K ≥ 2; the
+        // single-shard pipeline stays the skip-free sequential reference.
+        let skip_ok = self.shards.len() >= 2 && self.balancer.quiescence_stable();
+        let mut pending = 0usize;
+        for slot in &mut self.shards {
+            slot.evaluated = slot.dirty || !skip_ok;
+            if slot.evaluated {
+                pending += 1;
+            } else {
+                slot.accum.record_skipped();
+            }
+        }
+        if pending == 0 {
+            return;
+        }
 
-        if self.config.parallel_decide && n >= 64 {
-            let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
-            let workers = pool.workers();
-            let chunk = n.div_ceil(workers);
-            let state = &self.state;
-            let heights = state.height_slice();
-            let links = LinkView {
-                attrs: state.links().attrs(),
-                weights: Some(&self.link_weights),
-                weight_c: self.config.weight_c,
-                down: if self.down_links.none_set() { None } else { Some(&self.down_links) },
-            };
-            let balancer = &*self.balancer;
-            // Hand each partition its disjoint slice pair through a mutex;
-            // exactly one worker executes each partition, so the lock is
-            // uncontended — it exists to make the disjointness safe.
-            let parts: Vec<DecisionPartition<'_>> = self
-                .decisions
-                .chunks_mut(chunk)
-                .zip(self.node_rngs.chunks_mut(chunk))
-                .map(Mutex::new)
+        let state = &self.state;
+        let heights = state.height_slice();
+        let links = LinkView {
+            attrs: state.links().attrs(),
+            weights: Some(&self.link_weights),
+            weight_c: self.config.weight_c,
+            down: if self.down_links.none_set() { None } else { Some(&self.down_links) },
+        };
+        let balancer = &*self.balancer;
+        let partition = &self.partition;
+
+        if self.threads > 1 && pending > 1 {
+            let threads = self.threads;
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(threads));
+            // Each job is one whole shard, handed through an uncontended
+            // mutex (exactly one worker pulls each job; the lock exists to
+            // make the &mut hand-off safe). Workers drain the job queue, so
+            // shards load-balance across threads without node stealing.
+            let jobs: Vec<Mutex<(usize, &mut ShardSlot)>> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, slot)| slot.evaluated)
+                .map(|(s, slot)| Mutex::new((s, slot)))
                 .collect();
-            pool.run(&|part, scratch| {
-                let Some(cell) = parts.get(part) else { return };
-                let mut guard = cell.lock().expect("partition lock");
-                let (dchunk, rchunk) = &mut *guard;
-                let base = part * chunk;
-                for (k, (slot, rng)) in dchunk.iter_mut().zip(rchunk.iter_mut()).enumerate() {
-                    let node = NodeId((base + k) as u32);
-                    let view = build_view(scratch, state, node, heights, &links, round, time);
-                    *slot = balancer.decide(&view, rng);
-                }
+            pool.run_jobs(jobs.len(), &|j, _scratch| {
+                let Some(cell) = jobs.get(j) else { return };
+                let mut guard = cell.lock().expect("shard job lock");
+                let (s, slot) = &mut *guard;
+                let (start, end) = partition.range(*s);
+                eval_shard(slot, start, end, state, heights, &links, balancer, round, time);
             });
         } else {
-            let state = &self.state;
-            let heights = state.height_slice();
-            let links = LinkView {
-                attrs: state.links().attrs(),
-                weights: Some(&self.link_weights),
-                weight_c: self.config.weight_c,
-                down: if self.down_links.none_set() { None } else { Some(&self.down_links) },
-            };
-            let balancer = &*self.balancer;
-            for i in 0..n {
-                let node = NodeId(i as u32);
-                let view = build_view(&mut self.scratch, state, node, heights, &links, round, time);
-                self.decisions[i] = balancer.decide(&view, &mut self.node_rngs[i]);
+            for s in 0..self.shards.len() {
+                if !self.shards[s].evaluated {
+                    continue;
+                }
+                let (start, end) = self.partition.range(s);
+                eval_shard(
+                    &mut self.shards[s],
+                    start,
+                    end,
+                    state,
+                    heights,
+                    &links,
+                    balancer,
+                    round,
+                    time,
+                );
             }
         }
     }
@@ -419,6 +579,7 @@ impl Engine {
         let Some(task) = self.state.remove_task(from, intent.task) else {
             return;
         };
+        self.mark_node_dirty(from);
         let load = MigratingLoad { task, flag: intent.flag, hops: 0, source: from };
         self.launch_load(from, intent.to, edge, load, intent.heat);
     }
@@ -492,18 +653,25 @@ impl Engine {
         if flight.bounced {
             // The transfer failed for good; the load stays at its source.
             self.state.add_task(flight.to, flight.load.task);
+            self.mark_node_dirty(flight.to);
             return;
         }
 
-        // In-motion decision: may the load keep sliding (§5.1)?
+        // In-motion decision: may the load keep sliding (§5.1)? The view
+        // is built into the landing shard's scratch and the draw comes from
+        // the landing node's own RNG stream, exactly as the flat engine
+        // did.
         let links = LinkView {
             attrs: self.state.links().attrs(),
             weights: Some(&self.link_weights),
             weight_c: self.config.weight_c,
             down: if self.down_links.none_set() { None } else { Some(&self.down_links) },
         };
+        let s = self.partition.shard_of(flight.to);
+        let local = (flight.to.0 - self.partition.range(s).0) as usize;
+        let slot = &mut self.shards[s];
         let view = build_view(
-            &mut self.scratch,
+            &mut slot.scratch,
             &self.state,
             flight.to,
             self.state.height_slice(),
@@ -511,8 +679,7 @@ impl Engine {
             self.round,
             self.time,
         );
-        let rng = &mut self.node_rngs[flight.to.idx()];
-        let onward = self.balancer.on_arrival(&view, &flight.load, rng);
+        let onward = self.balancer.on_arrival(&view, &flight.load, &mut slot.rngs[local]);
         match onward {
             Some(intent) => match self.live_edge(flight.to, intent.to) {
                 Some(edge) => {
@@ -520,9 +687,15 @@ impl Engine {
                     load.flag = intent.flag;
                     self.launch_load(flight.to, intent.to, edge, load, intent.heat);
                 }
-                None => self.state.add_task(flight.to, flight.load.task),
+                None => {
+                    self.state.add_task(flight.to, flight.load.task);
+                    self.mark_node_dirty(flight.to);
+                }
             },
-            None => self.state.add_task(flight.to, flight.load.task),
+            None => {
+                self.state.add_task(flight.to, flight.load.task);
+                self.mark_node_dirty(flight.to);
+            }
         }
     }
 
@@ -535,6 +708,7 @@ impl Engine {
             let node = NodeId(self.config.arrival.target_node(self.time, n, &mut self.engine_rng));
             let task = Task::new(self.idgen.next_id(), size, node.0).created_at(self.time);
             self.state.add_task(node, task);
+            self.mark_node_dirty(node);
             self.queue.push(next, Event::TaskArrival);
         }
     }
@@ -543,7 +717,39 @@ impl Engine {
         let ev = self.trace[record];
         let task = Task::new(self.idgen.next_id(), ev.size, ev.node).created_at(self.time);
         self.state.add_task(NodeId(ev.node), task);
+        self.mark_node_dirty(NodeId(ev.node));
     }
+}
+
+/// Sweeps one shard: evaluates `decide` for every owned node into the
+/// shard's decision buffers, using the shard's scratch and per-node RNGs.
+/// Shared by the inline and pooled paths, so both are trivially identical.
+#[allow(clippy::too_many_arguments)] // one hot call site, flat args beat a context struct
+fn eval_shard(
+    slot: &mut ShardSlot,
+    start: u32,
+    end: u32,
+    state: &SystemState,
+    heights: &[f64],
+    links: &LinkView<'_>,
+    balancer: &dyn LoadBalancer,
+    round: u64,
+    time: f64,
+) {
+    let mut intents = 0u64;
+    for (k, i) in (start..end).enumerate() {
+        let node = NodeId(i);
+        let view = build_view(&mut slot.scratch, state, node, heights, links, round, time);
+        let d = balancer.decide(&view, &mut slot.rngs[k]);
+        intents += d.len() as u64;
+        slot.decisions[k] = d;
+    }
+    slot.accum.record_evaluated((end - start) as u64, intents);
+    // An all-empty sweep leaves the shard clean: for a quiescence-stable
+    // policy it stays skippable until a mutation it can observe re-marks
+    // it. (When the policy is not quiescence-stable `dirty` is ignored —
+    // every shard is evaluated every tick.)
+    slot.dirty = intents > 0;
 }
 
 /// Builder for [`Engine`].
@@ -688,8 +894,38 @@ impl EngineBuilder {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        let node_rngs = (0..n as u64).map(|i| StdRng::seed_from_u64(mix(i + 1))).collect();
         let engine_rng = StdRng::seed_from_u64(mix(0));
+        // Resolve the shard layout: explicit `shards` wins; auto derives 1
+        // (the sequential reference) unless the `parallel_decide` alias
+        // asks for one shard per available core. The alias keeps the old
+        // work-stealing path's `n >= 64` cutoff so small systems never pay
+        // pool dispatch for a handful of decisions.
+        let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let k = match self.config.shards {
+            0 if self.config.parallel_decide && n >= 64 => avail,
+            0 => 1,
+            k => k,
+        }
+        .clamp(1, n.max(1));
+        let partition = Partition::new(&state.topo, k);
+        let k = partition.shard_count();
+        let threads =
+            if self.config.threads == 0 { avail.min(k) } else { self.config.threads.min(k) }.max(1);
+        // Per-node RNG seeds depend only on the node id, never the layout,
+        // so every (K, threads) choice sees identical streams.
+        let shards = (0..k)
+            .map(|s| {
+                let (start, end) = partition.range(s);
+                ShardSlot {
+                    decisions: (start..end).map(|_| Vec::new()).collect(),
+                    rngs: (start..end).map(|i| StdRng::seed_from_u64(mix(i as u64 + 1))).collect(),
+                    scratch: ViewScratch::new(),
+                    accum: ShardAccum::new(),
+                    dirty: true,
+                    evaluated: false,
+                }
+            })
+            .collect();
         let mut engine = Engine {
             state,
             balancer,
@@ -700,15 +936,15 @@ impl EngineBuilder {
             round: 0,
             flights: Vec::new(),
             free_slots: Vec::new(),
-            node_rngs,
             engine_rng,
             ledger: TrafficLedger::new(),
             series: TimeSeries::new(),
             idgen,
             down_links: EdgeBitSet::new(edge_count),
             link_weights,
-            decisions: (0..n).map(|_| Vec::new()).collect(),
-            scratch: ViewScratch::new(),
+            partition,
+            shards,
+            threads,
             pool: None,
             speeds: self.speeds,
             trace: self.trace,
@@ -891,41 +1127,44 @@ mod tests {
     }
 
     #[test]
-    fn parallel_decide_matches_sequential() {
-        let build = |parallel: bool| {
+    fn sharded_sweep_matches_sequential() {
+        let build = |shards: usize, threads: usize| {
             let topo = Topology::torus(&[8, 8]);
             let w = Workload::uniform_random(64, 10.0, 11);
             let mut e = EngineBuilder::new(topo)
                 .workload(w)
                 .balancer(GreedyOne)
-                .config(EngineConfig { parallel_decide: parallel, ..Default::default() })
+                .config(EngineConfig { shards, threads, ..Default::default() })
                 .seed(9)
                 .build();
             e.run_rounds(25);
             e.drain(10.0);
             (e.heights(), e.report())
         };
-        let (h_seq, r_seq) = build(false);
-        let (h_par, r_par) = build(true);
-        assert_eq!(h_seq, h_par);
-        // Not just final heights: every recorded artifact (CoV series,
-        // migration ledger, totals) must be byte-identical.
-        assert_eq!(r_seq, r_par);
+        let (h_seq, r_seq) = build(1, 1);
+        for (k, t) in [(2, 1), (5, 1), (8, 2), (64, 3)] {
+            let (h, r) = build(k, t);
+            assert_eq!(h_seq, h, "K={k} threads={t}");
+            // Not just final heights: every recorded artifact (CoV series,
+            // migration ledger, totals) must be byte-identical.
+            assert_eq!(r_seq, r, "K={k} threads={t}");
+        }
     }
 
     #[test]
-    fn parallel_decide_deterministic_with_faults_and_arrivals() {
+    fn sharded_sweep_deterministic_with_faults_and_arrivals() {
         // The full event mix — fault process, Poisson arrivals, work
-        // consumption — must still be seq/par identical, because all engine
-        // RNG draws happen outside the decision sweep.
-        let build = |parallel: bool| {
+        // consumption — must still be identical for every layout, because
+        // all engine RNG draws happen outside the decision sweep.
+        let build = |shards: usize, threads: usize| {
             let topo = Topology::torus(&[8, 8]);
             let w = Workload::uniform_random(64, 6.0, 3);
             let mut e = EngineBuilder::new(topo)
                 .workload(w)
                 .balancer(GreedyOne)
                 .config(EngineConfig {
-                    parallel_decide: parallel,
+                    shards,
+                    threads,
                     consume_rate: 0.2,
                     fault_model: Some(FaultModel { p_down: 0.05, p_up: 0.5 }),
                     arrival: ArrivalProcess::Poisson { rate: 2.0, size_min: 0.5, size_max: 1.5 },
@@ -937,7 +1176,117 @@ mod tests {
             e.drain(20.0);
             e.report()
         };
+        let seq = build(1, 1);
+        for (k, t) in [(3, 1), (7, 2), (16, 4)] {
+            assert_eq!(seq, build(k, t), "K={k} threads={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_decide_alias_still_accepted() {
+        // The compatibility alias must keep producing sequential-identical
+        // outcomes whatever core count it resolves to.
+        let build = |parallel: bool| {
+            let topo = Topology::torus(&[8, 8]);
+            let w = Workload::uniform_random(64, 10.0, 11);
+            let mut e = EngineBuilder::new(topo)
+                .workload(w)
+                .balancer(GreedyOne)
+                .config(EngineConfig { parallel_decide: parallel, ..Default::default() })
+                .seed(9)
+                .build();
+            e.run_rounds(25);
+            e.drain(10.0);
+            e.report()
+        };
         assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn shard_layout_resolution() {
+        let engine = |shards, threads| {
+            EngineBuilder::new(Topology::torus(&[4, 4]))
+                .balancer(NullBalancer)
+                .config(EngineConfig { shards, threads, ..Default::default() })
+                .build()
+        };
+        // Auto: one shard, one thread — the sequential reference.
+        let e = engine(0, 0);
+        assert_eq!(e.shard_layout().shards, 1);
+        assert_eq!(e.shard_layout().boundary_nodes, 0);
+        // The parallel_decide alias keeps the legacy n >= 64 cutoff: a
+        // 16-node system stays on the inline single-shard sweep.
+        let small = EngineBuilder::new(Topology::torus(&[4, 4]))
+            .balancer(NullBalancer)
+            .config(EngineConfig { parallel_decide: true, ..Default::default() })
+            .build();
+        assert_eq!(small.shard_layout().shards, 1);
+        // Explicit K with explicit threads; threads cap at K.
+        let e = engine(4, 8);
+        assert_eq!(e.shard_layout().shards, 4);
+        assert_eq!(e.shard_layout().threads, 4);
+        // K clamps to the node count.
+        let e = engine(99, 1);
+        assert_eq!(e.shard_layout().shards, 16);
+        assert_eq!(format!("{}", engine(2, 1).shard_layout()), "shards=2 threads=1 boundary=16");
+    }
+
+    #[test]
+    fn quiescent_shards_are_skipped_for_stable_policies() {
+        // NullBalancer is quiescence-stable and never emits: after the
+        // first evaluated tick every shard goes clean and later rounds
+        // skip all of them.
+        let mut e = EngineBuilder::new(Topology::torus(&[4, 4]))
+            .workload(Workload::hotspot(16, 0, 8.0))
+            .balancer(NullBalancer)
+            .config(EngineConfig { shards: 4, ..Default::default() })
+            .seed(1)
+            .build();
+        e.run_rounds(10);
+        let stats = e.shard_stats();
+        assert_eq!(stats.ticks_evaluated, 4, "only the first tick evaluates");
+        assert_eq!(stats.ticks_skipped, 36, "9 later ticks × 4 shards skip");
+        assert_eq!(stats.nodes_evaluated, 16);
+        // The skip changes nothing observable.
+        assert_eq!(e.round(), 10);
+        assert_eq!(e.report().series.len(), 11);
+    }
+
+    #[test]
+    fn greedy_policy_is_not_skipped() {
+        // GreedyOne keeps the default quiescence_stable = false, so every
+        // shard is evaluated every tick even once converged.
+        let mut e = EngineBuilder::new(Topology::torus(&[4, 4]))
+            .workload(Workload::hotspot(16, 0, 8.0))
+            .balancer(GreedyOne)
+            .config(EngineConfig { shards: 4, ..Default::default() })
+            .seed(1)
+            .build();
+        e.run_rounds(10);
+        let stats = e.shard_stats();
+        assert_eq!(stats.ticks_skipped, 0);
+        assert_eq!(stats.ticks_evaluated, 40);
+        assert_eq!(stats.nodes_evaluated, 160);
+    }
+
+    #[test]
+    fn arrivals_wake_sleeping_shards() {
+        // A quiescence-stable policy sleeps until a trace arrival touches a
+        // node, which must wake (at least) the owning shard.
+        use pp_tasking::workload::TraceEvent;
+        let mut e = EngineBuilder::new(Topology::ring(8))
+            .balancer(NullBalancer)
+            .config(EngineConfig { shards: 4, ..Default::default() })
+            .arrival_trace(vec![TraceEvent { time: 4.5, node: 5, size: 2.0 }])
+            .seed(0)
+            .build();
+        e.run_rounds(10);
+        let stats = e.shard_stats();
+        // Tick 1 evaluates all 4 shards; the arrival before tick 5 wakes
+        // node 5's shard (and its halo-adjacent neighbours) exactly once.
+        assert!(stats.ticks_evaluated > 4, "arrival must re-evaluate a shard");
+        assert!(stats.ticks_skipped > 0, "untouched shards keep sleeping");
+        assert_eq!(e.heights()[5], 2.0);
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub mod prelude {
         build_view, GlobalView, LinkView, LoadBalancer, MigratingLoad, MigrationIntent,
         NeighborInfo, NodeView, NullBalancer, ViewScratch,
     };
-    pub use crate::engine::{Engine, EngineBuilder, EngineConfig, FaultModel, RunReport};
+    pub use crate::engine::{
+        Engine, EngineBuilder, EngineConfig, FaultModel, RunReport, ShardLayout,
+    };
     pub use crate::parallel::par_map;
     pub use crate::pool::WorkerPool;
     pub use crate::state::{NodeState, SystemState};

@@ -9,10 +9,19 @@
 
 use crossbeam::channel;
 
+/// Inputs shorter than this run inline even when more threads were
+/// requested: spinning up a `crossbeam::thread::scope` plus two channels
+/// costs on the order of 100 µs, which dominates tiny parameter grids (the
+/// `threads == n == 2` shape) — and a sweep that small finishes within the
+/// same order of magnitude sequentially even when each item is a whole
+/// simulation.
+const SPAWN_THRESHOLD: usize = 4;
+
 /// Maps `f` over `items` using up to `threads` worker threads, preserving
 /// input order in the result.
 ///
-/// `threads = 0` means "use available parallelism".
+/// `threads = 0` means "use available parallelism". Inputs shorter than
+/// [`SPAWN_THRESHOLD`] are mapped inline without spawning.
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -29,7 +38,7 @@ where
         threads
     }
     .min(n);
-    if threads <= 1 {
+    if threads <= 1 || n < SPAWN_THRESHOLD {
         return items.into_iter().map(f).collect();
     }
 
@@ -88,6 +97,26 @@ mod tests {
     fn single_thread_path() {
         let out = par_map(vec![1, 2, 3], 1, |x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn tiny_inputs_run_inline_on_the_caller_thread() {
+        // Below SPAWN_THRESHOLD no worker scope is spawned, so every item
+        // is mapped on the calling thread even with threads > 1.
+        let caller = std::thread::current().id();
+        let out = par_map(vec![10, 20, 30], 8, |x| {
+            assert_eq!(std::thread::current().id(), caller, "tiny input spawned a worker");
+            x + 1
+        });
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn threshold_boundary_still_processes_everything() {
+        let at = par_map((0..SPAWN_THRESHOLD).collect::<Vec<_>>(), 4, |x| x * 3);
+        assert_eq!(at, (0..SPAWN_THRESHOLD).map(|x| x * 3).collect::<Vec<_>>());
+        let below = par_map((0..SPAWN_THRESHOLD - 1).collect::<Vec<_>>(), 4, |x| x * 3);
+        assert_eq!(below, (0..SPAWN_THRESHOLD - 1).map(|x| x * 3).collect::<Vec<_>>());
     }
 
     #[test]

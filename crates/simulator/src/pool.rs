@@ -1,16 +1,18 @@
-//! A persistent worker pool for parallel per-node decision sweeps.
+//! A persistent worker pool for parallel shard sweeps.
 //!
-//! The engine previously spawned a fresh `crossbeam::thread::scope` (OS
-//! threads and all) every balance tick; at tick rates in the thousands per
-//! second the spawn/join cost dwarfed the decisions themselves. This pool is
+//! The engine once spawned a fresh `crossbeam::thread::scope` (OS threads
+//! and all) every balance tick; at tick rates in the thousands per second
+//! the spawn/join cost dwarfed the decisions themselves. This pool is
 //! created once per [`crate::engine::Engine`] and reused: each tick the
-//! engine submits one job per partition, the workers (each owning a
-//! long-lived [`ViewScratch`]) execute them, and [`WorkerPool::run`] returns
-//! once every partition has been acknowledged.
+//! engine submits one job per *shard* via [`WorkerPool::run_jobs`], the
+//! workers (each owning a long-lived [`ViewScratch`]) pull whole jobs off a
+//! shared queue, and the call returns once every job has been acknowledged.
+//! Jobs may outnumber workers — a fast worker simply drains more of the
+//! queue, which is how shard-level load balancing across threads happens.
 //!
-//! Determinism: partitions are fixed index ranges and every node uses its
+//! Determinism: jobs are fixed shard index ranges and every node uses its
 //! own RNG, so results are byte-identical to the sequential sweep no matter
-//! which worker executes which partition.
+//! which worker executes which job.
 
 #![allow(unsafe_code)] // one lifetime erasure, justified below
 
@@ -78,22 +80,33 @@ impl WorkerPool {
         WorkerPool { job_tx: Some(job_tx), done_rx, handles, workers }
     }
 
-    /// Number of worker threads (also the partition count `run` submits).
+    /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
     }
 
-    /// Executes `f(part, scratch)` for every partition `0..workers()`,
-    /// distributed over the pool, and returns when all have completed.
+    /// Executes `f(part, scratch)` for every partition `0..workers()` —
+    /// [`WorkerPool::run_jobs`] with one job per worker.
+    pub fn run(&self, f: JobFn<'_>) {
+        self.run_jobs(self.workers, f);
+    }
+
+    /// Executes `f(job, scratch)` for every job index `0..jobs`,
+    /// distributed over the pool's workers (jobs may outnumber workers:
+    /// each worker keeps pulling until the queue drains), and returns when
+    /// all have completed.
     ///
     /// `f` may borrow from the caller's stack: the call blocks until every
-    /// worker acknowledged, so the borrow outlives every use.
+    /// job is acknowledged, so the borrow outlives every use.
     ///
     /// # Panics
-    /// Panics if any job panicked on a worker — but only after every
-    /// partition has been acknowledged, so no worker can still hold the
-    /// job closure when the unwind leaves this frame.
-    pub fn run(&self, f: JobFn<'_>) {
+    /// Panics if any job panicked on a worker — but only after every job
+    /// has been acknowledged, so no worker can still hold the job closure
+    /// when the unwind leaves this frame.
+    pub fn run_jobs(&self, jobs: usize, f: JobFn<'_>) {
+        if jobs == 0 {
+            return;
+        }
         // SAFETY: erase the closure borrow's lifetime so it can ride through
         // the channel. The only readers are the workers servicing exactly
         // the jobs submitted below, and we block on their acks (even when a
@@ -101,11 +114,11 @@ impl WorkerPool {
         // while any worker can still reach it.
         let f: *const (dyn Fn(usize, &mut ViewScratch) + Sync) = unsafe { std::mem::transmute(f) };
         let tx = self.job_tx.as_ref().expect("pool is live until dropped");
-        for part in 0..self.workers {
+        for part in 0..jobs {
             tx.send(Job { f, part }).expect("worker pool disconnected");
         }
         let mut panicked = 0usize;
-        for _ in 0..self.workers {
+        for _ in 0..jobs {
             if !self.done_rx.recv().expect("a decision worker died") {
                 panicked += 1;
             }
@@ -176,6 +189,26 @@ mod tests {
     fn zero_requested_workers_clamps_to_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn more_jobs_than_workers_all_run_once() {
+        let pool = WorkerPool::new(2);
+        let hits: Vec<AtomicUsize> = (0..13).map(|_| AtomicUsize::new(0)).collect();
+        for _ in 0..20 {
+            pool.run_jobs(13, &|job, _| {
+                hits[job].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 20);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_a_noop() {
+        let pool = WorkerPool::new(2);
+        pool.run_jobs(0, &|_, _| panic!("no job should run"));
     }
 
     #[test]

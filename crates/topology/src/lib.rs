@@ -9,6 +9,9 @@
 //!   (mesh, torus, hypercube, ring, star, tree, complete, random);
 //! * [`embedding::embed`] — the `M₂` ground-plane embedding;
 //! * [`links::LinkMap`] — the attribute matrices and the `e_{i,j}` weight;
+//! * [`partition::Partition`] — deterministic contiguous sharding with
+//!   interior/boundary classification and halo maps, the domain
+//!   decomposition under `pp-sim`'s sharded tick pipeline;
 //! * [`spectral`] — Laplacian eigenvalue estimation for the optimal
 //!   diffusion parameter of the Xu–Lau baseline;
 //! * [`coloring::EdgeColoring`] — matchings for dimension exchange.
@@ -32,6 +35,7 @@ pub mod embedding;
 pub mod generators;
 pub mod graph;
 pub mod links;
+pub mod partition;
 pub mod paths;
 pub mod spec;
 pub mod spectral;
@@ -43,6 +47,7 @@ pub mod prelude {
     pub use crate::embedding::{embed, Point2};
     pub use crate::graph::{EdgeId, NodeId, Topology, TopologyKind};
     pub use crate::links::{LinkAttrs, LinkMap, LinkTable};
+    pub use crate::partition::{HaloEdge, Partition};
     pub use crate::paths::{dijkstra, mean_path_weight, reachable_within, weighted_diameter};
     pub use crate::spec::TopologySpec;
     pub use crate::spectral::{optimal_diffusion_alpha, safe_diffusion_alpha};

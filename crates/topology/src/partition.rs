@@ -1,0 +1,288 @@
+//! Deterministic spatial partitioning of a [`Topology`] into `K`
+//! contiguous shards — the domain decomposition under the sharded tick
+//! pipeline in `pp-sim` (see `docs/adr/ADR-004-sharded-ticks.md`).
+//!
+//! Node ids of every generated family are spatially coherent (meshes and
+//! tori are row-major, hypercubes Gray-code-adjacent), so splitting the id
+//! range `0..n` into `K` contiguous, balanced intervals yields shards whose
+//! cross-shard surface is small: on a `d`-dimensional torus a shard is a
+//! band of consecutive rows and only its first and last row touch other
+//! shards. The partition classifies every node as *interior* (all
+//! neighbours in the same shard) or *boundary*, and records the **halo
+//! map**: for each shard, the cross-shard edges through which the rest of
+//! the system can observe or perturb it. The halo is what makes shard-level
+//! activity tracking exact — a height change at node `v` can only affect
+//! decisions in `v`'s own shard and in the shards listed in
+//! [`Partition::adjacent_shards`]`(v)`.
+//!
+//! The split is a pure function of `(node count, K, edge structure)`:
+//! no RNG, no tie-breaking — two calls always produce the identical layout,
+//! which the sharded engine's determinism argument relies on.
+
+use crate::graph::{EdgeId, NodeId, Topology};
+
+/// One cross-shard edge as seen from a particular shard: the undirected
+/// edge id plus which endpoint is ours (`local`) and which is the remote
+/// halo node. Every cross-shard edge appears in exactly two halo lists,
+/// once per side, with `local`/`remote` swapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HaloEdge {
+    /// Stable id of the crossing edge.
+    pub edge: EdgeId,
+    /// The endpoint inside the owning shard.
+    pub local: NodeId,
+    /// The endpoint in the other shard.
+    pub remote: NodeId,
+}
+
+/// A deterministic split of a topology's nodes into `K` contiguous shards
+/// with interior/boundary classification and per-shard halo maps.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Shard `s` owns nodes `ranges[s].0 .. ranges[s].1`.
+    ranges: Vec<(u32, u32)>,
+    /// Node id → owning shard.
+    node_shard: Vec<u32>,
+    /// Whether the node has at least one neighbour in another shard.
+    boundary: Vec<bool>,
+    /// Per shard: its cross-shard edges, sorted by edge id.
+    halos: Vec<Vec<HaloEdge>>,
+    /// Per node: the *other* shards containing at least one neighbour
+    /// (empty for interior nodes), sorted ascending.
+    adjacent: Vec<Vec<u32>>,
+    /// Total boundary nodes over all shards.
+    boundary_total: usize,
+}
+
+impl Partition {
+    /// Splits `topo` into `k` shards (clamped to `1..=node_count`, so every
+    /// shard is non-empty). Shard sizes differ by at most one: the first
+    /// `n % k` shards get `⌈n/k⌉` nodes, the rest `⌊n/k⌋`.
+    pub fn new(topo: &Topology, k: usize) -> Self {
+        let n = topo.node_count();
+        let k = k.clamp(1, n.max(1));
+        let (base, extra) = (n / k, n % k);
+        let mut ranges = Vec::with_capacity(k);
+        let mut node_shard = vec![0u32; n];
+        let mut start = 0u32;
+        for s in 0..k {
+            let len = base + usize::from(s < extra);
+            let end = start + len as u32;
+            for v in start..end {
+                node_shard[v as usize] = s as u32;
+            }
+            ranges.push((start, end));
+            start = end;
+        }
+        debug_assert_eq!(start as usize, n, "ranges must cover every node");
+
+        let mut boundary = vec![false; n];
+        let mut halos = vec![Vec::new(); k];
+        let mut adjacent = vec![Vec::new(); n];
+        for (e, &(u, v)) in topo.edge_slice().iter().enumerate() {
+            let (su, sv) = (node_shard[u.idx()], node_shard[v.idx()]);
+            if su == sv {
+                continue;
+            }
+            let edge = EdgeId(e as u32);
+            boundary[u.idx()] = true;
+            boundary[v.idx()] = true;
+            halos[su as usize].push(HaloEdge { edge, local: u, remote: v });
+            halos[sv as usize].push(HaloEdge { edge, local: v, remote: u });
+            let au = &mut adjacent[u.idx()];
+            if let Err(pos) = au.binary_search(&sv) {
+                au.insert(pos, sv);
+            }
+            let av = &mut adjacent[v.idx()];
+            if let Err(pos) = av.binary_search(&su) {
+                av.insert(pos, su);
+            }
+        }
+        // Edge iteration is in edge-id order, so the halo lists already are.
+        debug_assert!(halos.iter().all(|h| h.windows(2).all(|w| w[0].edge < w[1].edge)));
+        let boundary_total = boundary.iter().filter(|&&b| b).count();
+        Partition { ranges, node_shard, boundary, halos, adjacent, boundary_total }
+    }
+
+    /// Number of shards `K`.
+    pub fn shard_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The `[start, end)` node-id range owned by shard `s`.
+    #[inline]
+    pub fn range(&self, s: usize) -> (u32, u32) {
+        self.ranges[s]
+    }
+
+    /// Number of nodes in shard `s`.
+    pub fn len(&self, s: usize) -> usize {
+        let (lo, hi) = self.ranges[s];
+        (hi - lo) as usize
+    }
+
+    /// Whether the partition is over an empty topology.
+    pub fn is_empty(&self) -> bool {
+        self.node_shard.is_empty()
+    }
+
+    /// The shard owning node `v`.
+    #[inline]
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        self.node_shard[v.idx()] as usize
+    }
+
+    /// Whether `v` has a neighbour in another shard.
+    #[inline]
+    pub fn is_boundary(&self, v: NodeId) -> bool {
+        self.boundary[v.idx()]
+    }
+
+    /// The other shards containing at least one neighbour of `v` (sorted,
+    /// deduplicated; empty for interior nodes). These are exactly the
+    /// shards whose decisions can observe `v`'s height.
+    #[inline]
+    pub fn adjacent_shards(&self, v: NodeId) -> &[u32] {
+        &self.adjacent[v.idx()]
+    }
+
+    /// Shard `s`'s cross-shard edges, sorted by edge id.
+    pub fn halo(&self, s: usize) -> &[HaloEdge] {
+        &self.halos[s]
+    }
+
+    /// Boundary nodes in shard `s`.
+    pub fn boundary_count(&self, s: usize) -> usize {
+        let (lo, hi) = self.ranges[s];
+        (lo..hi).filter(|&v| self.boundary[v as usize]).count()
+    }
+
+    /// Interior nodes in shard `s`.
+    pub fn interior_count(&self, s: usize) -> usize {
+        self.len(s) - self.boundary_count(s)
+    }
+
+    /// Total boundary nodes across all shards.
+    pub fn boundary_total(&self) -> usize {
+        self.boundary_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_has_no_boundary() {
+        let topo = Topology::torus(&[4, 4]);
+        let p = Partition::new(&topo, 1);
+        assert_eq!(p.shard_count(), 1);
+        assert_eq!(p.range(0), (0, 16));
+        assert_eq!(p.boundary_total(), 0);
+        assert!(p.halo(0).is_empty());
+        for v in topo.nodes() {
+            assert!(!p.is_boundary(v));
+            assert!(p.adjacent_shards(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn balanced_contiguous_ranges() {
+        let topo = Topology::ring(10);
+        let p = Partition::new(&topo, 3);
+        assert_eq!(p.range(0), (0, 4)); // 10 = 4 + 3 + 3
+        assert_eq!(p.range(1), (4, 7));
+        assert_eq!(p.range(2), (7, 10));
+        for s in 0..3 {
+            let (lo, hi) = p.range(s);
+            for v in lo..hi {
+                assert_eq!(p.shard_of(NodeId(v)), s);
+            }
+        }
+    }
+
+    #[test]
+    fn k_clamps_to_node_count() {
+        let topo = Topology::ring(4);
+        let p = Partition::new(&topo, 99);
+        assert_eq!(p.shard_count(), 4);
+        for s in 0..4 {
+            assert_eq!(p.len(s), 1);
+        }
+        let p0 = Partition::new(&topo, 0);
+        assert_eq!(p0.shard_count(), 1);
+    }
+
+    #[test]
+    fn torus_band_boundary_is_two_rows() {
+        // 8×8 torus, K=4: each shard is 2 full rows; every node's up/down
+        // neighbours are in adjacent bands, so every node is boundary.
+        let topo = Topology::torus(&[8, 8]);
+        let p = Partition::new(&topo, 4);
+        assert_eq!(p.boundary_total(), 64);
+        // K=2: each shard is 4 rows, the 2 inner rows are interior.
+        let p2 = Partition::new(&topo, 2);
+        assert_eq!(p2.boundary_count(0), 16);
+        assert_eq!(p2.interior_count(0), 16);
+    }
+
+    #[test]
+    fn halo_lists_cross_edges_once_per_side() {
+        let topo = Topology::torus(&[4, 4]);
+        let p = Partition::new(&topo, 4);
+        let mut cross = 0;
+        for s in 0..p.shard_count() {
+            for h in p.halo(s) {
+                assert_eq!(p.shard_of(h.local), s);
+                assert_ne!(p.shard_of(h.remote), s);
+                let (u, v) = topo.edge_endpoints(h.edge);
+                assert!((u, v) == (h.local.min(h.remote), h.local.max(h.remote)));
+                cross += 1;
+            }
+        }
+        let expect =
+            topo.edge_slice().iter().filter(|&&(u, v)| p.shard_of(u) != p.shard_of(v)).count();
+        assert_eq!(cross, 2 * expect);
+    }
+
+    #[test]
+    fn adjacent_shards_match_neighbour_shards() {
+        let topo = Topology::torus(&[6, 6]);
+        let p = Partition::new(&topo, 5);
+        for v in topo.nodes() {
+            let mut expect: Vec<u32> = topo
+                .neighbors(v)
+                .iter()
+                .map(|&w| p.shard_of(w) as u32)
+                .filter(|&s| s != p.shard_of(v) as u32)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(p.adjacent_shards(v), &expect[..], "node {v}");
+            assert_eq!(p.is_boundary(v), !expect.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_topology_and_k() {
+        let topo = Topology::random(40, 0.2, 9);
+        let a = Partition::new(&topo, 7);
+        let b = Partition::new(&topo, 7);
+        assert_eq!(a.ranges, b.ranges);
+        assert_eq!(a.node_shard, b.node_shard);
+        assert_eq!(a.boundary, b.boundary);
+        for s in 0..7 {
+            assert_eq!(a.halo(s), b.halo(s));
+        }
+    }
+
+    #[test]
+    fn empty_topology_partition() {
+        let topo = Topology::from_edges(0, &[]);
+        let p = Partition::new(&topo, 4);
+        assert_eq!(p.shard_count(), 1);
+        assert!(p.is_empty());
+        assert_eq!(p.range(0), (0, 0));
+        assert_eq!(p.boundary_total(), 0);
+    }
+}
