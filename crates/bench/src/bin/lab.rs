@@ -10,7 +10,21 @@
 //! lab --check PATH                    validate a golden-report JSON file
 //! lab --emit-golden DIR               write smoke goldens for the pinned set
 //! lab --verify-golden DIR             re-run the pinned set, byte-compare
+//! lab <name> --checkpoint-every N [--checkpoint-path P]
+//!                                     checkpoint every N rounds while running
+//! lab <name> --resume-from CKPT.json  restore a checkpoint, run the rest
+//! lab --verify-resume                 split-vs-straight byte gate (pinned set)
 //! ```
+//!
+//! `--checkpoint-every N` writes a versioned engine checkpoint every `N`
+//! balance rounds (to `--checkpoint-path`, default `<name>.ckpt.json`);
+//! capture is read-only, so the emitted report is byte-identical to an
+//! uncheckpointed run. `--resume-from` restores such a file into a freshly
+//! built engine and runs the remaining rounds — byte-identical to never
+//! having stopped. `--verify-resume` enforces exactly that: every pinned
+//! golden scenario is run straight and split-at-half-way (through the
+//! serialized checkpoint), under at least two distinct `(shards, threads)`
+//! layouts, and the report bytes are diffed.
 //!
 //! `--shards K` / `--threads T` override the spec's engine knobs for the
 //! running commands (`lab <name>`, `--file`, `--all`): `K` spatial shards
@@ -29,7 +43,8 @@
 
 use pp_scenario::registry;
 use pp_scenario::report::GoldenReport;
-use pp_scenario::spec::ScenarioSpec;
+use pp_scenario::spec::{CheckpointSpec, ScenarioSpec};
+use pp_sim::engine::{RunReport, ShardLayout};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -48,25 +63,50 @@ const PINNED: &[&str] = &[
     "hetero-speeds",
     "trace-replay",
     "faulty-torus",
+    "torus1k-resume-midfault",
+    "torus16k-checkpointed",
 ];
 
-fn run_to_report(spec: &ScenarioSpec, smoke: bool) -> Result<GoldenReport, String> {
-    let spec = if smoke { spec.smoke(SMOKE_ROUNDS, SMOKE_DRAIN) } else { spec.clone() };
-    let mut engine = spec.build_engine()?;
-    let layout = engine.shard_layout();
-    engine.run_rounds(spec.duration.rounds).drain(spec.duration.drain);
-    let report = engine.report();
-    let mut g = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &report);
-    // Surface the layout only when the *spec* pins an explicit shard count:
-    // auto layouts depend on the host's core count and would make golden
-    // reports machine-dependent. Threads are omitted for the same reason.
+/// The `(shards, threads)` layouts `--verify-resume` replays every pinned
+/// scenario under — the acceptance gate requires at least two distinct ones.
+const RESUME_LAYOUTS: &[(usize, usize)] = &[(1, 1), (4, 2)];
+
+/// Flattens a finished run into its golden report, attaching shard-layout
+/// metadata only when the *spec* pins an explicit shard count: auto layouts
+/// depend on the host's core count and would make golden reports
+/// machine-dependent. Threads are omitted for the same reason.
+fn finish_report(spec: &ScenarioSpec, report: &RunReport, layout: ShardLayout) -> GoldenReport {
+    let mut g = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), report);
     if spec.engine.shards >= 2 {
         g = g.with_shard_layout(format!(
             "shards={} boundary={}",
             layout.shards, layout.boundary_nodes
         ));
     }
-    Ok(g)
+    g
+}
+
+fn run_to_report(spec: &ScenarioSpec, smoke: bool) -> Result<GoldenReport, String> {
+    let spec = if smoke { spec.smoke(SMOKE_ROUNDS, SMOKE_DRAIN) } else { spec.clone() };
+    let mut engine = spec.build_engine()?;
+    let layout = engine.shard_layout();
+    // finish_engine honors the spec's checkpoint knob, so `--all` and the
+    // golden commands behave exactly like `lab <name>` for a checkpointed
+    // spec (capture is read-only — reports are unchanged either way).
+    spec.finish_engine(&mut engine)?;
+    let report = engine.report();
+    Ok(finish_report(&spec, &report, layout))
+}
+
+/// `run_to_report`'s split-brained twin: run to the half-way round,
+/// checkpoint through the serialized JSON form, restore into a fresh
+/// engine, finish. `--verify-resume` diffs its bytes against the straight
+/// run's.
+fn split_to_report(spec: &ScenarioSpec, smoke: bool) -> Result<GoldenReport, String> {
+    let spec = if smoke { spec.smoke(SMOKE_ROUNDS, SMOKE_DRAIN) } else { spec.clone() };
+    let at = (spec.duration.rounds / 2).max(1);
+    let (report, layout) = spec.run_split(at)?;
+    Ok(finish_report(&spec, &report, layout))
 }
 
 fn write_report(g: &GoldenReport, path: &Path) -> Result<(), String> {
@@ -120,12 +160,41 @@ fn cmd_spec(name: &str) -> ExitCode {
     }
 }
 
-fn cmd_run(spec: &ScenarioSpec, smoke: bool, out: Option<&str>) -> ExitCode {
+/// Runs one scenario like `run_to_report`, additionally honoring the
+/// spec's `checkpoint` knob (periodic checkpoint files) and an optional
+/// `--resume-from` checkpoint to start from instead of t = 0.
+fn run_with_options(
+    spec: &ScenarioSpec,
+    smoke: bool,
+    resume: Option<&str>,
+) -> Result<GoldenReport, String> {
+    let spec = if smoke { spec.smoke(SMOKE_ROUNDS, SMOKE_DRAIN) } else { spec.clone() };
+    let mut engine = spec.build_engine()?;
+    let layout = engine.shard_layout();
+    if let Some(path) = resume {
+        let cp = ScenarioSpec::read_checkpoint(path)?;
+        engine.restore(&cp)?;
+        println!("[resumed `{}` from {path} at round {}]", spec.name, cp.round);
+    }
+    // Announce checkpointing up front: a long run's operator must know the
+    // restart point is being written *before* waiting hours for the run.
+    if let Some(ck) = &spec.checkpoint {
+        println!("[checkpointing every {} rounds to {}]", ck.every, ck.path);
+    }
+    // The interval-write loop lives in one place (ScenarioSpec::
+    // finish_engine), so this CLI path can never checkpoint differently
+    // from library `run()`.
+    spec.finish_engine(&mut engine)?;
+    let report = engine.report();
+    Ok(finish_report(&spec, &report, layout))
+}
+
+fn cmd_run(spec: &ScenarioSpec, smoke: bool, out: Option<&str>, resume: Option<&str>) -> ExitCode {
     if let Err(e) = spec.validate() {
         eprintln!("invalid scenario: {e}");
         return ExitCode::FAILURE;
     }
-    match run_to_report(spec, smoke) {
+    match run_with_options(spec, smoke, resume) {
         Ok(g) => {
             println!(
                 "{}: {} rounds, final cov {:.4}, {} migrations, traffic {:.1}",
@@ -253,13 +322,65 @@ fn cmd_verify_golden(dir: &str) -> ExitCode {
     }
 }
 
+/// The checkpoint/resume differential gate: every pinned scenario is run
+/// straight and split-at-half (checkpoint → JSON → restore into a fresh
+/// engine), under each of [`RESUME_LAYOUTS`], and the golden-report bytes
+/// must be identical. This is the executable form of the restore-exactness
+/// invariant (ADR-005).
+fn cmd_verify_resume() -> ExitCode {
+    let mut broken = Vec::new();
+    for spec in pinned_specs() {
+        for &(shards, threads) in RESUME_LAYOUTS {
+            let mut spec = spec.clone();
+            spec.engine.shards = shards;
+            spec.engine.threads = threads;
+            let label = format!("{} [K={shards} T={threads}]", spec.name);
+            let straight = match run_to_report(&spec, true) {
+                Ok(g) => g.to_canonical_json(),
+                Err(e) => {
+                    eprintln!("  {label:42} straight run failed: {e}");
+                    broken.push(label);
+                    continue;
+                }
+            };
+            let split = match split_to_report(&spec, true) {
+                Ok(g) => g.to_canonical_json(),
+                Err(e) => {
+                    eprintln!("  {label:42} split run failed: {e}");
+                    broken.push(label);
+                    continue;
+                }
+            };
+            if straight == split {
+                println!("  {label:42} OK (split == straight, {} bytes)", straight.len());
+            } else {
+                eprintln!("  {label:42} MISMATCH (split report differs from straight)");
+                broken.push(label);
+            }
+        }
+    }
+    if broken.is_empty() {
+        println!(
+            "all {} pinned scenarios resume byte-identically under {} layouts",
+            PINNED.len(),
+            RESUME_LAYOUTS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\ncheckpoint/resume exactness broken for {broken:?}");
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: lab --list\n       lab <name> [--smoke] [--shards K] [--threads T] [--out PATH]\n  \
          \x20    lab --file SPEC.json [--smoke] [--shards K] [--threads T] [--out PATH]\n       \
          lab --spec <name>\n       lab --all [--smoke] [--shards K] [--threads T] [--out-dir \
          DIR]\n       lab --check PATH\n       lab --emit-golden DIR\n       lab --verify-golden \
-         DIR"
+         DIR\n       lab <name|--file SPEC.json> --checkpoint-every N [--checkpoint-path \
+         P]\n       lab <name|--file SPEC.json> --resume-from CKPT.json\n       lab \
+         --verify-resume"
     );
     ExitCode::FAILURE
 }
@@ -280,12 +401,76 @@ fn apply_overrides(
     Ok(())
 }
 
+/// Applies the `--checkpoint-every`/`--checkpoint-path` overrides to a
+/// spec's checkpoint knob (the path defaults to `<name>.ckpt.json`).
+/// `--checkpoint-path` alone is rejected rather than silently ignored —
+/// the user asked for checkpoints but gave no interval, and discovering
+/// that after an interrupted long run is the worst possible time.
+fn apply_checkpoint_overrides(
+    spec: &mut ScenarioSpec,
+    every: Option<&str>,
+    path: Option<&str>,
+) -> Result<(), ExitCode> {
+    match (every, path) {
+        (Some(n), path) => {
+            spec.checkpoint = Some(CheckpointSpec {
+                every: n.parse().map_err(|_| usage())?,
+                path: path
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("{}.ckpt.json", spec.name)),
+            });
+        }
+        (None, Some(_)) => {
+            eprintln!("--checkpoint-path requires --checkpoint-every N");
+            return Err(usage());
+        }
+        (None, None) => {}
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| args.iter().any(|a| a == name);
     let opt =
         |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
     let smoke = flag("--smoke");
+    let shards = opt("--shards");
+    let threads = opt("--threads");
+    let ckpt_every = opt("--checkpoint-every");
+    let ckpt_path = opt("--checkpoint-path");
+    let resume = opt("--resume-from");
+
+    // A checkpoint/resume flag with its value missing (e.g. a shell
+    // variable that expanded empty left `--resume-from` trailing) must not
+    // silently degrade into a plain run — the operator would believe a
+    // resume happened or restart points were written.
+    for f in ["--checkpoint-every", "--checkpoint-path", "--resume-from"] {
+        if flag(f) && opt(f).is_none() {
+            eprintln!("{f} requires a value");
+            return usage();
+        }
+    }
+
+    // The checkpoint/resume flags only make sense for a single run
+    // (`lab <name>` / `lab --file`). Combining them with any other command
+    // is rejected up front — dropping them silently would leave the user
+    // believing checkpoints were written (or a resume happened) when
+    // nothing of the sort occurred.
+    let single_run_opts = ckpt_every.is_some() || ckpt_path.is_some() || resume.is_some();
+    let other_command = flag("--list")
+        || flag("--all")
+        || flag("--verify-resume")
+        || ["--check", "--spec", "--emit-golden", "--verify-golden"]
+            .iter()
+            .any(|f| opt(f).is_some());
+    if single_run_opts && other_command {
+        eprintln!(
+            "--checkpoint-every/--checkpoint-path/--resume-from apply to single runs \
+             (`lab <name>` or `lab --file`), not to list/all/check/golden commands"
+        );
+        return usage();
+    }
 
     if flag("--list") {
         return cmd_list();
@@ -302,8 +487,9 @@ fn main() -> ExitCode {
     if let Some(dir) = opt("--verify-golden") {
         return cmd_verify_golden(&dir);
     }
-    let shards = opt("--shards");
-    let threads = opt("--threads");
+    if flag("--verify-resume") {
+        return cmd_verify_resume();
+    }
     if flag("--all") {
         return cmd_all(smoke, opt("--out-dir").as_deref(), shards.as_deref(), threads.as_deref());
     }
@@ -325,7 +511,12 @@ fn main() -> ExitCode {
         if let Err(code) = apply_overrides(&mut spec, shards.as_deref(), threads.as_deref()) {
             return code;
         }
-        return cmd_run(&spec, smoke, opt("--out").as_deref());
+        if let Err(code) =
+            apply_checkpoint_overrides(&mut spec, ckpt_every.as_deref(), ckpt_path.as_deref())
+        {
+            return code;
+        }
+        return cmd_run(&spec, smoke, opt("--out").as_deref(), resume.as_deref());
     }
     // First non-flag argument that is not the value of a value-taking
     // flag is the scenario name (`lab --out r.json hotspot-torus` and
@@ -340,6 +531,9 @@ fn main() -> ExitCode {
         "--verify-golden",
         "--shards",
         "--threads",
+        "--checkpoint-every",
+        "--checkpoint-path",
+        "--resume-from",
     ];
     let name = args.iter().enumerate().find_map(|(i, a)| {
         let is_flag_value = i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
@@ -352,7 +546,14 @@ fn main() -> ExitCode {
                 {
                     return code;
                 }
-                cmd_run(&spec, smoke, opt("--out").as_deref())
+                if let Err(code) = apply_checkpoint_overrides(
+                    &mut spec,
+                    ckpt_every.as_deref(),
+                    ckpt_path.as_deref(),
+                ) {
+                    return code;
+                }
+                cmd_run(&spec, smoke, opt("--out").as_deref(), resume.as_deref())
             }
             None => {
                 eprintln!("unknown scenario `{name}`; try --list");

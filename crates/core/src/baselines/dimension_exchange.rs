@@ -8,6 +8,7 @@ use pp_sim::balancer::{GlobalView, LoadBalancer, MigrationIntent, NodeView};
 use pp_topology::coloring::EdgeColoring;
 use pp_topology::graph::{NodeId, Topology};
 use rand::rngs::StdRng;
+use serde::Value;
 
 /// Dimension-exchange balancer. Holds the edge colouring of the topology it
 /// was built for and sweeps the colour classes round-robin.
@@ -77,6 +78,25 @@ impl LoadBalancer for DimensionExchangeBalancer {
         }
         intents
     }
+
+    /// The round-robin cursor is per-round internal state; `begin_round`
+    /// rewrites it from the round counter, but a restored policy carries it
+    /// so the pre-tick state matches the capture exactly.
+    fn save_state(&self) -> Option<Value> {
+        Some(Value::Object(vec![(
+            "current_class".to_string(),
+            Value::UInt(self.current_class as u64),
+        )]))
+    }
+
+    fn load_state(&mut self, state: &Value, _nodes: usize) -> Result<(), String> {
+        let class: u64 = state.field("current_class")?;
+        if class as usize >= self.classes {
+            return Err(format!("class {class} out of range ({} classes)", self.classes));
+        }
+        self.current_class = class as usize;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +135,21 @@ mod tests {
             }
         }
         assert!(matched, "no round paired nodes 0 and 1");
+    }
+
+    #[test]
+    fn class_cursor_rides_checkpoint_state() {
+        let (state, heights) = ring_view_state(&[1.0, 1.0, 1.0, 1.0]);
+        let mut b = DimensionExchangeBalancer::new(&state.topo);
+        let global = GlobalView { topo: &state.topo, heights: &heights, round: 2, time: 0.0 };
+        b.begin_round(&global);
+        let saved = b.save_state().expect("dimension exchange is stateful");
+        let mut fresh = DimensionExchangeBalancer::new(&state.topo);
+        fresh.load_state(&saved, 4).expect("well-formed state");
+        assert_eq!(fresh.current_class, b.current_class);
+        // An out-of-range cursor is rejected, not applied.
+        let bad = Value::Object(vec![("current_class".into(), Value::UInt(999))]);
+        assert!(fresh.load_state(&bad, 4).is_err());
     }
 
     #[test]

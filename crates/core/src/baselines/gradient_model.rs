@@ -9,6 +9,7 @@
 
 use pp_sim::balancer::{GlobalView, LoadBalancer, MigrationIntent, NodeView};
 use rand::rngs::StdRng;
+use serde::{Deserialize, Value};
 use std::collections::VecDeque;
 
 /// GM balancer with static low/high watermarks.
@@ -86,6 +87,35 @@ impl LoadBalancer for GradientModelBalancer {
             return Vec::new();
         }
         vec![MigrationIntent { task: view.tasks[0].id, to, flag: 0.0, heat: 0.0 }]
+    }
+
+    /// The propagated pressure map is per-round internal state: it is
+    /// rebuilt by the next `begin_round`, but a checkpoint taken between
+    /// rounds still carries it so a restored policy answers
+    /// [`GradientModelBalancer::proximity`] queries identically before that
+    /// rebuild happens.
+    fn save_state(&self) -> Option<Value> {
+        Some(Value::Object(vec![(
+            "proximity".to_string(),
+            Value::Array(self.proximity.iter().map(|&p| Value::UInt(u64::from(p))).collect()),
+        )]))
+    }
+
+    fn load_state(&mut self, state: &Value, nodes: usize) -> Result<(), String> {
+        let proximity = Vec::<u32>::from_value(
+            state.get("proximity").ok_or("gradient-model state missing `proximity`")?,
+        )?;
+        // A truncated or spliced array is rejected against the engine's
+        // node count instead of silently answering `u32::MAX` for the
+        // missing tail. Empty is the legitimate pre-first-round state.
+        if !proximity.is_empty() && proximity.len() != nodes {
+            return Err(format!(
+                "gradient-model pressure map has {} entries for {nodes} nodes",
+                proximity.len()
+            ));
+        }
+        self.proximity = proximity;
+        Ok(())
     }
 }
 
@@ -185,5 +215,29 @@ mod tests {
     #[should_panic(expected = "low watermark")]
     fn inverted_watermarks_rejected() {
         let _ = GradientModelBalancer::new(5.0, 1.0);
+    }
+
+    #[test]
+    fn pressure_map_rides_checkpoint_state() {
+        let (b, _) = prepared(&[5.0, 5.0, 5.0, 0.0, 5.0, 5.0], 1.0, 4.0);
+        let state = b.save_state().expect("gradient model is stateful");
+        let mut fresh = GradientModelBalancer::new(1.0, 4.0);
+        assert_eq!(fresh.proximity(2), u32::MAX, "fresh policy knows nothing");
+        fresh.load_state(&state, 6).expect("well-formed state");
+        for node in 0..6 {
+            assert_eq!(fresh.proximity(node), b.proximity(node));
+        }
+        // Malformed state errors instead of panicking.
+        assert!(fresh.load_state(&Value::Object(vec![]), 6).is_err());
+        assert!(fresh
+            .load_state(&Value::Object(vec![("proximity".into(), Value::Bool(true))]), 6)
+            .is_err());
+        // A truncated pressure map is rejected against the node count, not
+        // padded with u32::MAX; the empty pre-first-round map is fine.
+        let truncated =
+            Value::Object(vec![("proximity".into(), Value::Array(vec![Value::UInt(0); 3]))]);
+        assert!(fresh.load_state(&truncated, 6).unwrap_err().contains("6 nodes"));
+        let empty = Value::Object(vec![("proximity".into(), Value::Array(vec![]))]);
+        assert!(fresh.load_state(&empty, 6).is_ok());
     }
 }

@@ -4,8 +4,8 @@
 //! exercised by the `spec -> JSON -> spec` round-trip tests.
 
 use crate::spec::{
-    ArrivalSpec, BalancerSpec, DiffusionAlpha, DurationSpec, EngineKnobs, FaultPlanSpec, LinkSpec,
-    ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
+    ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
+    FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
 };
 use serde::{Deserialize, Serialize, Value};
 
@@ -28,7 +28,7 @@ fn kind_of(v: &Value) -> Result<String, String> {
 
 impl Serialize for ScenarioSpec {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut entries = vec![
             entry("name", &self.name),
             entry("description", &self.description),
             entry("topology", &self.topology),
@@ -42,8 +42,14 @@ impl Serialize for ScenarioSpec {
             entry("speeds", &self.speeds),
             entry("engine", self.engine),
             entry("duration", self.duration),
-            entry("seed", self.seed),
-        ])
+        ];
+        // Omitted (not null) when off, so pre-checkpoint spec JSON stays
+        // canonical byte-for-byte.
+        if let Some(ck) = &self.checkpoint {
+            entries.push(entry("checkpoint", ck));
+        }
+        entries.push(entry("seed", self.seed));
+        Value::Object(entries)
     }
 }
 
@@ -64,8 +70,21 @@ impl Deserialize for ScenarioSpec {
             speeds: v.field_opt("speeds")?.unwrap_or_default(),
             engine: v.field_opt("engine")?.unwrap_or_default(),
             duration: v.field_opt("duration")?.unwrap_or_default(),
+            checkpoint: v.field_opt("checkpoint")?,
             seed: v.field_opt("seed")?.unwrap_or(d.seed),
         })
+    }
+}
+
+impl Serialize for CheckpointSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![entry("every", self.every), entry("path", &self.path)])
+    }
+}
+
+impl Deserialize for CheckpointSpec {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(CheckpointSpec { every: v.field("every")?, path: v.field("path")? })
     }
 }
 

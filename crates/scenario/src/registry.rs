@@ -6,8 +6,8 @@
 //! as JSON with `pp-lab <name> --spec`.
 
 use crate::spec::{
-    ArrivalSpec, BalancerSpec, DiffusionAlpha, DurationSpec, EngineKnobs, FaultPlanSpec, LinkSpec,
-    ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
+    ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
+    FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
 };
 use pp_tasking::workload::{record_trace, ArrivalProcess};
 use pp_topology::spec::TopologySpec;
@@ -193,6 +193,40 @@ pub fn registry() -> Vec<ScenarioSpec> {
             duration: DurationSpec { rounds: 40, drain: 100.0 },
             ..base("torus65536-sharded", "65,536-node torus, 128 shards, spreading hotspot")
         },
+        // 19. Checkpoint/resume under fire: Markov link faults, Poisson
+        // arrivals and consumption all active when the run is split — the
+        // kill/resume-mid-fault chaos case the `--verify-resume` CI gate
+        // replays against its straight-run twin.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![32, 32] },
+            workload: WorkloadSpec::UniformRandom { max_per_node: 6.0, seed: 19 },
+            arrival: ArrivalSpec::Poisson { rate: 8.0, size_min: 0.5, size_max: 1.5 },
+            faults: FaultPlanSpec { model: Some((0.08, 0.4)) },
+            engine: EngineKnobs { consume_rate: 0.2, shards: 4, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 200, drain: 100.0 },
+            ..base(
+                "torus1k-resume-midfault",
+                "1024-node torus split mid-run with faults + arrivals in flight",
+            )
+        },
+        // 20. Long-horizon production scale with periodic checkpointing:
+        // the 16k-node sharded torus writing a restart point every 16
+        // rounds (capture is read-only, so the report is identical to an
+        // uncheckpointed run — asserted by the golden gate). Redistribution
+        // only (no consumption): with consume_rate > 0 every arrival event
+        // pays an O(n) consume sweep, which at 16k nodes dominates the run.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![128, 128] },
+            workload: WorkloadSpec::UniformRandom { max_per_node: 8.0, seed: 20 },
+            arrival: ArrivalSpec::Bursty { rate: 20.0, burst_len: 4.0, quiet_len: 12.0, size: 1.0 },
+            engine: EngineKnobs { shards: 16, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 120, drain: 100.0 },
+            checkpoint: Some(CheckpointSpec {
+                every: 16,
+                path: "target/ckpt/torus16k-checkpointed.ckpt.json".to_string(),
+            }),
+            ..base("torus16k-checkpointed", "16,384-node torus checkpointing every 16 rounds")
+        },
     ];
     all
 }
@@ -215,15 +249,32 @@ mod tests {
     #[test]
     fn registry_is_large_and_unique() {
         let all = registry();
-        assert!(all.len() >= 10, "registry has only {} scenarios", all.len());
+        assert!(all.len() >= 20, "registry has only {} scenarios", all.len());
         let names: HashSet<&str> = all.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), all.len(), "duplicate scenario names");
         // The ROADMAP-mandated workload families are all present.
-        for required in
-            ["bursty-onoff", "diurnal-wave", "moving-hotspot", "hetero-speeds", "trace-replay"]
-        {
+        for required in [
+            "bursty-onoff",
+            "diurnal-wave",
+            "moving-hotspot",
+            "hetero-speeds",
+            "trace-replay",
+            "torus1k-resume-midfault",
+            "torus16k-checkpointed",
+        ] {
             assert!(names.contains(required), "missing required scenario `{required}`");
         }
+    }
+
+    #[test]
+    fn midfault_resume_scenario_splits_exactly() {
+        // The chaos scenario in miniature: kill mid-fault, resume, and the
+        // report must be byte-identical to never having stopped.
+        let spec = by_name("torus1k-resume-midfault").expect("registered").smoke(6, 15.0);
+        let straight = spec.run().expect("straight run");
+        let (split, layout) = spec.run_split(3).expect("split run");
+        assert_eq!(split, straight);
+        assert_eq!(layout.shards, 4, "spec pins 4 shards");
     }
 
     #[test]

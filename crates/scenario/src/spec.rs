@@ -13,7 +13,8 @@ use pp_core::baselines::{
 };
 use pp_core::params::PhysicsConfig;
 use pp_sim::balancer::{LoadBalancer, NullBalancer};
-use pp_sim::engine::{Engine, EngineBuilder, EngineConfig, FaultModel, RunReport};
+use pp_sim::checkpoint::Checkpoint;
+use pp_sim::engine::{Engine, EngineBuilder, EngineConfig, FaultModel, RunReport, ShardLayout};
 use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
 use pp_tasking::task::TaskId;
@@ -844,6 +845,34 @@ impl EngineKnobs {
     }
 }
 
+/// Periodic checkpointing during [`ScenarioSpec::run`]: every `every`
+/// balance rounds the engine state is captured and written (overwriting) to
+/// `path` as versioned checkpoint JSON — the standard enabler for
+/// long-horizon runs that must survive interruption. Checkpoint capture is
+/// read-only, so a checkpointed run's report is byte-identical to the same
+/// run without the knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointSpec {
+    /// Balance rounds between checkpoints (> 0).
+    pub every: u64,
+    /// File the latest checkpoint is written to (parent directories are
+    /// created as needed).
+    pub path: String,
+}
+
+impl CheckpointSpec {
+    /// Parameter check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.every == 0 {
+            return Err("checkpoint interval must be > 0 rounds".into());
+        }
+        if self.path.is_empty() {
+            return Err("checkpoint path must not be empty".into());
+        }
+        Ok(())
+    }
+}
+
 /// How long the scenario runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DurationSpec {
@@ -857,6 +886,39 @@ impl Default for DurationSpec {
     fn default() -> Self {
         DurationSpec { rounds: 200, drain: 100.0 }
     }
+}
+
+/// Writes a checkpoint to `path` (creating parent directories) in the
+/// canonical byte-stable JSON rendering. Used by [`ScenarioSpec::run`] for
+/// the `checkpoint` knob and by `pp-lab --checkpoint-every`.
+///
+/// The write is atomic-by-rename: the bytes go to a `.tmp` sibling first
+/// and replace `path` only once fully written, so a crash or full disk
+/// mid-write can never destroy the previous good checkpoint — losing the
+/// last restart point to an interruption is the exact failure checkpoints
+/// exist to survive.
+pub fn write_checkpoint(cp: &Checkpoint, path: &str) -> Result<(), String> {
+    let path = std::path::Path::new(path);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    // Write + fsync the sibling before the rename: without the sync a
+    // power loss can journal the rename ahead of the data blocks and leave
+    // a zero-length file at `path` (process crashes and full disks are
+    // covered by the rename alone).
+    {
+        use std::io::Write;
+        let mut f =
+            std::fs::File::create(&tmp).map_err(|e| format!("cannot create {tmp:?}: {e}"))?;
+        f.write_all(cp.to_json().as_bytes()).map_err(|e| format!("cannot write {tmp:?}: {e}"))?;
+        f.sync_all().map_err(|e| format!("cannot sync {tmp:?}: {e}"))?;
+    }
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot move {tmp:?} over {path:?}: {e}"))
 }
 
 /// A complete, self-contained experiment description.
@@ -888,6 +950,8 @@ pub struct ScenarioSpec {
     pub engine: EngineKnobs,
     /// Run length.
     pub duration: DurationSpec,
+    /// Periodic checkpointing during the run (`None` = off).
+    pub checkpoint: Option<CheckpointSpec>,
     /// Master seed for all randomness.
     pub seed: u64,
 }
@@ -908,6 +972,7 @@ impl Default for ScenarioSpec {
             speeds: SpeedSpec::Uniform,
             engine: EngineKnobs::default(),
             duration: DurationSpec::default(),
+            checkpoint: None,
             seed: 42,
         }
     }
@@ -931,6 +996,9 @@ impl ScenarioSpec {
         self.faults.validate().map_err(|e| wrap("faults", e))?;
         self.speeds.validate().map_err(|e| wrap("speeds", e))?;
         self.engine.validate().map_err(|e| wrap("engine", e))?;
+        if let Some(ck) = &self.checkpoint {
+            ck.validate().map_err(|e| wrap("checkpoint", e))?;
+        }
         Ok(())
     }
 
@@ -968,11 +1036,71 @@ impl ScenarioSpec {
     }
 
     /// Runs the scenario to completion: `duration.rounds` balance rounds
-    /// followed by a `duration.drain` network drain.
+    /// followed by a `duration.drain` network drain. With the `checkpoint`
+    /// knob set, a checkpoint is written every `every` rounds (and once
+    /// more after the final round) — capture is read-only, so the returned
+    /// report is identical to an uncheckpointed run.
     pub fn run(&self) -> Result<RunReport, String> {
         let mut engine = self.build_engine()?;
-        engine.run_rounds(self.duration.rounds).drain(self.duration.drain);
+        self.finish_engine(&mut engine)?;
         Ok(engine.report())
+    }
+
+    /// Resumes the scenario from a [`Checkpoint`] taken by a previous run
+    /// of the *same* spec: builds a fresh engine, restores the snapshot,
+    /// runs the remaining `duration.rounds − checkpoint.round` rounds and
+    /// the drain. The result is byte-identical to the uninterrupted run.
+    /// With the `checkpoint` knob set, the resumed run keeps writing
+    /// checkpoints, so a twice-interrupted run resumes twice.
+    pub fn run_from_checkpoint(&self, cp: &Checkpoint) -> Result<RunReport, String> {
+        let mut engine = self.build_engine()?;
+        engine.restore(cp)?;
+        self.finish_engine(&mut engine)?;
+        Ok(engine.report())
+    }
+
+    /// Drives an already-built (possibly just-restored) engine from its
+    /// current round to the spec's full duration and drains it, honoring
+    /// the `checkpoint` knob. The single implementation of the
+    /// interval-write loop — `run`, `run_from_checkpoint` and `pp-lab`'s
+    /// checkpoint/resume paths all funnel through here, so the CLI and
+    /// library can never checkpoint differently.
+    pub fn finish_engine(&self, engine: &mut Engine) -> Result<(), String> {
+        match &self.checkpoint {
+            None => {
+                engine.run_rounds(self.duration.rounds.saturating_sub(engine.round()));
+            }
+            Some(ck) => {
+                while engine.round() < self.duration.rounds {
+                    let chunk = ck.every.min(self.duration.rounds - engine.round());
+                    engine.run_rounds(chunk);
+                    write_checkpoint(&engine.checkpoint(), &ck.path)?;
+                }
+            }
+        }
+        engine.drain(self.duration.drain);
+        Ok(())
+    }
+
+    /// Runs the scenario split in two: `at` rounds, then checkpoint →
+    /// canonical JSON → parse → restore into a **fresh** engine, then the
+    /// remaining rounds and the drain. Exercises the full serialized
+    /// checkpoint path; the resume-equivalence tests and `pp-lab
+    /// --verify-resume` compare the result byte-for-byte against
+    /// [`ScenarioSpec::run`]. Also returns the resolved shard layout (for
+    /// golden-report metadata).
+    pub fn run_split(&self, at: u64) -> Result<(RunReport, ShardLayout), String> {
+        let at = at.min(self.duration.rounds);
+        let mut first = self.build_engine()?;
+        first.run_rounds(at);
+        let text = first.checkpoint().to_json();
+        drop(first);
+        let cp = Checkpoint::from_json(&text)?;
+        let mut resumed = self.build_engine()?;
+        resumed.restore(&cp)?;
+        resumed.run_rounds(self.duration.rounds - at).drain(self.duration.drain);
+        let layout = resumed.shard_layout();
+        Ok((resumed.report(), layout))
     }
 
     /// A copy scaled down for CI smoke runs: at most `rounds` rounds and
@@ -982,6 +1110,13 @@ impl ScenarioSpec {
         s.duration.rounds = s.duration.rounds.min(rounds);
         s.duration.drain = s.duration.drain.min(drain);
         s
+    }
+
+    /// Reads a checkpoint file written by a run of this spec (see
+    /// [`CheckpointSpec`] and `pp-lab --resume-from`).
+    pub fn read_checkpoint(path: &str) -> Result<Checkpoint, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Checkpoint::from_json(&text)
     }
 
     /// One-line summary for `pp-lab --list`.
@@ -995,5 +1130,96 @@ impl ScenarioSpec {
             self.topology.node_count(),
             self.duration.rounds,
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    /// A small full-event-mix spec (faults + diurnal arrivals + speeds) for
+    /// the checkpoint tests.
+    fn busy_spec() -> ScenarioSpec {
+        let mut s = registry::by_name("diurnal-wave").expect("registered").smoke(8, 20.0);
+        s.faults = FaultPlanSpec { model: Some((0.05, 0.5)) };
+        s.speeds = SpeedSpec::TwoTier { fast_fraction: 0.25, fast: 2.0, slow: 0.75, seed: 4 };
+        s
+    }
+
+    #[test]
+    fn split_runs_match_straight_runs() {
+        let spec = busy_spec();
+        let straight = spec.run().expect("straight");
+        for at in [1, 4, 8] {
+            let (split, _) = spec.run_split(at).expect("split");
+            assert_eq!(split, straight, "split at {at}");
+        }
+    }
+
+    #[test]
+    fn split_runs_match_across_layouts() {
+        let mut spec = busy_spec();
+        let straight = spec.run().expect("straight");
+        for (shards, threads) in [(3, 1), (5, 2)] {
+            spec.engine.shards = shards;
+            spec.engine.threads = threads;
+            let (split, layout) = spec.run_split(4).expect("split");
+            assert_eq!(split, straight, "K={shards} threads={threads}");
+            assert_eq!(layout.shards, shards);
+        }
+    }
+
+    #[test]
+    fn checkpoint_knob_writes_resumable_files_without_changing_the_run() {
+        let path = std::env::temp_dir()
+            .join(format!("pp-spec-knob-{}.ckpt.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let mut spec = busy_spec();
+        spec.checkpoint = Some(CheckpointSpec { every: 3, path: path.clone() });
+        let checkpointed = spec.run().expect("checkpointed run");
+        spec.checkpoint = None;
+        let plain = spec.run().expect("plain run");
+        assert_eq!(checkpointed, plain, "checkpoint capture must be read-only");
+        // The last written checkpoint sits at the final round; resuming
+        // from it re-runs only the drain and lands on the same report.
+        let cp = ScenarioSpec::read_checkpoint(&path).expect("file parses");
+        assert_eq!(cp.round, spec.duration.rounds);
+        let resumed = spec.run_from_checkpoint(&cp).expect("resume");
+        assert_eq!(resumed, plain);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_from_mid_run_checkpoint_file() {
+        let path = std::env::temp_dir()
+            .join(format!("pp-spec-mid-{}.ckpt.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        // Write checkpoints every 3 rounds but only run 6 of the 8: emulate
+        // an interrupted run by truncating the duration for the first pass.
+        let mut first = busy_spec();
+        first.duration.rounds = 6;
+        first.checkpoint = Some(CheckpointSpec { every: 3, path: path.clone() });
+        let _ = first.run().expect("interrupted run");
+        let cp = ScenarioSpec::read_checkpoint(&path).expect("file parses");
+        assert_eq!(cp.round, 6);
+        // Resume under the full spec: must equal the uninterrupted run.
+        let full = busy_spec();
+        let resumed = full.run_from_checkpoint(&cp).expect("resume");
+        assert_eq!(resumed, full.run().expect("straight"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_spec_validation() {
+        let mut spec = busy_spec();
+        spec.checkpoint = Some(CheckpointSpec { every: 0, path: "x.json".into() });
+        assert!(spec.validate().unwrap_err().contains("interval"));
+        spec.checkpoint = Some(CheckpointSpec { every: 5, path: String::new() });
+        assert!(spec.validate().unwrap_err().contains("path"));
+        spec.checkpoint = Some(CheckpointSpec { every: 5, path: "x.json".into() });
+        assert!(spec.validate().is_ok());
     }
 }

@@ -3,8 +3,8 @@
 //! covers the combinatorial space of variants and parameter values).
 
 use pp_scenario::spec::{
-    ArrivalSpec, BalancerSpec, DiffusionAlpha, DurationSpec, EngineKnobs, FaultPlanSpec, LinkSpec,
-    ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
+    ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
+    FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
 };
 use pp_topology::spec::TopologySpec;
 use proptest::prelude::*;
@@ -112,6 +112,10 @@ proptest! {
                 ..EngineKnobs::default()
             },
             duration: DurationSpec { rounds, drain: x },
+            checkpoint: (seed % 4 == 0).then(|| CheckpointSpec {
+                every: rounds.max(1),
+                path: format!("target/prop-{seed}.ckpt.json"),
+            }),
             seed,
         };
         let json = spec.to_json_pretty();

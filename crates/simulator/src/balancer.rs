@@ -186,6 +186,30 @@ pub trait LoadBalancer: Send + Sync {
     ) -> Option<MigrationIntent> {
         None
     }
+
+    /// Serializes the policy's *internal dynamic* state for a checkpoint —
+    /// anything `begin_round` or `decide` mutates or caches across rounds
+    /// (e.g. the gradient model's propagated pressure map). Configuration
+    /// that the policy was constructed with must NOT be included: a restore
+    /// always targets a policy rebuilt from the same spec.
+    ///
+    /// The default returns `None` — correct for stateless policies, and the
+    /// engine then skips [`LoadBalancer::load_state`] entirely on restore.
+    fn save_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores internal state captured by [`LoadBalancer::save_state`].
+    /// Called by [`Engine::restore`](crate::engine::Engine::restore) only
+    /// when the checkpoint carries a state value; `nodes` is the engine's
+    /// node count, so per-node state can be length-validated. The default
+    /// is a no-op `Ok(())`, so stateless policies tolerate checkpoints
+    /// written by a (hypothetical) stateful ancestor; stateful policies
+    /// must override both methods together and report malformed values as
+    /// `Err`, never panic — checkpoint bytes are untrusted input.
+    fn load_state(&mut self, _state: &serde::Value, _nodes: usize) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// A policy that never moves anything — the "no balancing" control.

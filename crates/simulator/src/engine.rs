@@ -39,6 +39,7 @@
 use crate::balancer::{
     build_view, GlobalView, LinkView, LoadBalancer, MigratingLoad, MigrationIntent, ViewScratch,
 };
+use crate::checkpoint::{Checkpoint, FlightSnap};
 use crate::events::{Event, EventQueue};
 use crate::pool::WorkerPool;
 use crate::state::SystemState;
@@ -381,6 +382,339 @@ impl Engine {
             in_flight_load: self.in_flight_load,
             completed_tasks: self.completed_tasks,
         }
+    }
+
+    /// Captures the complete dynamic state of the engine as a versioned
+    /// [`Checkpoint`] — see the [`checkpoint`](crate::checkpoint) module
+    /// docs for exactly what is (and is not) included.
+    ///
+    /// Must be taken *between* balance rounds (which is the only vantage
+    /// point the public API exposes: after `run_rounds`/`drain` return).
+    /// Restoring the snapshot into an engine freshly built from the same
+    /// configuration resumes the run byte-identically, under any `(shards,
+    /// threads)` layout.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let n = self.state.node_count();
+        let mut node_rngs = Vec::with_capacity(n);
+        for (s, slot) in self.shards.iter().enumerate() {
+            debug_assert_eq!(self.partition.range(s).0 as usize, node_rngs.len());
+            node_rngs.extend(slot.rngs.iter().map(|r| r.state()));
+        }
+        let (queue_seq, queue) = self.queue.snapshot();
+        Checkpoint {
+            nodes: n,
+            edges: self.state.topo.edge_count(),
+            trace_len: self.trace.len(),
+            balancer: self.balancer.name().to_string(),
+            time: self.time,
+            next_tick: self.next_tick,
+            round: self.round,
+            engine_rng: self.engine_rng.state(),
+            node_rngs,
+            node_tasks: (0..n)
+                .map(|i| self.state.node(NodeId(i as u32)).tasks().to_vec())
+                .collect(),
+            node_heights: self.state.height_slice().to_vec(),
+            stats: self.state.stat_snapshot(),
+            idgen_next: self.idgen.position(),
+            down_words: self.down_links.words().to_vec(),
+            flights: self
+                .flights
+                .iter()
+                .map(|f| {
+                    f.map(|f| FlightSnap {
+                        task: f.load.task,
+                        flag: f.load.flag,
+                        hops: f.load.hops,
+                        source: f.load.source.0,
+                        from: f.from.0,
+                        to: f.to.0,
+                        link_weight: f.link_weight,
+                        heat: f.heat,
+                        attempts: f.attempts,
+                        bounced: f.bounced,
+                    })
+                })
+                .collect(),
+            free_slots: self.free_slots.clone(),
+            in_flight_load: self.in_flight_load,
+            completed_tasks: self.completed_tasks,
+            queue_seq,
+            queue,
+            ledger: self.ledger.records().to_vec(),
+            series: self.series.points().to_vec(),
+            shard_layout_k: self.shards.len(),
+            shard_dirty: self.shards.iter().map(|s| s.dirty).collect(),
+            shard_accums: self.shards.iter().map(|s| s.accum).collect(),
+            balancer_state: self.balancer.save_state(),
+        }
+    }
+
+    /// Overwrites this engine's dynamic state with a [`Checkpoint`],
+    /// resuming the captured run exactly. The engine must have been built
+    /// from the same configuration the checkpoint was written under; the
+    /// fingerprint (node/edge counts, trace length, balancer name) is
+    /// checked and a mismatch — like any structurally invalid snapshot —
+    /// returns `Err` without touching the engine. Never panics on corrupt
+    /// input: every index and float the snapshot carries is validated
+    /// before anything is applied.
+    pub fn restore(&mut self, cp: &Checkpoint) -> Result<(), String> {
+        let n = self.state.node_count();
+        // --- Validation phase: no engine state is touched until all of it
+        // passes, so a bad checkpoint leaves the engine fully usable.
+        if cp.nodes != n {
+            return Err(format!("checkpoint has {} nodes, engine has {n}", cp.nodes));
+        }
+        if cp.edges != self.state.topo.edge_count() {
+            return Err(format!(
+                "checkpoint has {} edges, engine has {}",
+                cp.edges,
+                self.state.topo.edge_count()
+            ));
+        }
+        if cp.trace_len != self.trace.len() {
+            return Err(format!(
+                "checkpoint replays a {}-record trace, engine has {} records",
+                cp.trace_len,
+                self.trace.len()
+            ));
+        }
+        if cp.balancer != self.balancer.name() {
+            return Err(format!(
+                "checkpoint was written under balancer `{}`, engine runs `{}`",
+                cp.balancer,
+                self.balancer.name()
+            ));
+        }
+        if cp.node_rngs.len() != n || cp.node_tasks.len() != n || cp.node_heights.len() != n {
+            return Err("checkpoint per-node vectors do not match the node count".into());
+        }
+        // Seeding never produces the all-zero xoshiro state (it is the
+        // generator's fixed point); a zeroed entry can only be a corrupted
+        // snapshot, so reject it here rather than let `from_state`'s
+        // defense-in-depth repair substitute a different stream silently.
+        if cp.engine_rng == [0; 4] || cp.node_rngs.contains(&[0; 4]) {
+            return Err("checkpoint carries an all-zero RNG state (corrupt snapshot)".into());
+        }
+        for (key, v) in
+            [("time", cp.time), ("next_tick", cp.next_tick), ("in_flight_load", cp.in_flight_load)]
+        {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("checkpoint `{key}` = {v} must be finite and non-negative"));
+            }
+        }
+        if cp.node_heights.iter().any(|h| !h.is_finite()) {
+            return Err("checkpoint node heights must be finite".into());
+        }
+        let down_links =
+            EdgeBitSet::from_words(self.state.topo.edge_count(), cp.down_words.clone())
+                .map_err(|e| format!("checkpoint down-link bitset: {e}"))?;
+        let queue = EventQueue::from_entries(cp.queue_seq, &cp.queue)
+            .map_err(|e| format!("checkpoint event queue: {e}"))?;
+        // Event payload indices: every pending load arrival must name a
+        // distinct occupied flight slot (handle_arrival takes the slot), and
+        // trace replays must stay inside the trace table. Temporal
+        // consistency: no pending event may predate the clock (a legit
+        // engine always drains events up to `time` before they can linger),
+        // or the post-restore event loop would run the clock backwards.
+        let mut arrival_seen = vec![false; cp.flights.len()];
+        for &(et, _, event) in &cp.queue {
+            if et < cp.time {
+                return Err(format!("pending event at t={et} predates the clock t={}", cp.time));
+            }
+            match event {
+                Event::LoadArrival { flight } => {
+                    if flight >= cp.flights.len() || cp.flights[flight].is_none() {
+                        return Err(format!("pending arrival names invalid flight slot {flight}"));
+                    }
+                    if std::mem::replace(&mut arrival_seen[flight], true) {
+                        return Err(format!("flight slot {flight} has two pending arrivals"));
+                    }
+                }
+                Event::TraceArrival { record } => {
+                    if record >= self.trace.len() {
+                        return Err(format!("pending trace arrival names invalid record {record}"));
+                    }
+                }
+                Event::TaskArrival => {}
+                Event::BalanceTick => {
+                    return Err("checkpoint queue carries a balance tick".into());
+                }
+            }
+        }
+        // The inverse direction: every occupied slot must have exactly one
+        // pending arrival, or the load would sit in the slab (and in
+        // `in_flight_load`) forever without ever landing.
+        if let Some(orphan) =
+            (0..cp.flights.len()).find(|&i| cp.flights[i].is_some() && !arrival_seen[i])
+        {
+            return Err(format!("flight slot {orphan} is occupied but has no pending arrival"));
+        }
+        let mut free_seen = vec![false; cp.flights.len()];
+        for &s in &cp.free_slots {
+            if s >= cp.flights.len() || cp.flights[s].is_some() {
+                return Err(format!("free list names non-empty flight slot {s}"));
+            }
+            if std::mem::replace(&mut free_seen[s], true) {
+                return Err(format!("flight slot {s} listed free twice"));
+            }
+        }
+        // And every empty slot must be on the free list, or the slab leaks
+        // it and later allocations pop different slot indices than the
+        // uninterrupted run — silent divergence instead of a clean error.
+        if let Some(leak) =
+            (0..cp.flights.len()).find(|&i| cp.flights[i].is_none() && !free_seen[i])
+        {
+            return Err(format!("empty flight slot {leak} is missing from the free list"));
+        }
+        // The per-shard activity vectors must be self-consistent with the
+        // capture layout regardless of this engine's layout.
+        if cp.shard_dirty.len() != cp.shard_layout_k || cp.shard_accums.len() != cp.shard_layout_k {
+            return Err(format!(
+                "checkpoint shard vectors do not match shard_layout_k = {}",
+                cp.shard_layout_k
+            ));
+        }
+        for f in cp.flights.iter().flatten() {
+            if f.from as usize >= n || f.to as usize >= n || f.source as usize >= n {
+                return Err("flight references a node out of range".into());
+            }
+            if !(f.flag.is_finite() && f.link_weight.is_finite() && f.heat.is_finite()) {
+                return Err("flight floats must be finite".into());
+            }
+            if !(f.task.size.is_finite() && f.task.size > 0.0 && f.task.work.is_finite())
+                || f.task.work < 0.0
+            {
+                return Err("flight task size/work out of range".into());
+            }
+        }
+        // Floats that feed accumulated totals or later arithmetic: a single
+        // non-finite value would restore Ok and silently poison every
+        // subsequent report, so reject it here (JSON carrying `1e999`
+        // parses to infinity).
+        if ![
+            cp.stats.height_sum,
+            cp.stats.height_sq_sum,
+            cp.stats.stat_peak_sum,
+            cp.stats.stat_peak_sq,
+        ]
+        .iter()
+        .all(|v| v.is_finite())
+        {
+            return Err("checkpoint imbalance statistics must be finite".into());
+        }
+        for tasks in &cp.node_tasks {
+            for t in tasks {
+                if !(t.size.is_finite() && t.size > 0.0 && t.work.is_finite())
+                    || t.work < 0.0
+                    || !t.created_at.is_finite()
+                {
+                    return Err("checkpoint task size/work/created_at out of range".into());
+                }
+            }
+        }
+        for rec in &cp.ledger {
+            if ![rec.time, rec.size, rec.link_weight, rec.heat].iter().all(|v| v.is_finite()) {
+                return Err("checkpoint ledger records must be finite".into());
+            }
+        }
+        if cp.series.windows(2).any(|w| w[1].0 < w[0].0)
+            || cp.series.iter().any(|&(t, v)| !t.is_finite() || !v.is_finite())
+        {
+            return Err("checkpoint series must be finite with non-decreasing times".into());
+        }
+        // A legit capture's last sample was pushed at (or before) the
+        // clock; a later one would make the next tick's push violate the
+        // series' time-order assertion — reject it here instead of
+        // panicking there.
+        if let Some(&(last, _)) = cp.series.last() {
+            if last > cp.time {
+                return Err(format!(
+                    "checkpoint series runs to t={last}, beyond the clock t={}",
+                    cp.time
+                ));
+            }
+        }
+        // --- Balancer state next: it only touches the policy, and a
+        // failure here still leaves the engine's own state untouched.
+        if let Some(state) = &cp.balancer_state {
+            self.balancer
+                .load_state(state, n)
+                .map_err(|e| format!("balancer `{}` state: {e}", self.balancer.name()))?;
+        }
+        // --- Apply phase (infallible from here on).
+        for i in 0..n {
+            let v = NodeId(i as u32);
+            self.state.restore_node(v, cp.node_tasks[i].clone(), cp.node_heights[i]);
+        }
+        self.state.restore_stats(cp.stats);
+        self.engine_rng = StdRng::from_state(cp.engine_rng);
+        // Vector lengths were validated against shard_layout_k above, so
+        // the K comparison alone decides whether the flags carry over.
+        let same_layout = cp.shard_layout_k == self.shards.len();
+        for (s, slot) in self.shards.iter_mut().enumerate() {
+            let (start, end) = self.partition.range(s);
+            for (k, i) in (start..end).enumerate() {
+                slot.rngs[k] = StdRng::from_state(cp.node_rngs[i as usize]);
+            }
+            for buf in &mut slot.decisions {
+                buf.clear();
+            }
+            slot.evaluated = false;
+            // Same layout: resume the activity tracking exactly. Different
+            // layout: conservatively mark everything dirty — report-exact
+            // either way (evaluating a clean shard of a quiescence-stable
+            // policy emits nothing and draws nothing; ADR-004), only the
+            // diagnostic skip counters differ.
+            if same_layout {
+                slot.dirty = cp.shard_dirty[s];
+                slot.accum = cp.shard_accums[s];
+            } else {
+                slot.dirty = true;
+                slot.accum = ShardAccum::new();
+            }
+        }
+        self.queue = queue;
+        self.flights = cp
+            .flights
+            .iter()
+            .map(|f| {
+                f.as_ref().map(|f| Flight {
+                    load: MigratingLoad {
+                        task: f.task,
+                        flag: f.flag,
+                        hops: f.hops,
+                        source: NodeId(f.source),
+                    },
+                    from: NodeId(f.from),
+                    to: NodeId(f.to),
+                    link_weight: f.link_weight,
+                    heat: f.heat,
+                    attempts: f.attempts,
+                    bounced: f.bounced,
+                })
+            })
+            .collect();
+        self.free_slots = cp.free_slots.clone();
+        self.in_flight_load = cp.in_flight_load;
+        self.completed_tasks = cp.completed_tasks;
+        self.idgen = TaskIdGen::starting_at(cp.idgen_next);
+        self.down_links = down_links;
+        // Rebuild the ledger and series by replaying the identical record
+        // sequence, so the running totals reproduce the captured
+        // accumulation bit-for-bit.
+        self.ledger = TrafficLedger::new();
+        for rec in &cp.ledger {
+            self.ledger.record(*rec);
+        }
+        self.series = TimeSeries::new();
+        for &(t, v) in &cp.series {
+            self.series.push(t, v);
+        }
+        self.time = cp.time;
+        self.next_tick = cp.next_tick;
+        self.round = cp.round;
+        Ok(())
     }
 
     fn process_events_until(&mut self, t: f64) {
@@ -1409,6 +1743,224 @@ mod tests {
         let elsewhere: f64 = h.iter().enumerate().filter(|&(i, _)| i != 0).map(|(_, &x)| x).sum();
         assert!(h[0] > 0.0, "hotspot node got nothing: {h:?}");
         assert_eq!(elsewhere, 0.0, "arrivals leaked off the hotspot: {h:?}");
+    }
+
+    /// The full-event-mix engine used by the checkpoint tests: faults,
+    /// Poisson arrivals, consumption, a replay trace — every dynamic-state
+    /// source at once.
+    fn busy_engine(shards: usize, threads: usize) -> Engine {
+        use pp_tasking::workload::TraceEvent;
+        let topo = Topology::torus(&[8, 8]);
+        let w = Workload::uniform_random(64, 6.0, 3);
+        EngineBuilder::new(topo)
+            .workload(w)
+            .balancer(GreedyOne)
+            .config(EngineConfig {
+                shards,
+                threads,
+                consume_rate: 0.2,
+                fault_model: Some(FaultModel { p_down: 0.05, p_up: 0.5 }),
+                arrival: ArrivalProcess::Poisson { rate: 2.0, size_min: 0.5, size_max: 1.5 },
+                ..Default::default()
+            })
+            .arrival_trace(vec![
+                TraceEvent { time: 3.5, node: 11, size: 2.0 },
+                TraceEvent { time: 14.5, node: 40, size: 1.0 },
+            ])
+            .seed(17)
+            .build()
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_to_straight_run() {
+        let mut straight = busy_engine(1, 1);
+        straight.run_rounds(24);
+        straight.drain(20.0);
+
+        let mut first = busy_engine(1, 1);
+        first.run_rounds(9);
+        let cp = first.checkpoint();
+        // Through the serialized form, so the JSON round-trip is on the
+        // tested path, not just the in-memory struct.
+        let cp = Checkpoint::from_json(&cp.to_json()).expect("round trip");
+        let mut resumed = busy_engine(1, 1);
+        resumed.restore(&cp).expect("restore");
+        resumed.run_rounds(15);
+        resumed.drain(20.0);
+
+        assert_eq!(resumed.report(), straight.report());
+        assert_eq!(resumed.heights(), straight.heights());
+        assert_eq!(resumed.round(), straight.round());
+        assert_eq!(resumed.down_link_count(), straight.down_link_count());
+    }
+
+    #[test]
+    fn checkpoint_crosses_shard_layouts_exactly() {
+        // Write under one layout, resume under others: per-node RNG streams
+        // and the rest of the dynamic state are layout-independent, so
+        // every combination must land on the same report.
+        let mut straight = busy_engine(1, 1);
+        straight.run_rounds(20);
+        let want = straight.report();
+
+        let mut writer = busy_engine(4, 2);
+        writer.run_rounds(8);
+        let cp = Checkpoint::from_json(&writer.checkpoint().to_json()).expect("round trip");
+        for (k, t) in [(1, 1), (3, 1), (16, 4)] {
+            let mut resumed = busy_engine(k, t);
+            resumed.restore(&cp).expect("restore");
+            resumed.run_rounds(12);
+            assert_eq!(resumed.report(), want, "resume under K={k} threads={t}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_preserves_quiescence_skip_state_on_same_layout() {
+        // A quiescence-stable policy asleep at capture time stays asleep
+        // after a same-layout restore (the dirty flags ride along).
+        let build = || {
+            EngineBuilder::new(Topology::torus(&[4, 4]))
+                .workload(Workload::hotspot(16, 0, 8.0))
+                .balancer(NullBalancer)
+                .config(EngineConfig { shards: 4, ..Default::default() })
+                .seed(1)
+                .build()
+        };
+        let mut e = build();
+        e.run_rounds(4);
+        let cp = e.checkpoint();
+        let mut r = build();
+        r.restore(&cp).expect("restore");
+        r.run_rounds(6);
+        e.run_rounds(6);
+        assert_eq!(r.shard_stats(), e.shard_stats());
+        assert_eq!(r.shard_stats().ticks_evaluated, 4, "no re-evaluation after restore");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_fingerprints() {
+        let mut e = busy_engine(1, 1);
+        e.run_rounds(5);
+        let cp = e.checkpoint();
+        // Wrong topology size.
+        let mut other = quiet_engine(GreedyOne);
+        assert!(other.restore(&cp).unwrap_err().contains("nodes"));
+        // Wrong balancer (same topology and trace, so only the name trips).
+        use pp_tasking::workload::TraceEvent;
+        let mut wrong_policy = EngineBuilder::new(Topology::torus(&[8, 8]))
+            .workload(Workload::uniform_random(64, 6.0, 3))
+            .balancer(NullBalancer)
+            .arrival_trace(vec![
+                TraceEvent { time: 3.5, node: 11, size: 2.0 },
+                TraceEvent { time: 14.5, node: 40, size: 1.0 },
+            ])
+            .build();
+        assert!(wrong_policy.restore(&cp).unwrap_err().contains("balancer"));
+        // Wrong trace length.
+        let mut no_trace = EngineBuilder::new(Topology::torus(&[8, 8]))
+            .workload(Workload::uniform_random(64, 6.0, 3))
+            .balancer(GreedyOne)
+            .build();
+        assert!(no_trace.restore(&cp).unwrap_err().contains("trace"));
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots_without_panicking() {
+        let mut e = busy_engine(1, 1);
+        e.run_rounds(6);
+        let good = e.checkpoint();
+        let mut fresh = busy_engine(1, 1);
+
+        let mut bad = good.clone();
+        bad.node_heights[3] = f64::NAN;
+        assert!(fresh.restore(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.queue.push((1.0, bad.queue_seq + 7, Event::TaskArrival));
+        assert!(fresh.restore(&bad).is_err(), "seq above counter");
+
+        let mut bad = good.clone();
+        bad.queue.push((5.0, bad.queue_seq - 1, Event::LoadArrival { flight: 999 }));
+        assert!(fresh.restore(&bad).is_err(), "dangling flight slot");
+
+        let mut bad = good.clone();
+        bad.free_slots.push(usize::MAX);
+        assert!(fresh.restore(&bad).is_err(), "free slot out of range");
+
+        let mut bad = good.clone();
+        bad.down_words.push(0);
+        assert!(fresh.restore(&bad).is_err(), "bitset word count");
+
+        let mut bad = good.clone();
+        bad.series.push((0.0, 0.0)); // time regresses
+        assert!(fresh.restore(&bad).is_err(), "series time order");
+
+        // Non-finite floats anywhere in the accumulated state: a JSON
+        // `1e999` parses to infinity and must be refused, not replayed
+        // into the totals.
+        let mut bad = good.clone();
+        bad.stats.height_sq_sum = f64::INFINITY;
+        assert!(fresh.restore(&bad).is_err(), "non-finite stats");
+
+        let mut bad = good.clone();
+        bad.node_rngs[7] = [0; 4];
+        assert!(fresh.restore(&bad).is_err(), "zeroed RNG state");
+
+        let mut bad = good.clone();
+        assert!(!bad.ledger.is_empty(), "busy engine must have migrated");
+        bad.ledger[0].heat = f64::INFINITY;
+        assert!(fresh.restore(&bad).is_err(), "non-finite ledger record");
+
+        let mut bad = good.clone();
+        bad.series[1].1 = f64::NAN;
+        assert!(fresh.restore(&bad).is_err(), "non-finite series value");
+
+        let mut bad = good.clone();
+        let i = bad.node_tasks.iter().position(|t| !t.is_empty()).expect("resident tasks exist");
+        bad.node_tasks[i][0].work = -1.0;
+        assert!(fresh.restore(&bad).is_err(), "negative task work");
+
+        // Temporal corruption that is finite and internally ordered but
+        // inconsistent with the clock: both would panic post-restore
+        // (series push order, event-loop time regression) if accepted.
+        let mut bad = good.clone();
+        let k = bad.series.len() - 1;
+        bad.series[k].0 = bad.time + 100.0;
+        assert!(fresh.restore(&bad).is_err(), "series beyond the clock");
+
+        let mut bad = good.clone();
+        bad.queue_seq += 1; // fresh unused seq so only the time check trips
+        bad.queue.insert(0, (0.0, bad.queue_seq - 1, Event::TaskArrival));
+        assert!(fresh.restore(&bad).is_err(), "event before the clock");
+
+        // An occupied slot whose arrival event is missing would leak the
+        // load (and its in-flight mass) forever.
+        let mut bad = good.clone();
+        if let Some(at) =
+            bad.queue.iter().position(|&(_, _, e)| matches!(e, Event::LoadArrival { .. }))
+        {
+            bad.queue.remove(at);
+            assert!(fresh.restore(&bad).is_err(), "orphaned in-flight load");
+        }
+
+        // An empty slot missing from the free list would shift every later
+        // slab allocation off the straight run's slot sequence.
+        let mut bad = good.clone();
+        if let Some(&s) = bad.free_slots.first() {
+            bad.free_slots.retain(|&x| x != s);
+            assert!(fresh.restore(&bad).is_err(), "leaked free slot");
+        }
+
+        // Shard vectors inconsistent with the recorded capture layout are
+        // corruption, not a layout change.
+        let mut bad = good.clone();
+        bad.shard_dirty.push(true);
+        assert!(fresh.restore(&bad).is_err(), "shard vector length mismatch");
+
+        // After all those rejections the engine is still fully usable and
+        // accepts the good snapshot.
+        fresh.restore(&good).expect("good snapshot still restores");
+        assert_eq!(fresh.round(), 6);
     }
 
     #[test]

@@ -65,8 +65,15 @@ impl EventQueue {
     }
 
     /// Schedules `event` at absolute `time`.
+    ///
+    /// # Panics
+    /// Panics unless `time` is finite and non-negative: `NaN` and `±∞` would
+    /// wedge or starve the queue's total order, and the simulation clock
+    /// never runs before t = 0, so a negative event time is always a caller
+    /// bug. (Checkpoint restore validates before pushing and reports a
+    /// `Result` instead — see [`EventQueue::from_entries`].)
     pub fn push(&mut self, time: f64, event: Event) {
-        assert!(time.is_finite(), "event time must be finite");
+        assert!(valid_time(time), "event time must be finite and non-negative, got {time}");
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });
@@ -91,6 +98,52 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Deterministic snapshot of every pending entry as `(time, seq, event)`
+    /// triples sorted in pop order, plus the sequence counter — the
+    /// checkpointable representation of the queue. Pop order is a total
+    /// order (ties break by the unique `seq`), so rebuilding a heap from
+    /// this list via [`EventQueue::from_entries`] reproduces exactly the
+    /// same pop sequence whatever the original heap's internal layout was.
+    pub fn snapshot(&self) -> (u64, Vec<(f64, u64, Event)>) {
+        let mut entries: Vec<(f64, u64, Event)> =
+            self.heap.iter().map(|e| (e.time, e.seq, e.event)).collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        (self.seq, entries)
+    }
+
+    /// Rebuilds a queue from a [`EventQueue::snapshot`]. Unlike
+    /// [`EventQueue::push`] this validates instead of panicking, because the
+    /// entries may come from an untrusted checkpoint file: every time must
+    /// be finite and non-negative, entry sequence numbers must be unique and
+    /// below the restored counter (so future pushes cannot collide and break
+    /// the total order).
+    pub fn from_entries(seq: u64, entries: &[(f64, u64, Event)]) -> Result<EventQueue, String> {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        let mut seen: Vec<u64> = Vec::with_capacity(entries.len());
+        for &(time, s, event) in entries {
+            if !valid_time(time) {
+                return Err(format!("event time {time} must be finite and non-negative"));
+            }
+            if s >= seq {
+                return Err(format!("event seq {s} not below the restored counter {seq}"));
+            }
+            seen.push(s);
+            heap.push(Entry { time, seq: s, event });
+        }
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate event sequence numbers in snapshot".into());
+        }
+        Ok(EventQueue { heap, seq })
+    }
+}
+
+/// The queue's time-validity rule, shared by the panicking [`EventQueue::push`]
+/// and the error-returning [`EventQueue::from_entries`].
+#[inline]
+fn valid_time(time: f64) -> bool {
+    time.is_finite() && time >= 0.0
 }
 
 #[cfg(test)]
@@ -139,5 +192,76 @@ mod tests {
     fn rejects_nan_time() {
         let mut q = EventQueue::new();
         q.push(f64::NAN, Event::BalanceTick);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_positive_infinity_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::INFINITY, Event::BalanceTick);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative_infinity_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NEG_INFINITY, Event::BalanceTick);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_time() {
+        let mut q = EventQueue::new();
+        q.push(-1e-9, Event::BalanceTick);
+    }
+
+    #[test]
+    fn accepts_time_boundaries() {
+        // The full accepted edge of the time domain: zero (including the
+        // negative-zero bit pattern), subnormals, and f64::MAX.
+        let mut q = EventQueue::new();
+        q.push(0.0, Event::BalanceTick);
+        q.push(-0.0, Event::BalanceTick);
+        q.push(f64::MIN_POSITIVE / 2.0, Event::BalanceTick);
+        q.push(f64::MAX, Event::BalanceTick);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(0.0));
+    }
+
+    #[test]
+    fn snapshot_restores_exact_pop_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, Event::TaskArrival);
+        q.push(1.0, Event::LoadArrival { flight: 7 });
+        q.push(1.0, Event::LoadArrival { flight: 9 });
+        q.push(2.0, Event::TraceArrival { record: 4 });
+        let _ = q.pop(); // consume one so the snapshot is mid-stream
+        let (seq, entries) = q.snapshot();
+        assert_eq!(seq, 4);
+        assert_eq!(entries.len(), 3);
+        let mut r = EventQueue::from_entries(seq, &entries).expect("valid snapshot");
+        while let Some(expect) = q.pop() {
+            assert_eq!(r.pop(), Some(expect));
+        }
+        assert!(r.pop().is_none());
+        // The restored counter continues where the original left off.
+        r.push(0.5, Event::BalanceTick);
+        let (seq2, entries2) = r.snapshot();
+        assert_eq!(seq2, 5);
+        assert_eq!(entries2[0].1, 4);
+    }
+
+    #[test]
+    fn from_entries_rejects_bad_snapshots() {
+        let ev = Event::TaskArrival;
+        // Non-finite / negative times error instead of panicking.
+        assert!(EventQueue::from_entries(1, &[(f64::NAN, 0, ev)]).is_err());
+        assert!(EventQueue::from_entries(1, &[(f64::INFINITY, 0, ev)]).is_err());
+        assert!(EventQueue::from_entries(1, &[(-1.0, 0, ev)]).is_err());
+        // Seq at/above the counter, or duplicated.
+        assert!(EventQueue::from_entries(1, &[(0.0, 1, ev)]).is_err());
+        assert!(EventQueue::from_entries(3, &[(0.0, 1, ev), (1.0, 1, ev)]).is_err());
+        // A well-formed snapshot passes.
+        assert!(EventQueue::from_entries(3, &[(0.0, 1, ev), (1.0, 2, ev)]).is_ok());
     }
 }

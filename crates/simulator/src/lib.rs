@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod balancer;
+pub mod checkpoint;
 pub mod engine;
 pub mod events;
 pub mod parallel;
@@ -29,6 +30,7 @@ pub mod prelude {
         build_view, GlobalView, LinkView, LoadBalancer, MigratingLoad, MigrationIntent,
         NeighborInfo, NodeView, NullBalancer, ViewScratch,
     };
+    pub use crate::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
     pub use crate::engine::{
         Engine, EngineBuilder, EngineConfig, FaultModel, RunReport, ShardLayout,
     };

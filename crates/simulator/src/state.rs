@@ -307,6 +307,59 @@ impl SystemState {
     pub fn colocated_ids(&self, v: NodeId) -> Vec<TaskId> {
         self.nodes[v.idx()].tasks().iter().map(|t| t.id).collect()
     }
+
+    /// Exact snapshot of the incremental imbalance statistics (checkpoint
+    /// plumbing). The sums carry the accumulated floating-point history of
+    /// every mutation since construction, so a byte-exact resume must
+    /// restore them verbatim rather than recompute them from the heights.
+    pub fn stat_snapshot(&self) -> StatSnapshot {
+        StatSnapshot {
+            height_sum: self.height_sum,
+            height_sq_sum: self.height_sq_sum,
+            stat_ops: self.stat_ops,
+            stat_peak_sum: self.stat_peak_sum,
+            stat_peak_sq: self.stat_peak_sq,
+        }
+    }
+
+    /// Overwrites the incremental statistics with a captured
+    /// [`SystemState::stat_snapshot`] (checkpoint plumbing; pair with
+    /// [`SystemState::restore_node`] for every node).
+    pub fn restore_stats(&mut self, s: StatSnapshot) {
+        self.height_sum = s.height_sum;
+        self.height_sq_sum = s.height_sq_sum;
+        self.stat_ops = s.stat_ops;
+        self.stat_peak_sum = s.stat_peak_sum;
+        self.stat_peak_sq = s.stat_peak_sq;
+    }
+
+    /// Replaces node `v`'s resident tasks and height wholesale without
+    /// touching the incremental statistics (checkpoint plumbing). `height`
+    /// is the *accumulated* height recorded at capture time — it may differ
+    /// from `Σ size` in the last ulp, which is exactly why it is restored
+    /// verbatim instead of being recomputed.
+    pub fn restore_node(&mut self, v: NodeId, tasks: Vec<Task>, height: f64) {
+        let slot = &mut self.nodes[v.idx()];
+        slot.tasks = tasks;
+        slot.height = height;
+        self.heights[v.idx()] = height;
+    }
+}
+
+/// The five incremental imbalance statistics of a [`SystemState`], captured
+/// exactly for checkpoint/resume (see [`SystemState::stat_snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatSnapshot {
+    /// Incremental `Σh`.
+    pub height_sum: f64,
+    /// Incremental `Σh²`.
+    pub height_sq_sum: f64,
+    /// Height mutations since construction.
+    pub stat_ops: u64,
+    /// Largest `|Σh|` magnitude reached.
+    pub stat_peak_sum: f64,
+    /// Largest `|Σh²|` magnitude reached.
+    pub stat_peak_sq: f64,
 }
 
 #[cfg(test)]
@@ -445,6 +498,39 @@ mod tests {
         assert_eq!(s.cov(), 0.0);
         assert_eq!(s.mean_height(), 0.0);
         assert_eq!(s.total_load(), 0.0);
+    }
+
+    #[test]
+    fn restore_round_trips_state_and_stats_exactly() {
+        // Drive one state through a mutation history, capture it, replay the
+        // capture into a fresh state, and require bit-identical behavior —
+        // including the drift-bearing incremental sums.
+        let mut s = small_state();
+        for i in 0..40u64 {
+            s.add_task(NodeId((i % 4) as u32), task(i, 0.1 * (i + 1) as f64));
+        }
+        for i in (0..40u64).step_by(3) {
+            s.remove_task(NodeId((i % 4) as u32), TaskId(i));
+        }
+        s.consume_work(NodeId(0), 1.7);
+
+        let mut fresh = small_state();
+        for v in 0..4 {
+            let node = NodeId(v);
+            fresh.restore_node(node, s.node(node).tasks().to_vec(), s.node(node).height());
+        }
+        fresh.restore_stats(s.stat_snapshot());
+
+        assert_eq!(fresh.height_slice(), s.height_slice());
+        assert_eq!(fresh.stat_snapshot(), s.stat_snapshot());
+        assert_eq!(fresh.cov().to_bits(), s.cov().to_bits());
+        assert_eq!(fresh.mean_height().to_bits(), s.mean_height().to_bits());
+        assert_eq!(fresh.total_tasks(), s.total_tasks());
+        // Subsequent identical mutations keep the two in lockstep.
+        s.add_task(NodeId(2), task(99, 0.3));
+        fresh.add_task(NodeId(2), task(99, 0.3));
+        assert_eq!(fresh.cov().to_bits(), s.cov().to_bits());
+        assert_eq!(fresh.stat_snapshot(), s.stat_snapshot());
     }
 
     #[test]

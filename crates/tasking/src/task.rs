@@ -79,6 +79,17 @@ impl TaskIdGen {
         self.next += 1;
         id
     }
+
+    /// The id the next [`TaskIdGen::next_id`] call will hand out —
+    /// the generator's checkpointable position.
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+
+    /// A generator resuming at `next` (inverse of [`TaskIdGen::position`]).
+    pub fn starting_at(next: u64) -> Self {
+        TaskIdGen { next }
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +124,17 @@ mod tests {
         assert_eq!(g.next_id(), TaskId(0));
         assert_eq!(g.next_id(), TaskId(1));
         assert_eq!(g.next_id(), TaskId(2));
+    }
+
+    #[test]
+    fn id_generator_position_round_trips() {
+        let mut g = TaskIdGen::new();
+        for _ in 0..5 {
+            g.next_id();
+        }
+        assert_eq!(g.position(), 5);
+        let mut resumed = TaskIdGen::starting_at(g.position());
+        assert_eq!(resumed.next_id(), g.next_id());
     }
 
     #[test]

@@ -79,6 +79,35 @@ impl EdgeBitSet {
         self.words.fill(0);
         self.ones = 0;
     }
+
+    /// The raw 64-bit backing words (checkpoint plumbing; pair with
+    /// [`EdgeBitSet::from_words`]).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set over `len` edges from captured [`EdgeBitSet::words`].
+    /// Validates instead of panicking (the words may come from an untrusted
+    /// checkpoint file): the word count must match the capacity and no bit
+    /// beyond `len` may be set. The popcount is recomputed.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Result<Self, String> {
+        if words.len() != len.div_ceil(64) {
+            return Err(format!(
+                "bitset over {len} edges needs {} words, got {}",
+                len.div_ceil(64),
+                words.len()
+            ));
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(format!("bitset has bits set beyond edge capacity {len}"));
+                }
+            }
+        }
+        let ones = words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(EdgeBitSet { words, len, ones })
+    }
 }
 
 #[cfg(test)]
@@ -119,5 +148,32 @@ mod tests {
         let s = EdgeBitSet::new(0);
         assert!(s.is_empty());
         assert!(s.none_set());
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut s = EdgeBitSet::new(100);
+        for e in [0u32, 63, 64, 99] {
+            s.insert(EdgeId(e));
+        }
+        let r = EdgeBitSet::from_words(100, s.words().to_vec()).expect("valid words");
+        assert_eq!(r.count(), 4);
+        for e in [0u32, 63, 64, 99] {
+            assert!(r.contains(EdgeId(e)));
+        }
+        assert!(!r.contains(EdgeId(1)));
+    }
+
+    #[test]
+    fn from_words_rejects_bad_shapes() {
+        // Wrong word count.
+        assert!(EdgeBitSet::from_words(100, vec![0; 1]).is_err());
+        assert!(EdgeBitSet::from_words(100, vec![0; 3]).is_err());
+        // A bit beyond the capacity (edge 100 in a 100-edge set).
+        let mut words = vec![0u64; 2];
+        words[1] = 1 << (100 % 64);
+        assert!(EdgeBitSet::from_words(100, words).is_err());
+        // Exact multiples of 64 have no tail to validate.
+        assert!(EdgeBitSet::from_words(128, vec![u64::MAX; 2]).is_ok());
     }
 }

@@ -242,6 +242,12 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, String>;
 }
 
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
 impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, String> {
         v.as_bool().ok_or_else(|| format!("expected bool, got {v:?}"))

@@ -270,12 +270,29 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so byte
-                    // boundaries are valid).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
+                // ASCII fast path: the overwhelmingly common case, and —
+                // crucially — O(1). Validating UTF-8 over the whole
+                // remaining input per character made large documents
+                // (multi-MB engine checkpoints) parse quadratically.
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume exactly one multi-byte UTF-8 scalar (input is
+                    // a &str, so byte boundaries are valid); decode only its
+                    // own bytes, never the rest of the document.
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| Error::parse(self.pos, "invalid UTF-8"))?
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::parse(self.pos, "invalid UTF-8"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -431,5 +448,21 @@ mod tests {
     #[test]
     fn parse_unicode_escapes_and_raw() {
         assert_eq!(from_str(r#""Aµ""#).unwrap(), Value::Str("Aµ".into()));
+        // Multi-byte scalars of every UTF-8 width, mid-string and adjacent.
+        assert_eq!(from_str(r#""aµ€𝄞z""#).unwrap(), Value::Str("aµ€𝄞z".into()));
+        assert_eq!(from_str(r#"["σ/µ", "h²"]"#).unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn large_documents_parse_in_linear_time() {
+        // Engine checkpoints reach tens of MB. The per-character UTF-8
+        // revalidation bug made this quadratic (minutes for one file); with
+        // the ASCII fast path this parses instantly — a reintroduced
+        // regression shows up as this test hanging.
+        let big = "x".repeat(400_000);
+        let doc = format!("{{\"k\": \"{big}\", \"µ\": [1.5, 2.5]}}");
+        let v = from_str(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str().map(str::len), Some(400_000));
+        assert_eq!(v.get("µ").unwrap().as_array().unwrap().len(), 2);
     }
 }
