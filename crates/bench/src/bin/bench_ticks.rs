@@ -1,4 +1,5 @@
-//! BENCH_4 — tick-throughput benchmark for the sharded tick pipeline.
+//! BENCH_6 — tick-throughput benchmark for the sharded tick pipeline and
+//! the event-driven time-skipping strategy.
 //!
 //! Measures steady-state balance-round throughput (rounds/sec) and
 //! per-node decision cost (ns/node-decision) for the particle-plane
@@ -11,7 +12,15 @@
 //!   halo-exact shard-level activity tracking and (on multi-core hosts)
 //!   the worker pool fanning whole shards out over threads.
 //!
-//! Emits `BENCH_4.json` so successive PRs have a recorded perf trajectory.
+//! A third pair measures the simulation *strategy* on a sparse-activity
+//! system (65 536 nodes, no resident work, `consume_rate > 0`):
+//!
+//! * `sparse65536_tick`  — the tick strategy pays the O(n) consume sweep
+//!   on every one of its rounds even though nothing can happen;
+//! * `sparse65536_event` — the event strategy fast-forwards each quiescent
+//!   round in closed form (O(K) wake-heap consult, one CoV sample).
+//!
+//! Emits `BENCH_6.json` so successive PRs have a recorded perf trajectory.
 //!
 //! ```text
 //! bench_ticks [--smoke] [--enforce] [--shards K] [--threads T]
@@ -21,13 +30,14 @@
 //! * `--smoke`      few iterations (CI keep-alive; numbers are meaningless)
 //! * `--enforce`    exit non-zero unless the sharded pipeline meets the
 //!   scaling expectations (≥ 1× sequential at 1 024 nodes, ≥ 1.5× at
-//!   16 384) — the CI perf gate
+//!   16 384, event strategy ≥ 5× tick on the sparse 65 536 pair) — the CI
+//!   perf gate
 //! * `--shards K`   override the shard count of every `*_shard` scenario
 //! * `--threads T`  override the sweep worker-thread count everywhere
-//! * `--out PATH`   where to write the JSON (default `BENCH_4.json`)
+//! * `--out PATH`   where to write the JSON (default `BENCH_6.json`)
 //! * `--baseline P` embed the `scenarios` of a previous output as
-//!   `baseline` and compute per-scenario speedups (BENCH_2.json's
-//!   `*_seq` names line up, continuing the trajectory)
+//!   `baseline` and compute per-scenario speedups (BENCH_4.json's
+//!   names line up, continuing the trajectory)
 //! * `--check PATH` parse PATH as JSON and exit (0 = parses, 1 = does
 //!   not, with a missing file reported as `NOT FOUND` rather than a parse
 //!   error); no benchmark is run
@@ -39,6 +49,7 @@
 use pp_core::balancer::ParticlePlaneBalancer;
 use pp_core::params::PhysicsConfig;
 use pp_sim::engine::{EngineBuilder, EngineConfig, RunReport};
+use pp_sim::strategy::SimulationStrategy;
 use pp_tasking::workload::Workload;
 use pp_topology::graph::Topology;
 use serde::{Serialize, Value};
@@ -56,57 +67,64 @@ struct Scenario {
     rounds: u64,
     smoke_rounds: u64,
     shards: usize,
+    /// Sparse-activity variant: no resident workload, `consume_rate > 0`
+    /// — nothing ever happens, but the tick strategy still pays the O(n)
+    /// consume sweep per round.
+    sparse: bool,
+    strategy: SimulationStrategy,
+}
+
+/// A dense redistribution scenario on the tick strategy (the BENCH_4 set).
+const fn dense(
+    name: &'static str,
+    side: usize,
+    warm: u64,
+    rounds: u64,
+    smoke_rounds: u64,
+    shards: usize,
+) -> Scenario {
+    Scenario {
+        name,
+        side,
+        warm,
+        rounds,
+        smoke_rounds,
+        shards,
+        sparse: false,
+        strategy: SimulationStrategy::Tick,
+    }
 }
 
 const SCENARIOS: &[Scenario] = &[
-    Scenario { name: "torus64_seq", side: 8, warm: 200, rounds: 3000, smoke_rounds: 5, shards: 1 },
+    dense("torus64_seq", 8, 200, 3000, 5, 1),
+    dense("torus1024_seq", 32, 400, 300, 3, 1),
+    dense("torus1024_shard", 32, 400, 3000, 3, 16),
+    dense("torus16384_seq", 128, 250, 25, 2, 1),
+    dense("torus16384_shard", 128, 250, 500, 2, 64),
+    dense("torus65536_seq", 256, 120, 8, 1, 1),
+    dense("torus65536_shard", 256, 120, 200, 1, 128),
+    // The strategy pair: identical sparse systems, only the round-advance
+    // mechanism differs. Round counts differ because the per-round costs
+    // differ by orders of magnitude; rounds/sec is the comparable number.
     Scenario {
-        name: "torus1024_seq",
-        side: 32,
-        warm: 400,
-        rounds: 300,
-        smoke_rounds: 3,
-        shards: 1,
-    },
-    Scenario {
-        name: "torus1024_shard",
-        side: 32,
-        warm: 400,
-        rounds: 3000,
-        smoke_rounds: 3,
-        shards: 16,
-    },
-    Scenario {
-        name: "torus16384_seq",
-        side: 128,
-        warm: 250,
-        rounds: 25,
-        smoke_rounds: 2,
-        shards: 1,
-    },
-    Scenario {
-        name: "torus16384_shard",
-        side: 128,
-        warm: 250,
-        rounds: 500,
-        smoke_rounds: 2,
-        shards: 64,
-    },
-    Scenario {
-        name: "torus65536_seq",
+        name: "sparse65536_tick",
         side: 256,
-        warm: 120,
-        rounds: 8,
-        smoke_rounds: 1,
-        shards: 1,
-    },
-    Scenario {
-        name: "torus65536_shard",
-        side: 256,
-        warm: 120,
-        rounds: 200,
-        smoke_rounds: 1,
+        warm: 5,
+        rounds: 400,
+        smoke_rounds: 2,
         shards: 128,
+        sparse: true,
+        strategy: SimulationStrategy::Tick,
+    },
+    Scenario {
+        name: "sparse65536_event",
+        side: 256,
+        warm: 5,
+        rounds: 100_000,
+        smoke_rounds: 1000,
+        shards: 128,
+        sparse: true,
+        strategy: SimulationStrategy::Event,
     },
 ];
 
@@ -117,6 +135,8 @@ struct Measurement {
     rounds: u64,
     shards: usize,
     threads: usize,
+    /// Round-advance mechanism the row ran under ("tick" | "event").
+    strategy: String,
     rounds_per_sec: f64,
     /// Wall time divided by decisions actually evaluated in the measured
     /// window (skipped shards evaluate none), so `*_seq` and `*_shard`
@@ -130,9 +150,11 @@ struct Measurement {
 
 #[derive(Serialize)]
 struct Expectation {
+    /// "candidate/reference" scenario names the ratio compares.
+    pair: String,
     nodes: usize,
-    sequential_rps: f64,
-    sharded_rps: f64,
+    reference_rps: f64,
+    candidate_rps: f64,
     ratio: f64,
     required: f64,
     pass: bool,
@@ -150,13 +172,28 @@ struct Output {
 }
 
 fn engine_for(side: usize, shards: usize, threads: usize) -> pp_sim::engine::Engine {
+    engine_with(side, shards, threads, false, SimulationStrategy::Tick)
+}
+
+fn engine_with(
+    side: usize,
+    shards: usize,
+    threads: usize,
+    sparse: bool,
+    strategy: SimulationStrategy,
+) -> pp_sim::engine::Engine {
     let topo = Topology::torus(&[side, side]);
     let n = topo.node_count();
-    let w = Workload::uniform_random(n, LOAD_PER_NODE, SEED);
+    let w = if sparse {
+        Workload::from_loads(&vec![0.0; n], 1.0)
+    } else {
+        Workload::uniform_random(n, LOAD_PER_NODE, SEED)
+    };
+    let consume_rate = if sparse { 0.5 } else { 0.0 };
     EngineBuilder::new(topo)
         .workload(w)
         .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
-        .config(EngineConfig { shards, threads, ..Default::default() })
+        .config(EngineConfig { shards, threads, consume_rate, strategy, ..Default::default() })
         .seed(SEED)
         .build()
 }
@@ -165,7 +202,7 @@ fn measure(sc: &Scenario, smoke: bool, shards_override: usize, threads: usize) -
     let (warm, rounds) = if smoke { (1, sc.smoke_rounds) } else { (sc.warm, sc.rounds) };
     let shards = if sc.shards > 1 && shards_override > 0 { shards_override } else { sc.shards };
     let n = sc.side * sc.side;
-    let mut engine = engine_for(sc.side, shards, threads);
+    let mut engine = engine_with(sc.side, shards, threads, sc.sparse, sc.strategy);
     // Warm up: converge past the initial migration burst so the measured
     // window is dominated by steady-state tick cost, and warm caches/pools.
     engine.run_rounds(warm.max(1));
@@ -183,6 +220,7 @@ fn measure(sc: &Scenario, smoke: bool, shards_override: usize, threads: usize) -
         rounds,
         shards: layout.shards,
         threads: layout.threads,
+        strategy: sc.strategy.as_str().to_string(),
         rounds_per_sec: rounds as f64 / secs,
         ns_per_node_decision: if evaluated == 0 {
             0.0
@@ -236,6 +274,8 @@ fn extract_baseline(path: &str) -> Result<Vec<Measurement>, String> {
             rounds: field("rounds").unwrap_or(0.0) as u64,
             shards: field("shards").unwrap_or(0.0) as usize,
             threads: field("threads").unwrap_or(0.0) as usize,
+            // Pre-BENCH_6 baselines had no strategy column: all tick.
+            strategy: s.get("strategy").and_then(Value::as_str).unwrap_or("tick").to_string(),
             rounds_per_sec: field("rounds_per_sec").unwrap_or(0.0),
             ns_per_node_decision: field("ns_per_node_decision").unwrap_or(0.0),
             skip_ratio: field("skip_ratio").unwrap_or(0.0),
@@ -245,7 +285,10 @@ fn extract_baseline(path: &str) -> Result<Vec<Measurement>, String> {
 }
 
 /// The scaling contract: sharded ≥ sequential at 1 024 nodes, ≥ 1.5× at
-/// 16 384 (the two scales BENCH_2 showed the work-stealing path *losing*).
+/// 16 384 (the two scales BENCH_2 showed the work-stealing path *losing*),
+/// and the event strategy ≥ 5× the tick strategy on the sparse-activity
+/// 65 536-node pair (in practice it clears this by orders of magnitude —
+/// skipped rounds don't touch the nodes at all).
 fn expectations(scenarios: &[Measurement]) -> Vec<Expectation> {
     let rps = |name: &str| {
         scenarios.iter().find(|m| m.name == name).map(|m| m.rounds_per_sec).unwrap_or(0.0)
@@ -253,15 +296,17 @@ fn expectations(scenarios: &[Measurement]) -> Vec<Expectation> {
     [
         (1024, "torus1024_seq", "torus1024_shard", 1.0),
         (16384, "torus16384_seq", "torus16384_shard", 1.5),
+        (65536, "sparse65536_tick", "sparse65536_event", 5.0),
     ]
     .into_iter()
-    .map(|(nodes, seq, shard, required)| {
-        let (s, p) = (rps(seq), rps(shard));
+    .map(|(nodes, reference, candidate, required)| {
+        let (s, p) = (rps(reference), rps(candidate));
         let ratio = if s > 0.0 { p / s } else { 0.0 };
         Expectation {
+            pair: format!("{candidate}/{reference}"),
             nodes,
-            sequential_rps: s,
-            sharded_rps: p,
+            reference_rps: s,
+            candidate_rps: p,
             ratio,
             required,
             pass: ratio >= required,
@@ -301,7 +346,7 @@ fn main() {
     let shards_override: usize =
         opt("--shards").map(|s| s.parse().expect("--shards N")).unwrap_or(0);
     let threads: usize = opt("--threads").map(|s| s.parse().expect("--threads N")).unwrap_or(0);
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_4.json".to_string());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_6.json".to_string());
     let baseline = opt("--baseline").map(|p| match extract_baseline(&p) {
         Ok(b) => b,
         Err(e) => {
@@ -310,13 +355,23 @@ fn main() {
         }
     });
 
-    println!("=== BENCH_4: sharded tick throughput ({})", if smoke { "smoke" } else { "full" });
+    println!(
+        "=== BENCH_6: sharded tick + event-strategy throughput ({})",
+        if smoke { "smoke" } else { "full" }
+    );
     let mut scenarios = Vec::new();
     for sc in SCENARIOS {
         let m = measure(sc, smoke, shards_override, threads);
         println!(
-            "  {:17} {:6} nodes  K={:<3} {:>10.1} rounds/s  {:>9.1} ns/node-decision  skip={:.2}",
-            m.name, m.nodes, m.shards, m.rounds_per_sec, m.ns_per_node_decision, m.skip_ratio
+            "  {:17} {:6} nodes  K={:<3} {:5} {:>12.1} rounds/s  {:>9.1} ns/node-decision  \
+             skip={:.2}",
+            m.name,
+            m.nodes,
+            m.shards,
+            m.strategy,
+            m.rounds_per_sec,
+            m.ns_per_node_decision,
+            m.skip_ratio
         );
         scenarios.push(m);
     }
@@ -328,8 +383,9 @@ fn main() {
     let expect = expectations(&scenarios);
     for e in &expect {
         println!(
-            "  scaling @ {:5} nodes: sharded/seq = {:.2}x (required {:.1}x) → {}",
+            "  scaling @ {:5} nodes: {} = {:.2}x (required {:.1}x) → {}",
             e.nodes,
+            e.pair,
             e.ratio,
             e.required,
             if e.pass { "pass" } else { "FAIL" }
@@ -351,7 +407,9 @@ fn main() {
     });
 
     let output = Output {
-        bench: "BENCH_4 sharded tick throughput (quiescent redistribution, particle-plane)".into(),
+        bench: "BENCH_6 sharded tick + event-strategy throughput (quiescent redistribution, \
+                particle-plane)"
+            .into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
         scenarios,
         reports_identical: identical,

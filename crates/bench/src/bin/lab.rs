@@ -14,6 +14,7 @@
 //!                                     checkpoint every N rounds while running
 //! lab <name> --resume-from CKPT.json  restore a checkpoint, run the rest
 //! lab --verify-resume                 split-vs-straight byte gate (pinned set)
+//! lab --verify-strategy               tick-vs-event byte gate (whole registry)
 //! ```
 //!
 //! `--checkpoint-every N` writes a versioned engine checkpoint every `N`
@@ -34,6 +35,13 @@
 //! explicit `K ≥ 2` records the layout in the report's `shard_layout`
 //! metadata.
 //!
+//! `--strategy tick|event` overrides how rounds advance: `tick` sweeps
+//! every round (the reference), `event` fast-forwards quiescent rounds via
+//! the wake scheduler. Like the layout knobs, the strategy never changes an
+//! outcome — reports are byte-identical either way — which
+//! `--verify-strategy` enforces over the whole registry under multiple
+//! layouts (see ADR-006).
+//!
 //! `--smoke` caps every run at a few rounds so the whole registry finishes
 //! in CI seconds; reports are byte-identical across same-seed runs (the
 //! scenario-matrix CI job runs everything twice and diffs). The *pinned*
@@ -45,6 +53,7 @@ use pp_scenario::registry;
 use pp_scenario::report::GoldenReport;
 use pp_scenario::spec::{CheckpointSpec, ScenarioSpec};
 use pp_sim::engine::{RunReport, ShardLayout};
+use pp_sim::strategy::SimulationStrategy;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -221,10 +230,11 @@ fn cmd_all(
     out_dir: Option<&str>,
     shards: Option<&str>,
     threads: Option<&str>,
+    strategy: Option<&str>,
 ) -> ExitCode {
     let mut all = registry::registry();
     for s in &mut all {
-        if let Err(code) = apply_overrides(s, shards, threads) {
+        if let Err(code) = apply_overrides(s, shards, threads, strategy) {
             return code;
         }
     }
@@ -372,31 +382,93 @@ fn cmd_verify_resume() -> ExitCode {
     }
 }
 
+/// The cross-strategy differential gate: every *registered* scenario is
+/// run under both simulation strategies and each of [`RESUME_LAYOUTS`],
+/// and the golden-report bytes must be identical. Horizons are force-capped
+/// directly (not via `smoke()`, which deliberately leaves event horizons
+/// alone) so the tick reference runs the very same rounds the event run
+/// does. This is the executable form of the skip-exactness invariant
+/// (ADR-006).
+fn cmd_verify_strategy() -> ExitCode {
+    let all = registry::registry();
+    let mut broken = Vec::new();
+    for base in &all {
+        for &(shards, threads) in RESUME_LAYOUTS {
+            let mut spec = base.clone();
+            spec.duration.rounds = spec.duration.rounds.min(SMOKE_ROUNDS);
+            spec.duration.drain = spec.duration.drain.min(SMOKE_DRAIN);
+            spec.engine.shards = shards;
+            spec.engine.threads = threads;
+            let label = format!("{} [K={shards} T={threads}]", spec.name);
+            let mut pair = Vec::new();
+            for strategy in [SimulationStrategy::Tick, SimulationStrategy::Event] {
+                spec.engine.strategy = strategy;
+                match run_to_report(&spec, false) {
+                    Ok(g) => pair.push(g.to_canonical_json()),
+                    Err(e) => {
+                        eprintln!("  {label:42} {strategy} run failed: {e}");
+                        break;
+                    }
+                }
+            }
+            match pair.as_slice() {
+                [tick, event] if tick == event => {
+                    println!("  {label:42} OK (tick == event, {} bytes)", tick.len());
+                }
+                [_, _] => {
+                    eprintln!("  {label:42} MISMATCH (event report differs from tick)");
+                    broken.push(label);
+                }
+                _ => broken.push(label),
+            }
+        }
+    }
+    if broken.is_empty() {
+        println!(
+            "all {} scenarios are strategy-independent under {} layouts",
+            all.len(),
+            RESUME_LAYOUTS.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\ntick/event strategy equivalence broken for {broken:?}");
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: lab --list\n       lab <name> [--smoke] [--shards K] [--threads T] [--out PATH]\n  \
-         \x20    lab --file SPEC.json [--smoke] [--shards K] [--threads T] [--out PATH]\n       \
-         lab --spec <name>\n       lab --all [--smoke] [--shards K] [--threads T] [--out-dir \
-         DIR]\n       lab --check PATH\n       lab --emit-golden DIR\n       lab --verify-golden \
-         DIR\n       lab <name|--file SPEC.json> --checkpoint-every N [--checkpoint-path \
-         P]\n       lab <name|--file SPEC.json> --resume-from CKPT.json\n       lab \
-         --verify-resume"
+        "usage: lab --list\n       lab <name> [--smoke] [--shards K] [--threads T] [--strategy \
+         tick|event] [--out PATH]\n       lab --file SPEC.json [--smoke] [--shards K] [--threads \
+         T] [--strategy tick|event] [--out PATH]\n       lab --spec <name>\n       lab --all \
+         [--smoke] [--shards K] [--threads T] [--strategy tick|event] [--out-dir DIR]\n       lab \
+         --check PATH\n       lab --emit-golden DIR\n       lab --verify-golden DIR\n       lab \
+         <name|--file SPEC.json> --checkpoint-every N [--checkpoint-path P]\n       lab \
+         <name|--file SPEC.json> --resume-from CKPT.json\n       lab --verify-resume\n       lab \
+         --verify-strategy"
     );
     ExitCode::FAILURE
 }
 
-/// Applies the `--shards`/`--threads` CLI overrides to a spec's engine
-/// knobs (a parse failure falls through to `usage`).
+/// Applies the `--shards`/`--threads`/`--strategy` CLI overrides to a
+/// spec's engine knobs (a parse failure falls through to `usage`).
 fn apply_overrides(
     spec: &mut ScenarioSpec,
     shards: Option<&str>,
     threads: Option<&str>,
+    strategy: Option<&str>,
 ) -> Result<(), ExitCode> {
     if let Some(k) = shards {
         spec.engine.shards = k.parse().map_err(|_| usage())?;
     }
     if let Some(t) = threads {
         spec.engine.threads = t.parse().map_err(|_| usage())?;
+    }
+    if let Some(s) = strategy {
+        spec.engine.strategy = s.parse().map_err(|e: String| {
+            eprintln!("{e}");
+            usage()
+        })?;
     }
     Ok(())
 }
@@ -437,6 +509,7 @@ fn main() -> ExitCode {
     let smoke = flag("--smoke");
     let shards = opt("--shards");
     let threads = opt("--threads");
+    let strategy = opt("--strategy");
     let ckpt_every = opt("--checkpoint-every");
     let ckpt_path = opt("--checkpoint-path");
     let resume = opt("--resume-from");
@@ -461,6 +534,7 @@ fn main() -> ExitCode {
     let other_command = flag("--list")
         || flag("--all")
         || flag("--verify-resume")
+        || flag("--verify-strategy")
         || ["--check", "--spec", "--emit-golden", "--verify-golden"]
             .iter()
             .any(|f| opt(f).is_some());
@@ -490,8 +564,17 @@ fn main() -> ExitCode {
     if flag("--verify-resume") {
         return cmd_verify_resume();
     }
+    if flag("--verify-strategy") {
+        return cmd_verify_strategy();
+    }
     if flag("--all") {
-        return cmd_all(smoke, opt("--out-dir").as_deref(), shards.as_deref(), threads.as_deref());
+        return cmd_all(
+            smoke,
+            opt("--out-dir").as_deref(),
+            shards.as_deref(),
+            threads.as_deref(),
+            strategy.as_deref(),
+        );
     }
     if let Some(path) = opt("--file") {
         let text = match std::fs::read_to_string(&path) {
@@ -508,7 +591,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(code) = apply_overrides(&mut spec, shards.as_deref(), threads.as_deref()) {
+        if let Err(code) =
+            apply_overrides(&mut spec, shards.as_deref(), threads.as_deref(), strategy.as_deref())
+        {
             return code;
         }
         if let Err(code) =
@@ -531,6 +616,7 @@ fn main() -> ExitCode {
         "--verify-golden",
         "--shards",
         "--threads",
+        "--strategy",
         "--checkpoint-every",
         "--checkpoint-path",
         "--resume-from",
@@ -542,8 +628,12 @@ fn main() -> ExitCode {
     match name {
         Some(name) => match registry::by_name(&name) {
             Some(mut spec) => {
-                if let Err(code) = apply_overrides(&mut spec, shards.as_deref(), threads.as_deref())
-                {
+                if let Err(code) = apply_overrides(
+                    &mut spec,
+                    shards.as_deref(),
+                    threads.as_deref(),
+                    strategy.as_deref(),
+                ) {
                     return code;
                 }
                 if let Err(code) = apply_checkpoint_overrides(

@@ -7,6 +7,7 @@ use crate::spec::{
     ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
     FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
 };
+use pp_sim::strategy::SimulationStrategy;
 use serde::{Deserialize, Serialize, Value};
 
 /// Builds a tagged object: `{"kind": kind, ...fields}`.
@@ -474,7 +475,7 @@ impl Deserialize for FaultPlanSpec {
 
 impl Serialize for EngineKnobs {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut entries = vec![
             entry("tick", self.tick),
             entry("weight_c", self.weight_c),
             entry("consume_rate", self.consume_rate),
@@ -482,13 +483,23 @@ impl Serialize for EngineKnobs {
             entry("parallel_decide", self.parallel_decide),
             entry("shards", self.shards),
             entry("threads", self.threads),
-        ])
+        ];
+        // Omitted (not null) at the Tick default, so every spec written
+        // before the strategy knob existed stays canonical byte-for-byte.
+        if self.strategy != SimulationStrategy::Tick {
+            entries.push(entry("strategy", self.strategy.as_str()));
+        }
+        Value::Object(entries)
     }
 }
 
 impl Deserialize for EngineKnobs {
     fn from_value(v: &Value) -> Result<Self, String> {
         let d = EngineKnobs::default();
+        let strategy = match v.field_opt::<String>("strategy")? {
+            None => d.strategy,
+            Some(s) => s.parse::<SimulationStrategy>()?,
+        };
         Ok(EngineKnobs {
             tick: v.field_opt("tick")?.unwrap_or(d.tick),
             weight_c: v.field_opt("weight_c")?.unwrap_or(d.weight_c),
@@ -497,6 +508,7 @@ impl Deserialize for EngineKnobs {
             parallel_decide: v.field_opt("parallel_decide")?.unwrap_or(d.parallel_decide),
             shards: v.field_opt("shards")?.unwrap_or(d.shards),
             threads: v.field_opt("threads")?.unwrap_or(d.threads),
+            strategy,
         })
     }
 }

@@ -9,6 +9,7 @@ use crate::spec::{
     ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
     FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
 };
+use pp_sim::strategy::SimulationStrategy;
 use pp_tasking::workload::{record_trace, ArrivalProcess};
 use pp_topology::spec::TopologySpec;
 
@@ -227,6 +228,28 @@ pub fn registry() -> Vec<ScenarioSpec> {
             }),
             ..base("torus16k-checkpointed", "16,384-node torus checkpointing every 16 rounds")
         },
+        // 21. The event-strategy showcase: a million-node torus over a
+        // 50,000-round horizon. The small hotspot drains (and the balancer
+        // quiesces) within tens of rounds; the event strategy fast-forwards
+        // everything after in closed form. With consume_rate > 0 the tick
+        // strategy pays an O(n) consume sweep on every one of the 50,000
+        // rounds — ~5·10^10 node visits — so this entry completes in CI
+        // smoke mode under `--strategy event` where Tick cannot.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![1024, 1024] },
+            workload: WorkloadSpec::Hotspot { node: 0, total: 64.0, task_size: 1.0 },
+            engine: EngineKnobs {
+                consume_rate: 1.0,
+                shards: 256,
+                strategy: SimulationStrategy::Event,
+                ..EngineKnobs::default()
+            },
+            duration: DurationSpec { rounds: 50_000, drain: 100.0 },
+            ..base(
+                "torus1m-event",
+                "1,048,576-node torus over 50,000 rounds via event-driven time skipping",
+            )
+        },
     ];
     all
 }
@@ -249,7 +272,7 @@ mod tests {
     #[test]
     fn registry_is_large_and_unique() {
         let all = registry();
-        assert!(all.len() >= 20, "registry has only {} scenarios", all.len());
+        assert!(all.len() >= 21, "registry has only {} scenarios", all.len());
         let names: HashSet<&str> = all.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), all.len(), "duplicate scenario names");
         // The ROADMAP-mandated workload families are all present.
@@ -261,6 +284,7 @@ mod tests {
             "trace-replay",
             "torus1k-resume-midfault",
             "torus16k-checkpointed",
+            "torus1m-event",
         ] {
             assert!(names.contains(required), "missing required scenario `{required}`");
         }
@@ -332,10 +356,38 @@ mod tests {
         // be outcome-identical (RunReport implements PartialEq over every
         // recorded artifact).
         for s in registry() {
-            let small = s.smoke(3, 10.0);
+            let mut small = s.smoke(3, 10.0);
+            // smoke() deliberately leaves event-strategy horizons alone
+            // (they're O(1) per skipped round in release); clamp them here
+            // so the unoptimized test build stays fast — determinism is a
+            // per-round property, not a per-horizon one.
+            small.duration.rounds = small.duration.rounds.min(16);
             let a = small.run().unwrap_or_else(|e| panic!("{e}"));
             let b = small.run().unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(a, b, "{} diverged across same-seed runs", s.name);
         }
+    }
+
+    #[test]
+    fn torus1m_event_keeps_its_horizon_and_fast_forwards() {
+        let spec = by_name("torus1m-event").expect("registered");
+        assert_eq!(spec.engine.strategy, SimulationStrategy::Event);
+        assert_eq!(spec.topology.node_count(), 1 << 20);
+        // The point of the entry: smoke mode must not cap the horizon —
+        // Tick can't sweep 50,000 rounds at a million nodes, Event can.
+        assert_eq!(spec.smoke(3, 10.0).duration.rounds, 50_000);
+        // The hotspot drains and the balancer quiesces within ~200 rounds;
+        // everything after is closed-form. Run a truncated horizon (full
+        // scale, debug build) and check the sweep counters have frozen.
+        let mut spec = spec;
+        spec.duration.rounds = 400;
+        let mut engine = spec.build_engine().expect("builds");
+        engine.run_rounds(250);
+        let evaluated = engine.shard_stats().ticks_evaluated;
+        assert_eq!(engine.next_wake(), None, "system must fully quiesce");
+        engine.run_rounds(150);
+        assert_eq!(engine.shard_stats().ticks_evaluated, evaluated, "tail must fast-forward");
+        assert_eq!(engine.round(), 400);
+        assert_eq!(engine.report().series.len(), 401);
     }
 }

@@ -15,6 +15,7 @@ use pp_core::params::PhysicsConfig;
 use pp_sim::balancer::{LoadBalancer, NullBalancer};
 use pp_sim::checkpoint::Checkpoint;
 use pp_sim::engine::{Engine, EngineBuilder, EngineConfig, FaultModel, RunReport, ShardLayout};
+use pp_sim::strategy::SimulationStrategy;
 use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
 use pp_tasking::task::TaskId;
@@ -807,6 +808,9 @@ pub struct EngineKnobs {
     pub shards: usize,
     /// Sweep worker threads (0 = auto: one per core, capped at `K`).
     pub threads: usize,
+    /// How rounds advance: `Tick` sweeps every round; `Event` fast-forwards
+    /// quiescent rounds in closed form (byte-identical reports either way).
+    pub strategy: SimulationStrategy,
 }
 
 impl Default for EngineKnobs {
@@ -820,6 +824,7 @@ impl Default for EngineKnobs {
             parallel_decide: d.parallel_decide,
             shards: d.shards,
             threads: d.threads,
+            strategy: d.strategy,
         }
     }
 }
@@ -1020,6 +1025,7 @@ impl ScenarioSpec {
             threads: self.engine.threads,
             fault_model: self.faults.build(),
             arrival,
+            strategy: self.engine.strategy,
         };
         let balancer = self.balancer.build(&topo);
         Ok(EngineBuilder::new(topo)
@@ -1104,10 +1110,14 @@ impl ScenarioSpec {
     }
 
     /// A copy scaled down for CI smoke runs: at most `rounds` rounds and
-    /// `drain` drain time, everything else untouched.
+    /// `drain` drain time, everything else untouched. Event-strategy specs
+    /// keep their full round budget — skipped rounds are O(1), so the point
+    /// of such scenarios (horizons Tick can't sweep) survives smoke mode.
     pub fn smoke(&self, rounds: u64, drain: f64) -> ScenarioSpec {
         let mut s = self.clone();
-        s.duration.rounds = s.duration.rounds.min(rounds);
+        if s.engine.strategy == SimulationStrategy::Tick {
+            s.duration.rounds = s.duration.rounds.min(rounds);
+        }
         s.duration.drain = s.duration.drain.min(drain);
         s
     }
@@ -1210,6 +1220,50 @@ mod tests {
         let resumed = full.run_from_checkpoint(&cp).expect("resume");
         assert_eq!(resumed, full.run().expect("straight"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn strategy_knob_round_trips_and_stays_canonical() {
+        // Tick is the default and must be *omitted*: every spec written
+        // before the knob existed stays canonical byte-for-byte.
+        let spec = busy_spec();
+        assert_eq!(spec.engine.strategy, SimulationStrategy::Tick);
+        let text = spec.to_json_pretty();
+        assert!(!text.contains("strategy"), "default strategy must be omitted");
+        assert_eq!(ScenarioSpec::from_json(&text).expect("parses"), spec);
+
+        let mut event = spec;
+        event.engine.strategy = SimulationStrategy::Event;
+        let text = event.to_json_pretty();
+        assert!(text.contains("\"strategy\": \"event\""), "got: {text}");
+        let back = ScenarioSpec::from_json(&text).expect("parses");
+        assert_eq!(back, event);
+        assert_eq!(back.to_json_pretty(), text, "re-serialization is stable");
+
+        let bad = text.replace("\"event\"", "\"warp\"");
+        let err = ScenarioSpec::from_json(&bad).expect_err("unknown strategy rejected");
+        assert!(err.contains("unknown simulation strategy"), "got: {err}");
+    }
+
+    #[test]
+    fn event_strategy_spec_runs_byte_identical_to_tick() {
+        let tick = busy_spec();
+        let mut event = tick.clone();
+        event.engine.strategy = SimulationStrategy::Event;
+        assert_eq!(event.run().expect("event"), tick.run().expect("tick"));
+    }
+
+    #[test]
+    fn smoke_caps_rounds_only_for_tick_specs() {
+        let mut spec = busy_spec();
+        spec.duration.rounds = 5000;
+        spec.duration.drain = 100.0;
+        let tick = spec.smoke(3, 10.0);
+        assert_eq!((tick.duration.rounds, tick.duration.drain), (3, 10.0));
+        spec.engine.strategy = SimulationStrategy::Event;
+        let event = spec.smoke(3, 10.0);
+        assert_eq!(event.duration.rounds, 5000, "event horizons survive smoke mode");
+        assert_eq!(event.duration.drain, 10.0, "drain is still capped");
     }
 
     #[test]

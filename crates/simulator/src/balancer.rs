@@ -166,6 +166,13 @@ pub trait LoadBalancer: Send + Sync {
     /// again and (b) draw nothing from the RNG — regardless of the `round`
     /// and `time` fields, which keep advancing.
     ///
+    /// A stable policy's [`LoadBalancer::begin_round`] must additionally be
+    /// **effect-free**: no internal state mutation, no RNG, no observable
+    /// side effect. The sharded pipeline still calls it every round, but
+    /// the event strategy ([`crate::strategy::SimulationStrategy::Event`])
+    /// fast-forwards whole quiescent rounds — `begin_round` included — and
+    /// byte-exactness of the skip relies on those calls having been no-ops.
+    ///
     /// The engine's sharded tick pipeline uses this to skip the decision
     /// sweep over shards whose state (and halo) has not changed, with
     /// byte-identical outcomes. Policies with per-round internal state

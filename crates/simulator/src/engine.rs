@@ -43,6 +43,7 @@ use crate::checkpoint::{Checkpoint, FlightSnap};
 use crate::events::{Event, EventQueue};
 use crate::pool::WorkerPool;
 use crate::state::SystemState;
+use crate::strategy::{SimulationStrategy, WakeHeap};
 use pp_metrics::imbalance::Imbalance;
 use pp_metrics::ledger::{MigrationRecord, TrafficLedger};
 use pp_metrics::series::TimeSeries;
@@ -102,6 +103,11 @@ pub struct EngineConfig {
     pub fault_model: Option<FaultModel>,
     /// Dynamic task arrivals.
     pub arrival: ArrivalProcess,
+    /// How time advances between rounds: `Tick` executes every round,
+    /// `Event` fast-forwards provably effect-free rounds via the wake
+    /// scheduler (byte-identical reports either way — see
+    /// [`crate::strategy`]).
+    pub strategy: SimulationStrategy,
 }
 
 impl Default for EngineConfig {
@@ -116,6 +122,7 @@ impl Default for EngineConfig {
             threads: 0,
             fault_model: None,
             arrival: ArrivalProcess::Quiescent,
+            strategy: SimulationStrategy::Tick,
         }
     }
 }
@@ -232,6 +239,16 @@ pub struct Engine {
     partition: Partition,
     /// Per-shard execution state, indexed by shard id.
     shards: Vec<ShardSlot>,
+    /// Pending per-shard wakes (the event strategy's scheduler; idle under
+    /// the tick strategy).
+    wakes: WakeHeap,
+    /// CoV memoized across consecutive skipped rounds: `cov()` is a pure
+    /// function of state, and a skipped round mutates nothing, so the
+    /// cached value is bit-identical to recomputing — without paying the
+    /// drift-guarded O(n) exact pass per skip on a drained-flat surface.
+    /// Cleared by anything that touches state (executed rounds, drain,
+    /// restore).
+    skip_cov: Option<f64>,
     /// Resolved sweep worker count (1 = inline, no pool).
     threads: usize,
     /// Lazily created persistent worker pool (only when `threads > 1`).
@@ -323,17 +340,117 @@ impl Engine {
     }
 
     /// Runs `n` balance rounds (processing all intervening events) and
-    /// returns the engine for chaining.
+    /// returns the engine for chaining. The configured
+    /// [`SimulationStrategy`] decides *how* each round runs — what it
+    /// records is byte-identical either way.
     pub fn run_rounds(&mut self, n: u64) -> &mut Self {
-        for _ in 0..n {
-            // Draining may have carried the clock past the scheduled tick.
-            let t = self.next_tick.max(self.time);
+        match self.config.strategy {
+            SimulationStrategy::Tick => {
+                for _ in 0..n {
+                    self.run_round_tick();
+                }
+            }
+            SimulationStrategy::Event => {
+                for _ in 0..n {
+                    self.run_round_event();
+                }
+            }
+        }
+        self
+    }
+
+    /// One round of the round-by-round reference pipeline.
+    fn run_round_tick(&mut self) {
+        // Draining may have carried the clock past the scheduled tick.
+        let t = self.next_tick.max(self.time);
+        self.process_events_until(t);
+        self.advance_time_to(t);
+        self.fire_tick();
+        self.next_tick = self.time + self.config.tick;
+    }
+
+    /// One round of the event strategy: execute the full pipeline only
+    /// when the wake scheduler says something can happen at this round's
+    /// tick; otherwise fast-forward the round in closed form.
+    ///
+    /// The skip is byte-exact against [`Engine::run_round_tick`]: with no
+    /// event due at or before `t`, no resident work to consume, no fault
+    /// process and a clean quiescence-stable policy, the tick path would
+    /// mutate nothing and draw no randomness — its only observable effects
+    /// are the round counter, the clock, and one CoV sample, all of which
+    /// the skip reproduces with the identical float operations (`cov()` is
+    /// a pure read of the incremental statistics, and the clock advances by
+    /// the same `max`/`+ tick` arithmetic). See
+    /// `docs/adr/ADR-006-event-strategy.md`.
+    fn run_round_event(&mut self) {
+        let t = self.next_tick.max(self.time);
+        if self.round_has_effect(t) {
+            self.skip_cov = None;
             self.process_events_until(t);
             self.advance_time_to(t);
             self.fire_tick();
-            self.next_tick = self.time + self.config.tick;
+        } else {
+            self.round += 1;
+            self.time = self.time.max(t);
+            let cov = match self.skip_cov {
+                Some(c) => c,
+                None => {
+                    let c = self.state.cov();
+                    self.skip_cov = Some(c);
+                    c
+                }
+            };
+            self.series.push(self.time, cov);
         }
-        self
+        self.next_tick = self.time + self.config.tick;
+    }
+
+    /// Whether the round at tick time `t` can observably differ from the
+    /// closed-form fast-forward. `&mut` because consulting the wake heap
+    /// drops lazily invalidated entries.
+    fn round_has_effect(&mut self, t: f64) -> bool {
+        // The fault process draws engine RNG per edge every round, and a
+        // policy without the quiescence-stable contract may mutate state or
+        // draw randomness in `begin_round`/`decide` even when clean.
+        if self.config.fault_model.is_some() || !self.balancer.quiescence_stable() {
+            return true;
+        }
+        // Resident work decays between rounds; the O(1) counter gates the
+        // O(n) consumption sweep. (On an empty system the sweep is a no-op:
+        // `consume_work` on a task-less node mutates nothing.)
+        if self.config.consume_rate > 0.0 && self.state.resident_tasks() > 0 {
+            return true;
+        }
+        self.next_wake_at(t).is_some_and(|w| w <= t)
+    }
+
+    /// The earliest pending wake: the next dirty-shard sweep or the next
+    /// event-queue entry (in-flight landing, dynamic arrival, trace
+    /// replay), whichever comes first. `None` means nothing is ever going
+    /// to happen again. On a fully quiescent system (no shard dirty) this
+    /// is exactly the event queue's next time.
+    pub fn next_wake(&mut self) -> Option<f64> {
+        let t = self.next_tick.max(self.time);
+        self.next_wake_at(t)
+    }
+
+    fn next_wake_at(&mut self, t: f64) -> Option<f64> {
+        // Re-derive the per-shard wakes from the activity tracking: a dirty
+        // shard must be swept at the upcoming tick, a clean one sleeps
+        // until something it can observe changes. Arming is idempotent per
+        // (shard, time), so quiescent stretches never grow the heap.
+        for s in 0..self.shards.len() {
+            if self.shards[s].dirty {
+                self.wakes.arm(s, t);
+            } else {
+                self.wakes.disarm(s);
+            }
+        }
+        let sweep = self.wakes.peek().map(|(w, _)| w);
+        match (sweep, self.queue.peek_time()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Runs rounds until the height CoV stays at or below `eps` for
@@ -361,6 +478,7 @@ impl Engine {
     /// `extra_time` without firing further balance rounds — used to drain
     /// the network at the end of a run.
     pub fn drain(&mut self, extra_time: f64) -> &mut Self {
+        self.skip_cov = None;
         let deadline = self.time + extra_time;
         self.process_events_until(deadline);
         // Consume work up to the next scheduled tick, but never rewind.
@@ -674,6 +792,11 @@ impl Engine {
                 slot.accum = ShardAccum::new();
             }
         }
+        // Pending wakes belong to the abandoned timeline; the next round
+        // re-derives them from the restored dirty flags. The memoized skip
+        // CoV belongs to it too.
+        self.wakes.clear();
+        self.skip_cov = None;
         self.queue = queue;
         self.flights = cp
             .flights
@@ -1278,6 +1401,8 @@ impl EngineBuilder {
             link_weights,
             partition,
             shards,
+            wakes: WakeHeap::new(k),
+            skip_cov: None,
             threads,
             pool: None,
             speeds: self.speeds,
@@ -1961,6 +2086,194 @@ mod tests {
         // accepts the good snapshot.
         fresh.restore(&good).expect("good snapshot still restores");
         assert_eq!(fresh.round(), 6);
+    }
+
+    /// [`GreedyOne`] with the quiescence-stable contract: `decide` is a
+    /// pure, draw-free function of the view, so a clean shard re-emits
+    /// nothing — which also makes it a legal event-strategy skipper.
+    struct GreedyStable;
+    impl LoadBalancer for GreedyStable {
+        fn name(&self) -> &str {
+            "greedy-stable"
+        }
+        fn decide(&self, view: &NodeView<'_>, rng: &mut StdRng) -> Vec<MigrationIntent> {
+            GreedyOne.decide(view, rng)
+        }
+        fn quiescence_stable(&self) -> bool {
+            true
+        }
+    }
+
+    /// Event-strategy workhorse: a stable policy over a draining workload
+    /// with consumption and a replay trace, so runs go quiescent, get
+    /// woken by an arrival, and go quiescent again.
+    fn stable_engine(strategy: SimulationStrategy, shards: usize, threads: usize) -> Engine {
+        use pp_tasking::workload::TraceEvent;
+        let topo = Topology::torus(&[8, 8]);
+        let w = Workload::uniform_random(64, 6.0, 3);
+        EngineBuilder::new(topo)
+            .workload(w)
+            .balancer(GreedyStable)
+            .config(EngineConfig {
+                shards,
+                threads,
+                consume_rate: 0.5,
+                strategy,
+                ..Default::default()
+            })
+            .arrival_trace(vec![
+                TraceEvent { time: 3.5, node: 11, size: 2.0 },
+                TraceEvent { time: 30.5, node: 40, size: 1.0 },
+            ])
+            .seed(17)
+            .build()
+    }
+
+    #[test]
+    fn event_strategy_matches_tick_byte_for_byte() {
+        let mut tick = stable_engine(SimulationStrategy::Tick, 1, 1);
+        tick.run_rounds(60);
+        tick.drain(20.0);
+        let want = tick.report();
+        for (k, t) in [(1, 1), (3, 1), (4, 2), (16, 4)] {
+            let mut ev = stable_engine(SimulationStrategy::Event, k, t);
+            ev.run_rounds(60);
+            ev.drain(20.0);
+            assert_eq!(ev.report(), want, "event K={k} threads={t}");
+            assert_eq!(ev.heights(), tick.heights(), "event K={k} threads={t}");
+        }
+    }
+
+    #[test]
+    fn event_strategy_actually_skips_rounds() {
+        // Same run as above, but check the diagnostic counters: once the
+        // load drains the event engine stops sweeping entirely, while the
+        // K=1 tick reference evaluates its shard every single round.
+        let mut tick = stable_engine(SimulationStrategy::Tick, 1, 1);
+        tick.run_rounds(60);
+        let mut ev = stable_engine(SimulationStrategy::Event, 1, 1);
+        ev.run_rounds(60);
+        assert_eq!(tick.shard_stats().ticks_evaluated, 60);
+        let evaluated = ev.shard_stats().ticks_evaluated;
+        assert!(evaluated < 55, "expected skipped rounds, evaluated {evaluated}");
+        assert_eq!(ev.report(), tick.report());
+    }
+
+    #[test]
+    fn drained_system_stops_sweeping_entirely() {
+        // A system that fully drains (no migrations, pure consumption):
+        // once empty the event engine's sweep counters freeze — the cost of
+        // the remaining rounds tracks activity, not `nodes × rounds`.
+        let build = |strategy| {
+            EngineBuilder::new(Topology::torus(&[4, 4]))
+                .workload(Workload::from_loads(&[4.0; 16], 1.0))
+                .balancer(NullBalancer)
+                .config(EngineConfig { consume_rate: 1.0, strategy, ..Default::default() })
+                .seed(0)
+                .build()
+        };
+        let mut ev = build(SimulationStrategy::Event);
+        ev.run_rounds(50);
+        let evaluated = ev.shard_stats().ticks_evaluated;
+        assert!(evaluated <= 6, "drain takes ~4 rounds, saw {evaluated} sweeps");
+        ev.run_rounds(100);
+        assert_eq!(ev.shard_stats().ticks_evaluated, evaluated, "drained tail must not sweep");
+        assert_eq!(ev.round(), 150);
+        assert_eq!(ev.report().series.len(), 151, "every skipped round still samples the CoV");
+        assert_eq!(ev.next_wake(), None);
+
+        let mut tick = build(SimulationStrategy::Tick);
+        tick.run_rounds(150);
+        assert_eq!(ev.report(), tick.report());
+    }
+
+    #[test]
+    fn event_strategy_with_full_mix_falls_back_to_tick_path() {
+        // Faults + a non-stable policy: nothing is skippable, so the event
+        // engine must traverse the identical code path round for round.
+        let build = |strategy| {
+            let mut e = EngineBuilder::new(Topology::torus(&[8, 8]))
+                .workload(Workload::uniform_random(64, 6.0, 3))
+                .balancer(GreedyOne)
+                .config(EngineConfig {
+                    consume_rate: 0.2,
+                    fault_model: Some(FaultModel { p_down: 0.05, p_up: 0.5 }),
+                    arrival: ArrivalProcess::Poisson { rate: 2.0, size_min: 0.5, size_max: 1.5 },
+                    strategy,
+                    ..Default::default()
+                })
+                .seed(17)
+                .build();
+            e.run_rounds(40);
+            e.drain(20.0);
+            e.report()
+        };
+        assert_eq!(build(SimulationStrategy::Tick), build(SimulationStrategy::Event));
+    }
+
+    #[test]
+    fn next_wake_of_quiescent_system_is_the_queue_time() {
+        use pp_tasking::workload::TraceEvent;
+        let mut e = EngineBuilder::new(Topology::ring(8))
+            .balancer(NullBalancer)
+            .config(EngineConfig { strategy: SimulationStrategy::Event, ..Default::default() })
+            .arrival_trace(vec![TraceEvent { time: 7.3, node: 5, size: 2.0 }])
+            .seed(0)
+            .build();
+        e.run_rounds(2);
+        // The shard went clean on round 1; the only pending wake is the
+        // trace arrival, exactly as queued.
+        assert_eq!(e.next_wake(), Some(7.3));
+        assert_eq!(e.next_wake(), e.queue.peek_time());
+        // Still quiescent right before the arrival: the wake stays the
+        // queued event, earlier than the upcoming tick at t = 8.
+        e.run_rounds(5);
+        assert_eq!(e.next_wake(), Some(7.3));
+        // Round 8 lands the arrival and re-sweeps the shard clean; with
+        // the queue empty, nothing is ever going to wake the system.
+        e.run_rounds(1);
+        assert_eq!(e.next_wake(), None);
+
+        // A dirty shard, by contrast, wakes at the upcoming tick: a
+        // greedy-stable policy mid-spread keeps emitting, so its shard
+        // stays dirty between rounds.
+        let mut busy = EngineBuilder::new(Topology::ring(8))
+            .workload(Workload::hotspot(8, 0, 16.0))
+            .balancer(GreedyStable)
+            .config(EngineConfig { strategy: SimulationStrategy::Event, ..Default::default() })
+            .seed(1)
+            .build();
+        busy.run_rounds(1);
+        let tick = busy.next_tick;
+        assert_eq!(busy.next_wake(), Some(tick.min(busy.queue.peek_time().unwrap())));
+    }
+
+    #[test]
+    fn checkpoint_crosses_strategies_exactly() {
+        // Capture under Tick, resume under Event — and the reverse — must
+        // both land on the straight runs' (identical) reports.
+        let straight = |strategy| {
+            let mut e = stable_engine(strategy, 4, 2);
+            e.run_rounds(50);
+            e.drain(20.0);
+            e.report()
+        };
+        let want = straight(SimulationStrategy::Tick);
+        assert_eq!(want, straight(SimulationStrategy::Event));
+
+        for (write, resume) in [
+            (SimulationStrategy::Tick, SimulationStrategy::Event),
+            (SimulationStrategy::Event, SimulationStrategy::Tick),
+        ] {
+            let mut first = stable_engine(write, 4, 2);
+            first.run_rounds(20);
+            let cp = Checkpoint::from_json(&first.checkpoint().to_json()).expect("round trip");
+            let mut resumed = stable_engine(resume, 4, 2);
+            resumed.restore(&cp).expect("restore");
+            resumed.run_rounds(30);
+            resumed.drain(20.0);
+            assert_eq!(resumed.report(), want, "{write} -> {resume}");
+        }
     }
 
     #[test]

@@ -117,10 +117,24 @@ impl EventQueue {
     /// entries may come from an untrusted checkpoint file: every time must
     /// be finite and non-negative, entry sequence numbers must be unique and
     /// below the restored counter (so future pushes cannot collide and break
-    /// the total order).
+    /// the total order), and the list must be strictly `(time, seq)`-sorted
+    /// — i.e. in pop order, the only order [`EventQueue::snapshot`] emits.
+    /// A reordered snapshot is corruption and is rejected rather than
+    /// silently re-sorted: same-time entries that swapped their `seq` order
+    /// would otherwise restore to a *different* FIFO than the file claims
+    /// to carry, and no later check would ever notice.
     pub fn from_entries(seq: u64, entries: &[(f64, u64, Event)]) -> Result<EventQueue, String> {
         let mut heap = BinaryHeap::with_capacity(entries.len());
         let mut seen: Vec<u64> = Vec::with_capacity(entries.len());
+        for pair in entries.windows(2) {
+            let (t0, s0, _) = pair[0];
+            let (t1, s1, _) = pair[1];
+            if t0.total_cmp(&t1).then_with(|| s0.cmp(&s1)) != Ordering::Less {
+                return Err(format!(
+                    "snapshot entries not in pop order: ({t0}, seq {s0}) precedes ({t1}, seq {s1})"
+                ));
+            }
+        }
         for &(time, s, event) in entries {
             if !valid_time(time) {
                 return Err(format!("event time {time} must be finite and non-negative"));
@@ -131,6 +145,8 @@ impl EventQueue {
             seen.push(s);
             heap.push(Entry { time, seq: s, event });
         }
+        // Pop order is strict on (time, seq), but a seq may still repeat
+        // across *different* times — catch that separately.
         seen.sort_unstable();
         if seen.windows(2).any(|w| w[0] == w[1]) {
             return Err("duplicate event sequence numbers in snapshot".into());
@@ -249,6 +265,44 @@ mod tests {
         let (seq2, entries2) = r.snapshot();
         assert_eq!(seq2, 5);
         assert_eq!(entries2[0].1, 4);
+    }
+
+    #[test]
+    fn snapshot_orders_same_time_entries_by_seq() {
+        // Regression: snapshot ordering used to be exercised only with
+        // distinct times, where `total_cmp` alone decides. With every entry
+        // at one time the tie-break carries the whole order, and it must be
+        // insertion (seq) order — the queue's FIFO discipline.
+        let mut q = EventQueue::new();
+        for flight in 0..6 {
+            q.push(2.5, Event::LoadArrival { flight });
+        }
+        let (seq, entries) = q.snapshot();
+        assert_eq!(seq, 6);
+        let seqs: Vec<u64> = entries.iter().map(|&(_, s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        // And the restored queue pops the identical FIFO.
+        let mut r = EventQueue::from_entries(seq, &entries).expect("valid snapshot");
+        for want in 0..6 {
+            assert_eq!(r.pop(), Some((2.5, Event::LoadArrival { flight: want })));
+        }
+    }
+
+    #[test]
+    fn from_entries_rejects_out_of_order_entries() {
+        let ev = Event::TaskArrival;
+        // Times out of order.
+        let err = EventQueue::from_entries(5, &[(2.0, 0, ev), (1.0, 1, ev)]).unwrap_err();
+        assert!(err.contains("pop order"), "{err}");
+        // Same time, seq swapped: used to be silently re-sorted into a
+        // different FIFO than the snapshot claims to carry.
+        let err = EventQueue::from_entries(5, &[(1.0, 3, ev), (1.0, 2, ev)]).unwrap_err();
+        assert!(err.contains("pop order"), "{err}");
+        // Equal (time, seq) pairs are also not strictly increasing.
+        assert!(EventQueue::from_entries(5, &[(1.0, 2, ev), (1.0, 2, ev)]).is_err());
+        // The properly ordered forms all pass.
+        assert!(EventQueue::from_entries(5, &[(1.0, 2, ev), (1.0, 3, ev)]).is_ok());
+        assert!(EventQueue::from_entries(5, &[(1.0, 3, ev), (2.0, 2, ev)]).is_ok());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod events;
 pub mod parallel;
 pub mod pool;
 pub mod state;
+pub mod strategy;
 
 /// One-stop imports.
 pub mod prelude {
@@ -37,4 +38,5 @@ pub mod prelude {
     pub use crate::parallel::par_map;
     pub use crate::pool::WorkerPool;
     pub use crate::state::{NodeState, SystemState};
+    pub use crate::strategy::{SimulationStrategy, WakeHeap};
 }

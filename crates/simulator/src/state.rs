@@ -116,6 +116,9 @@ pub struct SystemState {
     nodes: Vec<NodeState>,
     /// Height cache, mirrored exactly from `nodes[i].height()`.
     heights: Vec<f64>,
+    /// Total resident task count, maintained incrementally — the event
+    /// strategy's O(1) "is there any work to consume?" gate.
+    resident_tasks: usize,
     /// Incremental `Σh` over all nodes (imbalance sufficient statistic).
     height_sum: f64,
     /// Incremental `Σh²` over all nodes.
@@ -150,6 +153,7 @@ impl SystemState {
             links,
             nodes: (0..n).map(|_| NodeState::default()).collect(),
             heights: vec![0.0; n],
+            resident_tasks: 0,
             height_sum: 0.0,
             height_sq_sum: 0.0,
             stat_ops: 0,
@@ -178,6 +182,7 @@ impl SystemState {
     pub fn add_task(&mut self, v: NodeId, task: Task) {
         let old = self.nodes[v.idx()].height;
         self.nodes[v.idx()].add_task(task);
+        self.resident_tasks += 1;
         self.refresh_height(v, old);
     }
 
@@ -187,6 +192,7 @@ impl SystemState {
         let old = self.nodes[v.idx()].height;
         let task = self.nodes[v.idx()].remove_task(id);
         if task.is_some() {
+            self.resident_tasks -= 1;
             self.refresh_height(v, old);
         }
         task
@@ -197,6 +203,7 @@ impl SystemState {
     pub fn consume_work(&mut self, v: NodeId, amount: f64) -> (usize, f64) {
         let old = self.nodes[v.idx()].height;
         let out = self.nodes[v.idx()].consume_work_counted(amount);
+        self.resident_tasks -= out.0;
         // A completed zero-work task changes the height without consuming
         // anything, so refresh on either signal.
         if out.0 > 0 || out.1 > 0.0 {
@@ -297,9 +304,19 @@ impl SystemState {
         self.heights.iter().sum()
     }
 
-    /// Total resident task count.
+    /// Total resident task count (exact O(n) sum; the incremental counter
+    /// behind [`SystemState::resident_tasks`] is checked against it in the
+    /// state tests).
     pub fn total_tasks(&self) -> usize {
         self.nodes.iter().map(NodeState::task_count).sum()
+    }
+
+    /// Total resident task count from the incremental counter — O(1), so
+    /// the event strategy can gate its consumption check per round without
+    /// a node sweep.
+    #[inline]
+    pub fn resident_tasks(&self) -> usize {
+        self.resident_tasks
     }
 
     /// Ids of tasks co-located with (on the same node as) the given node —
@@ -340,6 +357,7 @@ impl SystemState {
     /// verbatim instead of being recomputed.
     pub fn restore_node(&mut self, v: NodeId, tasks: Vec<Task>, height: f64) {
         let slot = &mut self.nodes[v.idx()];
+        self.resident_tasks = self.resident_tasks - slot.tasks.len() + tasks.len();
         slot.tasks = tasks;
         slot.height = height;
         self.heights[v.idx()] = height;
@@ -531,6 +549,52 @@ mod tests {
         fresh.add_task(NodeId(2), task(99, 0.3));
         assert_eq!(fresh.cov().to_bits(), s.cov().to_bits());
         assert_eq!(fresh.stat_snapshot(), s.stat_snapshot());
+    }
+
+    #[test]
+    fn resident_counter_tracks_every_mutation() {
+        let mut s = small_state();
+        assert_eq!(s.resident_tasks(), 0);
+        for i in 0..12u64 {
+            s.add_task(NodeId((i % 4) as u32), task(i, 1.0));
+            assert_eq!(s.resident_tasks(), s.total_tasks());
+        }
+        s.remove_task(NodeId(0), TaskId(0)).unwrap();
+        assert_eq!(s.resident_tasks(), 11);
+        // A miss changes nothing.
+        assert!(s.remove_task(NodeId(0), TaskId(0)).is_none());
+        assert_eq!(s.resident_tasks(), 11);
+        // Consuming completes two whole unit tasks plus a partial third.
+        s.consume_work(NodeId(1), 2.5);
+        assert_eq!(s.resident_tasks(), 9);
+        assert_eq!(s.resident_tasks(), s.total_tasks());
+    }
+
+    #[test]
+    fn resident_counter_survives_restore() {
+        let mut s = small_state();
+        for i in 0..10u64 {
+            s.add_task(NodeId((i % 4) as u32), task(i, 0.5));
+        }
+        s.consume_work(NodeId(2), 0.7);
+        let mut fresh = small_state();
+        fresh.add_task(NodeId(3), task(99, 9.0)); // pre-restore junk to displace
+        for v in 0..4 {
+            let node = NodeId(v);
+            fresh.restore_node(node, s.node(node).tasks().to_vec(), s.node(node).height());
+        }
+        fresh.restore_stats(s.stat_snapshot());
+        assert_eq!(fresh.resident_tasks(), s.resident_tasks());
+        assert_eq!(fresh.resident_tasks(), fresh.total_tasks());
+    }
+
+    #[test]
+    fn zero_work_completion_decrements_resident_counter() {
+        let mut s = small_state();
+        s.add_task(NodeId(1), Task::new(TaskId(0), 2.0, 1).with_work(0.0));
+        assert_eq!(s.resident_tasks(), 1);
+        s.consume_work(NodeId(1), 1.0);
+        assert_eq!(s.resident_tasks(), 0);
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! The cross-strategy differential suite: the event strategy's correctness
+//! contract is that for any scenario and any `(shards, threads)` layout it
+//! produces a `RunReport` **byte-identical** to the round-by-round tick
+//! reference — skipping a round must be unobservable in everything the run
+//! records (CoV series, migration ledger, totals, clock).
+//!
+//! The suite pits the two strategies against each other over a family of
+//! 24 deterministically varied scenarios (faults, Poisson/diurnal/bursty
+//! arrivals, recorded-trace replay, heterogeneous speeds, consumption,
+//! several topology families) across `K ∈ {1, 3, 64} × threads ∈ {1, 4}`,
+//! and additionally crosses a checkpoint mid-run *between* strategies in
+//! both directions — a tick-half resumed under event (and vice versa) must
+//! land on the very same report. See `docs/adr/ADR-006-event-strategy.md`.
+
+use particle_plane::prelude::*;
+use pp_sim::strategy::SimulationStrategy;
+
+/// 24 deterministically varied scenario specs. Variation is modular rather
+/// than random so every CI run exercises the identical family, but the
+/// axes are chosen to cover every event source the engine has: initial
+/// imbalance shapes, dynamic arrivals (including trace replay), link
+/// faults, heterogeneous speeds, and work consumption.
+fn specs() -> Vec<ScenarioSpec> {
+    (0..24u64)
+        .map(|i| {
+            let mut s = ScenarioSpec {
+                name: format!("diff-{i}"),
+                description: "cross-strategy differential family".into(),
+                ..ScenarioSpec::default()
+            };
+            s.topology = match i % 4 {
+                0 => TopologySpec::Torus { dims: vec![6, 6] },
+                1 => TopologySpec::Mesh { dims: vec![5, 7] },
+                2 => TopologySpec::Ring { n: 24 },
+                _ => TopologySpec::Hypercube { dim: 5 },
+            };
+            s.workload = match i % 3 {
+                0 => WorkloadSpec::Hotspot { node: 0, total: 40.0, task_size: 1.0 },
+                1 => WorkloadSpec::UniformRandom { max_per_node: 6.0, seed: i },
+                _ => WorkloadSpec::Bimodal { fraction: 0.3, high: 9.0, low: 1.0, seed: i },
+            };
+            s.arrival = match i % 5 {
+                0 => ArrivalSpec::Quiescent,
+                1 => ArrivalSpec::Poisson { rate: 4.0, size_min: 0.5, size_max: 1.5 },
+                2 => ArrivalSpec::Diurnal {
+                    base_rate: 3.0,
+                    amplitude: 0.7,
+                    period: 8.0,
+                    size_min: 0.5,
+                    size_max: 1.0,
+                },
+                3 => ArrivalSpec::Bursty { rate: 6.0, burst_len: 2.0, quiet_len: 5.0, size: 1.0 },
+                _ => ArrivalSpec::Replay {
+                    events: vec![(0.7, 3, 2.0), (3.2, 11, 1.0), (3.2, 0, 0.5), (9.9, 7, 1.5)],
+                },
+            };
+            if i % 3 == 1 {
+                s.faults = FaultPlanSpec { model: Some((0.05, 0.5)) };
+            }
+            if i % 4 == 2 {
+                s.speeds =
+                    SpeedSpec::TwoTier { fast_fraction: 0.25, fast: 2.0, slow: 0.75, seed: i };
+            }
+            if i % 2 == 0 {
+                s.engine.consume_rate = 0.3;
+            }
+            s.duration = DurationSpec { rounds: 10 + (i % 3) * 4, drain: 25.0 };
+            s.seed = 100 + i;
+            s
+        })
+        .collect()
+}
+
+fn run_with(spec: &ScenarioSpec, strategy: SimulationStrategy, k: usize, t: usize) -> RunReport {
+    let mut s = spec.clone();
+    s.engine.strategy = strategy;
+    s.engine.shards = k;
+    s.engine.threads = t;
+    s.run().unwrap_or_else(|e| panic!("{}: {e}", spec.name))
+}
+
+/// Asserts tick == event for every spec in the family at one layout.
+fn assert_layout(k: usize, t: usize) {
+    for spec in specs() {
+        let tick = run_with(&spec, SimulationStrategy::Tick, k, t);
+        let event = run_with(&spec, SimulationStrategy::Event, k, t);
+        assert_eq!(event, tick, "{} diverged at K={k} threads={t}", spec.name);
+    }
+}
+
+#[test]
+fn family_is_valid_and_varied() {
+    let all = specs();
+    assert_eq!(all.len(), 24);
+    for s in &all {
+        s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+    }
+    // Every axis actually varies within the family.
+    assert!(all.iter().any(|s| s.faults.model.is_some()));
+    assert!(all.iter().any(|s| s.faults.model.is_none()));
+    assert!(all.iter().any(|s| !matches!(s.speeds, SpeedSpec::Uniform)));
+    assert!(all.iter().any(|s| s.engine.consume_rate > 0.0));
+    assert!(all.iter().any(|s| s.engine.consume_rate == 0.0));
+    assert!(all.iter().any(|s| matches!(s.arrival, ArrivalSpec::Replay { .. })));
+}
+
+#[test]
+fn tick_vs_event_sequential_reference() {
+    assert_layout(1, 1);
+}
+
+#[test]
+fn tick_vs_event_three_shards() {
+    assert_layout(3, 1);
+}
+
+#[test]
+fn tick_vs_event_clamped_shards() {
+    assert_layout(64, 1);
+}
+
+#[test]
+fn tick_vs_event_sequential_threaded() {
+    assert_layout(1, 4);
+}
+
+#[test]
+fn tick_vs_event_three_shards_threaded() {
+    assert_layout(3, 4);
+}
+
+#[test]
+fn tick_vs_event_clamped_shards_threaded() {
+    assert_layout(64, 4);
+}
+
+#[test]
+fn golden_report_bytes_match_across_strategies() {
+    // The CI gate diffs canonical golden-report JSON, not in-memory
+    // structs; mirror that exactly for the whole family.
+    for spec in specs() {
+        let bytes = |strategy| {
+            let report = run_with(&spec, strategy, 3, 1);
+            GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &report)
+                .to_canonical_json()
+        };
+        assert_eq!(
+            bytes(SimulationStrategy::Event),
+            bytes(SimulationStrategy::Tick),
+            "{} golden bytes diverged",
+            spec.name
+        );
+    }
+}
+
+/// Runs the first half under `first`, crosses the checkpoint through its
+/// serialized JSON form into a fresh engine built under `second`, and
+/// finishes there.
+fn run_crossed(
+    spec: &ScenarioSpec,
+    first: SimulationStrategy,
+    second: SimulationStrategy,
+) -> RunReport {
+    let at = (spec.duration.rounds / 2).max(1);
+    let mut a = {
+        let mut s = spec.clone();
+        s.engine.strategy = first;
+        s.build_engine().unwrap_or_else(|e| panic!("{}: {e}", spec.name))
+    };
+    a.run_rounds(at);
+    let cp = Checkpoint::from_json(&a.checkpoint().to_json()).expect("checkpoint round-trips");
+    let mut b = {
+        let mut s = spec.clone();
+        s.engine.strategy = second;
+        s.build_engine().unwrap_or_else(|e| panic!("{}: {e}", spec.name))
+    };
+    b.restore(&cp).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    b.run_rounds(spec.duration.rounds - at).drain(spec.duration.drain);
+    b.report()
+}
+
+#[test]
+fn checkpoint_crossover_tick_to_event() {
+    // The checkpoint format is strategy-free: a tick half resumed under
+    // the event strategy must finish on the identical report.
+    for spec in specs().into_iter().step_by(3) {
+        let straight = run_with(&spec, SimulationStrategy::Tick, 1, 1);
+        let crossed = run_crossed(&spec, SimulationStrategy::Tick, SimulationStrategy::Event);
+        assert_eq!(crossed, straight, "{} tick→event crossover diverged", spec.name);
+    }
+}
+
+#[test]
+fn checkpoint_crossover_event_to_tick() {
+    for spec in specs().into_iter().step_by(3) {
+        let straight = run_with(&spec, SimulationStrategy::Tick, 1, 1);
+        let crossed = run_crossed(&spec, SimulationStrategy::Event, SimulationStrategy::Tick);
+        assert_eq!(crossed, straight, "{} event→tick crossover diverged", spec.name);
+    }
+}
+
+#[test]
+fn checkpoint_crossover_across_layouts() {
+    // Crossing strategy *and* layout at once: the two independent
+    // exactness invariants (restore, skip) must compose.
+    for spec in specs().into_iter().step_by(8) {
+        let straight = run_with(&spec, SimulationStrategy::Tick, 1, 1);
+        for &(k, t) in &[(3usize, 1usize), (64, 4)] {
+            let mut s = spec.clone();
+            s.engine.shards = k;
+            s.engine.threads = t;
+            let crossed = run_crossed(&s, SimulationStrategy::Event, SimulationStrategy::Tick);
+            assert_eq!(crossed, straight, "{} K={k} T={t} crossover diverged", spec.name);
+        }
+    }
+}
