@@ -1,26 +1,32 @@
-//! BENCH_6 — tick-throughput benchmark for the sharded tick pipeline and
-//! the event-driven time-skipping strategy.
+//! BENCH_7 — tick-throughput benchmark for the sharded tick pipeline, the
+//! event-driven time-skipping strategy, and the pinned-worker thread
+//! scaling of the decision sweep.
 //!
 //! Measures steady-state balance-round throughput (rounds/sec) and
 //! per-node decision cost (ns/node-decision) for the particle-plane
-//! balancer on square tori of 64, 1 024, 16 384 and 65 536 nodes, on a
-//! quiescent redistribution workload. Each scale is measured twice:
+//! balancer on square tori, on a quiescent redistribution workload. The
+//! BENCH_4/BENCH_6 scenario set carries over unchanged (so `--baseline`
+//! trajectories line up):
 //!
-//! * `*_seq`   — `shards = 1`: the sequential reference pipeline (no
-//!   activity tracking, the legacy flat sweep's cost model);
-//! * `*_shard` — `shards = K` row bands: the sharded pipeline, with
-//!   halo-exact shard-level activity tracking and (on multi-core hosts)
-//!   the worker pool fanning whole shards out over threads.
+//! * `*_seq`   — `shards = 1`: the sequential reference pipeline;
+//! * `*_shard` — `shards = K` row bands: the sharded pipeline with
+//!   halo-exact shard-level activity tracking;
+//! * `sparse65536_{tick,event}` — the strategy pair on a sparse-activity
+//!   system (the event strategy fast-forwards quiescent rounds).
 //!
-//! A third pair measures the simulation *strategy* on a sparse-activity
-//! system (65 536 nodes, no resident work, `consume_rate > 0`):
+//! New in BENCH_7: a **dense thread matrix** — `dense16384_t{1,2,4,8}`,
+//! a 16 384-node torus with friction jitter enabled. Jitter makes the
+//! policy non-quiescence-stable, so *every* shard is evaluated *every*
+//! round: no skipping, no event fast-forward — the rows isolate raw sweep
+//! throughput, and the only variable across them is the worker-thread
+//! count of the pinned shard pool. This is the honest measurement the
+//! earlier benches could not make: BENCH_4/BENCH_6 headline ratios all ran
+//! `threads: 1`, and BENCH_2's channel-dispatch pool lost to sequential
+//! outright.
 //!
-//! * `sparse65536_tick`  — the tick strategy pays the O(n) consume sweep
-//!   on every one of its rounds even though nothing can happen;
-//! * `sparse65536_event` — the event strategy fast-forwards each quiescent
-//!   round in closed form (O(K) wake-heap consult, one CoV sample).
-//!
-//! Emits `BENCH_6.json` so successive PRs have a recorded perf trajectory.
+//! The JSON header records `host_parallelism` and whether the
+//! thread-scaling gate was enforced, so a 1-core container can never again
+//! masquerade as parallel speedup.
 //!
 //! ```text
 //! bench_ticks [--smoke] [--enforce] [--shards K] [--threads T]
@@ -28,25 +34,29 @@
 //! ```
 //!
 //! * `--smoke`      few iterations (CI keep-alive; numbers are meaningless)
-//! * `--enforce`    exit non-zero unless the sharded pipeline meets the
-//!   scaling expectations (≥ 1× sequential at 1 024 nodes, ≥ 1.5× at
-//!   16 384, event strategy ≥ 5× tick on the sparse 65 536 pair) — the CI
-//!   perf gate
+//! * `--enforce`    exit non-zero unless the scaling expectations hold:
+//!   sharded ≥ 1× sequential at 1 024 nodes, ≥ 1.5× at 16 384, event
+//!   strategy ≥ 5× tick on the sparse 65 536 pair, and — on hosts with
+//!   ≥ 4 cores — `dense16384_t4` strictly faster than `dense16384_t1`.
+//!   On smaller hosts the thread gate is skipped with a visible
+//!   `::notice::` annotation and recorded as such in the JSON.
 //! * `--shards K`   override the shard count of every `*_shard` scenario
 //! * `--threads T`  override the sweep worker-thread count everywhere
-//! * `--out PATH`   where to write the JSON (default `BENCH_6.json`)
+//!   (including the thread matrix — useful only for debugging)
+//! * `--out PATH`   where to write the JSON (default `BENCH_7.json`)
 //! * `--baseline P` embed the `scenarios` of a previous output as
-//!   `baseline` and compute per-scenario speedups (BENCH_4.json's
-//!   names line up, continuing the trajectory)
+//!   `baseline` and compute per-scenario speedups (BENCH_6.json's names
+//!   line up, continuing the trajectory)
 //! * `--check PATH` parse PATH as JSON and exit (0 = parses, 1 = does
 //!   not, with a missing file reported as `NOT FOUND` rather than a parse
 //!   error); no benchmark is run
 //!
 //! The benchmark also verifies that the sequential and sharded pipelines
 //! produce identical run outcomes for the same seed (`reports_identical`),
-//! including a multi-threaded shard sweep.
+//! including multi-threaded sweeps and the jittered dense workload.
 
 use pp_core::balancer::ParticlePlaneBalancer;
+use pp_core::jitter::FrictionJitter;
 use pp_core::params::PhysicsConfig;
 use pp_sim::engine::{EngineBuilder, EngineConfig, RunReport};
 use pp_sim::strategy::SimulationStrategy;
@@ -57,6 +67,8 @@ use std::time::Instant;
 
 const SEED: u64 = 42;
 const LOAD_PER_NODE: f64 = 10.0;
+/// Cores required before the `t4 > t1` thread-scaling gate is enforced.
+const GATE_MIN_CORES: usize = 4;
 
 struct Scenario {
     name: &'static str,
@@ -67,6 +79,13 @@ struct Scenario {
     rounds: u64,
     smoke_rounds: u64,
     shards: usize,
+    /// Sweep worker threads (0 = builder auto). The thread matrix pins
+    /// this per row; every other scenario inherits the `--threads` flag.
+    threads: usize,
+    /// Friction jitter on: the policy stops being quiescence-stable, so
+    /// every shard is evaluated every round — skipping disabled by
+    /// construction, isolating raw sweep throughput.
+    jitter: bool,
     /// Sparse-activity variant: no resident workload, `consume_rate > 0`
     /// — nothing ever happens, but the tick strategy still pays the O(n)
     /// consume sweep per round.
@@ -90,6 +109,25 @@ const fn dense(
         rounds,
         smoke_rounds,
         shards,
+        threads: 0,
+        jitter: false,
+        sparse: false,
+        strategy: SimulationStrategy::Tick,
+    }
+}
+
+/// A thread-matrix row: 16 384 nodes, K = 64, jitter on (skipping
+/// disabled), pinned worker count.
+const fn matrix(name: &'static str, threads: usize) -> Scenario {
+    Scenario {
+        name,
+        side: 128,
+        warm: 30,
+        rounds: 120,
+        smoke_rounds: 2,
+        shards: 64,
+        threads,
+        jitter: true,
         sparse: false,
         strategy: SimulationStrategy::Tick,
     }
@@ -113,6 +151,8 @@ const SCENARIOS: &[Scenario] = &[
         rounds: 400,
         smoke_rounds: 2,
         shards: 128,
+        threads: 0,
+        jitter: false,
         sparse: true,
         strategy: SimulationStrategy::Tick,
     },
@@ -123,9 +163,17 @@ const SCENARIOS: &[Scenario] = &[
         rounds: 100_000,
         smoke_rounds: 1000,
         shards: 128,
+        threads: 0,
+        jitter: false,
         sparse: true,
         strategy: SimulationStrategy::Event,
     },
+    // The dense thread matrix: identical systems, identical bytes out
+    // (the differential suites prove it), only the worker count varies.
+    matrix("dense16384_t1", 1),
+    matrix("dense16384_t2", 2),
+    matrix("dense16384_t4", 4),
+    matrix("dense16384_t8", 8),
 ];
 
 #[derive(Serialize)]
@@ -138,11 +186,18 @@ struct Measurement {
     /// Round-advance mechanism the row ran under ("tick" | "event").
     strategy: String,
     rounds_per_sec: f64,
-    /// Wall time divided by decisions actually evaluated in the measured
-    /// window (skipped shards evaluate none), so `*_seq` and `*_shard`
-    /// rows report comparable per-decision cost; 0 when the window
-    /// evaluated no decisions at all (fully quiescent).
-    ns_per_node_decision: f64,
+    /// Rounds in the measured window whose sweep evaluated ≥ 1 shard —
+    /// the denominator that makes skip-heavy rows honest (the event
+    /// strategy fast-forwards most of its rounds; quiescence skipping
+    /// empties most of the rest).
+    executed_rounds: u64,
+    /// Node decisions actually evaluated in the measured window.
+    executed_decisions: u64,
+    /// Wall time divided by `executed_decisions` — the real cost of one
+    /// decision, comparable across `*_seq`, `*_shard` and skip-heavy rows
+    /// alike. `null` when the window evaluated no decisions at all (a
+    /// fully quiescent window has no per-decision cost, not a zero one).
+    ns_per_node_decision: Option<f64>,
     /// Fraction of shard-ticks skipped as quiescent during the whole run
     /// (warm-up included) — 0 for the sequential reference.
     skip_ratio: f64,
@@ -158,12 +213,24 @@ struct Expectation {
     ratio: f64,
     required: f64,
     pass: bool,
+    /// Whether `--enforce` gates on this row. The thread-scaling row is
+    /// advisory on hosts with < 4 cores (recorded, never enforced).
+    enforced: bool,
 }
 
 #[derive(Serialize)]
 struct Output {
     bench: String,
     mode: String,
+    /// `std::thread::available_parallelism()` on the measuring host (0 =
+    /// unknown). The context every ratio must be read in: threads cannot
+    /// win on a 1-core container, and this field proves which kind of
+    /// host produced the numbers.
+    host_parallelism: usize,
+    /// "enforced" | "skipped (...)": whether the `t4 > t1` thread-scaling
+    /// gate was live on this host — machine-readable, so downstream
+    /// tooling never mistakes a skipped gate for a passed one.
+    thread_gate: String,
     scenarios: Vec<Measurement>,
     reports_identical: bool,
     expectations: Vec<Expectation>,
@@ -171,8 +238,22 @@ struct Output {
     speedup_rounds_per_sec: Option<Vec<(String, f64)>>,
 }
 
-fn engine_for(side: usize, shards: usize, threads: usize) -> pp_sim::engine::Engine {
-    engine_with(side, shards, threads, false, SimulationStrategy::Tick)
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(0)
+}
+
+fn physics(jitter: bool) -> PhysicsConfig {
+    PhysicsConfig {
+        jitter: if jitter {
+            // Slow decay (t_max far beyond any measured window) so the
+            // per-task RNG draw — and with it the skip-disabling
+            // non-stability — persists through warm-up and measurement.
+            Some(FrictionJitter::new(0.3, 1.0, 1.0e9))
+        } else {
+            None
+        },
+        ..PhysicsConfig::default()
+    }
 }
 
 fn engine_with(
@@ -180,6 +261,7 @@ fn engine_with(
     shards: usize,
     threads: usize,
     sparse: bool,
+    jitter: bool,
     strategy: SimulationStrategy,
 ) -> pp_sim::engine::Engine {
     let topo = Topology::torus(&[side, side]);
@@ -192,27 +274,32 @@ fn engine_with(
     let consume_rate = if sparse { 0.5 } else { 0.0 };
     EngineBuilder::new(topo)
         .workload(w)
-        .balancer(ParticlePlaneBalancer::new(PhysicsConfig::default()))
+        .balancer(ParticlePlaneBalancer::new(physics(jitter)))
         .config(EngineConfig { shards, threads, consume_rate, strategy, ..Default::default() })
         .seed(SEED)
         .build()
 }
 
-fn measure(sc: &Scenario, smoke: bool, shards_override: usize, threads: usize) -> Measurement {
+fn measure(sc: &Scenario, smoke: bool, shards_override: usize, threads_flag: usize) -> Measurement {
     let (warm, rounds) = if smoke { (1, sc.smoke_rounds) } else { (sc.warm, sc.rounds) };
     let shards = if sc.shards > 1 && shards_override > 0 { shards_override } else { sc.shards };
+    // Per-row pin beats the global flag default, but an explicit
+    // `--threads` overrides everything (debugging escape hatch).
+    let threads = if threads_flag > 0 { threads_flag } else { sc.threads };
     let n = sc.side * sc.side;
-    let mut engine = engine_with(sc.side, shards, threads, sc.sparse, sc.strategy);
+    let mut engine = engine_with(sc.side, shards, threads, sc.sparse, sc.jitter, sc.strategy);
     // Warm up: converge past the initial migration burst so the measured
     // window is dominated by steady-state tick cost, and warm caches/pools.
     engine.run_rounds(warm.max(1));
     engine.reserve_rounds(rounds);
     let evaluated_before = engine.shard_stats().nodes_evaluated;
+    let executed_before = engine.executed_rounds();
     let start = Instant::now();
     engine.run_rounds(rounds);
     let elapsed = start.elapsed();
     let secs = elapsed.as_secs_f64().max(1e-12);
     let evaluated = engine.shard_stats().nodes_evaluated - evaluated_before;
+    let executed = engine.executed_rounds() - executed_before;
     let layout = engine.shard_layout();
     Measurement {
         name: sc.name.to_string(),
@@ -222,10 +309,12 @@ fn measure(sc: &Scenario, smoke: bool, shards_override: usize, threads: usize) -
         threads: layout.threads,
         strategy: sc.strategy.as_str().to_string(),
         rounds_per_sec: rounds as f64 / secs,
+        executed_rounds: executed,
+        executed_decisions: evaluated,
         ns_per_node_decision: if evaluated == 0 {
-            0.0
+            None
         } else {
-            elapsed.as_nanos() as f64 / evaluated as f64
+            Some(elapsed.as_nanos() as f64 / evaluated as f64)
         },
         skip_ratio: engine.shard_stats().skip_ratio(),
     }
@@ -246,16 +335,22 @@ fn report_digest(r: &RunReport) -> String {
 }
 
 /// The sequential reference vs the sharded pipeline — single- and
-/// multi-threaded — must be outcome-identical for the same seed.
+/// multi-threaded, skip-capable and jittered (always-dense) — must be
+/// outcome-identical for the same seed.
 fn seq_shard_identical(smoke: bool) -> bool {
     let rounds = if smoke { 3 } else { 60 };
-    let run = |shards: usize, threads: usize| {
-        let mut e = engine_for(32, shards, threads);
+    let run = |shards: usize, threads: usize, jitter: bool| {
+        let mut e = engine_with(32, shards, threads, false, jitter, SimulationStrategy::Tick);
         e.run_rounds(rounds).drain(50.0);
         report_digest(&e.report())
     };
-    let seq = run(1, 1);
-    seq == run(16, 1) && seq == run(16, 2) && seq == run(5, 3)
+    let seq = run(1, 1, false);
+    let dense = run(1, 1, true);
+    seq == run(16, 1, false)
+        && seq == run(16, 2, false)
+        && seq == run(5, 3, false)
+        && dense == run(16, 4, true)
+        && dense == run(16, 8, true)
 }
 
 fn extract_baseline(path: &str) -> Result<Vec<Measurement>, String> {
@@ -277,7 +372,11 @@ fn extract_baseline(path: &str) -> Result<Vec<Measurement>, String> {
             // Pre-BENCH_6 baselines had no strategy column: all tick.
             strategy: s.get("strategy").and_then(Value::as_str).unwrap_or("tick").to_string(),
             rounds_per_sec: field("rounds_per_sec").unwrap_or(0.0),
-            ns_per_node_decision: field("ns_per_node_decision").unwrap_or(0.0),
+            // Pre-BENCH_7 baselines had neither executed column.
+            executed_rounds: field("executed_rounds").unwrap_or(0.0) as u64,
+            executed_decisions: field("executed_decisions").unwrap_or(0.0) as u64,
+            // A BENCH_6 `0.0` meant "nothing executed"; normalize to null.
+            ns_per_node_decision: field("ns_per_node_decision").filter(|&x| x > 0.0),
             skip_ratio: field("skip_ratio").unwrap_or(0.0),
         });
     }
@@ -286,20 +385,22 @@ fn extract_baseline(path: &str) -> Result<Vec<Measurement>, String> {
 
 /// The scaling contract: sharded ≥ sequential at 1 024 nodes, ≥ 1.5× at
 /// 16 384 (the two scales BENCH_2 showed the work-stealing path *losing*),
-/// and the event strategy ≥ 5× the tick strategy on the sparse-activity
-/// 65 536-node pair (in practice it clears this by orders of magnitude —
-/// skipped rounds don't touch the nodes at all).
-fn expectations(scenarios: &[Measurement]) -> Vec<Expectation> {
+/// the event strategy ≥ 5× the tick strategy on the sparse-activity
+/// 65 536-node pair, and — the BENCH_7 addition — 4 pinned workers
+/// strictly faster than 1 on the dense (never-skipping) 16 384-node
+/// matrix, enforced only where the host actually has ≥ 4 cores.
+fn expectations(scenarios: &[Measurement], cores: usize) -> Vec<Expectation> {
     let rps = |name: &str| {
         scenarios.iter().find(|m| m.name == name).map(|m| m.rounds_per_sec).unwrap_or(0.0)
     };
     [
-        (1024, "torus1024_seq", "torus1024_shard", 1.0),
-        (16384, "torus16384_seq", "torus16384_shard", 1.5),
-        (65536, "sparse65536_tick", "sparse65536_event", 5.0),
+        (1024, "torus1024_seq", "torus1024_shard", 1.0, true),
+        (16384, "torus16384_seq", "torus16384_shard", 1.5, true),
+        (65536, "sparse65536_tick", "sparse65536_event", 5.0, true),
+        (16384, "dense16384_t1", "dense16384_t4", 1.0, cores >= GATE_MIN_CORES),
     ]
     .into_iter()
-    .map(|(nodes, reference, candidate, required)| {
+    .map(|(nodes, reference, candidate, required, enforced)| {
         let (s, p) = (rps(reference), rps(candidate));
         let ratio = if s > 0.0 { p / s } else { 0.0 };
         Expectation {
@@ -309,7 +410,10 @@ fn expectations(scenarios: &[Measurement]) -> Vec<Expectation> {
             candidate_rps: p,
             ratio,
             required,
-            pass: ratio >= required,
+            // The thread gate is strict (threads must *win*, not tie);
+            // the legacy ratios keep their ≥ semantics.
+            pass: if required == 1.0 { ratio > required } else { ratio >= required },
+            enforced,
         }
     })
     .collect()
@@ -346,7 +450,7 @@ fn main() {
     let shards_override: usize =
         opt("--shards").map(|s| s.parse().expect("--shards N")).unwrap_or(0);
     let threads: usize = opt("--threads").map(|s| s.parse().expect("--threads N")).unwrap_or(0);
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_7.json".to_string());
     let baseline = opt("--baseline").map(|p| match extract_baseline(&p) {
         Ok(b) => b,
         Err(e) => {
@@ -355,22 +459,30 @@ fn main() {
         }
     });
 
+    let cores = host_parallelism();
+    let thread_gate = if cores >= GATE_MIN_CORES {
+        "enforced".to_string()
+    } else {
+        format!("skipped (host_parallelism {cores} < {GATE_MIN_CORES})")
+    };
     println!(
-        "=== BENCH_6: sharded tick + event-strategy throughput ({})",
-        if smoke { "smoke" } else { "full" }
+        "=== BENCH_7: sharded tick + event-strategy + thread-scaling throughput ({}, {} cores)",
+        if smoke { "smoke" } else { "full" },
+        cores
     );
     let mut scenarios = Vec::new();
     for sc in SCENARIOS {
         let m = measure(sc, smoke, shards_override, threads);
         println!(
-            "  {:17} {:6} nodes  K={:<3} {:5} {:>12.1} rounds/s  {:>9.1} ns/node-decision  \
+            "  {:17} {:6} nodes  K={:<3} T={:<2} {:5} {:>12.1} rounds/s  {:>9.1} ns/node-decision  \
              skip={:.2}",
             m.name,
             m.nodes,
             m.shards,
+            m.threads,
             m.strategy,
             m.rounds_per_sec,
-            m.ns_per_node_decision,
+            m.ns_per_node_decision.unwrap_or(f64::NAN),
             m.skip_ratio
         );
         scenarios.push(m);
@@ -380,7 +492,7 @@ fn main() {
     println!("  seq/sharded reports identical: {identical}");
     assert!(identical, "sharded decision sweep diverged from sequential");
 
-    let expect = expectations(&scenarios);
+    let expect = expectations(&scenarios, cores);
     for e in &expect {
         println!(
             "  scaling @ {:5} nodes: {} = {:.2}x (required {:.1}x) → {}",
@@ -388,10 +500,24 @@ fn main() {
             e.pair,
             e.ratio,
             e.required,
-            if e.pass { "pass" } else { "FAIL" }
+            if !e.enforced {
+                "skipped"
+            } else if e.pass {
+                "pass"
+            } else {
+                "FAIL"
+            }
         );
     }
-    let all_pass = expect.iter().all(|e| e.pass);
+    if cores < GATE_MIN_CORES {
+        // GitHub Actions annotation syntax — a skipped gate must be loud,
+        // not a silently green job.
+        println!(
+            "::notice title=thread-scaling gate skipped::host has {cores} core(s), \
+             the dense16384 t4>t1 gate needs {GATE_MIN_CORES}; ratios recorded unenforced"
+        );
+    }
+    let all_pass = expect.iter().filter(|e| e.enforced).all(|e| e.pass);
 
     let speedups = baseline.as_ref().map(|base| {
         scenarios
@@ -407,10 +533,12 @@ fn main() {
     });
 
     let output = Output {
-        bench: "BENCH_6 sharded tick + event-strategy throughput (quiescent redistribution, \
-                particle-plane)"
+        bench: "BENCH_7 sharded tick + event-strategy + pinned-worker thread scaling \
+                (quiescent redistribution + jittered dense matrix, particle-plane)"
             .into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
+        host_parallelism: cores,
+        thread_gate,
         scenarios,
         reports_identical: identical,
         expectations: expect,

@@ -77,8 +77,10 @@ const PINNED: &[&str] = &[
 ];
 
 /// The `(shards, threads)` layouts `--verify-resume` replays every pinned
-/// scenario under — the acceptance gate requires at least two distinct ones.
-const RESUME_LAYOUTS: &[(usize, usize)] = &[(1, 1), (4, 2)];
+/// scenario under — the acceptance gate requires at least two distinct
+/// ones. `(8, 4)` puts the pinned-worker pool (multiple shards per worker,
+/// real barrier rounds) on the verified path.
+const RESUME_LAYOUTS: &[(usize, usize)] = &[(1, 1), (4, 2), (8, 4)];
 
 /// Flattens a finished run into its golden report, attaching shard-layout
 /// metadata only when the *spec* pins an explicit shard count: auto layouts

@@ -104,15 +104,23 @@ impl LoadBalancer for ParticlePlaneBalancer {
     }
 
     fn decide(&self, view: &NodeView<'_>, rng: &mut StdRng) -> Vec<MigrationIntent> {
+        let mut out = Vec::new();
+        self.decide_into(view, rng, &mut out);
+        out
+    }
+
+    /// The allocation-free primary: intents append to the caller's arena
+    /// (the engine passes the shard-local outbox), so the sweep's steady
+    /// state allocates nothing. `decide` above delegates here.
+    fn decide_into(&self, view: &NodeView<'_>, rng: &mut StdRng, out: &mut Vec<MigrationIntent>) {
         let cfg = &self.cfg;
         let m = view.neighbors.len();
         if m == 0 || view.tasks.is_empty() {
-            return Vec::new();
+            return;
         }
         SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
             let DecideScratch { link_used, h_eff, pairs, candidates } = scratch;
-            let mut intents = Vec::new();
             link_used.clear();
             link_used.resize(m, false);
             // Effective heights: updated as this tick commits migrations so
@@ -155,12 +163,11 @@ impl LoadBalancer for ParticlePlaneBalancer {
                 // the first hop's toll up front (§5.1).
                 let flag = updated_flag(cfg, h_i, mu_k, nb.link_weight);
                 let heat = hop_heat(cfg, mu_k, nb.link_weight, task.size);
-                intents.push(MigrationIntent { task: task.id, to: nb.id, flag, heat });
+                out.push(MigrationIntent { task: task.id, to: nb.id, flag, heat });
                 link_used[pick] = true;
                 h_i -= task.size;
                 h_eff[pick] += task.size;
             }
-            intents
         })
     }
 

@@ -160,6 +160,19 @@ pub trait LoadBalancer: Send + Sync {
     /// Migration decisions for a stationary node at a balance tick.
     fn decide(&self, view: &NodeView<'_>, rng: &mut StdRng) -> Vec<MigrationIntent>;
 
+    /// Appends this node's migration decisions to `out` — the allocation-
+    /// free form of [`LoadBalancer::decide`] the sweep's hot path uses.
+    ///
+    /// The engine hands every node of a shard the *same* shard-local arena,
+    /// so a policy overriding this writes straight into memory owned by the
+    /// worker that owns the shard — no per-node `Vec`, no global-allocator
+    /// traffic mid-round. Must append exactly what `decide` would return,
+    /// in the same order, with the same RNG draws; the default delegates to
+    /// `decide` and is always correct.
+    fn decide_into(&self, view: &NodeView<'_>, rng: &mut StdRng, out: &mut Vec<MigrationIntent>) {
+        out.extend(self.decide(view, rng));
+    }
+
     /// Whether `decide` is **quiescence-stable**: given a view whose tasks,
     /// heights and live neighbour links are unchanged since a call that
     /// returned no intents, `decide` is guaranteed to (a) return no intents

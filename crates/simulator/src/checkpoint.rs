@@ -19,6 +19,15 @@
 //! count, edge count, trace length, balancer name) so a mismatched restore
 //! fails loudly instead of corrupting silently.
 //!
+//! **Execution layout is not state.** The worker count and the shard pool's
+//! shard→worker affinity map are deliberately excluded from both the
+//! capture and the fingerprint: a checkpoint written at `threads = 8` must
+//! restore into a `threads = 1` engine (and vice versa) with byte-identical
+//! continuation, because affinity only decides *where* a shard's sweep
+//! runs, never what it computes. Only `shard_layout_k` (the spatial K) is
+//! recorded, and then only to decide whether the activity flags carry over
+//! or everything conservatively re-marks dirty.
+//!
 //! ## Exactness
 //!
 //! The invariant (enforced by `tests/checkpoint_resume_prop.rs` and the

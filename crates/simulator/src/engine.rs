@@ -17,11 +17,20 @@
 //! buffers, its per-node RNG streams, a reusable view scratch and a
 //! mergeable [`ShardAccum`]; the decision sweep processes whole shards —
 //! on the calling thread when one worker suffices, otherwise distributed
-//! over a persistent [`WorkerPool`] where workers pull whole shards off a
-//! queue instead of stealing individual nodes. Because decisions are pure
-//! functions of the tick-start snapshot and every node draws from its own
-//! RNG stream, the sweep's outcome is byte-identical for every `(K,
-//! threads)` choice — including `K = 1`, the sequential reference.
+//! over a persistent [`ShardPool`] whose workers each *own* a fixed,
+//! deterministic block of shards for the life of the engine (so per-shard
+//! scratch, intent arenas and RNG state stay hot in one worker's cache)
+//! and synchronize through one epoch barrier per round instead of
+//! per-shard channel messages. Because decisions are pure functions of the
+//! tick-start snapshot and every node draws from its own RNG stream, the
+//! sweep's outcome is byte-identical for every `(K, threads)` choice —
+//! including `K = 1`, the sequential reference.
+//!
+//! Each shard's intents accumulate in a shard-local arena (its *outbox*)
+//! during the sweep; the commit phase drains the outboxes on the calling
+//! thread after the barrier, in fixed ascending shard order — so boundary
+//! effects are exchanged batched, never interleaved, and the launch order
+//! is exactly the flat engine's ascending-node order.
 //!
 //! On top of the decomposition sits exact **shard-level activity
 //! tracking**: every state mutation marks the owning shard dirty (and, for
@@ -41,7 +50,7 @@ use crate::balancer::{
 };
 use crate::checkpoint::{Checkpoint, FlightSnap};
 use crate::events::{Event, EventQueue};
-use crate::pool::WorkerPool;
+use crate::pool::ShardPool;
 use crate::state::SystemState;
 use crate::strategy::{SimulationStrategy, WakeHeap};
 use pp_metrics::imbalance::Imbalance;
@@ -59,7 +68,6 @@ use pp_topology::partition::Partition;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
-use std::sync::Mutex;
 
 /// Dynamic link fault process: at every balance tick each up link goes down
 /// with probability `p_down`, each down link recovers with probability
@@ -151,11 +159,16 @@ impl fmt::Display for ShardLayout {
 /// Per-shard execution state: everything a sweep worker touches for one
 /// shard, owned by that shard so no two workers share mutable data.
 struct ShardSlot {
-    /// Per-owned-node decision slots, kept across ticks. Each sweep
-    /// overwrites a slot with the Vec `decide` returns — empty
-    /// (capacity-free) in steady state, so quiescent rounds neither
-    /// allocate nor free.
-    decisions: Vec<Vec<MigrationIntent>>,
+    /// Shard-local intent arena (the shard's *outbox*): every owned node's
+    /// migration intents for the current sweep, appended in ascending node
+    /// order. One allocation per shard, kept across ticks — in steady
+    /// state the sweep reuses its capacity and never touches the global
+    /// allocator. Drained by the commit phase after the round barrier.
+    intents: Vec<MigrationIntent>,
+    /// Per-owned-node prefix ends into `intents`: node `k`'s intents are
+    /// `intents[spans[k-1]..spans[k]]` (with `spans[-1] = 0`), so the
+    /// commit phase can attribute each intent to its emitting node.
+    spans: Vec<u32>,
     /// Per-owned-node RNG streams (seeded exactly as the flat engine did,
     /// so sharding never changes a node's stream).
     rngs: Vec<StdRng>,
@@ -251,8 +264,15 @@ pub struct Engine {
     skip_cov: Option<f64>,
     /// Resolved sweep worker count (1 = inline, no pool).
     threads: usize,
-    /// Lazily created persistent worker pool (only when `threads > 1`).
-    pool: Option<WorkerPool>,
+    /// Lazily created persistent shard pool (only when `threads > 1`).
+    /// Affinity is a pure function of `(threads, K)` and both are fixed at
+    /// build time, so the pool survives checkpoints and restores unchanged
+    /// — the worker map is execution layout, not simulation state.
+    pool: Option<ShardPool>,
+    /// Rounds whose sweep evaluated at least one shard (diagnostic; kept
+    /// out of `RunReport` like the shard counters, since skip-capable
+    /// layouts execute fewer rounds than the sequential reference).
+    executed_rounds: u64,
     /// Per-node speed multipliers on `consume_rate` (empty = homogeneous).
     speeds: Vec<f64>,
     /// Recorded arrival trace being replayed (indexed by `TraceArrival`).
@@ -318,6 +338,15 @@ impl Engine {
             total.merge(&slot.accum);
         }
         total
+    }
+
+    /// Rounds whose decision sweep evaluated at least one shard (as
+    /// opposed to rounds fully skipped by quiescence tracking or the event
+    /// strategy's fast-forward). Like the shard counters this is a
+    /// layout-dependent diagnostic — benchmarks divide elapsed time by
+    /// *executed* work so skip-heavy runs report real per-decision cost.
+    pub fn executed_rounds(&self) -> u64 {
+        self.executed_rounds
     }
 
     /// Marks the shards that can observe node `v` (its own plus, for
@@ -775,9 +804,8 @@ impl Engine {
             for (k, i) in (start..end).enumerate() {
                 slot.rngs[k] = StdRng::from_state(cp.node_rngs[i as usize]);
             }
-            for buf in &mut slot.decisions {
-                buf.clear();
-            }
+            slot.intents.clear();
+            slot.spans.clear();
             slot.evaluated = false;
             // Same layout: resume the activity tracking exactly. Different
             // layout: conservatively mark everything dirty — report-exact
@@ -891,25 +919,35 @@ impl Engine {
         self.balancer.begin_round(&global);
 
         self.collect_decisions();
-        // Commit phase: drain the evaluated shards' decision buffers in
-        // fixed shard order — shards are contiguous ascending id ranges, so
-        // this is exactly the flat engine's ascending-node launch order.
-        // Skipped shards hold no intents (their buffers were drained the
-        // last time they were evaluated). Buffers are swapped out so
-        // `launch` may mutate state while we drain them; they (and their
-        // capacity) come back after.
+        // Commit phase — the batched halo exchange: drain the evaluated
+        // shards' outboxes in fixed shard order. Shards are contiguous
+        // ascending id ranges, so this is exactly the flat engine's
+        // ascending-node launch order, and every cross-shard (halo) effect
+        // lands here, after the barrier, never mid-sweep. Skipped shards
+        // hold no intents (their outboxes were drained the last time they
+        // were evaluated). Arenas are swapped out so `launch` may mutate
+        // state while we drain them; they (and their capacity) come back
+        // after.
         for s in 0..self.shards.len() {
-            if !self.shards[s].evaluated {
+            if !self.shards[s].evaluated || self.shards[s].intents.is_empty() {
                 continue;
             }
             let (start, _) = self.partition.range(s);
-            let mut decisions = std::mem::take(&mut self.shards[s].decisions);
-            for (k, intents) in decisions.iter_mut().enumerate() {
-                for intent in intents.drain(..) {
-                    self.launch(NodeId(start + k as u32), intent);
+            let intents = std::mem::take(&mut self.shards[s].intents);
+            let spans = std::mem::take(&mut self.shards[s].spans);
+            let mut next = 0usize;
+            for (k, &end) in spans.iter().enumerate() {
+                let node = NodeId(start + k as u32);
+                while next < end as usize {
+                    self.launch(node, intents[next]);
+                    next += 1;
                 }
             }
-            self.shards[s].decisions = decisions;
+            let slot = &mut self.shards[s];
+            slot.intents = intents;
+            slot.intents.clear();
+            slot.spans = spans;
+            slot.spans.clear();
         }
         self.series.push(self.time, self.state.cov());
     }
@@ -972,6 +1010,7 @@ impl Engine {
         if pending == 0 {
             return;
         }
+        self.executed_rounds += 1;
 
         let state = &self.state;
         let heights = state.height_slice();
@@ -986,23 +1025,19 @@ impl Engine {
 
         if self.threads > 1 && pending > 1 {
             let threads = self.threads;
-            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(threads));
-            // Each job is one whole shard, handed through an uncontended
-            // mutex (exactly one worker pulls each job; the lock exists to
-            // make the &mut hand-off safe). Workers drain the job queue, so
-            // shards load-balance across threads without node stealing.
-            let jobs: Vec<Mutex<(usize, &mut ShardSlot)>> = self
-                .shards
-                .iter_mut()
-                .enumerate()
-                .filter(|(_, slot)| slot.evaluated)
-                .map(|(s, slot)| Mutex::new((s, slot)))
-                .collect();
-            pool.run_jobs(jobs.len(), &|j, _scratch| {
-                let Some(cell) = jobs.get(j) else { return };
-                let mut guard = cell.lock().expect("shard job lock");
-                let (s, slot) = &mut *guard;
-                let (start, end) = partition.range(*s);
+            let k = self.shards.len();
+            let pool = self.pool.get_or_insert_with(|| ShardPool::new(threads, k));
+            // Every shard runs on the worker that owns it — same worker
+            // every round, so the slot's arena, scratch and RNG cache lines
+            // never migrate between cores. The pool hands each worker
+            // disjoint `&mut ShardSlot`s; no locks, no per-shard messages,
+            // one barrier wake per round. Skipped shards cost their owner
+            // one flag read.
+            pool.run_shards(&mut self.shards, &|s, slot| {
+                if !slot.evaluated {
+                    return;
+                }
+                let (start, end) = partition.range(s);
                 eval_shard(slot, start, end, state, heights, &links, balancer, round, time);
             });
         } else {
@@ -1193,14 +1228,15 @@ fn eval_shard(
     round: u64,
     time: f64,
 ) {
-    let mut intents = 0u64;
+    slot.intents.clear();
+    slot.spans.clear();
     for (k, i) in (start..end).enumerate() {
         let node = NodeId(i);
         let view = build_view(&mut slot.scratch, state, node, heights, links, round, time);
-        let d = balancer.decide(&view, &mut slot.rngs[k]);
-        intents += d.len() as u64;
-        slot.decisions[k] = d;
+        balancer.decide_into(&view, &mut slot.rngs[k], &mut slot.intents);
+        slot.spans.push(slot.intents.len() as u32);
     }
+    let intents = slot.intents.len() as u64;
     slot.accum.record_evaluated((end - start) as u64, intents);
     // An all-empty sweep leaves the shard clean: for a quiescence-stable
     // policy it stays skippable until a mutation it can observe re-marks
@@ -1374,7 +1410,8 @@ impl EngineBuilder {
             .map(|s| {
                 let (start, end) = partition.range(s);
                 ShardSlot {
-                    decisions: (start..end).map(|_| Vec::new()).collect(),
+                    intents: Vec::new(),
+                    spans: Vec::with_capacity((end - start) as usize),
                     rngs: (start..end).map(|i| StdRng::seed_from_u64(mix(i as u64 + 1))).collect(),
                     scratch: ViewScratch::new(),
                     accum: ShardAccum::new(),
@@ -1405,6 +1442,7 @@ impl EngineBuilder {
             skip_cov: None,
             threads,
             pool: None,
+            executed_rounds: 0,
             speeds: self.speeds,
             trace: self.trace,
             in_flight_load: 0.0,

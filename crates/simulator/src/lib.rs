@@ -11,8 +11,8 @@
 //! [`parallel::par_map`] fans independent simulations out over threads for
 //! parameter sweeps.
 
-// `deny` rather than `forbid`: the worker pool (`pool`) contains one
-// documented lifetime erasure behind a module-level `allow`.
+// `deny` rather than `forbid`: the shard pool (`pool`) contains two
+// documented lifetime/aliasing erasures behind a module-level `allow`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -36,7 +36,7 @@ pub mod prelude {
         Engine, EngineBuilder, EngineConfig, FaultModel, RunReport, ShardLayout,
     };
     pub use crate::parallel::par_map;
-    pub use crate::pool::WorkerPool;
+    pub use crate::pool::ShardPool;
     pub use crate::state::{NodeState, SystemState};
     pub use crate::strategy::{SimulationStrategy, WakeHeap};
 }

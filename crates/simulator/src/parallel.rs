@@ -8,6 +8,17 @@
 //! count.
 
 use crossbeam::channel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Logs the `available_parallelism()` failure once per process: the
+/// degraded single-thread fallback should be visible, not a silent 4×
+/// overcommit on a host that could not even report its core count.
+fn warn_parallelism_unknown() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!("par_map: available_parallelism() failed; threads=0 falls back to 1 worker");
+    });
+}
 
 /// Inputs shorter than this run inline even when more threads were
 /// requested: spinning up a `crossbeam::thread::scope` plus two channels
@@ -20,8 +31,15 @@ const SPAWN_THRESHOLD: usize = 4;
 /// Maps `f` over `items` using up to `threads` worker threads, preserving
 /// input order in the result.
 ///
-/// `threads = 0` means "use available parallelism". Inputs shorter than
-/// [`SPAWN_THRESHOLD`] are mapped inline without spawning.
+/// `threads = 0` means "use available parallelism" — and when the host
+/// cannot report it, the fallback is 1 (logged once), never a fabricated
+/// core count. Inputs shorter than [`SPAWN_THRESHOLD`] are mapped inline
+/// without spawning.
+///
+/// # Panics
+/// If `f` panics on any item, the panic is re-raised on the caller with
+/// the failing item indices in the message (all items still drain first,
+/// so no worker is left holding the queue).
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -33,7 +51,10 @@ where
         return Vec::new();
     }
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or_else(|_| {
+            warn_parallelism_unknown();
+            1
+        })
     } else {
         threads
     }
@@ -43,7 +64,7 @@ where
     }
 
     let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<R, ()>)>();
     for pair in items.into_iter().enumerate() {
         work_tx.send(pair).expect("queue open");
     }
@@ -56,7 +77,10 @@ where
             let f = &f;
             s.spawn(move |_| {
                 while let Ok((i, item)) = work_rx.recv() {
-                    let r = f(item);
+                    // Catch per item: one poisoned configuration must not
+                    // kill the worker (stranding its queue share) or
+                    // surface as an indexless scope panic.
+                    let r = catch_unwind(AssertUnwindSafe(|| f(item))).map_err(drop);
                     if res_tx.send((i, r)).is_err() {
                         break;
                     }
@@ -65,8 +89,16 @@ where
         }
         drop(res_tx);
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut failed: Vec<usize> = Vec::new();
         for (i, r) in res_rx.iter() {
-            out[i] = Some(r);
+            match r {
+                Ok(r) => out[i] = Some(r),
+                Err(()) => failed.push(i),
+            }
+        }
+        if !failed.is_empty() {
+            failed.sort_unstable();
+            panic!("par_map: f panicked on item(s) {failed:?} of {n}");
         }
         out.into_iter().map(|r| r.expect("worker delivered")).collect()
     })
@@ -134,6 +166,20 @@ mod tests {
         });
         assert_eq!(out.len(), 500);
         assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn worker_panic_reports_failing_item_indices() {
+        let caught = std::panic::catch_unwind(|| {
+            par_map((0..100).collect::<Vec<i32>>(), 4, |x| {
+                if x == 41 || x == 17 {
+                    panic!("bad item");
+                }
+                x
+            })
+        });
+        let msg = *caught.expect_err("must propagate").downcast::<String>().expect("message");
+        assert!(msg.contains("[17, 41]"), "panic names the failing items: {msg}");
     }
 
     #[test]

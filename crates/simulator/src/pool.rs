@@ -1,83 +1,131 @@
-//! A persistent worker pool for parallel shard sweeps.
+//! A persistent pool of **pinned shard workers** for the parallel sweep.
 //!
-//! The engine once spawned a fresh `crossbeam::thread::scope` (OS threads
-//! and all) every balance tick; at tick rates in the thousands per second
-//! the spawn/join cost dwarfed the decisions themselves. This pool is
-//! created once per [`crate::engine::Engine`] and reused: each tick the
-//! engine submits one job per *shard* via [`WorkerPool::run_jobs`], the
-//! workers (each owning a long-lived [`ViewScratch`]) pull whole jobs off a
-//! shared queue, and the call returns once every job has been acknowledged.
-//! Jobs may outnumber workers — a fast worker simply drains more of the
-//! queue, which is how shard-level load balancing across threads happens.
+//! Two generations of dispatch preceded this design. The first spawned a
+//! `crossbeam::thread::scope` per tick (OS threads dwarfed the decisions).
+//! The second kept the threads alive but re-queued every shard through a
+//! shared channel each round: 2×K channel messages plus one `Mutex` per
+//! shard per round, and whichever worker happened to pull a shard got it —
+//! so a shard's scratch, decision arena and RNG cache lines migrated
+//! between cores round after round. BENCH_2 recorded the result honestly:
+//! the parallel path lost to sequential at every scale.
 //!
-//! Determinism: jobs are fixed shard index ranges and every node uses its
-//! own RNG, so results are byte-identical to the sequential sweep no matter
-//! which worker executes which job.
+//! [`ShardPool`] fixes both costs:
+//!
+//! * **Shard-to-worker affinity** — each worker owns a fixed, deterministic,
+//!   contiguous block of shard indices for the life of the pool (the same
+//!   ±1-balanced split [`pp_topology::partition::Partition`] uses for
+//!   nodes). A shard is only ever touched by its owner, so per-shard state
+//!   stays hot in one worker's cache and the `&mut` hand-off needs no
+//!   locks at all (cf. Saule et al., arXiv:1104.2566, on keeping the
+//!   work→processor mapping stable across rounds).
+//! * **An epoch barrier instead of per-job round-trips** — one round costs
+//!   one `notify_all` on the epoch condvar and one `notify_one` back from
+//!   the last worker to finish, independent of K. No channels, no per-shard
+//!   messages, no allocation.
+//!
+//! Determinism: affinity only decides *where* a shard is evaluated. Shards
+//! are fixed node ranges, every node draws from its own RNG stream, and the
+//! commit phase runs on the caller in fixed shard order — so results are
+//! byte-identical to the sequential sweep for every worker count.
+//!
+//! Panics inside a shard job are caught per shard; the barrier still
+//! completes (a lost ack would hang the caller forever), then
+//! [`ShardPool::run_shards`] panics listing the failing shard indices. The
+//! pool itself survives and keeps serving later rounds.
 
-#![allow(unsafe_code)] // one lifetime erasure, justified below
+#![allow(unsafe_code)] // two lifetime/aliasing erasures, justified inline
 
-use crate::balancer::ViewScratch;
-use crossbeam::channel::{self, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// The job closure as the workers see it: `(partition index, &mut scratch)`.
-type JobFn<'a> = &'a (dyn Fn(usize, &mut ViewScratch) + Sync);
+/// The erased per-shard job as workers see it. The pointee lives on the
+/// caller's stack; see the invariant on [`ShardPool::run_shards`].
+struct JobPtr(*const (dyn Fn(usize) + Sync));
 
-/// A job envelope carrying an erased-lifetime pointer to the caller's
-/// closure. Safe to send because [`WorkerPool::run`] blocks until every
-/// worker has acknowledged, so the pointee outlives all uses.
-struct Job {
-    f: *const (dyn Fn(usize, &mut ViewScratch) + Sync),
-    part: usize,
+// SAFETY: the pointer targets a `Sync` closure that `run_shards` keeps
+// borrowed (and this thread blocked) until every worker has passed the
+// done-barrier, so shared use from worker threads is sound.
+unsafe impl Send for JobPtr {}
+
+/// Shared pool control block: the epoch counter workers wait on, the
+/// current round's job, and the completion countdown.
+struct Ctrl {
+    /// Bumped once per round; workers sleep while it equals the last epoch
+    /// they served.
+    epoch: u64,
+    /// The job for the current epoch (`None` between rounds — a stale
+    /// pointer must never outlive its `run_shards` call).
+    job: Option<JobPtr>,
+    /// Workers that have not yet finished the current epoch.
+    remaining: usize,
+    /// Shard indices whose job panicked this epoch.
+    failed: Vec<usize>,
+    /// Set once on drop; workers exit their loop.
+    shutdown: bool,
 }
 
-// SAFETY: the pointer targets a closure that `run` keeps alive (borrowed for
-// the whole call) and that is `Sync`, so shared use from worker threads is
-// sound.
-unsafe impl Send for Job {}
+struct Shared {
+    ctrl: Mutex<Ctrl>,
+    /// Workers wait here for the next epoch.
+    work_cv: Condvar,
+    /// The caller waits here for `remaining == 0`.
+    done_cv: Condvar,
+}
 
-/// A fixed-size pool of decision workers. Dropping it shuts the workers
-/// down and joins them.
-pub struct WorkerPool {
-    job_tx: Option<Sender<Job>>,
-    done_rx: Receiver<bool>,
+/// A fixed-size pool of sweep workers with pinned shard affinity. Dropping
+/// it shuts the workers down and joins them.
+pub struct ShardPool {
+    shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     workers: usize,
+    shards: usize,
+    /// `owner[s]` is the worker index that owns shard `s`.
+    owner: Vec<usize>,
 }
 
-impl WorkerPool {
-    /// Spawns `workers` threads (at least 1), each with its own reusable
-    /// [`ViewScratch`].
-    pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
-        let (job_tx, job_rx) = channel::unbounded::<Job>();
-        let (done_tx, done_rx) = channel::unbounded::<bool>();
+/// The contiguous, ±1-balanced affinity block worker `w` of `workers` owns
+/// over `shards` shards — the same deterministic split `Partition` applies
+/// to node ids, so the map is a pure function of `(workers, shards)`.
+fn affinity_block(w: usize, workers: usize, shards: usize) -> std::ops::Range<usize> {
+    let base = shards / workers;
+    let rem = shards % workers;
+    let start = w * base + w.min(rem);
+    let len = base + usize::from(w < rem);
+    start..start + len
+}
+
+impl ShardPool {
+    /// Spawns a pool of `workers` threads (at least 1, at most `shards` —
+    /// a worker with no shards would only add wake latency) serving a fixed
+    /// universe of `shards` shard indices.
+    pub fn new(workers: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let workers = workers.clamp(1, shards);
+        let shared = Arc::new(Shared {
+            ctrl: Mutex::new(Ctrl {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                failed: Vec::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let mut owner = vec![0usize; shards];
         let handles = (0..workers)
-            .map(|_| {
-                let job_rx = job_rx.clone();
-                let done_tx = done_tx.clone();
-                std::thread::spawn(move || {
-                    let mut scratch = ViewScratch::new();
-                    while let Ok(job) = job_rx.recv() {
-                        // SAFETY: `run` is still blocked waiting for this
-                        // job's ack, so the closure behind the pointer is
-                        // alive; see the invariant on `Job`.
-                        let f = unsafe { &*job.f };
-                        // Catch job panics so the ack is ALWAYS sent — a
-                        // lost ack would leave `run` blocked forever (a
-                        // hang instead of a diagnostic).
-                        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            f(job.part, &mut scratch)
-                        }))
-                        .is_ok();
-                        if done_tx.send(ok).is_err() {
-                            break;
-                        }
-                    }
-                })
+            .map(|w| {
+                let block = affinity_block(w, workers, shards);
+                for s in block.clone() {
+                    owner[s] = w;
+                }
+                let shared = Arc::clone(&shared);
+                let owned: Vec<usize> = block.collect();
+                std::thread::spawn(move || worker_loop(&shared, &owned))
             })
             .collect();
-        WorkerPool { job_tx: Some(job_tx), done_rx, handles, workers }
+        ShardPool { shared, handles, workers, shards, owner }
     }
 
     /// Number of worker threads.
@@ -85,52 +133,121 @@ impl WorkerPool {
         self.workers
     }
 
-    /// Executes `f(part, scratch)` for every partition `0..workers()` —
-    /// [`WorkerPool::run_jobs`] with one job per worker.
-    pub fn run(&self, f: JobFn<'_>) {
-        self.run_jobs(self.workers, f);
+    /// Number of shards the affinity map covers.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
-    /// Executes `f(job, scratch)` for every job index `0..jobs`,
-    /// distributed over the pool's workers (jobs may outnumber workers:
-    /// each worker keeps pulling until the queue drains), and returns when
-    /// all have completed.
+    /// The worker index that owns shard `s` — fixed for the pool's life,
+    /// identical across pools built with the same `(workers, shards)`.
+    pub fn owner_of(&self, s: usize) -> usize {
+        self.owner[s]
+    }
+
+    /// Runs `f(s, &mut slots[s])` for every shard index `s`, each on the
+    /// worker that owns `s`, and returns when all have completed. `slots`
+    /// must have exactly [`ShardPool::shards`] entries.
     ///
     /// `f` may borrow from the caller's stack: the call blocks until every
-    /// job is acknowledged, so the borrow outlives every use.
+    /// worker has passed the done-barrier, so the borrow outlives every use.
     ///
     /// # Panics
-    /// Panics if any job panicked on a worker — but only after every job
-    /// has been acknowledged, so no worker can still hold the job closure
-    /// when the unwind leaves this frame.
-    pub fn run_jobs(&self, jobs: usize, f: JobFn<'_>) {
-        if jobs == 0 {
-            return;
+    /// Panics if `slots` has the wrong length, or if any shard's job
+    /// panicked on its worker — but only after the barrier, so no worker
+    /// can still hold the closure (or a slot) when the unwind leaves this
+    /// frame.
+    pub fn run_shards<T: Send>(&self, slots: &mut [T], f: &(dyn Fn(usize, &mut T) + Sync)) {
+        assert_eq!(slots.len(), self.shards, "slot slice must match the pool's shard count");
+        let base = slots.as_mut_ptr();
+        // Wrap the raw base pointer so the closure below is `Sync`; the
+        // affinity map guarantees disjoint access (each shard index is
+        // owned by exactly one worker and handed out exactly once per
+        // round).
+        struct SlotBase<T>(*mut T);
+        // SAFETY: workers dereference disjoint offsets (one owner per
+        // shard) and the caller's `&mut [T]` borrow pins the allocation
+        // for the whole call.
+        unsafe impl<T: Send> Sync for SlotBase<T> {}
+        let slots = SlotBase(base);
+        // `move` + a reference binding so the closure captures `&SlotBase`
+        // (which is `Sync`) rather than disjointly capturing the raw
+        // pointer field (which is not).
+        let slots = &slots;
+        let job = move |s: usize| {
+            // SAFETY: `s` is in-bounds (owners cover exactly `0..shards`,
+            // which equals `slots.len()`), and no two workers share an `s`.
+            let slot: &mut T = unsafe { &mut *slots.0.add(s) };
+            f(s, slot);
+        };
+        let job: &(dyn Fn(usize) + Sync) = &job;
+        // SAFETY: erase the closure borrow's lifetime so it can sit in the
+        // shared control block. The only readers are the workers serving
+        // this epoch, and we block on the done-barrier (even when a job
+        // panicked) and clear the slot before returning — the closure
+        // cannot be dropped while any worker can still reach it.
+        let job: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+
+        let mut ctrl = self.shared.ctrl.lock().expect("pool control poisoned");
+        debug_assert!(ctrl.job.is_none() && ctrl.remaining == 0, "overlapping run_shards");
+        ctrl.job = Some(JobPtr(job));
+        ctrl.remaining = self.workers;
+        ctrl.epoch += 1;
+        self.shared.work_cv.notify_all();
+        while ctrl.remaining > 0 {
+            ctrl = self.shared.done_cv.wait(ctrl).expect("pool control poisoned");
         }
-        // SAFETY: erase the closure borrow's lifetime so it can ride through
-        // the channel. The only readers are the workers servicing exactly
-        // the jobs submitted below, and we block on their acks (even when a
-        // job panicked) before returning — the closure cannot be dropped
-        // while any worker can still reach it.
-        let f: *const (dyn Fn(usize, &mut ViewScratch) + Sync) = unsafe { std::mem::transmute(f) };
-        let tx = self.job_tx.as_ref().expect("pool is live until dropped");
-        for part in 0..jobs {
-            tx.send(Job { f, part }).expect("worker pool disconnected");
+        ctrl.job = None;
+        let mut failed = std::mem::take(&mut ctrl.failed);
+        drop(ctrl);
+        if !failed.is_empty() {
+            failed.sort_unstable();
+            panic!("shard job(s) panicked on shards {failed:?}");
         }
-        let mut panicked = 0usize;
-        for _ in 0..jobs {
-            if !self.done_rx.recv().expect("a decision worker died") {
-                panicked += 1;
-            }
-        }
-        assert!(panicked == 0, "{panicked} decision job(s) panicked on the worker pool");
     }
 }
 
-impl Drop for WorkerPool {
+fn worker_loop(shared: &Shared, owned: &[usize]) {
+    let mut served = 0u64;
+    loop {
+        let job = {
+            let mut ctrl = shared.ctrl.lock().expect("pool control poisoned");
+            while ctrl.epoch == served && !ctrl.shutdown {
+                ctrl = shared.work_cv.wait(ctrl).expect("pool control poisoned");
+            }
+            if ctrl.shutdown {
+                return;
+            }
+            served = ctrl.epoch;
+            let JobPtr(p) = *ctrl.job.as_ref().expect("epoch bumped without a job");
+            p
+        };
+        // SAFETY: `run_shards` keeps the pointee alive until this worker
+        // decrements `remaining` below; see the invariant there.
+        let f = unsafe { &*job };
+        let mut failed: Vec<usize> = Vec::new();
+        for &s in owned {
+            // Catch per shard so one poisoned shard neither kills the
+            // worker nor loses the ack — and the caller learns exactly
+            // which shards failed.
+            if catch_unwind(AssertUnwindSafe(|| f(s))).is_err() {
+                failed.push(s);
+            }
+        }
+        let mut ctrl = shared.ctrl.lock().expect("pool control poisoned");
+        ctrl.failed.extend(failed);
+        ctrl.remaining -= 1;
+        if ctrl.remaining == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+impl Drop for ShardPool {
     fn drop(&mut self) {
-        // Closing the job channel ends every worker's recv loop.
-        self.job_tx = None;
+        if let Ok(mut ctrl) = self.shared.ctrl.lock() {
+            ctrl.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -143,90 +260,143 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
-    fn runs_every_partition_exactly_once() {
-        let pool = WorkerPool::new(4);
-        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+    fn runs_every_shard_exactly_once_per_round() {
+        let pool = ShardPool::new(4, 13);
+        let mut hits = vec![0u64; 13];
         for _ in 0..50 {
-            pool.run(&|part, _scratch| {
-                hits[part].fetch_add(1, Ordering::Relaxed);
-            });
+            pool.run_shards(&mut hits, &|_s, h| *h += 1);
         }
-        for h in &hits {
-            assert_eq!(h.load(Ordering::Relaxed), 50);
+        assert!(hits.iter().all(|&h| h == 50), "{hits:?}");
+    }
+
+    #[test]
+    fn affinity_is_a_deterministic_contiguous_partition() {
+        for (workers, shards) in [(1, 1), (2, 2), (3, 8), (4, 13), (8, 8), (5, 64)] {
+            let pool = ShardPool::new(workers, shards);
+            // Every shard has exactly one owner and owners are
+            // non-decreasing over the shard range (contiguous blocks).
+            let owners: Vec<usize> = (0..shards).map(|s| pool.owner_of(s)).collect();
+            assert!(owners.windows(2).all(|w| w[0] <= w[1]), "{owners:?}");
+            assert_eq!(*owners.last().unwrap() + 1, pool.workers());
+            // Blocks are ±1 balanced.
+            let mut counts = vec![0usize; pool.workers()];
+            for &o in &owners {
+                counts[o] += 1;
+            }
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(max - min <= 1, "{counts:?}");
+            // And the map is a pure function of (workers, shards).
+            let again = ShardPool::new(workers, shards);
+            assert_eq!(owners, (0..shards).map(|s| again.owner_of(s)).collect::<Vec<_>>());
         }
     }
 
     #[test]
+    fn shards_stay_pinned_to_their_owner() {
+        // Record which OS thread serves each shard on every round: the
+        // affinity contract says it never changes.
+        let pool = ShardPool::new(3, 11);
+        let mut seen: Vec<Option<std::thread::ThreadId>> = vec![None; 11];
+        for _ in 0..40 {
+            pool.run_shards(&mut seen, &|_s, slot| {
+                let me = std::thread::current().id();
+                match slot {
+                    None => *slot = Some(me),
+                    Some(owner) => assert_eq!(*owner, me, "shard migrated between workers"),
+                }
+            });
+        }
+        assert!(seen.iter().all(|s| s.is_some()));
+    }
+
+    #[test]
     fn borrows_caller_stack_safely() {
-        let pool = WorkerPool::new(3);
+        let pool = ShardPool::new(3, 3);
         let data = [1u64, 2, 3];
         let sum = AtomicUsize::new(0);
-        pool.run(&|part, _| {
-            sum.fetch_add(data[part] as usize, Ordering::Relaxed);
+        let mut slots = [0u8; 3];
+        pool.run_shards(&mut slots, &|s, _| {
+            sum.fetch_add(data[s] as usize, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 6);
     }
 
     #[test]
-    fn single_worker_pool() {
-        let pool = WorkerPool::new(1);
-        let count = AtomicUsize::new(0);
-        pool.run(&|part, _| {
-            assert_eq!(part, 0);
-            count.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(count.load(Ordering::Relaxed), 1);
-    }
-
-    #[test]
-    fn drop_joins_workers() {
-        let pool = WorkerPool::new(2);
-        pool.run(&|_, _| {});
-        drop(pool); // must not hang
-    }
-
-    #[test]
-    fn zero_requested_workers_clamps_to_one() {
-        let pool = WorkerPool::new(0);
+    fn single_worker_pool_serves_all_shards() {
+        let pool = ShardPool::new(1, 5);
+        let mut hits = vec![0u32; 5];
+        pool.run_shards(&mut hits, &|_, h| *h += 1);
+        assert_eq!(hits, vec![1; 5]);
         assert_eq!(pool.workers(), 1);
     }
 
     #[test]
-    fn more_jobs_than_workers_all_run_once() {
-        let pool = WorkerPool::new(2);
-        let hits: Vec<AtomicUsize> = (0..13).map(|_| AtomicUsize::new(0)).collect();
-        for _ in 0..20 {
-            pool.run_jobs(13, &|job, _| {
-                hits[job].fetch_add(1, Ordering::Relaxed);
-            });
-        }
-        for h in &hits {
-            assert_eq!(h.load(Ordering::Relaxed), 20);
-        }
+    fn worker_count_clamps_to_shard_count_and_one() {
+        assert_eq!(ShardPool::new(0, 3).workers(), 1);
+        assert_eq!(ShardPool::new(8, 3).workers(), 3);
+        assert_eq!(ShardPool::new(2, 0).shards(), 1);
     }
 
     #[test]
-    fn zero_jobs_is_a_noop() {
-        let pool = WorkerPool::new(2);
-        pool.run_jobs(0, &|_, _| panic!("no job should run"));
+    fn drop_joins_workers() {
+        let pool = ShardPool::new(2, 4);
+        let mut slots = [0u8; 4];
+        pool.run_shards(&mut slots, &|_, _| {});
+        drop(pool); // must not hang
     }
 
     #[test]
-    fn panicking_job_panics_run_instead_of_hanging() {
-        let pool = WorkerPool::new(3);
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run(&|part, _| {
-                if part == 1 {
+    fn panicking_shard_panics_run_with_its_index() {
+        let pool = ShardPool::new(3, 7);
+        let mut slots = [0u32; 7];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_shards(&mut slots, &|s, _| {
+                if s == 4 {
                     panic!("boom");
                 }
             });
         }));
-        assert!(caught.is_err(), "run must propagate the job panic");
-        // The pool survives: the healthy workers still process later jobs.
-        let count = AtomicUsize::new(0);
-        pool.run(&|_, _| {
-            count.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(count.load(Ordering::Relaxed), 3);
+        let msg = *caught.expect_err("must propagate").downcast::<String>().expect("message");
+        assert!(msg.contains("[4]"), "panic names the failing shard: {msg}");
+        // The pool survives: every shard (including 4's owner) still runs.
+        let mut slots = [0u32; 7];
+        pool.run_shards(&mut slots, &|_, h| *h += 1);
+        assert_eq!(slots, [1; 7]);
+    }
+
+    #[test]
+    fn multiple_panics_reported_sorted() {
+        let pool = ShardPool::new(2, 6);
+        let mut slots = [(); 6];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_shards(&mut slots, &|s, _| {
+                if s % 2 == 1 {
+                    panic!("odd shard");
+                }
+            });
+        }));
+        let msg = *caught.expect_err("must propagate").downcast::<String>().expect("message");
+        assert!(msg.contains("[1, 3, 5]"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "slot slice must match")]
+    fn wrong_slot_count_rejected() {
+        let pool = ShardPool::new(2, 4);
+        let mut slots = [0u8; 3];
+        pool.run_shards(&mut slots, &|_, _| {});
+    }
+
+    #[test]
+    fn slots_are_mutated_in_place() {
+        let pool = ShardPool::new(4, 9);
+        let mut slots: Vec<Vec<u64>> = (0..9).map(|_| Vec::new()).collect();
+        for round in 0..20u64 {
+            pool.run_shards(&mut slots, &|s, v| v.push(round * 100 + s as u64));
+        }
+        for (s, v) in slots.iter().enumerate() {
+            let want: Vec<u64> = (0..20).map(|r| r * 100 + s as u64).collect();
+            assert_eq!(v, &want, "shard {s}");
+        }
     }
 }

@@ -25,6 +25,14 @@
 //! engine's float history bit-for-bit (see
 //! `docs/adr/ADR-006-event-strategy.md` for the full argument).
 //!
+//! Strategies compose orthogonally with the pinned shard workers
+//! ([`crate::pool::ShardPool`]): the strategy decides *whether* a round's
+//! sweep runs at all, affinity decides *where* each shard of an executed
+//! sweep runs, and neither choice reaches the computed bytes. A skipped
+//! round never wakes the pool (the fast-forward is closed-form on the
+//! calling thread), so the event strategy's skip cost stays O(1) per
+//! round at every thread count.
+//!
 //! [`quiescence_stable`]: crate::balancer::LoadBalancer::quiescence_stable
 
 use std::cmp::Ordering;
