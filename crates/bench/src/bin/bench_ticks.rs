@@ -1,6 +1,6 @@
-//! BENCH_7 — tick-throughput benchmark for the sharded tick pipeline, the
-//! event-driven time-skipping strategy, and the pinned-worker thread
-//! scaling of the decision sweep.
+//! BENCH_8 — tick-throughput benchmark for the sharded tick pipeline, the
+//! event-driven time-skipping strategy, the pinned-worker thread scaling
+//! of the decision sweep, and adaptive online repartitioning.
 //!
 //! Measures steady-state balance-round throughput (rounds/sec) and
 //! per-node decision cost (ns/node-decision) for the particle-plane
@@ -14,7 +14,7 @@
 //! * `sparse65536_{tick,event}` — the strategy pair on a sparse-activity
 //!   system (the event strategy fast-forwards quiescent rounds).
 //!
-//! New in BENCH_7: a **dense thread matrix** — `dense16384_t{1,2,4,8}`,
+//! The BENCH_7 **dense thread matrix** carries over — `dense16384_t{1,2,4,8}`,
 //! a 16 384-node torus with friction jitter enabled. Jitter makes the
 //! policy non-quiescence-stable, so *every* shard is evaluated *every*
 //! round: no skipping, no event fast-forward — the rows isolate raw sweep
@@ -23,6 +23,16 @@
 //! earlier benches could not make: BENCH_4/BENCH_6 headline ratios all ran
 //! `threads: 1`, and BENCH_2's channel-dispatch pool lost to sequential
 //! outright.
+//!
+//! New in BENCH_8: the **adaptive repartitioning pair** —
+//! `hotspot16384_{static,adaptive}`, a 16 384-node torus under a slowly
+//! drifting arrival hotspot (redistribution only: `consume_rate = 0`, so
+//! the per-round cost is exactly the dirty-shard sweep). Both rows run the
+//! identical system and emit identical report bytes (the `--verify-
+//! repartition` gate proves it); the only difference is the `repartition`
+//! knob, which lets the adaptive row shrink its shards around the dirty
+//! frontier and skip the wide quiescent ones. The enforced expectation is
+//! adaptive ≥ 1.3× static rounds/sec (ADR-008).
 //!
 //! The JSON header records `host_parallelism` and whether the
 //! thread-scaling gate was enforced, so a 1-core container can never again
@@ -36,16 +46,18 @@
 //! * `--smoke`      few iterations (CI keep-alive; numbers are meaningless)
 //! * `--enforce`    exit non-zero unless the scaling expectations hold:
 //!   sharded ≥ 1× sequential at 1 024 nodes, ≥ 1.5× at 16 384, event
-//!   strategy ≥ 5× tick on the sparse 65 536 pair, and — on hosts with
-//!   ≥ 4 cores — `dense16384_t4` strictly faster than `dense16384_t1`.
-//!   On smaller hosts the thread gate is skipped with a visible
-//!   `::notice::` annotation and recorded as such in the JSON.
+//!   strategy ≥ 5× tick on the sparse 65 536 pair, adaptive repartitioning
+//!   ≥ 1.3× static on the hotspot pair, and — on hosts with ≥ 4 cores —
+//!   `dense16384_t4` strictly faster than `dense16384_t1`. On smaller
+//!   hosts the thread gate is skipped with a visible annotation
+//!   (`::notice::` under GitHub Actions, a plain note elsewhere) and
+//!   recorded as such in the JSON.
 //! * `--shards K`   override the shard count of every `*_shard` scenario
 //! * `--threads T`  override the sweep worker-thread count everywhere
 //!   (including the thread matrix — useful only for debugging)
-//! * `--out PATH`   where to write the JSON (default `BENCH_7.json`)
+//! * `--out PATH`   where to write the JSON (default `BENCH_8.json`)
 //! * `--baseline P` embed the `scenarios` of a previous output as
-//!   `baseline` and compute per-scenario speedups (BENCH_6.json's names
+//!   `baseline` and compute per-scenario speedups (BENCH_7.json's names
 //!   line up, continuing the trajectory)
 //! * `--check PATH` parse PATH as JSON and exit (0 = parses, 1 = does
 //!   not, with a missing file reported as `NOT FOUND` rather than a parse
@@ -58,9 +70,9 @@
 use pp_core::balancer::ParticlePlaneBalancer;
 use pp_core::jitter::FrictionJitter;
 use pp_core::params::PhysicsConfig;
-use pp_sim::engine::{EngineBuilder, EngineConfig, RunReport};
+use pp_sim::engine::{EngineBuilder, EngineConfig, RepartitionConfig, RunReport};
 use pp_sim::strategy::SimulationStrategy;
-use pp_tasking::workload::Workload;
+use pp_tasking::workload::{ArrivalProcess, Workload};
 use pp_topology::graph::Topology;
 use serde::{Serialize, Value};
 use std::time::Instant;
@@ -90,6 +102,13 @@ struct Scenario {
     /// — nothing ever happens, but the tick strategy still pays the O(n)
     /// consume sweep per round.
     sparse: bool,
+    /// Drifting-hotspot variant: no resident workload, no consumption, a
+    /// [`ArrivalProcess::MovingHotspot`] that drifts one diagonal step per
+    /// dwell — the dirty frontier stays compact while it wanders, which is
+    /// the regime adaptive repartitioning exists for.
+    moving: bool,
+    /// Adaptive online repartitioning knob (the BENCH_8 variable).
+    repartition: Option<RepartitionConfig>,
     strategy: SimulationStrategy,
 }
 
@@ -112,6 +131,8 @@ const fn dense(
         threads: 0,
         jitter: false,
         sparse: false,
+        moving: false,
+        repartition: None,
         strategy: SimulationStrategy::Tick,
     }
 }
@@ -129,6 +150,28 @@ const fn matrix(name: &'static str, threads: usize) -> Scenario {
         threads,
         jitter: true,
         sparse: false,
+        moving: false,
+        repartition: None,
+        strategy: SimulationStrategy::Tick,
+    }
+}
+
+/// An adaptive-repartitioning row: 16 384 nodes, K = 64, a drifting
+/// arrival hotspot, redistribution only. The pair differs in exactly the
+/// `repartition` knob.
+const fn hotspot(name: &'static str, repartition: Option<RepartitionConfig>) -> Scenario {
+    Scenario {
+        name,
+        side: 128,
+        warm: 40,
+        rounds: 300,
+        smoke_rounds: 2,
+        shards: 64,
+        threads: 0,
+        jitter: false,
+        sparse: false,
+        moving: true,
+        repartition,
         strategy: SimulationStrategy::Tick,
     }
 }
@@ -154,6 +197,8 @@ const SCENARIOS: &[Scenario] = &[
         threads: 0,
         jitter: false,
         sparse: true,
+        moving: false,
+        repartition: None,
         strategy: SimulationStrategy::Tick,
     },
     Scenario {
@@ -166,6 +211,8 @@ const SCENARIOS: &[Scenario] = &[
         threads: 0,
         jitter: false,
         sparse: true,
+        moving: false,
+        repartition: None,
         strategy: SimulationStrategy::Event,
     },
     // The dense thread matrix: identical systems, identical bytes out
@@ -174,6 +221,10 @@ const SCENARIOS: &[Scenario] = &[
     matrix("dense16384_t2", 2),
     matrix("dense16384_t4", 4),
     matrix("dense16384_t8", 8),
+    // The adaptive repartitioning pair: identical systems, identical bytes
+    // out (`lab --verify-repartition` proves it), only the knob varies.
+    hotspot("hotspot16384_static", None),
+    hotspot("hotspot16384_adaptive", Some(RepartitionConfig { every: 16, skew_threshold: 2.0 })),
 ];
 
 #[derive(Serialize)]
@@ -201,6 +252,9 @@ struct Measurement {
     /// Fraction of shard-ticks skipped as quiescent during the whole run
     /// (warm-up included) — 0 for the sequential reference.
     skip_ratio: f64,
+    /// Adaptive repartitions applied over the whole run (warm-up included)
+    /// — 0 everywhere except the `hotspot16384_adaptive` row.
+    repartitions: u64,
 }
 
 #[derive(Serialize)]
@@ -233,6 +287,9 @@ struct Output {
     thread_gate: String,
     scenarios: Vec<Measurement>,
     reports_identical: bool,
+    /// Adaptive-vs-static differential (miniature): repartitioning must be
+    /// outcome-invisible. The full-size gate is `lab --verify-repartition`.
+    repartition_identical: bool,
     expectations: Vec<Expectation>,
     baseline: Option<Vec<Measurement>>,
     speedup_rounds_per_sec: Option<Vec<(String, f64)>>,
@@ -256,26 +313,49 @@ fn physics(jitter: bool) -> PhysicsConfig {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // bench scenario axes, called from one table
 fn engine_with(
     side: usize,
     shards: usize,
     threads: usize,
     sparse: bool,
     jitter: bool,
+    moving: bool,
+    repartition: Option<RepartitionConfig>,
     strategy: SimulationStrategy,
 ) -> pp_sim::engine::Engine {
     let topo = Topology::torus(&[side, side]);
     let n = topo.node_count();
-    let w = if sparse {
+    let w = if sparse || moving {
         Workload::from_loads(&vec![0.0; n], 1.0)
     } else {
         Workload::uniform_random(n, LOAD_PER_NODE, SEED)
     };
     let consume_rate = if sparse { 0.5 } else { 0.0 };
+    // `side + 1` = one diagonal step per dwell: the hotspot drifts instead
+    // of teleporting, so the dirty frontier stays one compact wandering
+    // blob — narrow shards around it pay off, wide quiescent ones skip.
+    // The sparse rate keeps the blob small relative to a uniform shard:
+    // that gap (nodes a static layout sweeps but an adaptive one does not)
+    // is exactly what the BENCH_8 gate measures, and a heavy blob erodes
+    // it by making even the adaptive layout's hot shards wide.
+    let arrival = if moving {
+        ArrivalProcess::MovingHotspot { rate: 1.5, size: 1.0, dwell: 10.0, stride: side as u32 + 1 }
+    } else {
+        ArrivalProcess::Quiescent
+    };
     EngineBuilder::new(topo)
         .workload(w)
         .balancer(ParticlePlaneBalancer::new(physics(jitter)))
-        .config(EngineConfig { shards, threads, consume_rate, strategy, ..Default::default() })
+        .config(EngineConfig {
+            shards,
+            threads,
+            consume_rate,
+            arrival,
+            repartition,
+            strategy,
+            ..Default::default()
+        })
         .seed(SEED)
         .build()
 }
@@ -287,7 +367,16 @@ fn measure(sc: &Scenario, smoke: bool, shards_override: usize, threads_flag: usi
     // `--threads` overrides everything (debugging escape hatch).
     let threads = if threads_flag > 0 { threads_flag } else { sc.threads };
     let n = sc.side * sc.side;
-    let mut engine = engine_with(sc.side, shards, threads, sc.sparse, sc.jitter, sc.strategy);
+    let mut engine = engine_with(
+        sc.side,
+        shards,
+        threads,
+        sc.sparse,
+        sc.jitter,
+        sc.moving,
+        sc.repartition,
+        sc.strategy,
+    );
     // Warm up: converge past the initial migration burst so the measured
     // window is dominated by steady-state tick cost, and warm caches/pools.
     engine.run_rounds(warm.max(1));
@@ -317,6 +406,7 @@ fn measure(sc: &Scenario, smoke: bool, shards_override: usize, threads_flag: usi
             Some(elapsed.as_nanos() as f64 / evaluated as f64)
         },
         skip_ratio: engine.shard_stats().skip_ratio(),
+        repartitions: engine.repartitions(),
     }
 }
 
@@ -340,7 +430,8 @@ fn report_digest(r: &RunReport) -> String {
 fn seq_shard_identical(smoke: bool) -> bool {
     let rounds = if smoke { 3 } else { 60 };
     let run = |shards: usize, threads: usize, jitter: bool| {
-        let mut e = engine_with(32, shards, threads, false, jitter, SimulationStrategy::Tick);
+        let mut e =
+            engine_with(32, shards, threads, false, jitter, false, None, SimulationStrategy::Tick);
         e.run_rounds(rounds).drain(50.0);
         report_digest(&e.report())
     };
@@ -351,6 +442,21 @@ fn seq_shard_identical(smoke: bool) -> bool {
         && seq == run(5, 3, false)
         && dense == run(16, 4, true)
         && dense == run(16, 8, true)
+}
+
+/// The adaptive pair in miniature: a repartitioning run must be
+/// outcome-identical to its static twin for the same seed (and must
+/// actually repartition, or the comparison verifies nothing).
+fn adaptive_static_identical(smoke: bool) -> bool {
+    let rounds = if smoke { 6 } else { 60 };
+    let run = |rp: Option<RepartitionConfig>| {
+        let mut e = engine_with(32, 16, 2, false, false, true, rp, SimulationStrategy::Tick);
+        e.run_rounds(rounds).drain(50.0);
+        (report_digest(&e.report()), e.repartitions())
+    };
+    let (static_digest, _) = run(None);
+    let (adaptive_digest, fired) = run(Some(RepartitionConfig { every: 2, skew_threshold: 1.5 }));
+    adaptive_digest == static_digest && (smoke || fired > 0)
 }
 
 fn extract_baseline(path: &str) -> Result<Vec<Measurement>, String> {
@@ -378,6 +484,8 @@ fn extract_baseline(path: &str) -> Result<Vec<Measurement>, String> {
             // A BENCH_6 `0.0` meant "nothing executed"; normalize to null.
             ns_per_node_decision: field("ns_per_node_decision").filter(|&x| x > 0.0),
             skip_ratio: field("skip_ratio").unwrap_or(0.0),
+            // Pre-BENCH_8 baselines had no repartition column.
+            repartitions: field("repartitions").unwrap_or(0.0) as u64,
         });
     }
     Ok(out)
@@ -386,9 +494,10 @@ fn extract_baseline(path: &str) -> Result<Vec<Measurement>, String> {
 /// The scaling contract: sharded ≥ sequential at 1 024 nodes, ≥ 1.5× at
 /// 16 384 (the two scales BENCH_2 showed the work-stealing path *losing*),
 /// the event strategy ≥ 5× the tick strategy on the sparse-activity
-/// 65 536-node pair, and — the BENCH_7 addition — 4 pinned workers
-/// strictly faster than 1 on the dense (never-skipping) 16 384-node
-/// matrix, enforced only where the host actually has ≥ 4 cores.
+/// 65 536-node pair, 4 pinned workers strictly faster than 1 on the dense
+/// (never-skipping) 16 384-node matrix (enforced only where the host
+/// actually has ≥ 4 cores), and — the BENCH_8 addition — adaptive
+/// repartitioning ≥ 1.3× static on the drifting-hotspot pair.
 fn expectations(scenarios: &[Measurement], cores: usize) -> Vec<Expectation> {
     let rps = |name: &str| {
         scenarios.iter().find(|m| m.name == name).map(|m| m.rounds_per_sec).unwrap_or(0.0)
@@ -398,6 +507,7 @@ fn expectations(scenarios: &[Measurement], cores: usize) -> Vec<Expectation> {
         (16384, "torus16384_seq", "torus16384_shard", 1.5, true),
         (65536, "sparse65536_tick", "sparse65536_event", 5.0, true),
         (16384, "dense16384_t1", "dense16384_t4", 1.0, cores >= GATE_MIN_CORES),
+        (16384, "hotspot16384_static", "hotspot16384_adaptive", 1.3, true),
     ]
     .into_iter()
     .map(|(nodes, reference, candidate, required, enforced)| {
@@ -450,7 +560,7 @@ fn main() {
     let shards_override: usize =
         opt("--shards").map(|s| s.parse().expect("--shards N")).unwrap_or(0);
     let threads: usize = opt("--threads").map(|s| s.parse().expect("--threads N")).unwrap_or(0);
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_7.json".to_string());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_8.json".to_string());
     let baseline = opt("--baseline").map(|p| match extract_baseline(&p) {
         Ok(b) => b,
         Err(e) => {
@@ -466,7 +576,8 @@ fn main() {
         format!("skipped (host_parallelism {cores} < {GATE_MIN_CORES})")
     };
     println!(
-        "=== BENCH_7: sharded tick + event-strategy + thread-scaling throughput ({}, {} cores)",
+        "=== BENCH_8: sharded tick + event-strategy + thread-scaling + adaptive-repartition \
+         throughput ({}, {} cores)",
         if smoke { "smoke" } else { "full" },
         cores
     );
@@ -492,6 +603,10 @@ fn main() {
     println!("  seq/sharded reports identical: {identical}");
     assert!(identical, "sharded decision sweep diverged from sequential");
 
+    let repart_identical = adaptive_static_identical(smoke);
+    println!("  adaptive/static reports identical: {repart_identical}");
+    assert!(repart_identical, "adaptive repartitioning diverged from the static layout");
+
     let expect = expectations(&scenarios, cores);
     for e in &expect {
         println!(
@@ -510,12 +625,18 @@ fn main() {
         );
     }
     if cores < GATE_MIN_CORES {
-        // GitHub Actions annotation syntax — a skipped gate must be loud,
-        // not a silently green job.
-        println!(
-            "::notice title=thread-scaling gate skipped::host has {cores} core(s), \
-             the dense16384 t4>t1 gate needs {GATE_MIN_CORES}; ratios recorded unenforced"
+        // A skipped gate must be loud, not a silently green job — but the
+        // `::notice::` annotation syntax is GitHub Actions' own; on a
+        // developer terminal it is line noise, so print a plain note there.
+        let msg = format!(
+            "host has {cores} core(s), the dense16384 t4>t1 gate needs {GATE_MIN_CORES}; \
+             ratios recorded unenforced"
         );
+        if std::env::var_os("GITHUB_ACTIONS").is_some() {
+            println!("::notice title=thread-scaling gate skipped::{msg}");
+        } else {
+            println!("note: thread-scaling gate skipped: {msg}");
+        }
     }
     let all_pass = expect.iter().filter(|e| e.enforced).all(|e| e.pass);
 
@@ -533,14 +654,16 @@ fn main() {
     });
 
     let output = Output {
-        bench: "BENCH_7 sharded tick + event-strategy + pinned-worker thread scaling \
-                (quiescent redistribution + jittered dense matrix, particle-plane)"
+        bench: "BENCH_8 sharded tick + event-strategy + pinned-worker thread scaling + \
+                adaptive repartitioning (quiescent redistribution + jittered dense matrix + \
+                drifting hotspot, particle-plane)"
             .into(),
         mode: if smoke { "smoke" } else { "full" }.into(),
         host_parallelism: cores,
         thread_gate,
         scenarios,
         reports_identical: identical,
+        repartition_identical: repart_identical,
         expectations: expect,
         baseline,
         speedup_rounds_per_sec: speedups,

@@ -15,6 +15,7 @@
 //! lab <name> --resume-from CKPT.json  restore a checkpoint, run the rest
 //! lab --verify-resume                 split-vs-straight byte gate (pinned set)
 //! lab --verify-strategy               tick-vs-event byte gate (whole registry)
+//! lab --verify-repartition            adaptive-vs-static byte gate (ADR-008)
 //! ```
 //!
 //! `--checkpoint-every N` writes a versioned engine checkpoint every `N`
@@ -52,7 +53,7 @@
 use pp_scenario::registry;
 use pp_scenario::report::GoldenReport;
 use pp_scenario::spec::{CheckpointSpec, ScenarioSpec};
-use pp_sim::engine::{RunReport, ShardLayout};
+use pp_sim::engine::{RepartitionConfig, RunReport, ShardLayout};
 use pp_sim::strategy::SimulationStrategy;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -88,7 +89,11 @@ const RESUME_LAYOUTS: &[(usize, usize)] = &[(1, 1), (4, 2), (8, 4)];
 /// machine-dependent. Threads are omitted for the same reason.
 fn finish_report(spec: &ScenarioSpec, report: &RunReport, layout: ShardLayout) -> GoldenReport {
     let mut g = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), report);
-    if spec.engine.shards >= 2 {
+    // Adaptive repartitioning makes the shard layout time-varying: there is
+    // no single `(shards, boundary)` pair to record, and omitting the
+    // metadata is what lets the repartition-matrix CI job diff an adaptive
+    // scenario's reports byte-for-byte across launch layouts (ADR-008).
+    if spec.engine.shards >= 2 && spec.engine.repartition.is_none() {
         g = g.with_shard_layout(format!(
             "shards={} boundary={}",
             layout.shards, layout.boundary_nodes
@@ -438,6 +443,99 @@ fn cmd_verify_strategy() -> ExitCode {
     }
 }
 
+/// The adaptive-repartitioning differential gate (ADR-008): the
+/// `hotspot16k-{adaptive,static}` registry pair must produce byte-identical
+/// reports — repartitioning may only change per-round sweep cost, never an
+/// outcome. Per layout in [`RESUME_LAYOUTS`], plus the pair's native
+/// 64-shard layout:
+///
+/// 1. a *frozen* adaptive run (`every = 1`, `skew_threshold = ∞`: measures
+///    load skew every round, can never fire) must match the static run
+///    byte-for-byte and report zero repartitions;
+/// 2. the committed adaptive knob must match the static run byte-for-byte;
+/// 3. at the native layout the committed knob must actually fire
+///    (`repartitions > 0`) — a gate that never repartitions verifies
+///    nothing.
+///
+/// Specs are renamed to a common label before running so the emitted
+/// reports are comparable down to the byte; the shard-layout metadata line
+/// is never attached (the pair is compared across different launch
+/// layouts, and for adaptive runs the layout is time-varying anyway).
+fn cmd_verify_repartition() -> ExitCode {
+    let stat = registry::by_name("hotspot16k-static").expect("hotspot16k-static registered");
+    let adap = registry::by_name("hotspot16k-adaptive").expect("hotspot16k-adaptive registered");
+    // 24 rounds: enough for the committed `every = 8` knob to fire several
+    // times, short enough to keep the gate in CI seconds.
+    const ROUNDS: u64 = 24;
+    let run = |base: &ScenarioSpec,
+               shards: usize,
+               threads: usize,
+               rp: Option<RepartitionConfig>|
+     -> Result<(String, u64), String> {
+        let mut spec = base.clone();
+        spec.name = "hotspot16k".into();
+        spec.duration.rounds = spec.duration.rounds.min(ROUNDS);
+        spec.duration.drain = spec.duration.drain.min(SMOKE_DRAIN);
+        spec.engine.shards = shards;
+        spec.engine.threads = threads;
+        spec.engine.repartition = rp;
+        let mut engine = spec.build_engine()?;
+        spec.finish_engine(&mut engine)?;
+        let report = engine.report();
+        let g = GoldenReport::from_run(&spec.name, spec.seed, spec.topology.node_count(), &report);
+        Ok((g.to_canonical_json(), engine.repartitions()))
+    };
+    let frozen_knob = Some(RepartitionConfig { every: 1, skew_threshold: f64::INFINITY });
+    let native = (stat.engine.shards, stat.engine.threads);
+    let mut broken = Vec::new();
+    for &(shards, threads) in RESUME_LAYOUTS.iter().chain([&native]) {
+        let label = format!("hotspot16k [K={shards} T={threads}]");
+        let outcome = (|| -> Result<Option<String>, String> {
+            let (static_bytes, _) = run(&stat, shards, threads, None)?;
+            let (frozen_bytes, frozen_fired) = run(&adap, shards, threads, frozen_knob)?;
+            if frozen_fired > 0 {
+                return Ok(Some("frozen (∞-threshold) run repartitioned".into()));
+            }
+            if frozen_bytes != static_bytes {
+                return Ok(Some("frozen (∞-threshold) report differs from static".into()));
+            }
+            let (adaptive_bytes, fired) = run(&adap, shards, threads, adap.engine.repartition)?;
+            if adaptive_bytes != static_bytes {
+                return Ok(Some("adaptive report differs from static".into()));
+            }
+            if (shards, threads) == native && fired == 0 {
+                return Ok(Some("adaptive run never repartitioned at native layout".into()));
+            }
+            println!(
+                "  {label:32} OK (static == frozen == adaptive, {} bytes, {fired} repartitions)",
+                static_bytes.len()
+            );
+            Ok(None)
+        })();
+        match outcome {
+            Ok(None) => {}
+            Ok(Some(why)) => {
+                eprintln!("  {label:32} MISMATCH: {why}");
+                broken.push(label);
+            }
+            Err(e) => {
+                eprintln!("  {label:32} run failed: {e}");
+                broken.push(label);
+            }
+        }
+    }
+    if broken.is_empty() {
+        println!(
+            "adaptive repartitioning is report-invisible under {} layouts",
+            RESUME_LAYOUTS.len() + 1
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nadaptive/static report equivalence broken for {broken:?}");
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: lab --list\n       lab <name> [--smoke] [--shards K] [--threads T] [--strategy \
@@ -447,7 +545,7 @@ fn usage() -> ExitCode {
          --check PATH\n       lab --emit-golden DIR\n       lab --verify-golden DIR\n       lab \
          <name|--file SPEC.json> --checkpoint-every N [--checkpoint-path P]\n       lab \
          <name|--file SPEC.json> --resume-from CKPT.json\n       lab --verify-resume\n       lab \
-         --verify-strategy"
+         --verify-strategy\n       lab --verify-repartition"
     );
     ExitCode::FAILURE
 }
@@ -537,6 +635,7 @@ fn main() -> ExitCode {
         || flag("--all")
         || flag("--verify-resume")
         || flag("--verify-strategy")
+        || flag("--verify-repartition")
         || ["--check", "--spec", "--emit-golden", "--verify-golden"]
             .iter()
             .any(|f| opt(f).is_some());
@@ -568,6 +667,9 @@ fn main() -> ExitCode {
     }
     if flag("--verify-strategy") {
         return cmd_verify_strategy();
+    }
+    if flag("--verify-repartition") {
+        return cmd_verify_repartition();
     }
     if flag("--all") {
         return cmd_all(

@@ -7,6 +7,7 @@ use crate::spec::{
     ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
     FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
 };
+use pp_sim::engine::RepartitionConfig;
 use pp_sim::strategy::SimulationStrategy;
 use serde::{Deserialize, Serialize, Value};
 
@@ -489,6 +490,17 @@ impl Serialize for EngineKnobs {
         if self.strategy != SimulationStrategy::Tick {
             entries.push(entry("strategy", self.strategy.as_str()));
         }
+        // Same pattern for the adaptive-repartitioning knob: omitted (not
+        // null) when off, so pre-repartition spec JSON stays canonical.
+        if let Some(rp) = self.repartition {
+            entries.push(entry(
+                "repartition",
+                Value::Object(vec![
+                    entry("every", rp.every),
+                    entry("skew_threshold", rp.skew_threshold),
+                ]),
+            ));
+        }
         Value::Object(entries)
     }
 }
@@ -500,6 +512,15 @@ impl Deserialize for EngineKnobs {
             None => d.strategy,
             Some(s) => s.parse::<SimulationStrategy>()?,
         };
+        let repartition = match v.field_opt::<Value>("repartition")? {
+            None => None,
+            Some(rp) => Some(RepartitionConfig {
+                every: rp.field("every").map_err(|e| format!("field `repartition`: {e}"))?,
+                skew_threshold: rp
+                    .field("skew_threshold")
+                    .map_err(|e| format!("field `repartition`: {e}"))?,
+            }),
+        };
         Ok(EngineKnobs {
             tick: v.field_opt("tick")?.unwrap_or(d.tick),
             weight_c: v.field_opt("weight_c")?.unwrap_or(d.weight_c),
@@ -509,6 +530,7 @@ impl Deserialize for EngineKnobs {
             shards: v.field_opt("shards")?.unwrap_or(d.shards),
             threads: v.field_opt("threads")?.unwrap_or(d.threads),
             strategy,
+            repartition,
         })
     }
 }

@@ -9,6 +9,7 @@ use crate::spec::{
     ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
     FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
 };
+use pp_sim::engine::RepartitionConfig;
 use pp_sim::strategy::SimulationStrategy;
 use pp_tasking::workload::{record_trace, ArrivalProcess};
 use pp_topology::spec::TopologySpec;
@@ -250,8 +251,38 @@ pub fn registry() -> Vec<ScenarioSpec> {
                 "1,048,576-node torus over 50,000 rounds via event-driven time skipping",
             )
         },
+        // 22./23. The adaptive-repartitioning A/B pair: a moving hotspot on
+        // the 16k-node torus, 64 shards, redistribution only (consume_rate
+        // 0 — a consume sweep would pay O(n) per round and drown the sweep
+        // savings the pair exists to measure). The specs differ in exactly
+        // one knob, so their reports are byte-identical (repartitioning is
+        // unobservable in report bytes, ADR-008); only the sweep cost —
+        // what BENCH_8 measures — differs.
+        hotspot16k(
+            "hotspot16k-static",
+            "moving hotspot on the 64-shard 16k torus, fixed uniform layout",
+            None,
+        ),
+        hotspot16k(
+            "hotspot16k-adaptive",
+            "moving hotspot on the 64-shard 16k torus, adaptive repartitioning",
+            Some(RepartitionConfig { every: 8, skew_threshold: 2.0 }),
+        ),
     ];
     all
+}
+
+/// The shared body of the `hotspot16k-{static,adaptive}` pair — one
+/// constructor so the two specs can never drift apart in anything but the
+/// repartition knob.
+fn hotspot16k(name: &str, desc: &str, repartition: Option<RepartitionConfig>) -> ScenarioSpec {
+    ScenarioSpec {
+        topology: TopologySpec::Torus { dims: vec![128, 128] },
+        arrival: ArrivalSpec::MovingHotspot { rate: 24.0, size: 1.0, dwell: 8.0, stride: 4097 },
+        engine: EngineKnobs { shards: 64, repartition, ..EngineKnobs::default() },
+        duration: DurationSpec { rounds: 200, drain: 100.0 },
+        ..base(name, desc)
+    }
 }
 
 /// Looks a scenario up by name.
@@ -272,7 +303,7 @@ mod tests {
     #[test]
     fn registry_is_large_and_unique() {
         let all = registry();
-        assert!(all.len() >= 21, "registry has only {} scenarios", all.len());
+        assert!(all.len() >= 23, "registry has only {} scenarios", all.len());
         let names: HashSet<&str> = all.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), all.len(), "duplicate scenario names");
         // The ROADMAP-mandated workload families are all present.
@@ -285,6 +316,8 @@ mod tests {
             "torus1k-resume-midfault",
             "torus16k-checkpointed",
             "torus1m-event",
+            "hotspot16k-adaptive",
+            "hotspot16k-static",
         ] {
             assert!(names.contains(required), "missing required scenario `{required}`");
         }
@@ -299,6 +332,34 @@ mod tests {
         let (split, layout) = spec.run_split(3).expect("split run");
         assert_eq!(split, straight);
         assert_eq!(layout.shards, 4, "spec pins 4 shards");
+    }
+
+    #[test]
+    fn hotspot16k_pair_is_identical_but_for_the_knob() {
+        let stat = by_name("hotspot16k-static").expect("registered");
+        let adap = by_name("hotspot16k-adaptive").expect("registered");
+        assert!(stat.engine.repartition.is_none());
+        assert_eq!(
+            adap.engine.repartition,
+            Some(RepartitionConfig { every: 8, skew_threshold: 2.0 })
+        );
+        // The shared constructor means the pair can differ in nothing else.
+        let strip = |spec: &ScenarioSpec| {
+            let mut s = spec.clone();
+            s.name = String::new();
+            s.description = String::new();
+            s.engine.repartition = None;
+            s
+        };
+        assert_eq!(strip(&stat), strip(&adap));
+        // In miniature: the adaptive run actually moves the layout, without
+        // moving a byte of the report (the ADR-008 contract).
+        let mut a = adap.smoke(24, 10.0).build_engine().expect("builds");
+        let mut s = stat.smoke(24, 10.0).build_engine().expect("builds");
+        a.run_rounds(24);
+        s.run_rounds(24);
+        assert!(a.repartitions() > 0, "adaptive hotspot16k engine never repartitioned");
+        assert_eq!(a.report(), s.report());
     }
 
     #[test]

@@ -14,7 +14,9 @@ use pp_core::baselines::{
 use pp_core::params::PhysicsConfig;
 use pp_sim::balancer::{LoadBalancer, NullBalancer};
 use pp_sim::checkpoint::Checkpoint;
-use pp_sim::engine::{Engine, EngineBuilder, EngineConfig, FaultModel, RunReport, ShardLayout};
+use pp_sim::engine::{
+    Engine, EngineBuilder, EngineConfig, FaultModel, RepartitionConfig, RunReport, ShardLayout,
+};
 use pp_sim::strategy::SimulationStrategy;
 use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
@@ -811,6 +813,10 @@ pub struct EngineKnobs {
     /// How rounds advance: `Tick` sweeps every round; `Event` fast-forwards
     /// quiescent rounds in closed form (byte-identical reports either way).
     pub strategy: SimulationStrategy,
+    /// Adaptive online repartitioning of the shard decomposition (`None` =
+    /// the build-time uniform layout stays fixed). Repartitioning never
+    /// reaches the report bytes — it only changes per-round sweep cost.
+    pub repartition: Option<RepartitionConfig>,
 }
 
 impl Default for EngineKnobs {
@@ -825,6 +831,7 @@ impl Default for EngineKnobs {
             shards: d.shards,
             threads: d.threads,
             strategy: d.strategy,
+            repartition: d.repartition,
         }
     }
 }
@@ -845,6 +852,21 @@ impl EngineKnobs {
         }
         if self.max_attempts == 0 {
             return Err("need at least one transfer attempt".into());
+        }
+        if let Some(rp) = self.repartition {
+            if rp.every == 0 {
+                return Err("repartition interval must be > 0 rounds".into());
+            }
+            // Negated so a NaN threshold fails validation; +∞ is legal (the
+            // measure-but-never-fire configuration the differential gate
+            // uses).
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(rp.skew_threshold >= 1.0) {
+                return Err(format!(
+                    "repartition skew_threshold {} must be ≥ 1 (max/mean skew)",
+                    rp.skew_threshold
+                ));
+            }
         }
         Ok(())
     }
@@ -1026,6 +1048,7 @@ impl ScenarioSpec {
             fault_model: self.faults.build(),
             arrival,
             strategy: self.engine.strategy,
+            repartition: self.engine.repartition,
         };
         let balancer = self.balancer.build(&topo);
         Ok(EngineBuilder::new(topo)

@@ -56,7 +56,7 @@ use crate::strategy::{SimulationStrategy, WakeHeap};
 use pp_metrics::imbalance::Imbalance;
 use pp_metrics::ledger::{MigrationRecord, TrafficLedger};
 use pp_metrics::series::TimeSeries;
-use pp_metrics::shard::ShardAccum;
+use pp_metrics::shard::{load_skew, ShardAccum};
 use pp_tasking::graph::TaskGraph;
 use pp_tasking::resources::ResourceMatrix;
 use pp_tasking::task::{Task, TaskIdGen};
@@ -64,7 +64,7 @@ use pp_tasking::workload::{validate_trace, ArrivalProcess, TraceEvent, Workload}
 use pp_topology::edgeset::EdgeBitSet;
 use pp_topology::graph::{EdgeId, NodeId, Topology};
 use pp_topology::links::{LinkAttrs, LinkMap};
-use pp_topology::partition::Partition;
+use pp_topology::partition::{Partition, RepartitionPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -78,6 +78,23 @@ pub struct FaultModel {
     pub p_down: f64,
     /// Probability a down link recovers this round.
     pub p_up: f64,
+}
+
+/// Adaptive online repartitioning of the shard decomposition: every
+/// `every` rounds the engine compares the max/mean skew of the per-shard
+/// sweep load accumulated since the last check against `skew_threshold`,
+/// and when it is exceeded asks [`RepartitionPolicy`] for a better-skewed
+/// contiguous layout. Repartitioning mutates no simulation state and draws
+/// no randomness, so reports stay byte-identical to a static run — only
+/// the per-round sweep cost changes (see `docs/adr/ADR-008-adaptive-
+/// repartitioning.md`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepartitionConfig {
+    /// Rounds between skew checks (a check is O(K); 0 disables checking).
+    pub every: u64,
+    /// Fire when max/mean per-shard load skew exceeds this (1.0 is
+    /// perfectly balanced; `f64::INFINITY` measures but never fires).
+    pub skew_threshold: f64,
 }
 
 /// Engine configuration.
@@ -116,6 +133,9 @@ pub struct EngineConfig {
     /// scheduler (byte-identical reports either way — see
     /// [`crate::strategy`]).
     pub strategy: SimulationStrategy,
+    /// Adaptive online repartitioning (None = the build-time uniform
+    /// layout stays fixed for the life of the engine).
+    pub repartition: Option<RepartitionConfig>,
 }
 
 impl Default for EngineConfig {
@@ -131,6 +151,7 @@ impl Default for EngineConfig {
             fault_model: None,
             arrival: ArrivalProcess::Quiescent,
             strategy: SimulationStrategy::Tick,
+            repartition: None,
         }
     }
 }
@@ -273,6 +294,18 @@ pub struct Engine {
     /// out of `RunReport` like the shard counters, since skip-capable
     /// layouts execute fewer rounds than the sequential reference).
     executed_rounds: u64,
+    /// Per-shard `nodes_evaluated` totals at the last repartition check —
+    /// the subtraction baseline that turns the monotone accumulators into
+    /// a sliding load window. Only maintained when `config.repartition`
+    /// is set.
+    repartition_base: Vec<u64>,
+    /// Adaptive repartitions applied so far (diagnostic, like the shard
+    /// counters: layout evolution is execution detail, never report data).
+    repartitions: u64,
+    /// Reused staging buffer for carrying per-node RNG streams across a
+    /// repartition (capacity `n` after the first fire, so steady-state
+    /// fires allocate nothing).
+    rng_scratch: Vec<StdRng>,
     /// Per-node speed multipliers on `consume_rate` (empty = homogeneous).
     speeds: Vec<f64>,
     /// Recorded arrival trace being replayed (indexed by `TraceArrival`).
@@ -317,13 +350,20 @@ impl Engine {
         self.down_links.count()
     }
 
-    /// The resolved shard execution layout.
+    /// The resolved shard execution layout. Boundary nodes are counted
+    /// from the topology on demand: after an adaptive repartition the
+    /// partition's precomputed edge views are stale (see
+    /// [`Partition::refit`]), and this diagnostic is the only reader.
     pub fn shard_layout(&self) -> ShardLayout {
-        ShardLayout {
-            shards: self.partition.shard_count(),
-            threads: self.threads,
-            boundary_nodes: self.partition.boundary_total(),
-        }
+        let topo = &self.state.topo;
+        let boundary_nodes = topo
+            .nodes()
+            .filter(|&v| {
+                let s = self.partition.shard_of(v);
+                topo.neighbors(v).iter().any(|&u| self.partition.shard_of(u) != s)
+            })
+            .count();
+        ShardLayout { shards: self.partition.shard_count(), threads: self.threads, boundary_nodes }
     }
 
     /// The spatial decomposition the sweep runs over.
@@ -350,14 +390,21 @@ impl Engine {
     }
 
     /// Marks the shards that can observe node `v` (its own plus, for
-    /// boundary nodes, every halo-adjacent shard) as needing evaluation.
-    /// Called on every mutation of `v`'s tasks or height.
+    /// boundary nodes, every shard owning one of its neighbours) as needing
+    /// evaluation. Called on every mutation of `v`'s tasks or height.
+    /// Adjacency comes from the topology CSR plus the ownership map, not
+    /// the partition's halo views — a handful of extra loads per call, but
+    /// it keeps the whole sweep independent of the edge-indexed views so an
+    /// adaptive repartition only has to refit the interval layout.
     #[inline]
     fn mark_node_dirty(&mut self, v: NodeId) {
         let s = self.partition.shard_of(v);
         self.shards[s].dirty = true;
-        for &a in self.partition.adjacent_shards(v) {
-            self.shards[a as usize].dirty = true;
+        for &u in self.state.topo.neighbors(v) {
+            let a = self.partition.shard_of(u);
+            if a != s {
+                self.shards[a].dirty = true;
+            }
         }
     }
 
@@ -377,15 +424,101 @@ impl Engine {
             SimulationStrategy::Tick => {
                 for _ in 0..n {
                     self.run_round_tick();
+                    self.maybe_repartition();
                 }
             }
             SimulationStrategy::Event => {
                 for _ in 0..n {
                     self.run_round_event();
+                    self.maybe_repartition();
                 }
             }
         }
         self
+    }
+
+    /// Adaptive repartitions applied so far.
+    pub fn repartitions(&self) -> u64 {
+        self.repartitions
+    }
+
+    /// The between-rounds repartition check (a no-op without the
+    /// [`RepartitionConfig`] knob): every `every` rounds, measure the
+    /// per-shard sweep load accumulated since the last check and, when its
+    /// max/mean skew exceeds the threshold, ask the policy for a strictly
+    /// better-skewed contiguous layout. Runs at the same vantage point as
+    /// [`Engine::checkpoint`] — all outboxes drained, no sweep in flight.
+    fn maybe_repartition(&mut self) {
+        let Some(rp) = self.config.repartition else { return };
+        if rp.every == 0 || !self.round.is_multiple_of(rp.every) || self.shards.len() < 2 {
+            return;
+        }
+        let loads: Vec<f64> = self
+            .shards
+            .iter()
+            .zip(&self.repartition_base)
+            .map(|(slot, &base)| (slot.accum.nodes_evaluated - base) as f64)
+            .collect();
+        // Slide the window whether or not we fire, so each check judges
+        // recent activity instead of the whole run's history.
+        for (base, slot) in self.repartition_base.iter_mut().zip(&self.shards) {
+            *base = slot.accum.nodes_evaluated;
+        }
+        if load_skew(&loads) <= rp.skew_threshold {
+            return;
+        }
+        if let Some(ranges) = RepartitionPolicy::rebalance(&self.partition, &loads) {
+            self.apply_ranges(ranges);
+        }
+    }
+
+    /// Swaps the shard decomposition for a new contiguous layout with the
+    /// same K — the checkpoint machinery's layout-change path applied in
+    /// place. Per-node RNG streams are carried over by node id (shard
+    /// order is node-id order on both sides), and pending wakes are
+    /// re-derived from the dirty flags next round. The pool keeps its
+    /// workers: affinity is a pure function of `(threads, K)` and K is
+    /// unchanged. Nothing here mutates simulation state or draws
+    /// randomness, so the run's report bytes cannot change.
+    ///
+    /// Activity flags are carried across the layout change at range
+    /// granularity: a new shard needs evaluation iff it covers at least
+    /// one node of an old *dirty* shard. Node-level quiescence is
+    /// layout-independent and all outboxes are drained at this vantage
+    /// point, so a new shard covering only clean old shards' nodes is
+    /// provably quiescent — skipping it is exact. (Dropping to all-dirty,
+    /// the checkpoint path's approach, would also be exact, but a full
+    /// sweep of every shard after every repartition erases precisely the
+    /// sweep savings repartitioning exists to buy.)
+    fn apply_ranges(&mut self, ranges: Vec<(u32, u32)>) {
+        debug_assert_eq!(ranges.len(), self.shards.len());
+        let old_dirty: Vec<(u32, u32)> = (0..self.shards.len())
+            .filter(|&s| self.shards[s].dirty)
+            .map(|s| self.partition.range(s))
+            .collect();
+        // Per-node RNG streams ride along by node id through a persistent
+        // scratch buffer; `append`/`extend` keep every Vec's capacity, so a
+        // steady-state fire allocates nothing.
+        self.rng_scratch.clear();
+        for slot in &mut self.shards {
+            self.rng_scratch.append(&mut slot.rngs);
+        }
+        self.partition.refit(ranges);
+        let mut rngs = self.rng_scratch.drain(..);
+        for (s, slot) in self.shards.iter_mut().enumerate() {
+            let (start, end) = self.partition.range(s);
+            slot.rngs.extend(rngs.by_ref().take((end - start) as usize));
+            slot.intents.clear();
+            slot.spans.clear();
+            slot.evaluated = false;
+            slot.dirty = old_dirty.iter().any(|&(lo, hi)| lo < end && start < hi);
+        }
+        drop(rngs);
+        for (base, slot) in self.repartition_base.iter_mut().zip(&self.shards) {
+            *base = slot.accum.nodes_evaluated;
+        }
+        self.wakes.clear();
+        self.repartitions += 1;
     }
 
     /// One round of the round-by-round reference pipeline.
@@ -797,8 +930,13 @@ impl Engine {
         self.state.restore_stats(cp.stats);
         self.engine_rng = StdRng::from_state(cp.engine_rng);
         // Vector lengths were validated against shard_layout_k above, so
-        // the K comparison alone decides whether the flags carry over.
-        let same_layout = cp.shard_layout_k == self.shards.len();
+        // the K comparison decides whether the flags carry over — unless
+        // adaptive repartitioning is on, where equal K no longer implies
+        // equal ranges (the writer may have been mid-adaptation), so the
+        // flags are meaningless and the conservative all-dirty path is the
+        // only sound one.
+        let same_layout =
+            cp.shard_layout_k == self.shards.len() && self.config.repartition.is_none();
         for (s, slot) in self.shards.iter_mut().enumerate() {
             let (start, end) = self.partition.range(s);
             for (k, i) in (start..end).enumerate() {
@@ -822,9 +960,12 @@ impl Engine {
         }
         // Pending wakes belong to the abandoned timeline; the next round
         // re-derives them from the restored dirty flags. The memoized skip
-        // CoV belongs to it too.
+        // CoV belongs to it too, and so does the repartition load window.
         self.wakes.clear();
         self.skip_cov = None;
+        for (base, slot) in self.repartition_base.iter_mut().zip(&self.shards) {
+            *base = slot.accum.nodes_evaluated;
+        }
         self.queue = queue;
         self.flights = cp
             .flights
@@ -1443,6 +1584,9 @@ impl EngineBuilder {
             threads,
             pool: None,
             executed_rounds: 0,
+            repartition_base: vec![0; k],
+            repartitions: 0,
+            rng_scratch: Vec::new(),
             speeds: self.speeds,
             trace: self.trace,
             in_flight_load: 0.0,
@@ -2311,6 +2455,111 @@ mod tests {
             resumed.run_rounds(30);
             resumed.drain(20.0);
             assert_eq!(resumed.report(), want, "{write} -> {resume}");
+        }
+    }
+
+    /// A moving-hotspot engine: arrivals concentrate on one walking node,
+    /// so per-shard sweep load is persistently skewed — the regime
+    /// adaptive repartitioning exists for.
+    fn hotspot_engine(
+        strategy: SimulationStrategy,
+        shards: usize,
+        threads: usize,
+        repartition: Option<RepartitionConfig>,
+    ) -> Engine {
+        EngineBuilder::new(Topology::torus(&[8, 8]))
+            .balancer(GreedyStable)
+            .config(EngineConfig {
+                shards,
+                threads,
+                strategy,
+                repartition,
+                arrival: ArrivalProcess::MovingHotspot {
+                    rate: 6.0,
+                    size: 1.0,
+                    dwell: 8.0,
+                    stride: 13,
+                },
+                ..Default::default()
+            })
+            .seed(23)
+            .build()
+    }
+
+    const ADAPTIVE: RepartitionConfig = RepartitionConfig { every: 4, skew_threshold: 1.5 };
+
+    #[test]
+    fn adaptive_repartition_fires_and_keeps_report_bytes() {
+        let mut adaptive = hotspot_engine(SimulationStrategy::Tick, 8, 1, Some(ADAPTIVE));
+        adaptive.run_rounds(60);
+        adaptive.drain(20.0);
+        assert!(adaptive.repartitions() > 0, "skewed hotspot load must trigger repartitioning");
+        // K is invariant under adaptation (only the cut points move), which
+        // is what lets the pinned pool keep its workers.
+        assert_eq!(adaptive.partition().shard_count(), 8);
+
+        let mut statik = hotspot_engine(SimulationStrategy::Tick, 8, 1, None);
+        statik.run_rounds(60);
+        statik.drain(20.0);
+        // Repartitioning mutates no simulation state and draws no RNG:
+        // every recorded artifact is identical to the static run's.
+        assert_eq!(adaptive.report(), statik.report());
+        assert_eq!(adaptive.heights(), statik.heights());
+    }
+
+    #[test]
+    fn adaptive_repartition_infinite_threshold_never_fires() {
+        // `--verify-repartition`'s degenerate config: check every round,
+        // fire never. Must be byte-identical to static *and* apply zero
+        // repartitions.
+        let knob = RepartitionConfig { every: 1, skew_threshold: f64::INFINITY };
+        let mut measured = hotspot_engine(SimulationStrategy::Tick, 8, 1, Some(knob));
+        measured.run_rounds(40);
+        measured.drain(10.0);
+        assert_eq!(measured.repartitions(), 0);
+
+        let mut statik = hotspot_engine(SimulationStrategy::Tick, 8, 1, None);
+        statik.run_rounds(40);
+        statik.drain(10.0);
+        assert_eq!(measured.report(), statik.report());
+    }
+
+    #[test]
+    fn adaptive_repartition_crosses_layouts_and_strategies() {
+        let run = |strategy, k, t| {
+            let mut e = hotspot_engine(strategy, k, t, Some(ADAPTIVE));
+            e.run_rounds(50);
+            e.drain(20.0);
+            e.report()
+        };
+        let want = run(SimulationStrategy::Tick, 1, 1);
+        for (k, t) in [(4, 1), (8, 2), (16, 4)] {
+            assert_eq!(want, run(SimulationStrategy::Tick, k, t), "tick K={k} T={t}");
+            assert_eq!(want, run(SimulationStrategy::Event, k, t), "event K={k} T={t}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_crosses_adaptive_repartitioning() {
+        // Capture mid-run from an engine that has already repartitioned,
+        // resume under a different (shards, threads) execution layout with
+        // the knob still on: the report must land on the straight run's
+        // exact bytes.
+        let mut straight = hotspot_engine(SimulationStrategy::Tick, 8, 1, Some(ADAPTIVE));
+        straight.run_rounds(60);
+        straight.drain(20.0);
+        let want = straight.report();
+
+        let mut writer = hotspot_engine(SimulationStrategy::Tick, 8, 1, Some(ADAPTIVE));
+        writer.run_rounds(25);
+        assert!(writer.repartitions() > 0, "capture must happen after an adaptation");
+        let cp = Checkpoint::from_json(&writer.checkpoint().to_json()).expect("round trip");
+        for (k, t) in [(8, 1), (4, 2), (16, 4)] {
+            let mut resumed = hotspot_engine(SimulationStrategy::Tick, k, t, Some(ADAPTIVE));
+            resumed.restore(&cp).expect("restore");
+            resumed.run_rounds(35);
+            resumed.drain(20.0);
+            assert_eq!(resumed.report(), want, "adaptive resume under K={k} threads={t}");
         }
     }
 

@@ -45,13 +45,46 @@ pub struct Partition {
     node_shard: Vec<u32>,
     /// Whether the node has at least one neighbour in another shard.
     boundary: Vec<bool>,
-    /// Per shard: its cross-shard edges, sorted by edge id.
-    halos: Vec<Vec<HaloEdge>>,
-    /// Per node: the *other* shards containing at least one neighbour
-    /// (empty for interior nodes), sorted ascending.
-    adjacent: Vec<Vec<u32>>,
+    /// CSR halo storage: shard `s`'s cross-shard edges (sorted by edge id)
+    /// live in `halo_data[halo_off[s] .. halo_off[s + 1]]`. Flat arrays
+    /// instead of per-shard `Vec`s: the adaptive engine rebuilds the
+    /// partition mid-run, and a narrow-banded layout makes *every* node a
+    /// boundary node, so build cost is on the steady-state path.
+    halo_off: Vec<u32>,
+    halo_data: Vec<HaloEdge>,
+    /// CSR adjacency: node `v`'s other-shard neighbours (sorted,
+    /// deduplicated) live in `adj_data[adj_off[v] ..][..adj_len[v]]`.
+    /// Offsets keep pre-dedup spacing; `adj_len` is the deduped length.
+    adj_off: Vec<u32>,
+    adj_len: Vec<u32>,
+    adj_data: Vec<u32>,
     /// Total boundary nodes over all shards.
     boundary_total: usize,
+    /// Whether the edge-indexed views (boundary/halo/adjacency) match
+    /// `ranges`. [`Partition::from_ranges`] always builds them;
+    /// [`Partition::refit`] skips the O(E) rebuild and clears this flag,
+    /// after which the edge-view accessors panic instead of answering from
+    /// a stale layout.
+    edge_views_valid: bool,
+}
+
+/// The uniform `±1`-balanced contiguous split of `0..n` into `k` intervals
+/// (`k` clamped to `1..=n.max(1)`): the first `n % k` intervals get
+/// `⌈n/k⌉` nodes, the rest `⌊n/k⌋`. This is the layout [`Partition::new`]
+/// builds and the zero-information fallback of [`RepartitionPolicy`].
+pub fn uniform_ranges(n: usize, k: usize) -> Vec<(u32, u32)> {
+    let k = k.clamp(1, n.max(1));
+    let (base, extra) = (n / k, n % k);
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0u32;
+    for s in 0..k {
+        let len = base + usize::from(s < extra);
+        let end = start + len as u32;
+        ranges.push((start, end));
+        start = end;
+    }
+    debug_assert_eq!(start as usize, n, "ranges must cover every node");
+    ranges
 }
 
 impl Partition {
@@ -59,49 +92,138 @@ impl Partition {
     /// shard is non-empty). Shard sizes differ by at most one: the first
     /// `n % k` shards get `⌈n/k⌉` nodes, the rest `⌊n/k⌋`.
     pub fn new(topo: &Topology, k: usize) -> Self {
+        Partition::from_ranges(topo, uniform_ranges(topo.node_count(), k))
+    }
+
+    /// Builds the partition for an explicit contiguous interval layout.
+    /// `ranges` must be ascending, gap-free, cover exactly `0..node_count`,
+    /// and (unless the topology is empty) contain no empty shard — the same
+    /// invariants [`uniform_ranges`] and [`RepartitionPolicy`] guarantee.
+    /// The boundary/halo classification is recomputed from scratch; it is a
+    /// pure function of `(ranges, edge structure)`, so two calls with equal
+    /// ranges produce identical layouts.
+    pub fn from_ranges(topo: &Topology, ranges: Vec<(u32, u32)>) -> Self {
         let n = topo.node_count();
-        let k = k.clamp(1, n.max(1));
-        let (base, extra) = (n / k, n % k);
-        let mut ranges = Vec::with_capacity(k);
+        assert!(!ranges.is_empty(), "a partition needs at least one shard");
+        assert_eq!(ranges[0].0, 0, "ranges must start at node 0");
+        assert_eq!(ranges[ranges.len() - 1].1 as usize, n, "ranges must end at node count");
         let mut node_shard = vec![0u32; n];
-        let mut start = 0u32;
-        for s in 0..k {
-            let len = base + usize::from(s < extra);
-            let end = start + len as u32;
-            for v in start..end {
+        for (s, &(lo, hi)) in ranges.iter().enumerate() {
+            assert!(lo < hi || n == 0, "shard {s} is empty");
+            assert!(s == 0 || ranges[s - 1].1 == lo, "shard {s} leaves a gap");
+            for v in lo..hi {
                 node_shard[v as usize] = s as u32;
             }
-            ranges.push((start, end));
-            start = end;
         }
-        debug_assert_eq!(start as usize, n, "ranges must cover every node");
+        let k = ranges.len();
 
+        // Two-pass CSR build: count cross-edge slots per shard and per node,
+        // prefix into offsets, then fill with cursors. Edge iteration is in
+        // edge-id order, so each halo bucket comes out edge-sorted.
         let mut boundary = vec![false; n];
-        let mut halos = vec![Vec::new(); k];
-        let mut adjacent = vec![Vec::new(); n];
+        let mut halo_off = vec![0u32; k + 1];
+        let mut adj_off = vec![0u32; n + 1];
+        for &(u, v) in topo.edge_slice() {
+            let (su, sv) = (node_shard[u.idx()], node_shard[v.idx()]);
+            if su == sv {
+                continue;
+            }
+            boundary[u.idx()] = true;
+            boundary[v.idx()] = true;
+            halo_off[su as usize + 1] += 1;
+            halo_off[sv as usize + 1] += 1;
+            adj_off[u.idx() + 1] += 1;
+            adj_off[v.idx() + 1] += 1;
+        }
+        for s in 0..k {
+            halo_off[s + 1] += halo_off[s];
+        }
+        for v in 0..n {
+            adj_off[v + 1] += adj_off[v];
+        }
+        let nil = HaloEdge { edge: EdgeId(0), local: NodeId(0), remote: NodeId(0) };
+        let mut halo_data = vec![nil; halo_off[k] as usize];
+        let mut adj_data = vec![0u32; adj_off[n] as usize];
+        let mut halo_cur: Vec<u32> = halo_off[..k].to_vec();
+        let mut adj_cur: Vec<u32> = adj_off[..n].to_vec();
         for (e, &(u, v)) in topo.edge_slice().iter().enumerate() {
             let (su, sv) = (node_shard[u.idx()], node_shard[v.idx()]);
             if su == sv {
                 continue;
             }
             let edge = EdgeId(e as u32);
-            boundary[u.idx()] = true;
-            boundary[v.idx()] = true;
-            halos[su as usize].push(HaloEdge { edge, local: u, remote: v });
-            halos[sv as usize].push(HaloEdge { edge, local: v, remote: u });
-            let au = &mut adjacent[u.idx()];
-            if let Err(pos) = au.binary_search(&sv) {
-                au.insert(pos, sv);
+            halo_data[halo_cur[su as usize] as usize] = HaloEdge { edge, local: u, remote: v };
+            halo_cur[su as usize] += 1;
+            halo_data[halo_cur[sv as usize] as usize] = HaloEdge { edge, local: v, remote: u };
+            halo_cur[sv as usize] += 1;
+            adj_data[adj_cur[u.idx()] as usize] = sv;
+            adj_cur[u.idx()] += 1;
+            adj_data[adj_cur[v.idx()] as usize] = su;
+            adj_cur[v.idx()] += 1;
+        }
+        // Sort + dedup each node's adjacency bucket in place; offsets keep
+        // the pre-dedup spacing, `adj_len` records the deduped length.
+        let mut adj_len = vec![0u32; n];
+        for v in 0..n {
+            let bucket = &mut adj_data[adj_off[v] as usize..adj_off[v + 1] as usize];
+            bucket.sort_unstable();
+            let mut len = 0;
+            for i in 0..bucket.len() {
+                if i == 0 || bucket[i] != bucket[i - 1] {
+                    bucket[len] = bucket[i];
+                    len += 1;
+                }
             }
-            let av = &mut adjacent[v.idx()];
-            if let Err(pos) = av.binary_search(&su) {
-                av.insert(pos, su);
+            adj_len[v] = len as u32;
+        }
+        debug_assert!((0..k).all(|s| {
+            let h = &halo_data[halo_off[s] as usize..halo_off[s + 1] as usize];
+            h.windows(2).all(|w| w[0].edge < w[1].edge)
+        }));
+        let boundary_total = boundary.iter().filter(|&&b| b).count();
+        Partition {
+            ranges,
+            node_shard,
+            boundary,
+            halo_off,
+            halo_data,
+            adj_off,
+            adj_len,
+            adj_data,
+            boundary_total,
+            edge_views_valid: true,
+        }
+    }
+
+    /// Swaps in a new interval layout *without* rebuilding the edge-indexed
+    /// views — the adaptive engine's fire path, where a rebuild would cost
+    /// O(E) per repartition for views the sweep never reads (it derives
+    /// shard adjacency from the topology directly). Only `ranges`,
+    /// `node_shard` and the interval accessors stay valid; `is_boundary`,
+    /// `adjacent_shards`, `halo` and the boundary counts panic until the
+    /// partition is rebuilt with [`Partition::from_ranges`]. `ranges` must
+    /// satisfy the same invariants as in `from_ranges` and keep the shard
+    /// count unchanged.
+    pub fn refit(&mut self, ranges: Vec<(u32, u32)>) {
+        let n = self.node_shard.len();
+        assert_eq!(ranges.len(), self.ranges.len(), "refit keeps the shard count");
+        assert_eq!(ranges[0].0, 0, "ranges must start at node 0");
+        assert_eq!(ranges[ranges.len() - 1].1 as usize, n, "ranges must end at node count");
+        for (s, &(lo, hi)) in ranges.iter().enumerate() {
+            assert!(lo < hi || n == 0, "shard {s} is empty");
+            assert!(s == 0 || ranges[s - 1].1 == lo, "shard {s} leaves a gap");
+            for v in lo..hi {
+                self.node_shard[v as usize] = s as u32;
             }
         }
-        // Edge iteration is in edge-id order, so the halo lists already are.
-        debug_assert!(halos.iter().all(|h| h.windows(2).all(|w| w[0].edge < w[1].edge)));
-        let boundary_total = boundary.iter().filter(|&&b| b).count();
-        Partition { ranges, node_shard, boundary, halos, adjacent, boundary_total }
+        self.ranges = ranges;
+        self.edge_views_valid = false;
+    }
+
+    /// Whether the edge-indexed views (boundary/halo/adjacency) are in sync
+    /// with `ranges` — `false` after a [`Partition::refit`].
+    pub fn edge_views_valid(&self) -> bool {
+        self.edge_views_valid
     }
 
     /// Number of shards `K`.
@@ -135,6 +257,7 @@ impl Partition {
     /// Whether `v` has a neighbour in another shard.
     #[inline]
     pub fn is_boundary(&self, v: NodeId) -> bool {
+        assert!(self.edge_views_valid, "edge views stale after refit");
         self.boundary[v.idx()]
     }
 
@@ -143,16 +266,20 @@ impl Partition {
     /// shards whose decisions can observe `v`'s height.
     #[inline]
     pub fn adjacent_shards(&self, v: NodeId) -> &[u32] {
-        &self.adjacent[v.idx()]
+        assert!(self.edge_views_valid, "edge views stale after refit");
+        let lo = self.adj_off[v.idx()] as usize;
+        &self.adj_data[lo..lo + self.adj_len[v.idx()] as usize]
     }
 
     /// Shard `s`'s cross-shard edges, sorted by edge id.
     pub fn halo(&self, s: usize) -> &[HaloEdge] {
-        &self.halos[s]
+        assert!(self.edge_views_valid, "edge views stale after refit");
+        &self.halo_data[self.halo_off[s] as usize..self.halo_off[s + 1] as usize]
     }
 
     /// Boundary nodes in shard `s`.
     pub fn boundary_count(&self, s: usize) -> usize {
+        assert!(self.edge_views_valid, "edge views stale after refit");
         let (lo, hi) = self.ranges[s];
         (lo..hi).filter(|&v| self.boundary[v as usize]).count()
     }
@@ -164,7 +291,174 @@ impl Partition {
 
     /// Total boundary nodes across all shards.
     pub fn boundary_total(&self) -> usize {
+        assert!(self.edge_views_valid, "edge views stale after refit");
         self.boundary_total
+    }
+
+    /// All shard ranges, ascending and gap-free: shard `s` owns
+    /// `ranges()[s].0 .. ranges()[s].1`.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+}
+
+/// Deterministic online repartitioning: given the measured per-shard load
+/// of the current layout, compute a new contiguous interval layout whose
+/// per-shard load is (approximately) equalized — a 1-D weighted prefix-sum
+/// split in the spirit of the rectangular partitioners of Saule et al.
+/// (arXiv:1104.2566) and the runtime repartitioners surveyed by Eibl &
+/// Rüde (arXiv:1808.00829), specialized to the engine's contiguous node-id
+/// bands.
+///
+/// The policy is a pure function — no RNG, no tie-breaking, no state — so
+/// an adaptive engine repartitions identically on every `(shards, threads)`
+/// execution layout; that is what keeps adaptive runs byte-identical
+/// across layouts and across checkpoint/resume.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepartitionPolicy;
+
+impl RepartitionPolicy {
+    /// Splits `0..weights.len()` into `k` contiguous intervals whose weight
+    /// sums are as equal as the prefix-sum quantile cut allows. Every
+    /// interval is non-empty (`k` is clamped to `1..=n.max(1)`); interval
+    /// `i` ends at the first prefix `P[j] ≥ W·i/k`, clamped so the
+    /// remaining intervals still fit. Non-finite or negative weights count
+    /// as zero; an all-zero vector falls back to [`uniform_ranges`].
+    pub fn split_weights(weights: &[f64], k: usize) -> Vec<(u32, u32)> {
+        let n = weights.len();
+        let k = k.clamp(1, n.max(1));
+        // Left-to-right prefix sums: deterministic fp association.
+        let mut prefix = Vec::with_capacity(n + 1);
+        let mut acc = 0.0f64;
+        prefix.push(acc);
+        for &w in weights {
+            acc += if w.is_finite() && w > 0.0 { w } else { 0.0 };
+            prefix.push(acc);
+        }
+        let total = acc;
+        if total <= 0.0 {
+            return uniform_ranges(n, k);
+        }
+        let mut ranges = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for i in 1..k {
+            let target = total * i as f64 / k as f64;
+            let cut = prefix.partition_point(|&p| p < target);
+            // Keep this shard and all remaining shards non-empty.
+            let cut = cut.clamp(start + 1, n - (k - i));
+            ranges.push((start as u32, cut as u32));
+            start = cut;
+        }
+        ranges.push((start as u32, n as u32));
+        ranges
+    }
+
+    /// Max/mean weight skew of a layout under per-node `weights` (1.0 is
+    /// perfectly balanced; 0.0 when the total weight is zero).
+    pub fn range_skew(ranges: &[(u32, u32)], weights: &[f64]) -> f64 {
+        let sum_in = |&(lo, hi): &(u32, u32)| -> f64 {
+            weights[lo as usize..hi as usize]
+                .iter()
+                .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+                .sum()
+        };
+        let loads: Vec<f64> = ranges.iter().map(sum_in).collect();
+        let total: f64 = loads.iter().sum();
+        if total <= 0.0 || loads.is_empty() {
+            return 0.0;
+        }
+        let mean = total / loads.len() as f64;
+        loads.iter().fold(0.0f64, |m, &l| m.max(l)) / mean
+    }
+
+    /// Proposes a rebalanced layout for `old` given its measured per-shard
+    /// loads (one entry per shard, e.g. nodes evaluated since the last
+    /// check). Each shard's load is spread uniformly over its nodes,
+    /// making the per-node weight piecewise constant over the old shards —
+    /// so the whole computation (blend, quantile cut, skew comparison)
+    /// runs on the `k` segments directly in O(k), never materializing a
+    /// per-node weight vector. The cuts are the same prefix-sum quantiles
+    /// [`Self::split_weights`] computes, evaluated in closed form per
+    /// segment. Returns `None` — keep the current layout — when the loads
+    /// carry no information (all zero) or when the candidate does not
+    /// improve the skew by at least 10% under those same weights, so a
+    /// proposal is never worse than the layout it replaces and measurement
+    /// jitter alone never churns the layout.
+    pub fn rebalance(old: &Partition, shard_loads: &[f64]) -> Option<Vec<(u32, u32)>> {
+        let k = old.shard_count();
+        assert_eq!(shard_loads.len(), k, "one load entry per shard");
+        let n = old.node_shard.len();
+        let clean = |l: f64| if l.is_finite() && l > 0.0 { l } else { 0.0 };
+        let total_load: f64 = shard_loads.iter().map(|&l| clean(l)).sum();
+        if n == 0 || total_load <= 0.0 {
+            return None;
+        }
+        // Cut on a 50/50 blend of measured load and uniform mass. Pure
+        // load-equalization hands the quiescent region a handful of
+        // enormous shards, and the moment the active frontier leaks one
+        // node into such a shard the whole thing is swept — the uniform
+        // floor caps any shard's width at ~2n/k while still shrinking hot
+        // shards toward their measured load share.
+        let floor = total_load / n as f64;
+        let seg_w: Vec<f64> =
+            (0..k).map(|s| clean(shard_loads[s]) / old.len(s) as f64 + floor).collect();
+        // Piecewise-linear prefix mass over the segments.
+        let mut seg_prefix = Vec::with_capacity(k + 1);
+        let mut acc = 0.0f64;
+        seg_prefix.push(acc);
+        for (s, &w) in seg_w.iter().enumerate() {
+            acc += w * old.len(s) as f64;
+            seg_prefix.push(acc);
+        }
+        let total = acc;
+        // Interval `i` ends at the first node whose prefix mass reaches
+        // `total·i/k`, clamped non-empty — split_weights' quantile cut,
+        // located by walking the segments instead of a per-node prefix.
+        let mut candidate = Vec::with_capacity(k);
+        let mut start = 0usize;
+        let mut seg = 0usize;
+        for i in 1..k {
+            let target = total * i as f64 / k as f64;
+            while seg + 1 < k && seg_prefix[seg + 1] < target {
+                seg += 1;
+            }
+            let (lo, hi) = old.range(seg);
+            let within = if seg_w[seg] > 0.0 {
+                ((target - seg_prefix[seg]) / seg_w[seg]).ceil().max(0.0) as usize
+            } else {
+                0
+            };
+            let cut = (lo as usize + within.min((hi - lo) as usize)).clamp(start + 1, n - (k - i));
+            candidate.push((start as u32, cut as u32));
+            start = cut;
+        }
+        candidate.push((start as u32, n as u32));
+        if candidate == old.ranges {
+            return None;
+        }
+        // Hysteresis: measured loads jitter from round to round, and the
+        // prefix cut amplifies a one-node wobble into a layout change. A
+        // layout swap is not free (RNG reshuffle, a full sweep of the
+        // carried-over activity), so only adopt cuts that beat the
+        // incumbent by a clear margin. Skews share the mean `total/k`, so
+        // comparing the max per-interval masses is the same comparison.
+        let old_max = (0..k).fold(0.0f64, |m, s| m.max(seg_w[s] * old.len(s) as f64));
+        let mut new_max = 0.0f64;
+        let mut s = 0usize;
+        for &(lo, hi) in &candidate {
+            let mut mass = 0.0f64;
+            let mut pos = lo;
+            while pos < hi {
+                while old.ranges[s].1 <= pos {
+                    s += 1;
+                }
+                let end = old.ranges[s].1.min(hi);
+                mass += f64::from(end - pos) * seg_w[s];
+                pos = end;
+            }
+            new_max = new_max.max(mass);
+        }
+        (new_max < 0.9 * old_max).then_some(candidate)
     }
 }
 
@@ -284,5 +578,106 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.range(0), (0, 0));
         assert_eq!(p.boundary_total(), 0);
+    }
+
+    #[test]
+    fn from_ranges_matches_new_for_uniform_layout() {
+        let topo = Topology::torus(&[6, 6]);
+        let a = Partition::new(&topo, 5);
+        let b = Partition::from_ranges(&topo, uniform_ranges(36, 5));
+        assert_eq!(a.ranges, b.ranges);
+        assert_eq!(a.node_shard, b.node_shard);
+        assert_eq!(a.boundary, b.boundary);
+        assert_eq!(a.boundary_total(), b.boundary_total());
+        for s in 0..5 {
+            assert_eq!(a.halo(s), b.halo(s));
+        }
+    }
+
+    #[test]
+    fn from_ranges_rebuilds_halos_for_skewed_layout() {
+        // 4×4 torus split 12 / 2 / 2: the halo/boundary classification must
+        // track the explicit ranges, not the uniform split.
+        let topo = Topology::torus(&[4, 4]);
+        let p = Partition::from_ranges(&topo, vec![(0, 12), (12, 14), (14, 16)]);
+        assert_eq!(p.shard_count(), 3);
+        assert_eq!(p.len(0), 12);
+        assert_eq!(p.shard_of(NodeId(13)), 1);
+        for s in 0..3 {
+            for h in p.halo(s) {
+                assert_eq!(p.shard_of(h.local), s);
+                assert_ne!(p.shard_of(h.remote), s);
+            }
+        }
+        // Every node in the two 2-node bands borders another shard.
+        for v in 12..16 {
+            assert!(p.is_boundary(NodeId(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gap")]
+    fn from_ranges_rejects_gaps() {
+        let topo = Topology::ring(8);
+        Partition::from_ranges(&topo, vec![(0, 3), (4, 8)]);
+    }
+
+    #[test]
+    fn split_weights_equalizes_a_hotspot() {
+        // All weight in the first quarter: the cut must concentrate shards
+        // there instead of splitting uniformly.
+        let mut w = vec![0.0; 16];
+        for x in &mut w[0..4] {
+            *x = 1.0;
+        }
+        let r = RepartitionPolicy::split_weights(&w, 4);
+        assert_eq!(r, vec![(0, 1), (1, 2), (2, 3), (3, 16)]);
+        // Exact cover, ascending, non-empty.
+        assert_eq!(r[0].0, 0);
+        assert_eq!(r[r.len() - 1].1, 16);
+    }
+
+    #[test]
+    fn split_weights_zero_total_is_uniform() {
+        let w = vec![0.0; 10];
+        assert_eq!(RepartitionPolicy::split_weights(&w, 3), uniform_ranges(10, 3));
+        // Negative / non-finite weights count as zero.
+        let w = vec![-1.0, f64::NAN, f64::INFINITY, -0.5];
+        assert_eq!(RepartitionPolicy::split_weights(&w, 2), uniform_ranges(4, 2));
+    }
+
+    #[test]
+    fn split_weights_uniform_input_is_uniform_output() {
+        let w = vec![2.5; 12];
+        assert_eq!(RepartitionPolicy::split_weights(&w, 4), uniform_ranges(12, 4));
+    }
+
+    #[test]
+    fn rebalance_improves_skew_or_declines() {
+        let topo = Topology::torus(&[8, 8]);
+        let p = Partition::new(&topo, 4);
+        // Hot first shard: rebalance must shrink it.
+        let loads = [80.0, 1.0, 1.0, 1.0];
+        let ranges = RepartitionPolicy::rebalance(&p, &loads).expect("skewed load repartitions");
+        assert!(ranges[0].1 - ranges[0].0 < 16, "hot shard shrinks: {ranges:?}");
+        let weights: Vec<f64> = (0..64).map(|v| if v < 16 { 5.0 } else { 1.0 / 16.0 }).collect();
+        assert!(
+            RepartitionPolicy::range_skew(&ranges, &weights)
+                < RepartitionPolicy::range_skew(p.ranges(), &weights)
+        );
+        // Balanced load: no proposal.
+        assert_eq!(RepartitionPolicy::rebalance(&p, &[3.0, 3.0, 3.0, 3.0]), None);
+        // Zero load: no proposal.
+        assert_eq!(RepartitionPolicy::rebalance(&p, &[0.0; 4]), None);
+    }
+
+    #[test]
+    fn rebalance_is_deterministic() {
+        let topo = Topology::torus(&[16, 16]);
+        let p = Partition::new(&topo, 8);
+        let loads: Vec<f64> = (0..8).map(|s| ((s * 37) % 11) as f64 + 0.25).collect();
+        let a = RepartitionPolicy::rebalance(&p, &loads);
+        let b = RepartitionPolicy::rebalance(&p, &loads);
+        assert_eq!(a, b);
     }
 }
