@@ -1,6 +1,8 @@
-//! BENCH_8 — tick-throughput benchmark for the sharded tick pipeline, the
+//! BENCH_9 — tick-throughput benchmark for the sharded tick pipeline, the
 //! event-driven time-skipping strategy, the pinned-worker thread scaling
-//! of the decision sweep, and adaptive online repartitioning.
+//! of the decision sweep, adaptive online repartitioning, and — new in
+//! BENCH_9 — the cache-conscious dense-sweep kernel and the lock-free
+//! epoch barrier.
 //!
 //! Measures steady-state balance-round throughput (rounds/sec) and
 //! per-node decision cost (ns/node-decision) for the particle-plane
@@ -24,7 +26,20 @@
 //! `threads: 1`, and BENCH_2's channel-dispatch pool lost to sequential
 //! outright.
 //!
-//! New in BENCH_8: the **adaptive repartitioning pair** —
+//! New in BENCH_9: the **dense-kernel gate** and the **barrier figure**.
+//! The structure-of-arrays rewrite of the decision sweep (flat
+//! height/weight slices into branch-light feasibility kernels, the jitter
+//! `exp` hoisted out of the per-task loop) is gated against an *embedded*
+//! BENCH_7 baseline: `dense16384_t1` must come in at least 1.25× faster in
+//! ns-per-node-decision, enforced on every host — the row runs on one
+//! worker thread, so core count is no excuse. Separately, the per-round
+//! overhead of the pool's lock-free sense-reversing epoch barrier is
+//! measured on a no-op job (4 workers × 64 shards, the `t4` matrix shape)
+//! and recorded as `barrier_ns_per_round` next to `host_parallelism`, so
+//! the first ≥ 4-core run of the `t4 > t1` gate inherits a known barrier
+//! cost instead of re-deriving it from scratch.
+//!
+//! From BENCH_8: the **adaptive repartitioning pair** —
 //! `hotspot16384_{static,adaptive}`, a 16 384-node torus under a slowly
 //! drifting arrival hotspot (redistribution only: `consume_rate = 0`, so
 //! the per-round cost is exactly the dirty-shard sweep). Both rows run the
@@ -39,7 +54,7 @@
 //! masquerade as parallel speedup.
 //!
 //! ```text
-//! bench_ticks [--smoke] [--enforce] [--shards K] [--threads T]
+//! bench_ticks [--smoke] [--enforce] [--dense] [--shards K] [--threads T]
 //!             [--out PATH] [--baseline PATH] [--check PATH]
 //! ```
 //!
@@ -47,17 +62,25 @@
 //! * `--enforce`    exit non-zero unless the scaling expectations hold:
 //!   sharded ≥ 1× sequential at 1 024 nodes, ≥ 1.5× at 16 384, event
 //!   strategy ≥ 5× tick on the sparse 65 536 pair, adaptive repartitioning
-//!   ≥ 1.3× static on the hotspot pair, and — on hosts with ≥ 4 cores —
+//!   ≥ 1.3× static on the hotspot pair, the dense-kernel gate
+//!   (`dense16384_t1` ≥ 1.25× the embedded BENCH_7 ns-per-node-decision
+//!   baseline, enforced everywhere), and — on hosts with ≥ 4 cores —
 //!   `dense16384_t4` strictly faster than `dense16384_t1`. On smaller
 //!   hosts the thread gate is skipped with a visible annotation
 //!   (`::notice::` under GitHub Actions, a plain note elsewhere) and
-//!   recorded as such in the JSON.
+//!   recorded as such in the JSON. Failures print the measured ratio, the
+//!   requirement, and both raw values — never a bare pass/fail.
+//! * `--dense`      run only the dense thread matrix, the barrier
+//!   measurement, and the dense-kernel gate (the CI `dense-kernel` job's
+//!   fast path; cross-pair expectations need rows this mode skips, so
+//!   `--enforce` then gates on the dense kernel alone). The differential
+//!   checks still run in their miniature form.
 //! * `--shards K`   override the shard count of every `*_shard` scenario
 //! * `--threads T`  override the sweep worker-thread count everywhere
 //!   (including the thread matrix — useful only for debugging)
-//! * `--out PATH`   where to write the JSON (default `BENCH_8.json`)
+//! * `--out PATH`   where to write the JSON (default `BENCH_9.json`)
 //! * `--baseline P` embed the `scenarios` of a previous output as
-//!   `baseline` and compute per-scenario speedups (BENCH_7.json's names
+//!   `baseline` and compute per-scenario speedups (BENCH_8.json's names
 //!   line up, continuing the trajectory)
 //! * `--check PATH` parse PATH as JSON and exit (0 = parses, 1 = does
 //!   not, with a missing file reported as `NOT FOUND` rather than a parse
@@ -81,6 +104,14 @@ const SEED: u64 = 42;
 const LOAD_PER_NODE: f64 = 10.0;
 /// Cores required before the `t4 > t1` thread-scaling gate is enforced.
 const GATE_MIN_CORES: usize = 4;
+/// The committed BENCH_7 `dense16384_t1` ns-per-node-decision on the
+/// reference container (1 core, `host_parallelism: 1`), embedded so the
+/// dense-kernel gate needs no baseline file: the scenario construction is
+/// unchanged since BENCH_7, so the comparison is like-for-like.
+const BENCH7_DENSE_T1_NS: f64 = 277.22659861246746;
+/// The dense-kernel win the SoA sweep must hold: `dense16384_t1` at least
+/// this many times faster (baseline ns ÷ measured ns) than BENCH_7.
+const DENSE_KERNEL_REQUIRED: f64 = 1.25;
 
 struct Scenario {
     name: &'static str,
@@ -272,6 +303,61 @@ struct Expectation {
     enforced: bool,
 }
 
+/// The BENCH_9 dense-kernel gate: the SoA decision sweep against the
+/// embedded BENCH_7 AoS baseline, single-threaded, enforced on every host.
+#[derive(Serialize)]
+struct DenseKernelGate {
+    /// Scenario the gate measures.
+    scenario: String,
+    /// Where the baseline number comes from.
+    baseline: String,
+    baseline_ns_per_node_decision: f64,
+    /// `null` if the row never ran (e.g. `--smoke` evaluated no decisions).
+    measured_ns_per_node_decision: Option<f64>,
+    /// baseline ÷ measured — > 1 means faster than the BENCH_7 kernel.
+    ratio: f64,
+    required: f64,
+    pass: bool,
+}
+
+fn dense_kernel_gate(scenarios: &[Measurement]) -> DenseKernelGate {
+    let measured =
+        scenarios.iter().find(|m| m.name == "dense16384_t1").and_then(|m| m.ns_per_node_decision);
+    let ratio = measured.map(|ns| BENCH7_DENSE_T1_NS / ns).unwrap_or(0.0);
+    DenseKernelGate {
+        scenario: "dense16384_t1".into(),
+        baseline: "BENCH_7.json dense16384_t1 (embedded)".into(),
+        baseline_ns_per_node_decision: BENCH7_DENSE_T1_NS,
+        measured_ns_per_node_decision: measured,
+        ratio,
+        required: DENSE_KERNEL_REQUIRED,
+        pass: ratio >= DENSE_KERNEL_REQUIRED,
+    }
+}
+
+/// Times the shard pool's barrier round-trip on a no-op job: publish, wake,
+/// sweep zero work, done-barrier. Pool shape = the `t4` matrix row
+/// (4 workers × 64 shards) so the figure is the one that row actually pays
+/// per round on a ≥ 4-core host.
+fn measure_barrier(smoke: bool) -> f64 {
+    use pp_metrics::shard::BarrierSample;
+    use pp_sim::pool::ShardPool;
+    let pool = ShardPool::new(4, 64);
+    let mut slots = vec![0u8; 64];
+    let rounds: u64 = if smoke { 200 } else { 2000 };
+    // Warm: spawn-time page faults and first parks out of the window.
+    for _ in 0..rounds / 10 {
+        pool.run_shards(&mut slots, &|_, _| {});
+    }
+    let mut sample = BarrierSample::new();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        pool.run_shards(&mut slots, &|_, _| {});
+    }
+    sample.record(rounds, start.elapsed().as_nanos() as u64);
+    sample.ns_per_round().expect("rounds > 0")
+}
+
 #[derive(Serialize)]
 struct Output {
     bench: String,
@@ -285,6 +371,12 @@ struct Output {
     /// gate was live on this host — machine-readable, so downstream
     /// tooling never mistakes a skipped gate for a passed one.
     thread_gate: String,
+    /// Per-round cost of the pool's lock-free epoch barrier on a no-op job
+    /// (see [`measure_barrier`]) — recorded beside `host_parallelism`
+    /// because the figure is as host-shaped as the core count is.
+    barrier_ns_per_round: f64,
+    /// The BENCH_9 dense-kernel gate, enforced on every host.
+    dense_kernel: DenseKernelGate,
     scenarios: Vec<Measurement>,
     reports_identical: bool,
     /// Adaptive-vs-static differential (miniature): repartitioning must be
@@ -550,6 +642,7 @@ fn main() {
 
     let smoke = flag("--smoke");
     let enforce = flag("--enforce");
+    let dense_only = flag("--dense");
     if smoke && enforce {
         // Smoke numbers are explicitly meaningless: warm-up is one round,
         // the system never quiesces, and the ratio is noise. Refuse rather
@@ -560,7 +653,7 @@ fn main() {
     let shards_override: usize =
         opt("--shards").map(|s| s.parse().expect("--shards N")).unwrap_or(0);
     let threads: usize = opt("--threads").map(|s| s.parse().expect("--threads N")).unwrap_or(0);
-    let out_path = opt("--out").unwrap_or_else(|| "BENCH_8.json".to_string());
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_9.json".to_string());
     let baseline = opt("--baseline").map(|p| match extract_baseline(&p) {
         Ok(b) => b,
         Err(e) => {
@@ -575,14 +668,24 @@ fn main() {
     } else {
         format!("skipped (host_parallelism {cores} < {GATE_MIN_CORES})")
     };
+    let mode = if dense_only {
+        "dense"
+    } else if smoke {
+        "smoke"
+    } else {
+        "full"
+    };
     println!(
-        "=== BENCH_8: sharded tick + event-strategy + thread-scaling + adaptive-repartition \
-         throughput ({}, {} cores)",
-        if smoke { "smoke" } else { "full" },
-        cores
+        "=== BENCH_9: sharded tick + event-strategy + thread-scaling + adaptive-repartition + \
+         dense-kernel throughput ({mode}, {cores} cores)"
     );
+    let barrier_ns = measure_barrier(smoke);
+    println!("  barrier (4 workers x 64 shards, no-op job): {barrier_ns:.1} ns/round");
     let mut scenarios = Vec::new();
     for sc in SCENARIOS {
+        if dense_only && !sc.name.starts_with("dense16384") {
+            continue;
+        }
         let m = measure(sc, smoke, shards_override, threads);
         println!(
             "  {:17} {:6} nodes  K={:<3} T={:<2} {:5} {:>12.1} rounds/s  {:>9.1} ns/node-decision  \
@@ -599,15 +702,19 @@ fn main() {
         scenarios.push(m);
     }
 
-    let identical = seq_shard_identical(smoke);
+    // In --dense mode the differentials run in their miniature (smoke)
+    // form: still a real byte-identity check, small enough for a fast job.
+    let identical = seq_shard_identical(smoke || dense_only);
     println!("  seq/sharded reports identical: {identical}");
     assert!(identical, "sharded decision sweep diverged from sequential");
 
-    let repart_identical = adaptive_static_identical(smoke);
+    let repart_identical = adaptive_static_identical(smoke || dense_only);
     println!("  adaptive/static reports identical: {repart_identical}");
     assert!(repart_identical, "adaptive repartitioning diverged from the static layout");
 
-    let expect = expectations(&scenarios, cores);
+    // Cross-pair expectations need rows --dense does not run; the dense
+    // mode gates on the dense-kernel ratio alone.
+    let expect = if dense_only { Vec::new() } else { expectations(&scenarios, cores) };
     for e in &expect {
         println!(
             "  scaling @ {:5} nodes: {} = {:.2}x (required {:.1}x) → {}",
@@ -638,7 +745,19 @@ fn main() {
             println!("note: thread-scaling gate skipped: {msg}");
         }
     }
-    let all_pass = expect.iter().filter(|e| e.enforced).all(|e| e.pass);
+    let dense_kernel = dense_kernel_gate(&scenarios);
+    println!(
+        "  dense kernel @ 16384 nodes: {} = {:.1} ns/decision vs baseline {:.1} → ratio {:.2}x \
+         (required {:.2}x) → {}",
+        dense_kernel.scenario,
+        dense_kernel.measured_ns_per_node_decision.unwrap_or(f64::NAN),
+        dense_kernel.baseline_ns_per_node_decision,
+        dense_kernel.ratio,
+        dense_kernel.required,
+        if dense_kernel.pass { "pass" } else { "FAIL" }
+    );
+
+    let all_pass = expect.iter().filter(|e| e.enforced).all(|e| e.pass) && dense_kernel.pass;
 
     let speedups = baseline.as_ref().map(|base| {
         scenarios
@@ -654,13 +773,16 @@ fn main() {
     });
 
     let output = Output {
-        bench: "BENCH_8 sharded tick + event-strategy + pinned-worker thread scaling + \
-                adaptive repartitioning (quiescent redistribution + jittered dense matrix + \
-                drifting hotspot, particle-plane)"
+        bench: "BENCH_9 sharded tick + event-strategy + pinned-worker thread scaling + \
+                adaptive repartitioning + SoA dense kernel + lock-free epoch barrier \
+                (quiescent redistribution + jittered dense matrix + drifting hotspot, \
+                particle-plane)"
             .into(),
-        mode: if smoke { "smoke" } else { "full" }.into(),
+        mode: mode.into(),
         host_parallelism: cores,
         thread_gate,
+        barrier_ns_per_round: barrier_ns,
+        dense_kernel,
         scenarios,
         reports_identical: identical,
         repartition_identical: repart_identical,
@@ -673,7 +795,29 @@ fn main() {
     println!("[json artifact: {out_path}]");
 
     if enforce && !all_pass {
-        eprintln!("error: sharded pipeline failed a scaling expectation (see above)");
+        // Satellite contract: a failed gate names its numbers — the
+        // measured ratio, the requirement, and both raw values — so a CI
+        // log is diagnosable without re-running the bench.
+        for e in output.expectations.iter().filter(|e| e.enforced && !e.pass) {
+            eprintln!(
+                "error: scaling expectation {} failed: measured ratio {:.3}x < required {:.2}x \
+                 (reference {:.1} rounds/s, candidate {:.1} rounds/s)",
+                e.pair, e.ratio, e.required, e.reference_rps, e.candidate_rps
+            );
+        }
+        let dk = &output.dense_kernel;
+        if !dk.pass {
+            eprintln!(
+                "error: dense-kernel gate failed: {} measured {:.1} ns/node-decision vs \
+                 baseline {:.4} ({}); ratio {:.3}x < required {:.2}x",
+                dk.scenario,
+                dk.measured_ns_per_node_decision.unwrap_or(f64::NAN),
+                dk.baseline_ns_per_node_decision,
+                dk.baseline,
+                dk.ratio,
+                dk.required
+            );
+        }
         std::process::exit(1);
     }
 }

@@ -18,7 +18,8 @@
 
 use crate::arbiter::Arbiter;
 use crate::energy::{hop_heat, updated_flag};
-use crate::feasibility::{motion_candidates_into, stationary_candidates_into, Candidate};
+use crate::feasibility::{motion_candidates_soa_into, stationary_candidates_soa_into, Candidate};
+use crate::jitter::FrictionJitter;
 use crate::params::{kinetic_friction, static_friction, PhysicsConfig};
 use pp_sim::balancer::{LoadBalancer, MigratingLoad, MigrationIntent, NodeView};
 use rand::rngs::StdRng;
@@ -30,12 +31,11 @@ use std::cell::RefCell;
 /// each decision thread warms its own set once and reuses it forever.
 #[derive(Default)]
 struct DecideScratch {
-    /// One-load-per-link-per-tick bookkeeping.
-    link_used: Vec<bool>,
     /// Effective neighbour heights, updated as the tick commits migrations.
+    /// A used link's entry is set to `+∞` — one write that both masks the
+    /// link (an infinite height can never beat `µ_s`) and spares the
+    /// per-task rebuild of a masked pair list the AoS kernel needed.
     h_eff: Vec<f64>,
-    /// `(height, link weight)` pairs fed to the feasibility rules.
-    pairs: Vec<(f64, f64)>,
     /// Feasible-slope output buffer for the arbiter.
     candidates: Vec<Candidate>,
 }
@@ -118,19 +118,26 @@ impl LoadBalancer for ParticlePlaneBalancer {
         if m == 0 || view.tasks.is_empty() {
             return;
         }
+        // The jitter amplitude A(t) depends only on the round, so the `exp`
+        // is hoisted out of the per-task loop; `apply_amp` keeps the draw
+        // discipline (and the draws themselves) bitwise identical.
+        let jitter_amp = cfg.jitter.as_ref().map(|j| j.amplitude_at(view.round as f64));
         SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
-            let DecideScratch { link_used, h_eff, pairs, candidates } = scratch;
-            link_used.clear();
-            link_used.resize(m, false);
+            let DecideScratch { h_eff, candidates } = scratch;
             // Effective heights: updated as this tick commits migrations so
             // that later decisions see the planned post-transfer surface.
+            // One copy of the view's SoA height slice per node; each task's
+            // feasibility pass then streams `h_eff` + `nbr_weights` flat,
+            // instead of rebuilding a masked pair list per task.
             let mut h_i = view.height;
             h_eff.clear();
-            h_eff.extend(view.neighbors.iter().map(|n| n.height));
+            h_eff.extend_from_slice(view.nbr_heights);
+            let weights = view.nbr_weights;
+            let mut links_left = m;
 
             for task in view.tasks {
-                if link_used.iter().all(|&u| u) {
+                if links_left == 0 {
                     break;
                 }
                 let mut mu_s = static_friction(
@@ -141,20 +148,13 @@ impl LoadBalancer for ParticlePlaneBalancer {
                     view.task_graph,
                     view.resources,
                 );
-                if let Some(j) = cfg.jitter {
-                    mu_s = j.apply(mu_s, view.round as f64, rng);
+                if let Some(a) = jitter_amp {
+                    mu_s = FrictionJitter::apply_amp(mu_s, a, rng);
                 }
                 let mu_k = kinetic_friction(cfg, mu_s);
-                pairs.clear();
-                pairs.extend(view.neighbors.iter().enumerate().map(|(i, n)| {
-                    if link_used[i] {
-                        // Pretend the link is infinitely costly this tick.
-                        (f64::INFINITY, n.link_weight)
-                    } else {
-                        (h_eff[i], n.link_weight)
-                    }
-                }));
-                stationary_candidates_into(cfg, task.size, mu_s, h_i, pairs, candidates);
+                stationary_candidates_soa_into(
+                    cfg, task.size, mu_s, h_i, h_eff, weights, candidates,
+                );
                 let Some(pick) = self.arbiter.choose(candidates, view.round as f64, rng) else {
                     continue;
                 };
@@ -164,9 +164,13 @@ impl LoadBalancer for ParticlePlaneBalancer {
                 let flag = updated_flag(cfg, h_i, mu_k, nb.link_weight);
                 let heat = hop_heat(cfg, mu_k, nb.link_weight, task.size);
                 out.push(MigrationIntent { task: task.id, to: nb.id, flag, heat });
-                link_used[pick] = true;
                 h_i -= task.size;
-                h_eff[pick] += task.size;
+                // One load per link per tick: an infinite effective height
+                // masks the used link for the rest of the sweep (the AoS
+                // kernel's `+= task.size` on a masked entry was dead — the
+                // entry was never read again).
+                h_eff[pick] = f64::INFINITY;
+                links_left -= 1;
             }
         })
     }
@@ -197,10 +201,16 @@ impl LoadBalancer for ParticlePlaneBalancer {
         let mu_k = kinetic_friction(cfg, mu_s);
         SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
-            let DecideScratch { pairs, candidates, .. } = scratch;
-            pairs.clear();
-            pairs.extend(view.neighbors.iter().map(|n| (n.height, n.link_weight)));
-            motion_candidates_into(cfg, load.flag, mu_k, pairs, candidates);
+            let DecideScratch { candidates, .. } = scratch;
+            // The view's SoA slices feed the kernel directly — no pair list.
+            motion_candidates_soa_into(
+                cfg,
+                load.flag,
+                mu_k,
+                view.nbr_heights,
+                view.nbr_weights,
+                candidates,
+            );
             let pick = self.arbiter.choose(candidates, view.round as f64, rng)?;
             let nb = &view.neighbors[pick];
             Some(MigrationIntent {

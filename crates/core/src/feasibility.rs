@@ -79,6 +79,50 @@ pub fn motion_candidates_into(
     }));
 }
 
+/// [`stationary_candidates_into`] over structure-of-arrays neighbour state:
+/// `h_j[idx]` and `e_ij[idx]` are parallel slices instead of a packed pair
+/// list. Same filter, same scores, same order — the `self_correction`
+/// branch is hoisted out of the loop but the gradient arithmetic keeps
+/// [`gradient`]'s exact operation order, so the scores are bitwise
+/// identical to the pair form.
+pub fn stationary_candidates_soa_into(
+    cfg: &PhysicsConfig,
+    load: f64,
+    mu_s: f64,
+    h_i: f64,
+    h_j: &[f64],
+    e_ij: &[f64],
+    out: &mut Vec<Candidate>,
+) {
+    debug_assert_eq!(h_j.len(), e_ij.len());
+    let correction = if cfg.self_correction { 2.0 * load } else { 0.0 };
+    out.clear();
+    out.extend(h_j.iter().zip(e_ij).enumerate().filter_map(|(idx, (&h, &e))| {
+        debug_assert!(e > 0.0, "link weights are validated positive");
+        let a = (h_i - h - correction) / e;
+        (a > mu_s).then_some((idx, a))
+    }));
+}
+
+/// [`motion_candidates_into`] over structure-of-arrays neighbour state;
+/// bitwise identical to the pair form (see
+/// [`stationary_candidates_soa_into`]).
+pub fn motion_candidates_soa_into(
+    cfg: &PhysicsConfig,
+    flag: f64,
+    mu_k: f64,
+    h_j: &[f64],
+    e_ij: &[f64],
+    out: &mut Vec<Candidate>,
+) {
+    debug_assert_eq!(h_j.len(), e_ij.len());
+    out.clear();
+    out.extend(h_j.iter().zip(e_ij).enumerate().filter_map(|(idx, (&h, &e))| {
+        let a = updated_flag(cfg, flag, mu_k, e) - h;
+        (a > 0.0).then_some((idx, a))
+    }));
+}
+
 /// The minimum height difference below which no transfer can start, given
 /// `µ_s`, link weight and load size: `h_i − h_j` must exceed
 /// `µ_s·e + 2l`. Used by experiment `exp2` to draw the movement frontier.
@@ -157,6 +201,37 @@ mod tests {
         // Headroom toward the lower node is larger.
         let s: Vec<f64> = got.iter().map(|&(_, a)| a).collect();
         assert!(s[1] > s[0]);
+    }
+
+    #[test]
+    fn soa_kernels_are_bitwise_identical_to_pair_kernels() {
+        // Awkward magnitudes on purpose: any re-association in the SoA
+        // gradient would show up as a last-ulp difference.
+        for self_correction in [true, false] {
+            let c = PhysicsConfig { self_correction, ..cfg() };
+            let pairs: Vec<(f64, f64)> = (0..17)
+                .map(|k| {
+                    let k = k as f64;
+                    (10.0 + (k * 0.7).sin() * 9.3 + k * 1e-13, 0.3 + (k * 1.3).cos().abs() * 2.0)
+                })
+                .collect();
+            let heights: Vec<f64> = pairs.iter().map(|&(h, _)| h).collect();
+            let weights: Vec<f64> = pairs.iter().map(|&(_, e)| e).collect();
+            for (load, mu, h_i, flag) in
+                [(1.0, 0.5, 14.2, 15.0), (0.37, 3.1, 11.0 + 1e-12, 9.5), (5.0, 0.01, 25.0, 30.0)]
+            {
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                stationary_candidates_into(&c, load, mu, h_i, &pairs, &mut a);
+                stationary_candidates_soa_into(&c, load, mu, h_i, &heights, &weights, &mut b);
+                let bits = |v: &Vec<Candidate>| {
+                    v.iter().map(|&(i, s)| (i, s.to_bits())).collect::<Vec<_>>()
+                };
+                assert_eq!(bits(&a), bits(&b), "stationary sc={self_correction}");
+                motion_candidates_into(&c, flag, mu, &pairs, &mut a);
+                motion_candidates_soa_into(&c, flag, mu, &heights, &weights, &mut b);
+                assert_eq!(bits(&a), bits(&b), "motion sc={self_correction}");
+            }
+        }
     }
 
     #[test]

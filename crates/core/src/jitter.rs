@@ -77,7 +77,17 @@ impl FrictionJitter {
 
     /// Applies the jitter to a parameter value at time `t`.
     pub fn apply(&self, value: f64, t: f64, rng: &mut StdRng) -> f64 {
-        let a = self.amplitude_at(t);
+        Self::apply_amp(value, self.amplitude_at(t), rng)
+    }
+
+    /// Applies the jitter with a precomputed amplitude `a = A(t)`.
+    ///
+    /// `A(t)` depends only on `t`, so a sweep deciding many tasks at one
+    /// time can hoist the `exp` out of the per-task loop and call this —
+    /// bitwise-identical to [`FrictionJitter::apply`], including the RNG
+    /// draw discipline (no draw when the amplitude is zero).
+    #[inline]
+    pub fn apply_amp(value: f64, a: f64, rng: &mut StdRng) -> f64 {
         if a <= 0.0 {
             return value;
         }

@@ -62,6 +62,49 @@ impl ShardAccum {
     }
 }
 
+/// Accumulated wall-clock samples of the shard pool's per-round barrier
+/// overhead: a caller times batches of no-op `run_shards` rounds (publish +
+/// wake + done-barrier with zero work inside) and records them here.
+/// Additive like [`ShardAccum`], so samples from repeated batches — or from
+/// pools of different shapes, if the caller wants an aggregate — merge into
+/// one ns-per-round figure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BarrierSample {
+    /// Barrier round-trips timed.
+    pub rounds: u64,
+    /// Total wall-clock nanoseconds across those rounds.
+    pub total_ns: u64,
+}
+
+impl BarrierSample {
+    /// An empty sample.
+    pub fn new() -> Self {
+        BarrierSample::default()
+    }
+
+    /// Records a batch of `rounds` no-op barrier round-trips that took
+    /// `total_ns` nanoseconds of wall clock together.
+    pub fn record(&mut self, rounds: u64, total_ns: u64) {
+        self.rounds += rounds;
+        self.total_ns += total_ns;
+    }
+
+    /// Folds another sample into this one.
+    pub fn merge(&mut self, other: &BarrierSample) {
+        self.rounds += other.rounds;
+        self.total_ns += other.total_ns;
+    }
+
+    /// Mean nanoseconds per barrier round-trip (`None` until something was
+    /// recorded — an unmeasured barrier has no cost figure, not a zero one).
+    pub fn ns_per_round(&self) -> Option<f64> {
+        if self.rounds == 0 {
+            return None;
+        }
+        Some(self.total_ns as f64 / self.rounds as f64)
+    }
+}
+
 /// Max/mean skew of a per-shard load vector: `1.0` is perfectly balanced,
 /// `k` is "all load in one of `k` shards". Returns `0.0` for an empty
 /// vector or a non-positive total, where no skew is defined — callers
@@ -144,6 +187,20 @@ mod tests {
             rev.merge(p);
         }
         assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn barrier_sample_accumulates_and_averages() {
+        let mut s = BarrierSample::new();
+        assert_eq!(s.ns_per_round(), None);
+        s.record(100, 50_000);
+        s.record(100, 30_000);
+        assert_eq!(s.rounds, 200);
+        assert_eq!(s.ns_per_round(), Some(400.0));
+        let mut other = BarrierSample::new();
+        other.record(200, 160_000);
+        s.merge(&other);
+        assert_eq!(s.ns_per_round(), Some(600.0));
     }
 
     #[test]

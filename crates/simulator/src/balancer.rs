@@ -49,6 +49,14 @@ pub struct NodeView<'a> {
     /// fault awareness reaches the policy). Borrowed from the
     /// [`ViewScratch`] the view was built into.
     pub neighbors: &'a [NeighborInfo],
+    /// `neighbors[k].height` as a flat slice — the structure-of-arrays form
+    /// of the same data, so feasibility kernels can stream heights without
+    /// striding over [`NeighborInfo`] records. Index-aligned with
+    /// `neighbors`.
+    pub nbr_heights: &'a [f64],
+    /// `neighbors[k].link_weight` as a flat slice, index-aligned with
+    /// `neighbors`.
+    pub nbr_weights: &'a [f64],
     /// The task dependency graph `T`.
     pub task_graph: &'a TaskGraph,
     /// The resource matrix `R`.
@@ -65,6 +73,11 @@ pub struct NodeView<'a> {
 #[derive(Debug, Default)]
 pub struct ViewScratch {
     neighbors: Vec<NeighborInfo>,
+    /// SoA mirrors of the neighbour list (heights / link weights), filled by
+    /// the same [`build_view`] pass and exposed as [`NodeView::nbr_heights`]
+    /// / [`NodeView::nbr_weights`].
+    nbr_heights: Vec<f64>,
+    nbr_weights: Vec<f64>,
 }
 
 impl ViewScratch {
@@ -268,6 +281,8 @@ pub fn build_view<'a>(
     time: f64,
 ) -> NodeView<'a> {
     scratch.neighbors.clear();
+    scratch.nbr_heights.clear();
+    scratch.nbr_weights.clear();
     let nbrs = state.topo.neighbors(node);
     let eids = state.topo.neighbor_edge_ids(node);
     for (&j, &e) in nbrs.iter().zip(eids) {
@@ -279,18 +294,18 @@ pub fn build_view<'a>(
             Some(w) => w[e.idx()],
             None => attrs.weight(links.weight_c),
         };
-        scratch.neighbors.push(NeighborInfo {
-            id: j,
-            height: heights[j.idx()],
-            link_weight,
-            attrs,
-        });
+        let height = heights[j.idx()];
+        scratch.neighbors.push(NeighborInfo { id: j, height, link_weight, attrs });
+        scratch.nbr_heights.push(height);
+        scratch.nbr_weights.push(link_weight);
     }
     NodeView {
         node,
         height: heights[node.idx()],
         tasks: state.node(node).tasks(),
         neighbors: &scratch.neighbors,
+        nbr_heights: &scratch.nbr_heights,
+        nbr_weights: &scratch.nbr_weights,
         task_graph: &state.task_graph,
         resources: &state.resources,
         round,
@@ -397,6 +412,25 @@ mod tests {
         for nb in view.neighbors {
             let e = state.topo.edge_index(NodeId(0), nb.id).unwrap();
             assert_eq!(nb.link_weight, table[e.idx()]);
+        }
+    }
+
+    #[test]
+    fn soa_mirrors_stay_aligned_with_the_neighbor_list() {
+        let state = ring_state();
+        let heights = vec![1.0, 2.0, 3.0, 4.0];
+        let mut down = EdgeBitSet::new(state.topo.edge_count());
+        down.insert(state.topo.edge_index(NodeId(0), NodeId(1)).unwrap());
+        let links = LinkView { down: Some(&down), ..LinkView::all_up(&state, 2.0) };
+        let mut scratch = ViewScratch::new();
+        for node in [NodeId(0), NodeId(2), NodeId(0)] {
+            let view = build_view(&mut scratch, &state, node, &heights, &links, 0, 0.0);
+            assert_eq!(view.nbr_heights.len(), view.neighbors.len());
+            assert_eq!(view.nbr_weights.len(), view.neighbors.len());
+            for (k, nb) in view.neighbors.iter().enumerate() {
+                assert_eq!(view.nbr_heights[k].to_bits(), nb.height.to_bits());
+                assert_eq!(view.nbr_weights[k].to_bits(), nb.link_weight.to_bits());
+            }
         }
     }
 

@@ -1033,6 +1033,13 @@ impl Engine {
         if dt > 0.0 && self.config.consume_rate > 0.0 {
             let amount = dt * self.config.consume_rate;
             for i in 0..self.state.node_count() {
+                // SoA gate: consuming on an empty node is a no-op (nothing
+                // completes, nothing is used, nothing is marked dirty), so
+                // the sweep streams the flat task-count array and skips the
+                // node-record walk entirely for idle nodes.
+                if self.state.task_count_slice()[i] == 0 {
+                    continue;
+                }
                 let scaled = if self.speeds.is_empty() { amount } else { amount * self.speeds[i] };
                 if scaled > 0.0 {
                     let v = NodeId(i as u32);
@@ -1179,6 +1186,13 @@ impl Engine {
                     return;
                 }
                 let (start, end) = partition.range(s);
+                // Pull the halo's height words onto this core before the
+                // decision loop: neighbouring shards' workers dirtied them
+                // last round, and streaming them in one batch beats
+                // faulting them in one cache miss at a time mid-decision.
+                // Pooled path only — with a single worker every line is
+                // already local and the touch would be pure overhead.
+                prefetch_halo(state, heights, start, end);
                 eval_shard(slot, start, end, state, heights, &links, balancer, round, time);
             });
         } else {
@@ -1352,6 +1366,25 @@ impl Engine {
         self.state.add_task(NodeId(ev.node), task);
         self.mark_node_dirty(NodeId(ev.node));
     }
+}
+
+/// Touches the height words of one shard's halo — neighbours of its nodes
+/// owned by *other* shards — so the decision sweep reads warm lines instead
+/// of pulling each cross-shard height over the interconnect mid-loop. The
+/// reads feed a `black_box`ed sum so the touch cannot be optimised away;
+/// the value itself is discarded, so this cannot affect what is computed.
+#[inline]
+fn prefetch_halo(state: &SystemState, heights: &[f64], start: u32, end: u32) {
+    let mut touched = 0.0f64;
+    for v in start..end {
+        for &j in state.topo.neighbors(NodeId(v)) {
+            let j = j.0;
+            if j < start || j >= end {
+                touched += heights[j as usize];
+            }
+        }
+    }
+    std::hint::black_box(touched);
 }
 
 /// Sweeps one shard: evaluates `decide` for every owned node into the

@@ -1,14 +1,24 @@
 //! A parallel sweep runner: fan a set of independent experiment
-//! configurations out over worker threads (crossbeam scoped threads + a
-//! channel-based work queue) and collect results in input order.
+//! configurations out over worker threads and collect results in input
+//! order.
+//!
+//! Work pickup is **lock-free**: instead of the old channel pair (every
+//! item enqueued, claimed, and its result sent back — four queue
+//! operations per item), workers claim indices off one shared atomic
+//! cursor and write results into disjoint pre-sized slots. One `fetch_add`
+//! per item is the entire coordination cost; the only lock is the failure
+//! list, touched exclusively on the panic path.
 //!
 //! This is the harness the benchmark binaries use to evaluate parameter
 //! grids; each simulation is single-threaded and deterministic, parallelism
 //! is across configurations, so results are identical regardless of thread
 //! count.
 
-use crossbeam::channel;
+#![allow(unsafe_code)] // disjoint-slot hand-off, justified inline
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Logs the `available_parallelism()` failure once per process: the
 /// degraded single-thread fallback should be visible, not a silent 4×
@@ -21,11 +31,10 @@ fn warn_parallelism_unknown() {
 }
 
 /// Inputs shorter than this run inline even when more threads were
-/// requested: spinning up a `crossbeam::thread::scope` plus two channels
-/// costs on the order of 100 µs, which dominates tiny parameter grids (the
-/// `threads == n == 2` shape) — and a sweep that small finishes within the
-/// same order of magnitude sequentially even when each item is a whole
-/// simulation.
+/// requested: spawning a thread scope costs on the order of 100 µs, which
+/// dominates tiny parameter grids (the `threads == n == 2` shape) — and a
+/// sweep that small finishes within the same order of magnitude
+/// sequentially even when each item is a whole simulation.
 const SPAWN_THRESHOLD: usize = 4;
 
 /// Maps `f` over `items` using up to `threads` worker threads, preserving
@@ -39,7 +48,7 @@ const SPAWN_THRESHOLD: usize = 4;
 /// # Panics
 /// If `f` panics on any item, the panic is re-raised on the caller with
 /// the failing item indices in the message (all items still drain first,
-/// so no worker is left holding the queue).
+/// so no worker is left holding unclaimed work).
 pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -63,46 +72,59 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, Result<R, ()>)>();
-    for pair in items.into_iter().enumerate() {
-        work_tx.send(pair).expect("queue open");
-    }
-    drop(work_tx);
+    let mut items = items;
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    /// Raw slot base made `Sync`; soundness rests on the cursor handing
+    /// every index to exactly one worker (same disjointness argument as
+    /// the shard pool's slot hand-off).
+    struct Base<U>(*mut U);
+    // SAFETY: workers dereference disjoint offsets only (each index is
+    // claimed by exactly one `fetch_add` winner) and both allocations
+    // outlive the scope below.
+    unsafe impl<U: Send> Sync for Base<U> {}
+    let item_base = Base(items.as_mut_ptr());
+    let result_base = Base(results.as_mut_ptr());
+    // The workers move every element out of the item buffer by raw read;
+    // drop the vec's claim on them (capacity stays owned and is freed on
+    // return) so nothing is dropped twice.
+    // SAFETY: 0 ≤ capacity, and every element is moved out exactly once
+    // below — the cursor loop only stops once the counter passes `n`.
+    unsafe { items.set_len(0) };
+    let cursor = AtomicUsize::new(0);
+    // Failure indices; cold path only — locked iff an item panicked.
+    let failed = Mutex::new(Vec::new());
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            let work_rx = work_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            s.spawn(move |_| {
-                while let Ok((i, item)) = work_rx.recv() {
-                    // Catch per item: one poisoned configuration must not
-                    // kill the worker (stranding its queue share) or
-                    // surface as an indexless scope panic.
-                    let r = catch_unwind(AssertUnwindSafe(|| f(item))).map_err(drop);
-                    if res_tx.send((i, r)).is_err() {
-                        break;
-                    }
+            let (item_base, result_base) = (&item_base, &result_base);
+            let (cursor, failed, f) = (&cursor, &failed, &f);
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: this thread won index `i`; the element is read
+                // out exactly once (the vec's len is already 0).
+                let item = unsafe { std::ptr::read(item_base.0.add(i)) };
+                // Catch per item: one poisoned configuration must not kill
+                // the worker (stranding the cursor's remaining range) or
+                // surface as an indexless scope panic.
+                match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    // SAFETY: slot `i` belongs to this thread alone; the
+                    // scope join publishes the write to the caller.
+                    Ok(r) => unsafe { *result_base.0.add(i) = Some(r) },
+                    Err(_) => failed.lock().expect("failure list").push(i),
                 }
             });
         }
-        drop(res_tx);
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        let mut failed: Vec<usize> = Vec::new();
-        for (i, r) in res_rx.iter() {
-            match r {
-                Ok(r) => out[i] = Some(r),
-                Err(()) => failed.push(i),
-            }
-        }
-        if !failed.is_empty() {
-            failed.sort_unstable();
-            panic!("par_map: f panicked on item(s) {failed:?} of {n}");
-        }
-        out.into_iter().map(|r| r.expect("worker delivered")).collect()
-    })
-    .expect("sweep workers panicked")
+    });
+
+    let mut failed = failed.into_inner().expect("failure list");
+    if !failed.is_empty() {
+        failed.sort_unstable();
+        panic!("par_map: f panicked on item(s) {failed:?} of {n}");
+    }
+    results.into_iter().map(|r| r.expect("worker delivered")).collect()
 }
 
 #[cfg(test)]
@@ -188,5 +210,25 @@ mod tests {
         let a = par_map((0..256).collect::<Vec<_>>(), 1, f);
         let b = par_map((0..256).collect::<Vec<_>>(), 7, f);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn owned_buffers_drop_cleanly_through_the_raw_handoff() {
+        // Heap-owning items and results: every item must be moved out
+        // exactly once (no double drop, no leak) even when some panic.
+        let items: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        let out = par_map(items, 4, |s| s + "!");
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[9], "item-9!");
+        let caught = std::panic::catch_unwind(|| {
+            par_map((0..64).map(|i| format!("{i}")).collect::<Vec<_>>(), 4, |s| {
+                if s == "13" {
+                    panic!("boom");
+                }
+                s
+            })
+        });
+        let msg = *caught.expect_err("must propagate").downcast::<String>().expect("message");
+        assert!(msg.contains("[13]"), "{msg}");
     }
 }

@@ -1,15 +1,20 @@
 //! A persistent pool of **pinned shard workers** for the parallel sweep.
 //!
-//! Two generations of dispatch preceded this design. The first spawned a
+//! Three generations of dispatch preceded this design. The first spawned a
 //! `crossbeam::thread::scope` per tick (OS threads dwarfed the decisions).
 //! The second kept the threads alive but re-queued every shard through a
 //! shared channel each round: 2×K channel messages plus one `Mutex` per
 //! shard per round, and whichever worker happened to pull a shard got it —
 //! so a shard's scratch, decision arena and RNG cache lines migrated
 //! between cores round after round. BENCH_2 recorded the result honestly:
-//! the parallel path lost to sequential at every scale.
+//! the parallel path lost to sequential at every scale. The third (PR 7)
+//! pinned shards to workers behind a `Mutex<Ctrl>` + two-condvar epoch
+//! barrier — correct, but every round still took the control mutex on the
+//! caller *and* on every worker, and every wake was a condvar syscall.
 //!
-//! [`ShardPool`] fixes both costs:
+//! [`ShardPool`] keeps the affinity design and replaces the barrier with a
+//! **lock-free sense-reversing epoch barrier** on atomics (futex-style, per
+//! Eibl & Rüde, arXiv:1808.00829):
 //!
 //! * **Shard-to-worker affinity** — each worker owns a fixed, deterministic,
 //!   contiguous block of shard indices for the life of the pool (the same
@@ -18,10 +23,17 @@
 //!   stays hot in one worker's cache and the `&mut` hand-off needs no
 //!   locks at all (cf. Saule et al., arXiv:1104.2566, on keeping the
 //!   work→processor mapping stable across rounds).
-//! * **An epoch barrier instead of per-job round-trips** — one round costs
-//!   one `notify_all` on the epoch condvar and one `notify_one` back from
-//!   the last worker to finish, independent of K. No channels, no per-shard
-//!   messages, no allocation.
+//! * **A sense-reversing epoch on atomics instead of a mutexed control
+//!   block** — the round-start "sense" is the epoch counter itself: a
+//!   worker's private `served` epoch is its reversed sense, so publishing a
+//!   round is one release `fetch_add` on [`Shared::epoch`] and finishing it
+//!   is one `AcqRel` `fetch_sub` on [`Shared::remaining`], with the last
+//!   worker unparking the caller. Waiters **spin briefly, then park** via
+//!   `std::thread::park` — which is a futex wait on Linux (std itself falls
+//!   back to a condvar only on platforms without futexes). In steady state
+//!   (rounds issued back-to-back) every waiter is caught inside its spin
+//!   window and `unpark` degrades to one uncontended atomic swap: the
+//!   round-in/round-out path takes no mutex and makes no syscall.
 //!
 //! Determinism: affinity only decides *where* a shard is evaluated. Shards
 //! are fixed node ranges, every node draws from its own RNG stream, and the
@@ -29,15 +41,19 @@
 //! byte-identical to the sequential sweep for every worker count.
 //!
 //! Panics inside a shard job are caught per shard; the barrier still
-//! completes (a lost ack would hang the caller forever), then
+//! completes (a lost decrement would hang the caller forever), then
 //! [`ShardPool::run_shards`] panics listing the failing shard indices. The
-//! pool itself survives and keeps serving later rounds.
+//! failure list is the one piece of shared state behind a `Mutex` — it is
+//! touched only on the panic path, never per round. The pool itself
+//! survives and keeps serving later rounds.
 
-#![allow(unsafe_code)] // two lifetime/aliasing erasures, justified inline
+#![allow(unsafe_code)] // lifetime/aliasing erasures + the barrier cells, justified inline
 
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{JoinHandle, Thread};
 
 /// The erased per-shard job as workers see it. The pointee lives on the
 /// caller's stack; see the invariant on [`ShardPool::run_shards`].
@@ -48,36 +64,54 @@ struct JobPtr(*const (dyn Fn(usize) + Sync));
 // done-barrier, so shared use from worker threads is sound.
 unsafe impl Send for JobPtr {}
 
-/// Shared pool control block: the epoch counter workers wait on, the
-/// current round's job, and the completion countdown.
-struct Ctrl {
-    /// Bumped once per round; workers sleep while it equals the last epoch
-    /// they served.
-    epoch: u64,
+/// Spin iterations before a waiter gives up and parks. Sized so that
+/// back-to-back rounds (the engine's steady state, where the gap between
+/// `run_shards` calls is the commit phase) are usually caught spinning,
+/// while an idle pool reaches the futex wait within a microsecond instead
+/// of burning a core.
+const SPIN_LIMIT: u32 = 256;
+
+/// Lock-free barrier control block. The two [`UnsafeCell`]s are published
+/// through the epoch counter: the caller writes them strictly *before* its
+/// release `fetch_add` on `epoch`, and a worker reads them strictly *after*
+/// its acquire load observes the new epoch — release/acquire on `epoch`
+/// orders every access, so the cells never race despite carrying no lock.
+struct Shared {
+    /// Round counter and round-start signal in one: bumped (release) once
+    /// per round; a worker whose private `served` count equals it has no
+    /// work. The sense-reversing trick, with the worker's own counter as
+    /// the reversed sense — no flag ever needs resetting between rounds.
+    epoch: AtomicU64,
+    /// Workers that have not yet finished the current epoch. `AcqRel`
+    /// decrements chain every worker's writes into the last decrement,
+    /// whose value the caller's acquire load consumes — so everything all
+    /// workers did this round happens-before `run_shards` returns.
+    remaining: AtomicUsize,
+    /// Set once on drop; parked workers are unparked to observe it.
+    shutdown: AtomicBool,
     /// The job for the current epoch (`None` between rounds — a stale
     /// pointer must never outlive its `run_shards` call).
-    job: Option<JobPtr>,
-    /// Workers that have not yet finished the current epoch.
-    remaining: usize,
-    /// Shard indices whose job panicked this epoch.
-    failed: Vec<usize>,
-    /// Set once on drop; workers exit their loop.
-    shutdown: bool,
+    job: UnsafeCell<Option<JobPtr>>,
+    /// The thread blocked in `run_shards`, for the last worker to unpark.
+    /// Workers clone it *before* their decrement: once `remaining` hits 0
+    /// the caller may return and republish the cell.
+    caller: UnsafeCell<Option<Thread>>,
+    /// Shard indices whose job panicked this epoch. Cold path only: locked
+    /// by a worker when a job panics and by the caller after the barrier.
+    failed: Mutex<Vec<usize>>,
 }
 
-struct Shared {
-    ctrl: Mutex<Ctrl>,
-    /// Workers wait here for the next epoch.
-    work_cv: Condvar,
-    /// The caller waits here for `remaining == 0`.
-    done_cv: Condvar,
-}
+// SAFETY: the `UnsafeCell`s are ordered by the epoch/remaining protocol
+// documented on the struct; everything else is atomics or a `Mutex`.
+unsafe impl Sync for Shared {}
 
 /// A fixed-size pool of sweep workers with pinned shard affinity. Dropping
 /// it shuts the workers down and joins them.
 pub struct ShardPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    /// Parked-worker wake handles, index-aligned with `handles`.
+    worker_threads: Vec<Thread>,
     workers: usize,
     shards: usize,
     /// `owner[s]` is the worker index that owns shard `s`.
@@ -95,6 +129,23 @@ fn affinity_block(w: usize, workers: usize, shards: usize) -> std::ops::Range<us
     start..start + len
 }
 
+/// Spin-then-park wait: evaluate `done` in a hot loop for [`SPIN_LIMIT`]
+/// iterations, then fall back to `std::thread::park` (futex wait on Linux)
+/// between re-checks. `park` may return spuriously or consume a stale
+/// token, so the predicate is always re-checked — no wakeup can be lost.
+#[inline]
+fn spin_then_park(mut done: impl FnMut() -> bool) {
+    let mut spins = 0u32;
+    while !done() {
+        if spins < SPIN_LIMIT {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::park();
+        }
+    }
+}
+
 impl ShardPool {
     /// Spawns a pool of `workers` threads (at least 1, at most `shards` —
     /// a worker with no shards would only add wake latency) serving a fixed
@@ -103,18 +154,15 @@ impl ShardPool {
         let shards = shards.max(1);
         let workers = workers.clamp(1, shards);
         let shared = Arc::new(Shared {
-            ctrl: Mutex::new(Ctrl {
-                epoch: 0,
-                job: None,
-                remaining: 0,
-                failed: Vec::new(),
-                shutdown: false,
-            }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            job: UnsafeCell::new(None),
+            caller: UnsafeCell::new(None),
+            failed: Mutex::new(Vec::new()),
         });
         let mut owner = vec![0usize; shards];
-        let handles = (0..workers)
+        let handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|w| {
                 let block = affinity_block(w, workers, shards);
                 for s in block.clone() {
@@ -125,7 +173,8 @@ impl ShardPool {
                 std::thread::spawn(move || worker_loop(&shared, &owned))
             })
             .collect();
-        ShardPool { shared, handles, workers, shards, owner }
+        let worker_threads = handles.iter().map(|h| h.thread().clone()).collect();
+        ShardPool { shared, handles, worker_threads, workers, shards, owner }
     }
 
     /// Number of worker threads.
@@ -187,18 +236,38 @@ impl ShardPool {
         // cannot be dropped while any worker can still reach it.
         let job: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
 
-        let mut ctrl = self.shared.ctrl.lock().expect("pool control poisoned");
-        debug_assert!(ctrl.job.is_none() && ctrl.remaining == 0, "overlapping run_shards");
-        ctrl.job = Some(JobPtr(job));
-        ctrl.remaining = self.workers;
-        ctrl.epoch += 1;
-        self.shared.work_cv.notify_all();
-        while ctrl.remaining > 0 {
-            ctrl = self.shared.done_cv.wait(ctrl).expect("pool control poisoned");
+        debug_assert_eq!(
+            self.shared.remaining.load(Ordering::Relaxed),
+            0,
+            "overlapping run_shards"
+        );
+        // SAFETY: between rounds no worker touches the cells (each is
+        // either parked, spinning on `epoch`, or pre-decrement in a
+        // *previous* epoch that the 0-observation below proved finished),
+        // and the release `fetch_add` on `epoch` publishes both writes to
+        // every worker that acquires the new value.
+        unsafe {
+            debug_assert!((*self.shared.job.get()).is_none(), "job pointer leaked across rounds");
+            *self.shared.job.get() = Some(JobPtr(job));
+            *self.shared.caller.get() = Some(std::thread::current());
         }
-        ctrl.job = None;
-        let mut failed = std::mem::take(&mut ctrl.failed);
-        drop(ctrl);
+        self.shared.remaining.store(self.workers, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        // Kick every worker. A worker still inside its spin window (the
+        // steady state) has no parked flag set, so this is one atomic swap,
+        // no syscall; only an actually-parked worker costs a futex wake.
+        for t in &self.worker_threads {
+            t.unpark();
+        }
+        // Wait for the done-barrier: the last worker's decrement unparks us.
+        spin_then_park(|| self.shared.remaining.load(Ordering::Acquire) == 0);
+        // SAFETY: every worker passed its decrement (AcqRel chain consumed
+        // by the acquire load above), so none can reach the cell again
+        // before the next epoch publish.
+        unsafe {
+            *self.shared.job.get() = None;
+        }
+        let mut failed = std::mem::take(&mut *self.shared.failed.lock().expect("failure list"));
         if !failed.is_empty() {
             failed.sort_unstable();
             panic!("shard job(s) panicked on shards {failed:?}");
@@ -207,46 +276,60 @@ impl ShardPool {
 }
 
 fn worker_loop(shared: &Shared, owned: &[usize]) {
+    // The worker's private epoch count doubles as its reversed sense: a
+    // round is pending exactly when the shared counter has moved past it.
     let mut served = 0u64;
     loop {
-        let job = {
-            let mut ctrl = shared.ctrl.lock().expect("pool control poisoned");
-            while ctrl.epoch == served && !ctrl.shutdown {
-                ctrl = shared.work_cv.wait(ctrl).expect("pool control poisoned");
+        let mut spins = 0u32;
+        let epoch = loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != served {
+                break e;
             }
-            if ctrl.shutdown {
+            if shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            served = ctrl.epoch;
-            let JobPtr(p) = *ctrl.job.as_ref().expect("epoch bumped without a job");
-            p
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::park();
+            }
         };
-        // SAFETY: `run_shards` keeps the pointee alive until this worker
-        // decrements `remaining` below; see the invariant there.
+        served = epoch;
+        // SAFETY: the acquire load above synchronizes with the caller's
+        // release publish, which wrote the job first; `run_shards` keeps
+        // the pointee alive until this worker decrements `remaining`.
+        let job = unsafe { (*shared.job.get()).as_ref().expect("epoch published without a job").0 };
         let f = unsafe { &*job };
         let mut failed: Vec<usize> = Vec::new();
         for &s in owned {
             // Catch per shard so one poisoned shard neither kills the
-            // worker nor loses the ack — and the caller learns exactly
-            // which shards failed.
+            // worker nor loses the decrement — and the caller learns
+            // exactly which shards failed.
             if catch_unwind(AssertUnwindSafe(|| f(s))).is_err() {
                 failed.push(s);
             }
         }
-        let mut ctrl = shared.ctrl.lock().expect("pool control poisoned");
-        ctrl.failed.extend(failed);
-        ctrl.remaining -= 1;
-        if ctrl.remaining == 0 {
-            shared.done_cv.notify_one();
+        if !failed.is_empty() {
+            shared.failed.lock().expect("failure list").extend(failed);
+        }
+        // SAFETY: read strictly before the decrement — once `remaining`
+        // hits 0 the caller may return and republish the cell.
+        let caller = unsafe { (*shared.caller.get()).clone() };
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(t) = caller {
+                t.unpark();
+            }
         }
     }
 }
 
 impl Drop for ShardPool {
     fn drop(&mut self) {
-        if let Ok(mut ctrl) = self.shared.ctrl.lock() {
-            ctrl.shutdown = true;
-            self.shared.work_cv.notify_all();
+        self.shared.shutdown.store(true, Ordering::Release);
+        for t in &self.worker_threads {
+            t.unpark();
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -343,6 +426,38 @@ mod tests {
         let mut slots = [0u8; 4];
         pool.run_shards(&mut slots, &|_, _| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn parked_workers_wake_after_an_idle_gap() {
+        // Rounds separated by far more than the spin window force the park
+        // path (workers are futex-waiting, not spinning) — the wake must
+        // come from `unpark`, not from a hot re-check.
+        let pool = ShardPool::new(4, 8);
+        let mut hits = vec![0u32; 8];
+        for _ in 0..3 {
+            pool.run_shards(&mut hits, &|_, h| *h += 1);
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert_eq!(hits, vec![3; 8]);
+    }
+
+    #[test]
+    fn caller_thread_may_change_between_rounds() {
+        // The caller handle is republished per round; a pool driven from
+        // different threads over its life must wake whichever thread is
+        // actually blocked in `run_shards`.
+        let pool = std::sync::Arc::new(ShardPool::new(2, 4));
+        for _ in 0..4 {
+            let pool = std::sync::Arc::clone(&pool);
+            std::thread::spawn(move || {
+                let mut slots = [0u8; 4];
+                pool.run_shards(&mut slots, &|_, s| *s += 1);
+                assert_eq!(slots, [1; 4]);
+            })
+            .join()
+            .expect("round driven from a fresh thread");
+        }
     }
 
     #[test]

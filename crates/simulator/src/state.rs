@@ -116,6 +116,11 @@ pub struct SystemState {
     nodes: Vec<NodeState>,
     /// Height cache, mirrored exactly from `nodes[i].height()`.
     heights: Vec<f64>,
+    /// Task-count cache, mirrored exactly from `nodes[i].task_count()` —
+    /// the SoA twin of `heights`, so sweeps that only need "does node `i`
+    /// hold work?" stream one flat `u32` array instead of striding over
+    /// [`NodeState`] records (and their task vectors).
+    task_counts: Vec<u32>,
     /// Total resident task count, maintained incrementally — the event
     /// strategy's O(1) "is there any work to consume?" gate.
     resident_tasks: usize,
@@ -153,6 +158,7 @@ impl SystemState {
             links,
             nodes: (0..n).map(|_| NodeState::default()).collect(),
             heights: vec![0.0; n],
+            task_counts: vec![0; n],
             resident_tasks: 0,
             height_sum: 0.0,
             height_sq_sum: 0.0,
@@ -183,6 +189,7 @@ impl SystemState {
         let old = self.nodes[v.idx()].height;
         self.nodes[v.idx()].add_task(task);
         self.resident_tasks += 1;
+        self.task_counts[v.idx()] += 1;
         self.refresh_height(v, old);
     }
 
@@ -193,6 +200,7 @@ impl SystemState {
         let task = self.nodes[v.idx()].remove_task(id);
         if task.is_some() {
             self.resident_tasks -= 1;
+            self.task_counts[v.idx()] -= 1;
             self.refresh_height(v, old);
         }
         task
@@ -204,6 +212,7 @@ impl SystemState {
         let old = self.nodes[v.idx()].height;
         let out = self.nodes[v.idx()].consume_work_counted(amount);
         self.resident_tasks -= out.0;
+        self.task_counts[v.idx()] -= out.0 as u32;
         // A completed zero-work task changes the height without consuming
         // anything, so refresh on either signal.
         if out.0 > 0 || out.1 > 0.0 {
@@ -236,6 +245,14 @@ impl SystemState {
     #[inline]
     pub fn height_slice(&self) -> &[f64] {
         &self.heights
+    }
+
+    /// Per-node resident task counts as a flat slice, index-aligned with
+    /// [`SystemState::height_slice`] — the consume sweep's "does node `i`
+    /// hold work?" gate without touching the node records.
+    #[inline]
+    pub fn task_count_slice(&self) -> &[u32] {
+        &self.task_counts
     }
 
     /// The height map as an owned vector (prefer
@@ -358,6 +375,7 @@ impl SystemState {
     pub fn restore_node(&mut self, v: NodeId, tasks: Vec<Task>, height: f64) {
         let slot = &mut self.nodes[v.idx()];
         self.resident_tasks = self.resident_tasks - slot.tasks.len() + tasks.len();
+        self.task_counts[v.idx()] = tasks.len() as u32;
         slot.tasks = tasks;
         slot.height = height;
         self.heights[v.idx()] = height;
@@ -595,6 +613,31 @@ mod tests {
         assert_eq!(s.resident_tasks(), 1);
         s.consume_work(NodeId(1), 1.0);
         assert_eq!(s.resident_tasks(), 0);
+    }
+
+    #[test]
+    fn task_count_slice_mirrors_every_mutation_and_restore() {
+        let mut s = small_state();
+        assert_eq!(s.task_count_slice(), &[0, 0, 0, 0]);
+        for i in 0..9u64 {
+            s.add_task(NodeId((i % 3) as u32), task(i, 1.0));
+        }
+        assert_eq!(s.task_count_slice(), &[3, 3, 3, 0]);
+        s.remove_task(NodeId(1), TaskId(1)).unwrap();
+        assert!(s.remove_task(NodeId(1), TaskId(1)).is_none()); // miss: no change
+        s.consume_work(NodeId(0), 2.5); // completes 2, leaves a partial third
+        assert_eq!(s.task_count_slice(), &[1, 2, 3, 0]);
+        let counts: Vec<u32> = (0..4).map(|v| s.node(NodeId(v)).task_count() as u32).collect();
+        assert_eq!(s.task_count_slice(), &counts[..]);
+
+        // Restore replaces the count wholesale along with the tasks.
+        let mut fresh = small_state();
+        fresh.add_task(NodeId(3), task(99, 9.0)); // junk to displace
+        for v in 0..4 {
+            let node = NodeId(v);
+            fresh.restore_node(node, s.node(node).tasks().to_vec(), s.node(node).height());
+        }
+        assert_eq!(fresh.task_count_slice(), s.task_count_slice());
     }
 
     #[test]

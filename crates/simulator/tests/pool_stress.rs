@@ -3,10 +3,12 @@
 //! crossings that change the execution layout mid-run, panic-in-one-shard
 //! recovery, and a rapid-fire barrier hammer.
 //!
-//! Everything here runs through the public engine API — the pool's own
+//! Most tests here run through the public engine API — the pool's own
 //! unit tests cover the barrier/affinity mechanics in isolation; these
 //! tests prove the property that matters upstream: *execution layout is
-//! unobservable in the output bytes.*
+//! unobservable in the output bytes.* Two raw-pool storms at the bottom
+//! hammer the lock-free epoch barrier directly (spin→park→wake cycling and
+//! the panic re-raise) across the same worker × shard matrix.
 
 use pp_sim::prelude::*;
 use pp_tasking::workload::{ArrivalProcess, Workload};
@@ -235,6 +237,70 @@ fn barrier_hammer_rapid_rounds_stay_exact() {
     let reference = run(1, 1);
     assert_eq!(run(64, 8), reference, "hammer (64,8) diverged");
     assert_eq!(run(64, 3), reference, "hammer (64,3) diverged");
+}
+
+#[test]
+fn raw_barrier_hammer_spin_park_storm_across_layouts() {
+    // The raw pool under the lock-free epoch barrier: 400 rounds per
+    // (workers, shards) shape across the full matrix, with idle gaps long
+    // past the spin limit injected mid-storm so workers fall from the spin
+    // loop into a real park and must be woken by the next epoch publish.
+    // Each round chains a shard-and-round-dependent update into its slot,
+    // so a round that ran twice, not at all, or against a stale epoch
+    // breaks the final chained values.
+    use pp_sim::pool::ShardPool;
+    for &w in THREADS {
+        for &k in SHARDS {
+            let pool = ShardPool::new(w, k);
+            let mut slots = vec![0u64; k];
+            let mut expect = vec![0u64; k];
+            for round in 0..400u64 {
+                pool.run_shards(&mut slots, &|s: usize, slot: &mut u64| {
+                    *slot = slot.wrapping_mul(31).wrapping_add(round ^ s as u64);
+                });
+                for (s, e) in expect.iter_mut().enumerate() {
+                    *e = e.wrapping_mul(31).wrapping_add(round ^ s as u64);
+                }
+                if round % 133 == 0 {
+                    // Longer than any reasonable spin window: every worker
+                    // parks, and the next round's wake path is exercised.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+            assert_eq!(slots, expect, "workers={w} K={k}: storm diverged");
+        }
+    }
+}
+
+#[test]
+fn raw_pool_panic_re_raises_naming_shards_and_stays_usable() {
+    // Two shards of one round panic; the caller's re-raise must name both
+    // in sorted order, the sibling shards must still have completed their
+    // work, and the same pool (same parked workers, same barrier) must run
+    // later rounds normally.
+    use pp_sim::pool::ShardPool;
+    let pool = ShardPool::new(4, 64);
+    let mut slots = vec![0u32; 64];
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.run_shards(&mut slots, &|s: usize, slot: &mut u32| {
+            if s == 7 || s == 42 {
+                panic!("injected shard failure");
+            }
+            *slot = 100 + s as u32;
+        });
+    }));
+    let msg = *caught.expect_err("must re-raise").downcast::<String>().expect("message");
+    assert!(msg.contains("[7, 42]"), "panic names the failing shards: {msg}");
+    for (s, &v) in slots.iter().enumerate() {
+        if s != 7 && s != 42 {
+            assert_eq!(v, 100 + s as u32, "sibling shard {s} must have completed");
+        }
+    }
+    pool.run_shards(&mut slots, &|s: usize, slot: &mut u32| *slot = s as u32 + 1);
+    assert!(
+        slots.iter().enumerate().all(|(s, &v)| v == s as u32 + 1),
+        "pool must stay usable after an unwound round"
+    );
 }
 
 #[test]

@@ -167,6 +167,58 @@ fn trace_replay_resumes_at_the_right_offset() {
     }
 }
 
+/// The structure-of-arrays mirrors (`task_count_slice`, `height_slice`)
+/// are derived hot-path state, not checkpoint state: a checkpoint written
+/// before the SoA layout existed would restore identically. This pins
+/// that — restore into a different *thread* layout and immediately
+/// re-checkpoint must reproduce the exact bytes (threads are excluded from
+/// capture; spatial K is recorded, so K is held fixed), the rebuilt SoA
+/// mirrors must agree bitwise with the per-node truth at every node, and
+/// the continued run must land on the straight run's report.
+#[test]
+fn soa_mirrors_rebuild_exactly_across_relayout() {
+    let mut spec = registry::by_name("faulty-torus").expect("registered").smoke(8, 20.0);
+    spec.arrival = ArrivalSpec::Poisson { rate: 3.0, size_min: 0.5, size_max: 1.5 };
+    spec.engine.consume_rate = 0.2;
+    spec.engine.shards = 3;
+    spec.engine.threads = 1;
+    let straight = spec.run().expect("straight");
+
+    let mut writer = spec.build_engine().expect("engine");
+    writer.run_rounds(4);
+    let bytes = writer.checkpoint().to_json();
+    let cp = pp_sim::checkpoint::Checkpoint::from_json(&bytes).expect("round trip");
+
+    for threads in [1usize, 4] {
+        let mut respec = spec.clone();
+        respec.engine.threads = threads;
+        let mut resumed = respec.build_engine().expect("engine");
+        resumed.restore(&cp).expect("restore");
+        assert_eq!(
+            resumed.checkpoint().to_json(),
+            bytes,
+            "re-checkpoint after restore (T={threads}) must be byte-identical"
+        );
+        let state = resumed.state();
+        for i in 0..state.node_count() {
+            let v = pp_topology::graph::NodeId(i as u32);
+            assert_eq!(
+                state.task_count_slice()[i],
+                state.node(v).task_count() as u32,
+                "task-count mirror diverged at node {i} (T={threads})"
+            );
+            assert_eq!(
+                state.height_slice()[i].to_bits(),
+                state.node(v).height().to_bits(),
+                "height mirror diverged at node {i} (T={threads})"
+            );
+        }
+        resumed.run_rounds(4);
+        resumed.drain(20.0);
+        assert_eq!(resumed.report(), straight, "continuation under T={threads} diverged");
+    }
+}
+
 /// A resumed spec must also be able to *checkpoint again* — chained
 /// checkpoints across two interruptions still land on the straight run.
 #[test]
