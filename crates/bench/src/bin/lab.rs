@@ -16,7 +16,20 @@
 //! lab --verify-resume                 split-vs-straight byte gate (pinned set)
 //! lab --verify-strategy               tick-vs-event byte gate (whole registry)
 //! lab --verify-repartition            adaptive-vs-static byte gate (ADR-008)
+//! lab stats --list                    list the named stats scenario sets
+//! lab stats --set S --seeds R [--smoke] [--out PATH]
+//!                                     statistical comparison harness
+//! lab stats --check PATH              validate a stats-report JSON file
 //! ```
+//!
+//! `lab stats` runs a named scenario set under the fixed balancer panel
+//! (particle-plane first, then the diffusive and sender-initiated
+//! baselines) with `R` master seeds per pair, and reduces the runs to a
+//! byte-stable JSON report: per-metric mean / Student-t 95% CI / min /
+//! max cells plus a pairwise Welch verdict table (see ADR-010). The
+//! report is a pure function of `(set, seeds, smoke)` — `--shards` /
+//! `--threads` change only throughput, which the CI stats job asserts by
+//! diffing two differently-laid-out runs byte-for-byte.
 //!
 //! `--checkpoint-every N` writes a versioned engine checkpoint every `N`
 //! balance rounds (to `--checkpoint-path`, default `<name>.ckpt.json`);
@@ -53,6 +66,7 @@
 use pp_scenario::registry;
 use pp_scenario::report::GoldenReport;
 use pp_scenario::spec::{CheckpointSpec, ScenarioSpec};
+use pp_scenario::stats::{self, StatsReport};
 use pp_sim::engine::{RepartitionConfig, RunReport, ShardLayout};
 use pp_sim::strategy::SimulationStrategy;
 use std::path::{Path, PathBuf};
@@ -64,7 +78,8 @@ const SMOKE_ROUNDS: u64 = 8;
 const SMOKE_DRAIN: f64 = 25.0;
 
 /// The pinned golden subset: one scenario per major subsystem (classic
-/// redistribution, new arrival models, trace replay, faults, speeds).
+/// redistribution, new arrival models, trace replay, faults, speeds,
+/// irregular topologies, node churn).
 const PINNED: &[&str] = &[
     "hotspot-torus",
     "bursty-onoff",
@@ -75,6 +90,10 @@ const PINNED: &[&str] = &[
     "faulty-torus",
     "torus1k-resume-midfault",
     "torus16k-checkpointed",
+    "scalefree-hotspot",
+    "geometric-diurnal",
+    "torus-churn",
+    "churn-faults",
 ];
 
 /// The `(shards, threads)` layouts `--verify-resume` replays every pinned
@@ -536,6 +555,117 @@ fn cmd_verify_repartition() -> ExitCode {
     }
 }
 
+/// The `lab stats ...` subcommand: the statistical comparison harness.
+/// Parses its own flags so the global single-run/golden plumbing stays
+/// untouched.
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    for f in ["--set", "--seeds", "--out", "--check", "--shards", "--threads"] {
+        if flag(f) && opt(f).is_none() {
+            eprintln!("{f} requires a value");
+            return usage();
+        }
+    }
+    if let Some(path) = opt("--check") {
+        return match pp_bench::read_artifact(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| StatsReport::check_text(&text))
+        {
+            Ok(set) => {
+                println!("{path}: OK (stats report for set `{set}`)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if flag("--list") || opt("--set").is_none() {
+        println!("named stats sets:\n");
+        for set in stats::sets() {
+            println!("  {:12} {:50} {:?}", set.name, set.description, set.scenarios);
+        }
+        println!("\nrun one with: lab stats --set <name> --seeds R [--smoke] [--out PATH]");
+        return if flag("--list") { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+    let set = opt("--set").expect("checked above");
+    let seeds: usize = match opt("--seeds").as_deref().unwrap_or("5").parse() {
+        Ok(n) => n,
+        Err(_) => return usage(),
+    };
+    let smoke = flag("--smoke").then_some((SMOKE_ROUNDS, SMOKE_DRAIN));
+    let layout = if opt("--shards").is_some() || opt("--threads").is_some() {
+        let parse = |v: Option<String>| v.map(|s| s.parse::<usize>()).transpose();
+        match (parse(opt("--shards")), parse(opt("--threads"))) {
+            (Ok(k), Ok(t)) => Some((k.unwrap_or(0), t.unwrap_or(0))),
+            _ => return usage(),
+        }
+    } else {
+        None
+    };
+    match stats::run_stats(&set, seeds, smoke, layout) {
+        Ok(report) => {
+            println!(
+                "stats set `{}`: {} scenarios x {} balancers x {} seeds{}",
+                report.set,
+                report.scenarios.len(),
+                report.balancers.len(),
+                report.seeds,
+                if report.smoke { " (smoke)" } else { "" },
+            );
+            for cell in &report.cells {
+                let s = cell.summary;
+                println!(
+                    "  {:20} {:18} {:18} mean={:12.4} ci95={:10.4} [{:10.4}, {:10.4}]",
+                    cell.scenario,
+                    cell.balancer,
+                    cell.metric,
+                    s.mean,
+                    s.ci95(),
+                    s.min,
+                    s.max
+                );
+            }
+            println!("pairwise Welch verdicts (a relative to b, 95% level):");
+            for c in &report.comparisons {
+                println!(
+                    "  {:20} {:18} {:18} vs {:18} {} (df={})",
+                    c.scenario,
+                    c.metric,
+                    c.a,
+                    c.b,
+                    c.verdict.as_str(),
+                    c.df
+                );
+            }
+            if let Some(path) = opt("--out") {
+                let path = Path::new(&path);
+                if let Some(dir) = path.parent() {
+                    if !dir.as_os_str().is_empty() {
+                        if let Err(e) = std::fs::create_dir_all(dir) {
+                            eprintln!("cannot create {dir:?}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if let Err(e) = std::fs::write(path, report.to_canonical_json()) {
+                    eprintln!("cannot write {path:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("[stats report: {}]", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: lab --list\n       lab <name> [--smoke] [--shards K] [--threads T] [--strategy \
@@ -545,7 +675,9 @@ fn usage() -> ExitCode {
          --check PATH\n       lab --emit-golden DIR\n       lab --verify-golden DIR\n       lab \
          <name|--file SPEC.json> --checkpoint-every N [--checkpoint-path P]\n       lab \
          <name|--file SPEC.json> --resume-from CKPT.json\n       lab --verify-resume\n       lab \
-         --verify-strategy\n       lab --verify-repartition"
+         --verify-strategy\n       lab --verify-repartition\n       lab stats --list\n       lab \
+         stats --set S [--seeds R] [--smoke] [--shards K] [--threads T] [--out PATH]\n       lab \
+         stats --check PATH"
     );
     ExitCode::FAILURE
 }
@@ -603,6 +735,10 @@ fn apply_checkpoint_overrides(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The stats harness is a self-contained subcommand with its own flags.
+    if args.first().map(String::as_str) == Some("stats") {
+        return cmd_stats(&args[1..]);
+    }
     let flag = |name: &str| args.iter().any(|a| a == name);
     let opt =
         |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();

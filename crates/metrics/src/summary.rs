@@ -1,5 +1,28 @@
 //! Cross-run summary statistics and fixed-width text tables for the
-//! experiment binaries (`expN`) that regenerate the paper's artifacts.
+//! experiment binaries (`expN`) and the `pp-lab stats` comparison
+//! harness that regenerate the paper's artifacts.
+
+/// Two-sided 97.5th-percentile Student-t critical values for df = 1..=30
+/// (so `T975[df - 1]` is the 95%-CI multiplier at that df). Exact table
+/// values; beyond df = 30 the normal 1.96 asymptote is close enough for
+/// reporting purposes.
+const T975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Student-t critical value for a two-sided 95% interval at `df` degrees
+/// of freedom: exact table lookup for df ≤ 30, the normal-limit 1.96
+/// above. `df = 0` (a single sample carries no spread information)
+/// returns infinity.
+pub fn t975(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        d if d <= 30 => T975[d - 1],
+        _ => 1.96,
+    }
+}
 
 /// Mean / standard deviation / min / max over repeated runs of a metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,12 +40,18 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarises `samples`; empty input yields zeros.
+    /// Summarises `samples`; empty input yields zeros. Any NaN sample
+    /// poisons *every* field (mean, stddev, min and max are all NaN), so
+    /// a corrupted run can never masquerade as a plausible min/max while
+    /// the mean is already NaN.
     pub fn of(samples: &[f64]) -> Summary {
         if samples.is_empty() {
             return Summary { n: 0, mean: 0.0, stddev: 0.0, min: 0.0, max: 0.0 };
         }
         let n = samples.len();
+        if samples.iter().any(|x| x.is_nan()) {
+            return Summary { n, mean: f64::NAN, stddev: f64::NAN, min: f64::NAN, max: f64::NAN };
+        }
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
             samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
@@ -38,14 +67,77 @@ impl Summary {
         }
     }
 
-    /// Half-width of the ~95% confidence interval (1.96·σ/√n; 0 for n < 2).
+    /// Half-width of the 95% confidence interval, `t₀.₉₇₅(n−1)·s/√n`
+    /// (0 for n < 2). Uses the Student-t critical value, not the normal
+    /// 1.96: at the harness's realistic replicate counts (5–10 seeds)
+    /// the t value is 2.78–2.26, so the z approximation understates the
+    /// interval by up to ~40%.
     pub fn ci95(&self) -> f64 {
         if self.n < 2 {
             0.0
         } else {
-            1.96 * self.stddev / (self.n as f64).sqrt()
+            t975(self.n - 1) * self.stddev / (self.n as f64).sqrt()
         }
     }
+}
+
+/// Outcome of a two-sample Welch comparison at the 95% level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The first sample's mean is significantly lower.
+    Lower,
+    /// The first sample's mean is significantly higher.
+    Higher,
+    /// No significant difference (or not enough data to tell).
+    Indistinguishable,
+}
+
+impl Verdict {
+    /// Stable machine-readable label (`lower` / `higher` /
+    /// `indistinguishable`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Verdict::Lower => "lower",
+            Verdict::Higher => "higher",
+            Verdict::Indistinguishable => "indistinguishable",
+        }
+    }
+}
+
+/// Welch's unequal-variance t-test between two summarised samples at the
+/// 95% level, with the Welch–Satterthwaite degrees of freedom rounded
+/// down to stay conservative. Returns the verdict for `a` relative to
+/// `b` plus the t statistic and the df used. Degenerate inputs (n < 2 on
+/// either side, NaN anywhere, or two zero-variance samples with equal
+/// means) come back `Indistinguishable`; two zero-variance samples with
+/// *different* means are trivially distinguishable.
+pub fn welch_test(a: &Summary, b: &Summary) -> (Verdict, f64, usize) {
+    if a.n < 2 || b.n < 2 || a.mean.is_nan() || b.mean.is_nan() {
+        return (Verdict::Indistinguishable, 0.0, 0);
+    }
+    let va = a.stddev * a.stddev / a.n as f64;
+    let vb = b.stddev * b.stddev / b.n as f64;
+    if va + vb == 0.0 {
+        return if a.mean < b.mean {
+            (Verdict::Lower, f64::NEG_INFINITY, a.n + b.n - 2)
+        } else if a.mean > b.mean {
+            (Verdict::Higher, f64::INFINITY, a.n + b.n - 2)
+        } else {
+            (Verdict::Indistinguishable, 0.0, a.n + b.n - 2)
+        };
+    }
+    let t = (a.mean - b.mean) / (va + vb).sqrt();
+    let df_ws = (va + vb) * (va + vb) / (va * va / (a.n - 1) as f64 + vb * vb / (b.n - 1) as f64);
+    let df = (df_ws.floor() as usize).max(1);
+    let crit = t975(df);
+    let verdict = if t < -crit {
+        Verdict::Lower
+    } else if t > crit {
+        Verdict::Higher
+    } else {
+        Verdict::Indistinguishable
+    };
+    (verdict, t, df)
 }
 
 /// A fixed-width text table builder (the experiment binaries print the
@@ -143,6 +235,75 @@ mod tests {
         let s = Summary::of(&[]);
         assert_eq!(s.n, 0);
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn ci95_uses_student_t_at_small_n() {
+        // n = 5 → df = 4 → t₀.₉₇₅ = 2.776, not the normal 1.96. Samples
+        // with mean 3, stddev 1 make the expected half-width explicit.
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        let expected = 2.776 * s.stddev / 5f64.sqrt();
+        assert!((s.ci95() - expected).abs() < 1e-12, "got {}", s.ci95());
+        // The old z-based value would be ~29% smaller.
+        assert!(s.ci95() > 1.96 * s.stddev / 5f64.sqrt() * 1.2);
+    }
+
+    #[test]
+    fn t_table_exact_then_asymptote() {
+        assert_eq!(t975(1), 12.706);
+        assert_eq!(t975(4), 2.776);
+        assert_eq!(t975(9), 2.262);
+        assert_eq!(t975(30), 2.042);
+        assert_eq!(t975(31), 1.96);
+        assert_eq!(t975(1000), 1.96);
+        assert!(t975(0).is_infinite());
+        // The table is monotone decreasing toward the normal limit.
+        for df in 1..30 {
+            assert!(t975(df) > t975(df + 1), "df {df}");
+        }
+    }
+
+    #[test]
+    fn nan_sample_poisons_every_field() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 3);
+        assert!(s.mean.is_nan());
+        assert!(s.stddev.is_nan());
+        assert!(s.min.is_nan(), "min must not silently skip the NaN");
+        assert!(s.max.is_nan(), "max must not silently skip the NaN");
+        assert!(s.ci95().is_nan());
+    }
+
+    #[test]
+    fn welch_separated_and_overlapping_samples() {
+        let low = Summary::of(&[1.0, 1.1, 0.9, 1.05, 0.95]);
+        let high = Summary::of(&[5.0, 5.2, 4.8, 5.1, 4.9]);
+        let (v, t, df) = welch_test(&low, &high);
+        assert_eq!(v, Verdict::Lower);
+        assert!(t < -2.0);
+        assert!(df >= 1);
+        assert_eq!(welch_test(&high, &low).0, Verdict::Higher);
+        // Same distribution → indistinguishable.
+        let a = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let b = Summary::of(&[1.1, 2.1, 2.9, 4.1, 4.9]);
+        assert_eq!(welch_test(&a, &b).0, Verdict::Indistinguishable);
+    }
+
+    #[test]
+    fn welch_degenerate_inputs() {
+        let one = Summary::of(&[2.0]);
+        let many = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(welch_test(&one, &many).0, Verdict::Indistinguishable);
+        let nan = Summary::of(&[1.0, f64::NAN]);
+        assert_eq!(welch_test(&nan, &many).0, Verdict::Indistinguishable);
+        // Two zero-variance samples: equal means tie, unequal separate.
+        let flat2 = Summary::of(&[2.0, 2.0]);
+        let flat2b = Summary::of(&[2.0, 2.0, 2.0]);
+        let flat5 = Summary::of(&[5.0, 5.0]);
+        assert_eq!(welch_test(&flat2, &flat2b).0, Verdict::Indistinguishable);
+        assert_eq!(welch_test(&flat2, &flat5).0, Verdict::Lower);
+        assert_eq!(welch_test(&flat5, &flat2).0, Verdict::Higher);
     }
 
     #[test]

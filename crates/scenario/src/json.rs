@@ -4,8 +4,9 @@
 //! exercised by the `spec -> JSON -> spec` round-trip tests.
 
 use crate::spec::{
-    ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
-    FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
+    ArrivalSpec, BalancerSpec, CheckpointSpec, ChurnSpec, DiffusionAlpha, DurationSpec,
+    EngineKnobs, FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec,
+    WorkloadSpec,
 };
 use pp_sim::engine::RepartitionConfig;
 use pp_sim::strategy::SimulationStrategy;
@@ -41,10 +42,17 @@ impl Serialize for ScenarioSpec {
             entry("balancer", &self.balancer),
             entry("arrival", &self.arrival),
             entry("faults", self.faults),
+        ];
+        // Omitted (not null) at the static-membership default, so every
+        // spec written before the churn knob existed stays canonical.
+        if self.churn != ChurnSpec::None {
+            entries.push(entry("churn", self.churn));
+        }
+        entries.extend([
             entry("speeds", &self.speeds),
             entry("engine", self.engine),
             entry("duration", self.duration),
-        ];
+        ]);
         // Omitted (not null) when off, so pre-checkpoint spec JSON stays
         // canonical byte-for-byte.
         if let Some(ck) = &self.checkpoint {
@@ -69,6 +77,7 @@ impl Deserialize for ScenarioSpec {
             balancer: v.field_opt("balancer")?.unwrap_or_default(),
             arrival: v.field_opt("arrival")?.unwrap_or_default(),
             faults: v.field_opt("faults")?.unwrap_or_default(),
+            churn: v.field_opt("churn")?.unwrap_or_default(),
             speeds: v.field_opt("speeds")?.unwrap_or_default(),
             engine: v.field_opt("engine")?.unwrap_or_default(),
             duration: v.field_opt("duration")?.unwrap_or_default(),
@@ -471,6 +480,32 @@ impl Serialize for FaultPlanSpec {
 impl Deserialize for FaultPlanSpec {
     fn from_value(v: &Value) -> Result<Self, String> {
         Ok(FaultPlanSpec { model: v.field_opt("model")? })
+    }
+}
+
+impl Serialize for ChurnSpec {
+    fn to_value(&self) -> Value {
+        match *self {
+            ChurnSpec::None => tagged("none", vec![]),
+            ChurnSpec::Markov { leave, join, seed } => tagged(
+                "markov",
+                vec![entry("leave", leave), entry("join", join), entry("seed", seed)],
+            ),
+        }
+    }
+}
+
+impl Deserialize for ChurnSpec {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match kind_of(v)?.as_str() {
+            "none" => Ok(ChurnSpec::None),
+            "markov" => Ok(ChurnSpec::Markov {
+                leave: v.field("leave")?,
+                join: v.field("join")?,
+                seed: v.field("seed")?,
+            }),
+            other => Err(format!("unknown churn kind `{other}`")),
+        }
     }
 }
 

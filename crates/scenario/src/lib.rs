@@ -13,7 +13,10 @@
 //! * [`spec`] — the schema and the engine construction;
 //! * [`registry`] — named, validated scenarios (`pp-lab --list`);
 //! * [`report::GoldenReport`] — deterministic byte-stable run reports,
-//!   used by the CI scenario matrix and the committed `golden/` files.
+//!   used by the CI scenario matrix and the committed `golden/` files;
+//! * [`stats`] — the statistical comparison harness (`pp-lab stats`):
+//!   scenario sets × balancer panel × seeds, reduced to Student-t CIs
+//!   and pairwise Welch verdicts in a byte-stable [`stats::StatsReport`].
 //!
 //! ```
 //! use pp_scenario::registry;
@@ -30,13 +33,16 @@ pub mod json;
 pub mod registry;
 pub mod report;
 pub mod spec;
+pub mod stats;
 
 /// One-stop imports.
 pub mod prelude {
     pub use crate::registry::{by_name, names, registry};
     pub use crate::report::GoldenReport;
     pub use crate::spec::{
-        ArrivalSpec, BalancerSpec, DiffusionAlpha, DurationSpec, EngineKnobs, FaultPlanSpec,
-        LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
+        ArrivalSpec, BalancerSpec, ChurnSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
+        FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec,
+        WorkloadSpec,
     };
+    pub use crate::stats::{run_stats, StatsReport};
 }

@@ -6,8 +6,9 @@
 //! as JSON with `pp-lab <name> --spec`.
 
 use crate::spec::{
-    ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
-    FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
+    ArrivalSpec, BalancerSpec, CheckpointSpec, ChurnSpec, DiffusionAlpha, DurationSpec,
+    EngineKnobs, FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec,
+    WorkloadSpec,
 };
 use pp_sim::engine::RepartitionConfig;
 use pp_sim::strategy::SimulationStrategy;
@@ -268,6 +269,54 @@ pub fn registry() -> Vec<ScenarioSpec> {
             "moving hotspot on the 64-shard 16k torus, adaptive repartitioning",
             Some(RepartitionConfig { every: 8, skew_threshold: 2.0 }),
         ),
+        // 24. Irregular topology I: preferential-attachment hubs. The
+        // hotspot's escape routes all funnel through a few high-degree
+        // nodes — the opposite of the torus's uniform degree.
+        ScenarioSpec {
+            topology: TopologySpec::ScaleFree { n: 256, m: 3, seed: 24 },
+            workload: WorkloadSpec::Hotspot { node: 0, total: 256.0, task_size: 1.0 },
+            duration: DurationSpec { rounds: 300, drain: 100.0 },
+            ..base("scalefree-hotspot", "256-unit hotspot on a 256-node scale-free graph (m=3)")
+        },
+        // 25. Irregular topology II: a random-geometric field (uneven
+        // degree, long shortest paths) under diurnal arrivals.
+        ScenarioSpec {
+            topology: TopologySpec::Geometric { n: 128, radius: 0.18, seed: 25 },
+            arrival: ArrivalSpec::Diurnal {
+                base_rate: 5.0,
+                amplitude: 0.8,
+                period: 80.0,
+                size_min: 0.5,
+                size_max: 1.5,
+            },
+            engine: EngineKnobs { consume_rate: 0.2, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 400, drain: 100.0 },
+            ..base("geometric-diurnal", "diurnal arrivals on a 128-node random-geometric graph")
+        },
+        // 26. Node churn on the torus: Markov join/leave membership under
+        // Poisson arrivals — leavers drain their queues to live neighbours,
+        // joiners start cold (ADR-010).
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            workload: WorkloadSpec::UniformRandom { max_per_node: 8.0, seed: 26 },
+            arrival: ArrivalSpec::Poisson { rate: 6.0, size_min: 0.5, size_max: 1.5 },
+            churn: ChurnSpec::Markov { leave: 0.02, join: 0.25, seed: 26 },
+            engine: EngineKnobs { consume_rate: 0.25, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 300, drain: 100.0 },
+            ..base("torus-churn", "Markov node join/leave churn on the torus under arrivals")
+        },
+        // 27. The everything-fails case: node churn *and* the Markov link
+        // up/down process *and* per-transfer link faults, simultaneously.
+        ScenarioSpec {
+            topology: TopologySpec::Torus { dims: vec![8, 8] },
+            links: LinkSpec::Uniform { bandwidth: 1.0, distance: 1.0, fault_prob: 0.05 },
+            workload: WorkloadSpec::Bimodal { fraction: 0.25, high: 10.0, low: 1.0, seed: 27 },
+            faults: FaultPlanSpec { model: Some((0.05, 0.5)) },
+            churn: ChurnSpec::Markov { leave: 0.015, join: 0.2, seed: 27 },
+            engine: EngineKnobs { consume_rate: 0.15, ..EngineKnobs::default() },
+            duration: DurationSpec { rounds: 300, drain: 150.0 },
+            ..base("churn-faults", "node churn plus link faults plus transfer faults at once")
+        },
     ];
     all
 }
@@ -303,7 +352,7 @@ mod tests {
     #[test]
     fn registry_is_large_and_unique() {
         let all = registry();
-        assert!(all.len() >= 23, "registry has only {} scenarios", all.len());
+        assert!(all.len() >= 27, "registry has only {} scenarios", all.len());
         let names: HashSet<&str> = all.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names.len(), all.len(), "duplicate scenario names");
         // The ROADMAP-mandated workload families are all present.
@@ -318,8 +367,28 @@ mod tests {
             "torus1m-event",
             "hotspot16k-adaptive",
             "hotspot16k-static",
+            "scalefree-hotspot",
+            "geometric-diurnal",
+            "torus-churn",
+            "churn-faults",
         ] {
             assert!(names.contains(required), "missing required scenario `{required}`");
+        }
+    }
+
+    #[test]
+    fn churn_scenarios_actually_churn() {
+        // The ChurnSpec wiring must reach the engine: a smoke run of each
+        // churn scenario has down nodes mid-run, and the split run still
+        // matches the straight run byte-for-byte.
+        for name in ["torus-churn", "churn-faults"] {
+            let spec = by_name(name).expect("registered").smoke(8, 15.0);
+            let mut engine = spec.build_engine().expect("builds");
+            engine.run_rounds(8);
+            assert!(engine.down_node_count() > 0, "{name} scheduled no churn in smoke mode");
+            let straight = spec.run().expect("straight");
+            let (split, _) = spec.run_split(4).expect("split");
+            assert_eq!(split, straight, "{name} churned split run diverged");
         }
     }
 

@@ -14,6 +14,7 @@ use pp_core::baselines::{
 use pp_core::params::PhysicsConfig;
 use pp_sim::balancer::{LoadBalancer, NullBalancer};
 use pp_sim::checkpoint::Checkpoint;
+use pp_sim::churn::ChurnPlan;
 use pp_sim::engine::{
     Engine, EngineBuilder, EngineConfig, FaultModel, RepartitionConfig, RunReport, ShardLayout,
 };
@@ -791,6 +792,56 @@ impl FaultPlanSpec {
     }
 }
 
+/// The node join/leave plan — membership churn, as opposed to the link
+/// up/down process of [`FaultPlanSpec`]. The schedule is precomputed from
+/// its own seed at engine-build time (see `pp_sim::churn`), so a churned
+/// scenario stays byte-identical across `(shards, threads)` layouts and
+/// checkpoint/resume splits exactly like an unchurned one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ChurnSpec {
+    /// Static membership (the default; omitted from JSON).
+    #[default]
+    None,
+    /// Two-state Markov churn: each round every up node leaves with
+    /// probability `leave` and every down node rejoins with probability
+    /// `join`, over the scenario's full round budget.
+    Markov {
+        /// Per-round leave probability in `[0, 1]`.
+        leave: f64,
+        /// Per-round rejoin probability in `[0, 1]`.
+        join: f64,
+        /// Schedule seed (independent of the master seed).
+        seed: u64,
+    },
+}
+
+impl ChurnSpec {
+    /// Parameter check.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ChurnSpec::None => Ok(()),
+            ChurnSpec::Markov { leave, join, .. } => {
+                for (name, p) in [("leave", leave), ("join", join)] {
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("churn {name} probability {p} not in [0, 1]"));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the churn plan for an `n`-node system over `rounds` rounds.
+    pub fn build(&self, n: usize, rounds: u64) -> ChurnPlan {
+        match *self {
+            ChurnSpec::None => ChurnPlan::default(),
+            ChurnSpec::Markov { leave, join, seed } => {
+                ChurnPlan::markov(n, rounds, leave, join, seed)
+            }
+        }
+    }
+}
+
 /// Engine knobs lifted straight into [`EngineConfig`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineKnobs {
@@ -971,6 +1022,8 @@ pub struct ScenarioSpec {
     pub arrival: ArrivalSpec,
     /// Link up/down plan.
     pub faults: FaultPlanSpec,
+    /// Node join/leave plan.
+    pub churn: ChurnSpec,
     /// Node speed multipliers.
     pub speeds: SpeedSpec,
     /// Engine configuration.
@@ -996,6 +1049,7 @@ impl Default for ScenarioSpec {
             balancer: BalancerSpec::default(),
             arrival: ArrivalSpec::Quiescent,
             faults: FaultPlanSpec::default(),
+            churn: ChurnSpec::None,
             speeds: SpeedSpec::Uniform,
             engine: EngineKnobs::default(),
             duration: DurationSpec::default(),
@@ -1021,6 +1075,7 @@ impl ScenarioSpec {
         self.balancer.validate().map_err(|e| wrap("balancer", e))?;
         self.arrival.validate(n).map_err(|e| wrap("arrival", e))?;
         self.faults.validate().map_err(|e| wrap("faults", e))?;
+        self.churn.validate().map_err(|e| wrap("churn", e))?;
         self.speeds.validate().map_err(|e| wrap("speeds", e))?;
         self.engine.validate().map_err(|e| wrap("engine", e))?;
         if let Some(ck) = &self.checkpoint {
@@ -1060,6 +1115,7 @@ impl ScenarioSpec {
             .config(config)
             .node_speeds(self.speeds.build(n))
             .arrival_trace(trace)
+            .churn(self.churn.build(n, self.duration.rounds))
             .seed(self.seed)
             .build())
     }
@@ -1266,6 +1322,32 @@ mod tests {
         let bad = text.replace("\"event\"", "\"warp\"");
         let err = ScenarioSpec::from_json(&bad).expect_err("unknown strategy rejected");
         assert!(err.contains("unknown simulation strategy"), "got: {err}");
+    }
+
+    #[test]
+    fn churn_knob_round_trips_and_stays_canonical() {
+        // The static-membership default must be *omitted*: every spec
+        // written before the churn knob existed stays canonical.
+        let spec = busy_spec();
+        assert_eq!(spec.churn, ChurnSpec::None);
+        let text = spec.to_json_pretty();
+        assert!(!text.contains("churn"), "default churn must be omitted");
+        assert_eq!(ScenarioSpec::from_json(&text).expect("parses"), spec);
+
+        let mut churned = spec;
+        churned.churn = ChurnSpec::Markov { leave: 0.02, join: 0.3, seed: 7 };
+        let text = churned.to_json_pretty();
+        assert!(text.contains("\"churn\""), "got: {text}");
+        let back = ScenarioSpec::from_json(&text).expect("parses");
+        assert_eq!(back, churned);
+        assert_eq!(back.to_json_pretty(), text, "re-serialization is stable");
+
+        // Out-of-range probabilities fail validation with a churn-scoped
+        // message, and the unknown-kind path rejects.
+        churned.churn = ChurnSpec::Markov { leave: 1.5, join: 0.3, seed: 7 };
+        assert!(churned.validate().unwrap_err().contains("churn"));
+        let bad = text.replace("\"markov\"", "\"flapping\"");
+        assert!(ScenarioSpec::from_json(&bad).unwrap_err().contains("unknown churn kind"));
     }
 
     #[test]

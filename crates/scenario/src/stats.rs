@@ -1,0 +1,436 @@
+//! The statistical comparison harness (`pp-lab stats`): named scenario
+//! sets × a fixed balancer panel × R master seeds, reduced to a
+//! machine-readable [`StatsReport`] with per-metric mean / Student-t 95%
+//! confidence intervals and a pairwise Welch verdict table. This is the
+//! small-sample-honest successor to eyeballing single-seed golden reports:
+//! at the harness's realistic replicate counts (5–10 seeds) the normal
+//! 1.96 multiplier understates the interval by up to ~40%, so every CI
+//! here uses `t₀.₉₇₅(n−1)` and every verdict a Welch test with
+//! Satterthwaite degrees of freedom (see `pp_metrics::summary` and
+//! `docs/adr/ADR-010-churn-and-stats.md`).
+//!
+//! Determinism contract: a report is a pure function of `(set, seeds,
+//! smoke caps)`. Replicate `r` runs the registered spec with master seed
+//! `base + r` and everything else untouched, so workload placement and
+//! churn/fault schedules stay *paired* across balancers — each policy
+//! faces the identical sequence of adversities. Layout overrides (shards,
+//! threads) never reach the bytes: the engine guarantees layout-identical
+//! runs, and the report carries no layout metadata.
+
+use crate::registry;
+use crate::spec::{BalancerSpec, DiffusionAlpha};
+use pp_metrics::summary::{welch_test, Summary, Verdict};
+use pp_sim::engine::RunReport;
+use serde::{Serialize, Value};
+
+/// The metrics extracted from every run, in report order.
+pub const METRICS: &[&str] =
+    &["final_cov", "final_spread", "migrations", "load_moved", "weighted_traffic", "heat"];
+
+/// A named scenario set the harness can run.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsSet {
+    /// CLI name (`pp-lab stats --set <name>`).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    /// Registry names of the member scenarios.
+    pub scenarios: &'static [&'static str],
+}
+
+/// All named sets, in display order. Every member name must resolve in
+/// the registry (enforced by a test).
+pub fn sets() -> Vec<StatsSet> {
+    vec![
+        StatsSet {
+            name: "churn",
+            description: "node join/leave churn on the torus, alone and with link faults",
+            scenarios: &["torus-churn", "churn-faults"],
+        },
+        StatsSet {
+            name: "irregular",
+            description: "irregular topologies: scale-free hubs and random-geometric fields",
+            scenarios: &["scalefree-hotspot", "geometric-diurnal"],
+        },
+        StatsSet {
+            name: "classic",
+            description: "the paper's canonical redistribution cases",
+            scenarios: &["hotspot-torus", "ramp-ring"],
+        },
+    ]
+}
+
+/// Looks a set up by name.
+pub fn set_by_name(name: &str) -> Option<StatsSet> {
+    sets().into_iter().find(|s| s.name == name)
+}
+
+/// The fixed balancer panel every set is run under: the paper's
+/// particle-plane policy first (the comparison baseline), then the
+/// classical diffusive baseline (always-stable α on any topology — the
+/// irregular-graph sets rule out the hypercube-only policies), then the
+/// Eager et al. sender-initiated threshold policy.
+pub fn balancer_panel() -> Vec<(String, BalancerSpec)> {
+    vec![
+        ("particle-plane".to_string(), BalancerSpec::default()),
+        ("diffusion".to_string(), BalancerSpec::Diffusion { alpha: DiffusionAlpha::Safe }),
+        (
+            "sender-initiated".to_string(),
+            BalancerSpec::SenderInitiated { t_high: 2.0, t_accept: 1.0, probes: 3 },
+        ),
+    ]
+}
+
+/// One `(scenario, balancer, metric)` cell: the five-number summary over
+/// the replicate runs plus the Student-t 95% CI half-width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Balancer label.
+    pub balancer: String,
+    /// Metric name (one of [`METRICS`]).
+    pub metric: String,
+    /// Summary over the replicates.
+    pub summary: Summary,
+}
+
+impl Serialize for MetricCell {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("balancer".to_string(), self.balancer.to_value()),
+            ("metric".to_string(), self.metric.to_value()),
+            ("n".to_string(), self.summary.n.to_value()),
+            ("mean".to_string(), self.summary.mean.to_value()),
+            ("stddev".to_string(), self.summary.stddev.to_value()),
+            ("ci95".to_string(), self.summary.ci95().to_value()),
+            ("min".to_string(), self.summary.min.to_value()),
+            ("max".to_string(), self.summary.max.to_value()),
+        ])
+    }
+}
+
+/// One pairwise Welch comparison: balancer `a` against balancer `b` on
+/// one metric of one scenario. `verdict` reads as "`a` is
+/// lower/higher/indistinguishable relative to `b`".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Metric name.
+    pub metric: String,
+    /// First balancer label (the verdict's subject).
+    pub a: String,
+    /// Second balancer label.
+    pub b: String,
+    /// Welch verdict for `a` relative to `b` at the 95% level.
+    pub verdict: Verdict,
+    /// The Welch t statistic (omitted from JSON when non-finite — two
+    /// zero-variance samples with different means yield ±∞).
+    pub t: f64,
+    /// Satterthwaite degrees of freedom (floored).
+    pub df: usize,
+}
+
+impl Serialize for ComparisonRow {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("scenario".to_string(), self.scenario.to_value()),
+            ("metric".to_string(), self.metric.to_value()),
+            ("a".to_string(), self.a.to_value()),
+            ("b".to_string(), self.b.to_value()),
+            ("verdict".to_string(), self.verdict.as_str().to_value()),
+        ];
+        if self.t.is_finite() {
+            entries.push(("t".to_string(), self.t.to_value()));
+        }
+        entries.push(("df".to_string(), self.df.to_value()));
+        Value::Object(entries)
+    }
+}
+
+/// The harness's machine-readable output: everything `pp-lab stats`
+/// knows, in a fixed field order with a byte-stable rendering (the same
+/// canonical-JSON convention as [`GoldenReport`](crate::report::GoldenReport)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// The set that was run.
+    pub set: String,
+    /// Replicates per `(scenario, balancer)` pair.
+    pub seeds: usize,
+    /// Whether smoke caps were applied.
+    pub smoke: bool,
+    /// Member scenario names, in run order.
+    pub scenarios: Vec<String>,
+    /// Balancer labels, in panel order (first = baseline).
+    pub balancers: Vec<String>,
+    /// Metric names, in cell order.
+    pub metrics: Vec<String>,
+    /// Per-`(scenario, balancer, metric)` summaries.
+    pub cells: Vec<MetricCell>,
+    /// Pairwise Welch verdicts, every unordered balancer pair per
+    /// scenario per metric.
+    pub comparisons: Vec<ComparisonRow>,
+}
+
+impl Serialize for StatsReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("set".to_string(), self.set.to_value()),
+            ("seeds".to_string(), self.seeds.to_value()),
+            ("smoke".to_string(), self.smoke.to_value()),
+            ("scenarios".to_string(), self.scenarios.to_value()),
+            ("balancers".to_string(), self.balancers.to_value()),
+            ("metrics".to_string(), self.metrics.to_value()),
+            ("cells".to_string(), Value::Array(self.cells.iter().map(|c| c.to_value()).collect())),
+            (
+                "comparisons".to_string(),
+                Value::Array(self.comparisons.iter().map(|c| c.to_value()).collect()),
+            ),
+        ])
+    }
+}
+
+impl StatsReport {
+    /// The canonical byte-stable rendering (pretty JSON + trailing
+    /// newline, like the golden reports).
+    pub fn to_canonical_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("stats serialization is total");
+        s.push('\n');
+        s
+    }
+
+    /// Checks that `text` parses as a stats report: valid JSON carrying
+    /// every top-level field with the right shape, at least one cell, and
+    /// every cell/comparison structurally complete. Returns the set name.
+    pub fn check_text(text: &str) -> Result<String, String> {
+        let v = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        let set: String = v.field("set")?;
+        let seeds: usize = v.field("seeds")?;
+        if seeds == 0 {
+            return Err("seeds must be ≥ 1".into());
+        }
+        let _: bool = v.field("smoke")?;
+        let scenarios: Vec<String> = v.field("scenarios")?;
+        let balancers: Vec<String> = v.field("balancers")?;
+        let metrics: Vec<String> = v.field("metrics")?;
+        let cells = match v.get("cells") {
+            Some(Value::Array(cells)) if !cells.is_empty() => cells,
+            Some(Value::Array(_)) => return Err("empty `cells` array".into()),
+            _ => return Err("missing field `cells`".into()),
+        };
+        if cells.len() != scenarios.len() * balancers.len() * metrics.len() {
+            return Err(format!(
+                "{} cells but {} scenarios × {} balancers × {} metrics",
+                cells.len(),
+                scenarios.len(),
+                balancers.len(),
+                metrics.len()
+            ));
+        }
+        for cell in cells {
+            for key in
+                ["scenario", "balancer", "metric", "n", "mean", "stddev", "ci95", "min", "max"]
+            {
+                if cell.get(key).is_none() {
+                    return Err(format!("cell missing field `{key}`"));
+                }
+            }
+        }
+        let comparisons = match v.get("comparisons") {
+            Some(Value::Array(rows)) => rows,
+            _ => return Err("missing field `comparisons`".into()),
+        };
+        for row in comparisons {
+            for key in ["scenario", "metric", "a", "b", "verdict", "df"] {
+                if row.get(key).is_none() {
+                    return Err(format!("comparison missing field `{key}`"));
+                }
+            }
+            let verdict: String = row.field("verdict")?;
+            if !["lower", "higher", "indistinguishable"].contains(&verdict.as_str()) {
+                return Err(format!("unknown verdict `{verdict}`"));
+            }
+        }
+        Ok(set)
+    }
+}
+
+/// The metric values of one finished run, in [`METRICS`] order.
+fn metric_values(r: &RunReport) -> [f64; 6] {
+    [
+        r.final_imbalance.cov,
+        r.final_imbalance.spread,
+        r.ledger.migration_count() as f64,
+        r.ledger.total_load_moved(),
+        r.ledger.total_weighted_traffic(),
+        r.ledger.total_heat(),
+    ]
+}
+
+/// Runs a named set under the balancer panel with `seeds` replicates per
+/// pair and reduces to a [`StatsReport`]. `smoke` caps every run à la
+/// [`ScenarioSpec::smoke`]; `layout` overrides the engine's `(shards,
+/// threads)` knobs — the report bytes are identical for every layout
+/// (asserted by a test and the CI stats job).
+pub fn run_stats(
+    set_name: &str,
+    seeds: usize,
+    smoke: Option<(u64, f64)>,
+    layout: Option<(usize, usize)>,
+) -> Result<StatsReport, String> {
+    if seeds == 0 {
+        return Err("need at least one seed (replicate)".into());
+    }
+    let set = set_by_name(set_name).ok_or_else(|| {
+        let known: Vec<&str> = sets().iter().map(|s| s.name).collect();
+        format!("unknown stats set `{set_name}`; known sets: {known:?}")
+    })?;
+    let panel = balancer_panel();
+    let mut cells = Vec::new();
+    // summaries[scenario][balancer][metric], for the comparison pass.
+    let mut summaries: Vec<Vec<Vec<Summary>>> = Vec::new();
+    for scen_name in set.scenarios {
+        let base = registry::by_name(scen_name).ok_or_else(|| {
+            format!("set `{}` names unregistered scenario `{scen_name}`", set.name)
+        })?;
+        let base = match smoke {
+            Some((rounds, drain)) => base.smoke(rounds, drain),
+            None => base,
+        };
+        let mut per_balancer = Vec::new();
+        for (label, bspec) in &panel {
+            let mut samples: [Vec<f64>; 6] = Default::default();
+            for r in 0..seeds {
+                let mut spec = base.clone();
+                spec.balancer = bspec.clone();
+                spec.seed = base.seed + r as u64;
+                if let Some((shards, threads)) = layout {
+                    spec.engine.shards = shards;
+                    spec.engine.threads = threads;
+                }
+                let report = spec.run().map_err(|e| format!("{scen_name}/{label}: {e}"))?;
+                for (bucket, value) in samples.iter_mut().zip(metric_values(&report)) {
+                    bucket.push(value);
+                }
+            }
+            let mut per_metric = Vec::new();
+            for (metric, sample) in METRICS.iter().zip(&samples) {
+                let summary = Summary::of(sample);
+                per_metric.push(summary);
+                cells.push(MetricCell {
+                    scenario: scen_name.to_string(),
+                    balancer: label.clone(),
+                    metric: metric.to_string(),
+                    summary,
+                });
+            }
+            per_balancer.push(per_metric);
+        }
+        summaries.push(per_balancer);
+    }
+    let mut comparisons = Vec::new();
+    for (si, scen_name) in set.scenarios.iter().enumerate() {
+        for (mi, metric) in METRICS.iter().enumerate() {
+            for i in 0..panel.len() {
+                for j in (i + 1)..panel.len() {
+                    let (verdict, t, df) = welch_test(&summaries[si][i][mi], &summaries[si][j][mi]);
+                    comparisons.push(ComparisonRow {
+                        scenario: scen_name.to_string(),
+                        metric: metric.to_string(),
+                        a: panel[i].0.clone(),
+                        b: panel[j].0.clone(),
+                        verdict,
+                        t,
+                        df,
+                    });
+                }
+            }
+        }
+    }
+    Ok(StatsReport {
+        set: set.name.to_string(),
+        seeds,
+        smoke: smoke.is_some(),
+        scenarios: set.scenarios.iter().map(|s| s.to_string()).collect(),
+        balancers: panel.into_iter().map(|(label, _)| label).collect(),
+        metrics: METRICS.iter().map(|m| m.to_string()).collect(),
+        cells,
+        comparisons,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_set_member_is_registered() {
+        for set in sets() {
+            assert!(!set.scenarios.is_empty(), "set `{}` is empty", set.name);
+            for name in set.scenarios {
+                assert!(
+                    registry::by_name(name).is_some(),
+                    "set `{}` names unregistered scenario `{name}`",
+                    set.name
+                );
+            }
+        }
+        // Set names are unique, and the panel leads with the paper's policy.
+        let names: Vec<&str> = sets().iter().map(|s| s.name).collect();
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate set names");
+        assert_eq!(balancer_panel()[0].0, "particle-plane");
+        for (_, spec) in balancer_panel() {
+            spec.validate().expect("panel balancers validate");
+        }
+    }
+
+    #[test]
+    fn churn_stats_report_is_canonical_and_layout_independent() {
+        let smoke = Some((4, 10.0));
+        let a = run_stats("churn", 2, smoke, None).expect("runs");
+        let text = a.to_canonical_json();
+        // Byte-identical across layouts and repeat runs.
+        for layout in [Some((1, 1)), Some((4, 2)), Some((8, 4))] {
+            let b = run_stats("churn", 2, smoke, layout).expect("runs");
+            assert_eq!(b.to_canonical_json(), text, "layout {layout:?} drifted the report");
+        }
+        // Schema round-check.
+        assert_eq!(StatsReport::check_text(&text).expect("checks"), "churn");
+        assert!(StatsReport::check_text("{}").is_err());
+        assert!(StatsReport::check_text("not json").is_err());
+        // The shape: full cell matrix, full pairwise table, t-based CIs.
+        assert_eq!(a.cells.len(), 2 * 3 * METRICS.len());
+        assert_eq!(a.comparisons.len(), 2 * METRICS.len() * 3);
+        // The acceptance row: particle-plane vs the diffusive baseline
+        // under churn is present for every metric.
+        let pp_vs_diff =
+            a.comparisons.iter().filter(|c| c.a == "particle-plane" && c.b == "diffusion").count();
+        assert_eq!(pp_vs_diff, 2 * METRICS.len());
+        // n = 2 replicates ⇒ df 1 CIs use the t table (12.706), not 1.96:
+        // every cell's ci95 is either 0 (zero variance) or > 2·stddev.
+        for cell in &a.cells {
+            let s = cell.summary;
+            assert_eq!(s.n, 2);
+            if s.stddev > 0.0 {
+                assert!(
+                    s.ci95() > 2.0 * s.stddev,
+                    "{}/{}/{}",
+                    cell.scenario,
+                    cell.balancer,
+                    cell.metric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_sets_and_zero_seeds_are_rejected() {
+        assert!(run_stats("no-such-set", 2, Some((2, 5.0)), None)
+            .unwrap_err()
+            .contains("unknown stats set"));
+        assert!(run_stats("churn", 0, Some((2, 5.0)), None).unwrap_err().contains("seed"));
+    }
+}

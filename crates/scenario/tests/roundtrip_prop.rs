@@ -3,8 +3,9 @@
 //! covers the combinatorial space of variants and parameter values).
 
 use pp_scenario::spec::{
-    ArrivalSpec, BalancerSpec, CheckpointSpec, DiffusionAlpha, DurationSpec, EngineKnobs,
-    FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec, WorkloadSpec,
+    ArrivalSpec, BalancerSpec, CheckpointSpec, ChurnSpec, DiffusionAlpha, DurationSpec,
+    EngineKnobs, FaultPlanSpec, LinkSpec, ResourceSpec, ScenarioSpec, SpeedSpec, TaskGraphSpec,
+    WorkloadSpec,
 };
 use pp_topology::spec::TopologySpec;
 use proptest::prelude::*;
@@ -100,6 +101,11 @@ proptest! {
             balancer: balancer_variant(b_idx, x),
             arrival: arrival_variant(a_idx, x),
             faults: FaultPlanSpec { model: (fault == 1).then_some((0.1, 0.5)) },
+            churn: if seed % 3 == 1 {
+                ChurnSpec::Markov { leave: 0.05, join: 0.5, seed }
+            } else {
+                ChurnSpec::None
+            },
             speeds: match speed {
                 0 => SpeedSpec::Uniform,
                 1 => SpeedSpec::TwoTier { fast_fraction: 0.5, fast: 2.0, slow: 0.5, seed },

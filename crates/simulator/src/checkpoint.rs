@@ -159,6 +159,12 @@ pub struct Checkpoint {
     /// Opaque balancer-internal state from
     /// [`LoadBalancer::save_state`](crate::balancer::LoadBalancer::save_state).
     pub balancer_state: Option<Value>,
+    /// Fingerprint: length of the engine's churn plan (0 = no churn).
+    /// Membership itself is a pure function of the plan prefix at the
+    /// restored round, so only the plan length is captured — and omitted
+    /// from the JSON entirely when zero, keeping churn-free checkpoint
+    /// fixtures byte-identical to the pre-churn format.
+    pub churn_len: usize,
 }
 
 impl Checkpoint {
@@ -337,7 +343,7 @@ impl Deserialize for FlightSnap {
 
 impl Serialize for Checkpoint {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             entry("version", CHECKPOINT_VERSION),
             entry("nodes", self.nodes),
             entry("edges", self.edges),
@@ -397,7 +403,13 @@ impl Serialize for Checkpoint {
                 Value::Array(self.shard_accums.iter().map(accum_to_value).collect()),
             ),
             entry("balancer_state", &self.balancer_state),
-        ])
+        ];
+        // Omitted (not null) when zero: churn-free checkpoints keep the
+        // exact pre-churn byte layout, so committed fixtures never churn.
+        if self.churn_len > 0 {
+            fields.push(entry("churn_len", self.churn_len));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -492,6 +504,7 @@ impl Deserialize for Checkpoint {
             shard_dirty: v.field("shard_dirty")?,
             shard_accums,
             balancer_state: v.field_opt("balancer_state")?,
+            churn_len: v.field_opt("churn_len")?.unwrap_or(0),
         })
     }
 }
@@ -562,7 +575,21 @@ mod tests {
                 "current_class".to_string(),
                 Value::UInt(1),
             )])),
+            churn_len: 0,
         }
+    }
+
+    #[test]
+    fn churn_len_round_trips_and_is_omitted_when_zero() {
+        let plain = tiny_checkpoint();
+        assert!(!plain.to_json().contains("churn_len"), "zero churn must not serialize");
+        let mut churned = tiny_checkpoint();
+        churned.churn_len = 7;
+        let text = churned.to_json();
+        assert!(text.contains("\"churn_len\": 7"));
+        let back = Checkpoint::from_json(&text).expect("round trip");
+        assert_eq!(back, churned);
+        assert_eq!(back.to_json(), text);
     }
 
     #[test]

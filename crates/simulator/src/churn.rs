@@ -1,0 +1,237 @@
+//! Seeded node churn: a deterministic join/leave schedule over the balance
+//! rounds, distinct from the link [`FaultModel`](crate::engine::FaultModel).
+//!
+//! A *leaving* node hands its resident tasks to its live neighbours (round-
+//! robin over the up neighbours reachable across non-faulted links, in
+//! ascending node order) and then goes dark: its incident links are masked,
+//! it consumes no work, and loads or arrivals routed at it are redirected
+//! to live nodes. A *joining* node comes back cold — empty queue, links
+//! unmasked (except those the fault process holds down) — and competes for
+//! load like any other processor from the next round on.
+//!
+//! The schedule is **precomputed**: [`ChurnPlan::markov`] draws from its
+//! own seeded RNG at plan-construction time, so wiring churn into an
+//! engine perturbs no engine RNG stream — the same property that keeps the
+//! sharded sweep byte-identical across `(shards, threads)` layouts keeps a
+//! churned run byte-identical too (see `docs/adr/ADR-010-churn-and-
+//! stats.md`). Membership at any round is a pure function of the plan
+//! prefix, which is how checkpoint restore re-derives it without storing
+//! per-node flags.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One membership change in a [`ChurnPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Balance round the change takes effect at. The engine applies it at
+    /// the top of that round's tick — before the fault process runs and
+    /// before any decision is collected — so rounds ≥ 1.
+    pub round: u64,
+    /// The node joining or leaving.
+    pub node: u32,
+    /// `true` = the node leaves the system; `false` = it rejoins.
+    pub leave: bool,
+}
+
+/// A validated join/leave schedule. Build with [`ChurnPlan::markov`] (the
+/// seeded two-state process) or [`ChurnPlan::new`] from explicit events,
+/// then hand it to [`EngineBuilder::churn`](crate::engine::EngineBuilder::churn).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnPlan {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// Wraps an explicit event list. Structural validation (ordering,
+    /// membership consistency, node bounds, never emptying the system)
+    /// happens in [`ChurnPlan::validate`], which the engine builder runs
+    /// against its topology.
+    pub fn new(events: Vec<ChurnEvent>) -> Self {
+        ChurnPlan { events }
+    }
+
+    /// A seeded two-state Markov schedule over `n` nodes and `rounds`
+    /// balance rounds: each round, every up node leaves with probability
+    /// `leave_prob` and every down node rejoins with probability
+    /// `join_prob`, drawn in ascending node order from a dedicated
+    /// `StdRng::seed_from_u64(seed)` stream. A leave that would empty the
+    /// system is suppressed (the draw still happens, so the stream position
+    /// is independent of the suppression).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or either probability is outside `[0, 1]`.
+    pub fn markov(n: usize, rounds: u64, leave_prob: f64, join_prob: f64, seed: u64) -> Self {
+        assert!(n > 0, "churn plan needs at least one node");
+        for (name, p) in [("leave_prob", leave_prob), ("join_prob", join_prob)] {
+            assert!((0.0..=1.0).contains(&p), "{name} = {p} must be in [0, 1]");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut down = vec![false; n];
+        let mut up_count = n;
+        let mut events = Vec::new();
+        for round in 1..=rounds {
+            for (node, is_down) in down.iter_mut().enumerate() {
+                if *is_down {
+                    if rng.gen_bool(join_prob) {
+                        *is_down = false;
+                        up_count += 1;
+                        events.push(ChurnEvent { round, node: node as u32, leave: false });
+                    }
+                } else if rng.gen_bool(leave_prob) && up_count > 1 {
+                    *is_down = true;
+                    up_count -= 1;
+                    events.push(ChurnEvent { round, node: node as u32, leave: true });
+                }
+            }
+        }
+        ChurnPlan { events }
+    }
+
+    /// The schedule, sorted by `(round, node)`.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Consumes the plan into its event list (engine-builder plumbing).
+    pub fn into_events(self) -> Vec<ChurnEvent> {
+        self.events
+    }
+
+    /// Whether the plan schedules no changes at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled membership changes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Checks the plan against an `n`-node system: events are ordered by
+    /// `(round, node)` (strictly — one change per node per round), rounds
+    /// start at 1, nodes are in bounds, every leave targets an up node and
+    /// every join a down one, and no leave ever empties the system.
+    pub fn validate(&self, n: usize) -> Result<(), String> {
+        let mut down = vec![false; n];
+        let mut up_count = n;
+        let mut prev: Option<(u64, u32)> = None;
+        for ev in &self.events {
+            if ev.round == 0 {
+                return Err(format!(
+                    "churn event for node {} at round 0 (rounds start at 1)",
+                    ev.node
+                ));
+            }
+            if ev.node as usize >= n {
+                return Err(format!("churn event names node {} of {n}", ev.node));
+            }
+            if let Some((pr, pn)) = prev {
+                if (ev.round, ev.node) <= (pr, pn) {
+                    return Err(format!(
+                        "churn events out of order: ({pr}, node {pn}) then ({}, node {})",
+                        ev.round, ev.node
+                    ));
+                }
+            }
+            prev = Some((ev.round, ev.node));
+            let flag = &mut down[ev.node as usize];
+            if ev.leave {
+                if *flag {
+                    return Err(format!(
+                        "node {} leaves at round {} but is already down",
+                        ev.node, ev.round
+                    ));
+                }
+                if up_count == 1 {
+                    return Err(format!(
+                        "leave of node {} at round {} empties the system",
+                        ev.node, ev.round
+                    ));
+                }
+                *flag = true;
+                up_count -= 1;
+            } else {
+                if !*flag {
+                    return Err(format!(
+                        "node {} joins at round {} but is already up",
+                        ev.node, ev.round
+                    ));
+                }
+                *flag = false;
+                up_count += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markov_is_deterministic_and_valid() {
+        let a = ChurnPlan::markov(16, 40, 0.05, 0.3, 9);
+        let b = ChurnPlan::markov(16, 40, 0.05, 0.3, 9);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "p=0.05 over 16×40 draws should schedule something");
+        a.validate(16).expect("markov plans are valid by construction");
+        // A different seed reshuffles the schedule.
+        let c = ChurnPlan::markov(16, 40, 0.05, 0.3, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn markov_never_empties_the_system() {
+        // Certain leave, impossible rejoin: everyone who can leave does,
+        // but one node must always survive.
+        let plan = ChurnPlan::markov(4, 10, 1.0, 0.0, 0);
+        plan.validate(4).expect("valid");
+        let leaves = plan.events().iter().filter(|e| e.leave).count();
+        assert_eq!(leaves, 3, "exactly n−1 leaves fire, the survivor's are suppressed");
+    }
+
+    #[test]
+    fn zero_probability_plan_is_empty() {
+        assert!(ChurnPlan::markov(8, 100, 0.0, 0.0, 5).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_schedules() {
+        let ev = |round, node, leave| ChurnEvent { round, node, leave };
+        // Round 0.
+        assert!(ChurnPlan::new(vec![ev(0, 1, true)]).validate(4).unwrap_err().contains("round 0"));
+        // Node out of bounds.
+        assert!(ChurnPlan::new(vec![ev(1, 9, true)]).validate(4).unwrap_err().contains("node 9"));
+        // Out of order.
+        assert!(ChurnPlan::new(vec![ev(2, 1, true), ev(1, 0, true)])
+            .validate(4)
+            .unwrap_err()
+            .contains("out of order"));
+        // Duplicate (round, node).
+        assert!(ChurnPlan::new(vec![ev(1, 1, true), ev(1, 1, false)])
+            .validate(4)
+            .unwrap_err()
+            .contains("out of order"));
+        // Double leave.
+        assert!(ChurnPlan::new(vec![ev(1, 1, true), ev(2, 1, true)])
+            .validate(4)
+            .unwrap_err()
+            .contains("already down"));
+        // Join of an up node.
+        assert!(ChurnPlan::new(vec![ev(1, 1, false)])
+            .validate(4)
+            .unwrap_err()
+            .contains("already up"));
+        // Emptying the system.
+        assert!(ChurnPlan::new(vec![ev(1, 0, true), ev(1, 1, true)])
+            .validate(2)
+            .unwrap_err()
+            .contains("empties"));
+        // A legal mixed schedule passes.
+        ChurnPlan::new(vec![ev(1, 0, true), ev(3, 0, false), ev(3, 2, true)])
+            .validate(4)
+            .expect("valid schedule");
+    }
+}

@@ -49,6 +49,7 @@ use crate::balancer::{
     build_view, GlobalView, LinkView, LoadBalancer, MigratingLoad, MigrationIntent, ViewScratch,
 };
 use crate::checkpoint::{Checkpoint, FlightSnap};
+use crate::churn::{ChurnEvent, ChurnPlan};
 use crate::events::{Event, EventQueue};
 use crate::pool::ShardPool;
 use crate::state::SystemState;
@@ -306,6 +307,20 @@ pub struct Engine {
     /// repartition (capacity `n` after the first fire, so steady-state
     /// fires allocate nothing).
     rng_scratch: Vec<StdRng>,
+    /// The join/leave schedule, sorted by `(round, node)` (empty = no
+    /// churn). Static configuration like the trace — never checkpointed
+    /// beyond its length fingerprint.
+    churn: Vec<ChurnEvent>,
+    /// Next unapplied entry of `churn`. Derivable from `round` (membership
+    /// is a pure function of the plan prefix), so restores re-derive it.
+    churn_next: usize,
+    /// Per-node down flags (sized only when `churn` is non-empty, so
+    /// churn-free engines pay nothing on the hot paths).
+    down_nodes: Vec<bool>,
+    /// Union of `down_links` and every edge incident to a down node — the
+    /// set the decision views and `live_edge` consult when churn is active.
+    /// Mirrors `down_links` exactly while every node is up.
+    masked_links: EdgeBitSet,
     /// Per-node speed multipliers on `consume_rate` (empty = homogeneous).
     speeds: Vec<f64>,
     /// Recorded arrival trace being replayed (indexed by `TraceArrival`).
@@ -348,6 +363,29 @@ impl Engine {
     /// Links currently down.
     pub fn down_link_count(&self) -> usize {
         self.down_links.count()
+    }
+
+    /// Nodes currently out of the system (left via churn, not yet rejoined).
+    pub fn down_node_count(&self) -> usize {
+        self.down_nodes.iter().filter(|&&d| d).count()
+    }
+
+    /// Whether node `v` is currently part of the system.
+    #[inline]
+    fn node_up(&self, v: NodeId) -> bool {
+        self.down_nodes.is_empty() || !self.down_nodes[v.idx()]
+    }
+
+    /// The edge set decisions and launches must treat as unusable: the
+    /// fault process's down links, plus — when churn is active — every
+    /// edge incident to a down node.
+    #[inline]
+    fn blocked_links(&self) -> &EdgeBitSet {
+        if self.churn.is_empty() {
+            &self.down_links
+        } else {
+            &self.masked_links
+        }
     }
 
     /// The resolved shard execution layout. Boundary nodes are counted
@@ -577,6 +615,12 @@ impl Engine {
         if self.config.fault_model.is_some() || !self.balancer.quiescence_stable() {
             return true;
         }
+        // A churn event due at this round's tick mutates membership (and
+        // possibly drains a queue); the fast-forward must not straddle it.
+        if self.churn_next < self.churn.len() && self.churn[self.churn_next].round <= self.round + 1
+        {
+            return true;
+        }
         // Resident work decays between rounds; the O(1) counter gates the
         // O(n) consumption sweep. (On an empty system the sweep is a no-op:
         // `consume_work` on a task-less node mutates nothing.)
@@ -727,6 +771,7 @@ impl Engine {
             shard_dirty: self.shards.iter().map(|s| s.dirty).collect(),
             shard_accums: self.shards.iter().map(|s| s.accum).collect(),
             balancer_state: self.balancer.save_state(),
+            churn_len: self.churn.len(),
         }
     }
 
@@ -764,6 +809,13 @@ impl Engine {
                 "checkpoint was written under balancer `{}`, engine runs `{}`",
                 cp.balancer,
                 self.balancer.name()
+            ));
+        }
+        if cp.churn_len != self.churn.len() {
+            return Err(format!(
+                "checkpoint was written under a {}-event churn plan, engine has {} events",
+                cp.churn_len,
+                self.churn.len()
             ));
         }
         if cp.node_rngs.len() != n || cp.node_tasks.len() != n || cp.node_heights.len() != n {
@@ -992,6 +1044,32 @@ impl Engine {
         self.completed_tasks = cp.completed_tasks;
         self.idgen = TaskIdGen::starting_at(cp.idgen_next);
         self.down_links = down_links;
+        // Membership is a pure function of the plan prefix applied so far,
+        // so it is re-derived rather than stored: replay every event with
+        // round ≤ the restored round (flags only — the drains those events
+        // performed are already baked into the restored node queues), then
+        // rebuild the mask as down links ∪ edges incident to down nodes.
+        if !self.churn.is_empty() {
+            self.down_nodes.iter_mut().for_each(|d| *d = false);
+            let mut next = 0;
+            while next < self.churn.len() && self.churn[next].round <= cp.round {
+                let ev = self.churn[next];
+                self.down_nodes[ev.node as usize] = ev.leave;
+                next += 1;
+            }
+            self.churn_next = next;
+            self.masked_links = self.down_links.clone();
+            for i in 0..n {
+                let v = NodeId(i as u32);
+                if !self.down_nodes[i] {
+                    continue;
+                }
+                for &u in self.state.topo.neighbors(v) {
+                    let e = self.state.topo.edge_index(v, u).expect("CSR neighbour edge");
+                    self.masked_links.insert(e);
+                }
+            }
+        }
         // Rebuild the ledger and series by replaying the identical record
         // sequence, so the running totals reproduce the captured
         // accumulation bit-for-bit.
@@ -1040,6 +1118,11 @@ impl Engine {
                 if self.state.task_count_slice()[i] == 0 {
                     continue;
                 }
+                // A churned-out node consumes nothing: its frozen tasks (the
+                // no-live-receiver leave case) wait for it to rejoin.
+                if !self.down_nodes.is_empty() && self.down_nodes[i] {
+                    continue;
+                }
                 let scaled = if self.speeds.is_empty() { amount } else { amount * self.speeds[i] };
                 if scaled > 0.0 {
                     let v = NodeId(i as u32);
@@ -1056,6 +1139,7 @@ impl Engine {
 
     fn fire_tick(&mut self) {
         self.round += 1;
+        self.apply_churn();
         self.update_faults();
 
         let global = GlobalView {
@@ -1100,20 +1184,100 @@ impl Engine {
         self.series.push(self.time, self.state.cov());
     }
 
+    /// Applies every churn event scheduled at or before the current round,
+    /// in plan order. Runs at the very top of the tick — before the fault
+    /// process and the decision sweep — and draws no randomness, so churned
+    /// runs stay byte-identical across every `(shards, threads)` layout and
+    /// both simulation strategies.
+    fn apply_churn(&mut self) {
+        while self.churn_next < self.churn.len() && self.churn[self.churn_next].round <= self.round
+        {
+            let ev = self.churn[self.churn_next];
+            self.churn_next += 1;
+            let v = NodeId(ev.node);
+            if ev.leave {
+                self.node_leave(v);
+            } else {
+                self.node_join(v);
+            }
+        }
+    }
+
+    /// Takes node `v` out of the system: masks its incident edges and
+    /// drains its resident tasks round-robin over the up neighbours
+    /// reachable across non-faulted links (ascending node order — the CSR
+    /// order every other sweep uses). With no live receiver (every
+    /// neighbour down or every incident link faulted) the tasks freeze in
+    /// place until the node rejoins; they are not consumed meanwhile.
+    fn node_leave(&mut self, v: NodeId) {
+        self.down_nodes[v.idx()] = true;
+        let mut receivers: Vec<NodeId> = Vec::new();
+        for &u in self.state.topo.neighbors(v) {
+            let e = self.state.topo.edge_index(v, u).expect("CSR neighbour edge exists");
+            self.masked_links.insert(e);
+            if self.node_up(u) && !self.down_links.contains(e) {
+                receivers.push(u);
+            }
+        }
+        self.mark_node_dirty(v);
+        if receivers.is_empty() {
+            return;
+        }
+        let ids: Vec<_> = self.state.node(v).tasks().iter().map(|t| t.id).collect();
+        for (i, id) in ids.into_iter().enumerate() {
+            let task = self.state.remove_task(v, id).expect("drained task is resident");
+            self.state.add_task(receivers[i % receivers.len()], task);
+        }
+        for &u in &receivers {
+            self.mark_node_dirty(u);
+        }
+    }
+
+    /// Brings node `v` back cold: unmasks its incident edges (except those
+    /// whose other endpoint is still down, and those the fault process
+    /// holds down) and wakes the shards that can observe it.
+    fn node_join(&mut self, v: NodeId) {
+        self.down_nodes[v.idx()] = false;
+        let unmask: Vec<EdgeId> = self
+            .state
+            .topo
+            .neighbors(v)
+            .iter()
+            .filter(|&&u| self.node_up(u))
+            .map(|&u| self.state.topo.edge_index(v, u).expect("CSR neighbour edge exists"))
+            .filter(|&e| !self.down_links.contains(e))
+            .collect();
+        for e in unmask {
+            self.masked_links.remove(e);
+        }
+        self.mark_node_dirty(v);
+    }
+
     fn update_faults(&mut self) {
         let Some(fm) = self.config.fault_model else { return };
+        let churning = !self.churn.is_empty();
         for e in 0..self.state.topo.edge_count() as u32 {
             let e = EdgeId(e);
             let flipped = if self.down_links.contains(e) {
                 let up = self.engine_rng.gen_bool(fm.p_up);
                 if up {
                     self.down_links.remove(e);
+                    // The mask lifts only if neither endpoint is down.
+                    if churning {
+                        let (u, v) = self.state.topo.edge_endpoints(e);
+                        if self.node_up(u) && self.node_up(v) {
+                            self.masked_links.remove(e);
+                        }
+                    }
                 }
                 up
             } else {
                 let down = self.engine_rng.gen_bool(fm.p_down);
                 if down {
                     self.down_links.insert(e);
+                    if churning {
+                        self.masked_links.insert(e);
+                    }
                 }
                 down
             };
@@ -1128,10 +1292,11 @@ impl Engine {
         }
     }
 
-    /// The live edge between `u` and `v`, if both the edge exists and its
-    /// link is up.
+    /// The live edge between `u` and `v`, if the edge exists, its link is
+    /// up, and neither endpoint has churned out.
     fn live_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        self.state.topo.edge_index(u, v).filter(|&e| !self.down_links.contains(e))
+        let blocked = self.blocked_links();
+        self.state.topo.edge_index(u, v).filter(|&e| !blocked.contains(e))
     }
 
     /// Fills each shard's decision buffers with its nodes' migration
@@ -1160,13 +1325,14 @@ impl Engine {
         }
         self.executed_rounds += 1;
 
+        let blocked = if self.churn.is_empty() { &self.down_links } else { &self.masked_links };
         let state = &self.state;
         let heights = state.height_slice();
         let links = LinkView {
             attrs: state.links().attrs(),
             weights: Some(&self.link_weights),
             weight_c: self.config.weight_c,
-            down: if self.down_links.none_set() { None } else { Some(&self.down_links) },
+            down: if blocked.none_set() { None } else { Some(blocked) },
         };
         let balancer = &*self.balancer;
         let partition = &self.partition;
@@ -1298,9 +1464,22 @@ impl Engine {
         });
 
         if flight.bounced {
-            // The transfer failed for good; the load stays at its source.
-            self.state.add_task(flight.to, flight.load.task);
-            self.mark_node_dirty(flight.to);
+            // The transfer failed for good; the load stays at its source
+            // (or, if the source churned out mid-flight, the nearest live
+            // node standing in for it).
+            let dest = self.deposit_node(flight.to);
+            self.state.add_task(dest, flight.load.task);
+            self.mark_node_dirty(dest);
+            return;
+        }
+
+        // A landing node that churned out mid-flight cannot decide (its
+        // RNG stream must not advance for a node that is not there): the
+        // load deposits at the nearest live node instead.
+        if !self.node_up(flight.to) {
+            let dest = self.deposit_node(flight.to);
+            self.state.add_task(dest, flight.load.task);
+            self.mark_node_dirty(dest);
             return;
         }
 
@@ -1308,11 +1487,12 @@ impl Engine {
         // is built into the landing shard's scratch and the draw comes from
         // the landing node's own RNG stream, exactly as the flat engine
         // did.
+        let blocked = if self.churn.is_empty() { &self.down_links } else { &self.masked_links };
         let links = LinkView {
             attrs: self.state.links().attrs(),
             weights: Some(&self.link_weights),
             weight_c: self.config.weight_c,
-            down: if self.down_links.none_set() { None } else { Some(&self.down_links) },
+            down: if blocked.none_set() { None } else { Some(blocked) },
         };
         let s = self.partition.shard_of(flight.to);
         let local = (flight.to.0 - self.partition.range(s).0) as usize;
@@ -1353,6 +1533,10 @@ impl Engine {
             // Current arrival: the process picks the target (uniform for
             // all processes except the moving hotspot).
             let node = NodeId(self.config.arrival.target_node(self.time, n, &mut self.engine_rng));
+            // A down target redirects to the next live node cyclically —
+            // the draw itself is unchanged, so the engine stream position
+            // stays a pure function of time, never of membership.
+            let node = if self.node_up(node) { node } else { self.next_up_node(node) };
             let task = Task::new(self.idgen.next_id(), size, node.0).created_at(self.time);
             self.state.add_task(node, task);
             self.mark_node_dirty(node);
@@ -1362,9 +1546,37 @@ impl Engine {
 
     fn handle_trace_arrival(&mut self, record: usize) {
         let ev = self.trace[record];
-        let task = Task::new(self.idgen.next_id(), ev.size, ev.node).created_at(self.time);
-        self.state.add_task(NodeId(ev.node), task);
-        self.mark_node_dirty(NodeId(ev.node));
+        let node = NodeId(ev.node);
+        let node = if self.node_up(node) { node } else { self.next_up_node(node) };
+        let task = Task::new(self.idgen.next_id(), ev.size, node.0).created_at(self.time);
+        self.state.add_task(node, task);
+        self.mark_node_dirty(node);
+    }
+
+    /// Where a load addressed at `v` is deposited: `v` itself when up,
+    /// otherwise `v`'s first up neighbour (ascending — the node the load is
+    /// physically closest to), otherwise the next up node cyclically.
+    fn deposit_node(&self, v: NodeId) -> NodeId {
+        if self.node_up(v) {
+            return v;
+        }
+        if let Some(&u) = self.state.topo.neighbors(v).iter().find(|&&u| self.node_up(u)) {
+            return u;
+        }
+        self.next_up_node(v)
+    }
+
+    /// The first up node after `v` in cyclic node-id order. The churn plan
+    /// never empties the system, so this always finds one.
+    fn next_up_node(&self, v: NodeId) -> NodeId {
+        let n = self.state.node_count() as u32;
+        for step in 1..=n {
+            let u = NodeId((v.0 + step) % n);
+            if self.node_up(u) {
+                return u;
+            }
+        }
+        v
     }
 }
 
@@ -1430,6 +1642,7 @@ pub struct EngineBuilder {
     config: EngineConfig,
     speeds: Vec<f64>,
     trace: Vec<TraceEvent>,
+    churn: ChurnPlan,
     seed: u64,
 }
 
@@ -1446,6 +1659,7 @@ impl EngineBuilder {
             config: EngineConfig::default(),
             speeds: Vec::new(),
             trace: Vec::new(),
+            churn: ChurnPlan::default(),
             seed: 0,
         }
     }
@@ -1508,6 +1722,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Schedules a node join/leave plan (default: no churn). The plan was
+    /// drawn from its own seeded RNG at construction, so attaching it
+    /// perturbs no engine stream.
+    pub fn churn(mut self, plan: ChurnPlan) -> Self {
+        self.churn = plan;
+        self
+    }
+
     /// Sets the master seed for all randomness.
     pub fn seed(mut self, s: u64) -> Self {
         self.seed = s;
@@ -1534,6 +1756,7 @@ impl EngineBuilder {
             );
         }
         validate_trace(&self.trace, self.topo.node_count()).expect("invalid arrival trace");
+        self.churn.validate(self.topo.node_count()).expect("invalid churn plan");
         let links =
             self.links.unwrap_or_else(|| LinkMap::uniform(&self.topo, LinkAttrs::default()));
         let mut state = SystemState::new(self.topo, links, self.task_graph, self.resources);
@@ -1620,6 +1843,10 @@ impl EngineBuilder {
             repartition_base: vec![0; k],
             repartitions: 0,
             rng_scratch: Vec::new(),
+            down_nodes: if self.churn.is_empty() { Vec::new() } else { vec![false; n] },
+            masked_links: EdgeBitSet::new(edge_count),
+            churn: self.churn.into_events(),
+            churn_next: 0,
             speeds: self.speeds,
             trace: self.trace,
             in_flight_load: 0.0,
@@ -2612,5 +2839,182 @@ mod tests {
         let rounds = e.run_until_balanced(0.1, 3, 20);
         assert_eq!(rounds, 20);
         assert_eq!(e.round(), 20);
+    }
+
+    use crate::churn::{ChurnEvent, ChurnPlan};
+
+    #[test]
+    fn leaving_node_drains_round_robin_to_live_neighbours() {
+        // Ring of 4, all load on node 0; node 0 leaves at round 2. Its
+        // tasks must split round-robin over neighbours 1 and 3 (ascending
+        // order), and the node must be dark afterwards.
+        let plan = ChurnPlan::new(vec![ChurnEvent { round: 2, node: 0, leave: true }]);
+        let mut e = EngineBuilder::new(Topology::ring(4))
+            .workload(Workload::from_loads(&[8.0, 0.0, 0.0, 0.0], 1.0))
+            .balancer(NullBalancer)
+            .churn(plan)
+            .seed(1)
+            .build();
+        e.run_rounds(1);
+        assert_eq!(e.down_node_count(), 0);
+        assert_eq!(e.heights()[0], 8.0);
+        e.run_rounds(1);
+        assert_eq!(e.down_node_count(), 1);
+        let h = e.heights();
+        assert_eq!(h[0], 0.0, "leaver drained: {h:?}");
+        assert_eq!(h[1], 4.0, "{h:?}");
+        assert_eq!(h[3], 4.0, "{h:?}");
+        assert!((e.system_load() - 8.0).abs() < 1e-9, "drain conserves load");
+    }
+
+    #[test]
+    fn isolated_leaver_freezes_tasks_until_rejoin() {
+        // Ring of 4: nodes 1 and 3 leave first, so when node 0 leaves it
+        // has no live receiver — its tasks freeze in place, are not
+        // consumed, and thaw when it rejoins.
+        let ev = |round, node, leave| ChurnEvent { round, node, leave };
+        let plan =
+            ChurnPlan::new(vec![ev(1, 1, true), ev(1, 3, true), ev(2, 0, true), ev(5, 0, false)]);
+        let mut e = EngineBuilder::new(Topology::ring(4))
+            .workload(Workload::from_loads(&[4.0, 0.0, 0.0, 0.0], 1.0))
+            .balancer(NullBalancer)
+            .config(EngineConfig { consume_rate: 1.0, ..Default::default() })
+            .churn(plan)
+            .seed(0)
+            .build();
+        e.run_rounds(4);
+        // Two units consumed before the leave takes effect at the round-2
+        // tick (the interval [1, 2) is consumed before the tick fires);
+        // frozen since.
+        assert_eq!(e.down_node_count(), 3);
+        assert!((e.heights()[0] - 2.0).abs() < 1e-9, "{:?}", e.heights());
+        e.run_rounds(3);
+        // Rejoined at round 5: consumption resumed.
+        assert_eq!(e.down_node_count(), 2);
+        assert!(e.heights()[0] < 2.0, "{:?}", e.heights());
+    }
+
+    #[test]
+    fn launches_at_down_nodes_are_refused() {
+        // Node 1 (the greedy hotspot's only low neighbour on a path-like
+        // ring segment) leaves before the hotspot can push to it; the
+        // masked edge must refuse the launch instead of teleporting load
+        // onto a dark node.
+        let plan = ChurnPlan::new(vec![ChurnEvent { round: 1, node: 1, leave: true }]);
+        let mut e = EngineBuilder::new(Topology::ring(4))
+            .workload(Workload::hotspot(4, 0, 8.0))
+            .balancer(GreedyOne)
+            .churn(plan)
+            .seed(2)
+            .build();
+        e.run_rounds(10);
+        e.drain(10.0);
+        assert_eq!(e.heights()[1], 0.0, "down node must stay empty: {:?}", e.heights());
+        assert!((e.system_load() - 8.0).abs() < 1e-9);
+    }
+
+    fn churny_engine(strategy: SimulationStrategy, shards: usize, threads: usize) -> Engine {
+        use pp_tasking::workload::TraceEvent;
+        let topo = Topology::torus(&[8, 8]);
+        let w = Workload::uniform_random(64, 6.0, 3);
+        EngineBuilder::new(topo)
+            .workload(w)
+            .balancer(GreedyStable)
+            .config(EngineConfig {
+                shards,
+                threads,
+                consume_rate: 0.3,
+                strategy,
+                ..Default::default()
+            })
+            .arrival_trace(vec![
+                TraceEvent { time: 3.5, node: 11, size: 2.0 },
+                TraceEvent { time: 30.5, node: 40, size: 1.0 },
+            ])
+            .churn(ChurnPlan::markov(64, 40, 0.02, 0.25, 77))
+            .seed(17)
+            .build()
+    }
+
+    #[test]
+    fn churned_run_is_identical_across_layouts() {
+        let mut seq = churny_engine(SimulationStrategy::Tick, 1, 1);
+        seq.run_rounds(45);
+        seq.drain(20.0);
+        let want = seq.report();
+        for (k, t) in [(4, 1), (8, 2), (16, 4)] {
+            let mut e = churny_engine(SimulationStrategy::Tick, k, t);
+            e.run_rounds(45);
+            e.drain(20.0);
+            assert_eq!(e.report(), want, "K={k} threads={t}");
+            assert_eq!(e.heights(), seq.heights(), "K={k} threads={t}");
+        }
+    }
+
+    #[test]
+    fn churned_event_strategy_matches_tick() {
+        let mut tick = churny_engine(SimulationStrategy::Tick, 1, 1);
+        tick.run_rounds(60);
+        tick.drain(20.0);
+        let want = tick.report();
+        for (k, t) in [(1, 1), (4, 2)] {
+            let mut ev = churny_engine(SimulationStrategy::Event, k, t);
+            ev.run_rounds(60);
+            ev.drain(20.0);
+            assert_eq!(ev.report(), want, "event K={k} threads={t}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_crosses_churn_exactly() {
+        let mut straight = churny_engine(SimulationStrategy::Tick, 1, 1);
+        straight.run_rounds(40);
+        straight.drain(20.0);
+        let want = straight.report();
+
+        let mut writer = churny_engine(SimulationStrategy::Tick, 4, 2);
+        writer.run_rounds(15);
+        assert!(writer.down_node_count() > 0, "capture should land mid-churn");
+        let cp = Checkpoint::from_json(&writer.checkpoint().to_json()).expect("round trip");
+        for (k, t) in [(1, 1), (8, 4)] {
+            let mut resumed = churny_engine(SimulationStrategy::Tick, k, t);
+            resumed.restore(&cp).expect("restore");
+            assert_eq!(resumed.down_node_count(), writer.down_node_count());
+            resumed.run_rounds(25);
+            resumed.drain(20.0);
+            assert_eq!(resumed.report(), want, "churned resume under K={k} threads={t}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_churn_plans() {
+        let mut writer = churny_engine(SimulationStrategy::Tick, 1, 1);
+        writer.run_rounds(10);
+        let cp = writer.checkpoint();
+        // An engine without the plan must refuse the churned checkpoint.
+        let mut plain = stable_engine(SimulationStrategy::Tick, 1, 1);
+        let err = plain.restore(&cp).unwrap_err();
+        assert!(err.contains("churn"), "{err}");
+    }
+
+    #[test]
+    fn path_topology_runs_a_full_balance_cycle() {
+        // Tree { arity: 1 } is a path — the degenerate-but-legal shape that
+        // pairs with the hypercube dim-0 rejection: arity 1 must keep
+        // building and balancing end to end.
+        let spec = pp_topology::spec::TopologySpec::Tree { arity: 1, depth: 7 };
+        spec.validate().expect("arity-1 trees (paths) stay valid");
+        let topo = spec.build();
+        assert_eq!(topo.node_count(), 8);
+        let mut e = EngineBuilder::new(topo)
+            .workload(Workload::hotspot(8, 0, 16.0))
+            .balancer(GreedyOne)
+            .seed(3)
+            .build();
+        e.run_rounds(200);
+        e.drain(20.0);
+        let im = Imbalance::of(&e.heights());
+        assert!(im.cov < 0.8, "path diffusion must make progress: {:?}", e.heights());
+        assert!((e.system_load() - 16.0).abs() < 1e-9);
     }
 }

@@ -18,6 +18,7 @@
 
 pub mod balancer;
 pub mod checkpoint;
+pub mod churn;
 pub mod engine;
 pub mod events;
 pub mod parallel;
@@ -32,6 +33,7 @@ pub mod prelude {
         NeighborInfo, NodeView, NullBalancer, ViewScratch,
     };
     pub use crate::checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+    pub use crate::churn::{ChurnEvent, ChurnPlan};
     pub use crate::engine::{
         Engine, EngineBuilder, EngineConfig, FaultModel, RepartitionConfig, RunReport, ShardLayout,
     };

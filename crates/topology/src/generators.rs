@@ -163,6 +163,116 @@ impl Topology {
         t
     }
 
+    /// Barabási–Albert preferential-attachment scale-free graph: a
+    /// complete seed clique on `m + 1` nodes, then each new node attaches
+    /// to `m` distinct existing nodes chosen degree-proportionally (by
+    /// uniform sampling from the running edge-endpoint list, the classic
+    /// BA construction). Connected by construction and deterministic for
+    /// a given `seed`.
+    pub fn scale_free(n: usize, m: usize, seed: u64) -> Topology {
+        assert!(m >= 1, "attachment count m must be ≥ 1");
+        assert!(n > m, "need more than m nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        // Every edge contributes both endpoints; sampling uniformly from
+        // this list is sampling nodes with probability ∝ degree.
+        let mut endpoints: Vec<u32> = Vec::new();
+        let m0 = m + 1;
+        for u in 0..m0.min(n) as u32 {
+            for v in (u + 1)..m0.min(n) as u32 {
+                edges.push((u, v));
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        for v in m0 as u32..n as u32 {
+            targets.clear();
+            while targets.len() < m {
+                let u = endpoints[rng.gen_range(0..endpoints.len())];
+                if !targets.contains(&u) {
+                    targets.push(u);
+                }
+            }
+            for &u in targets.iter() {
+                edges.push((u, v));
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+        let mut t = Topology::from_edges(n, &edges);
+        t.set_kind(TopologyKind::ScaleFree(m));
+        t
+    }
+
+    /// Random geometric graph: `n` seeded points uniform in the unit
+    /// square, every pair within Euclidean distance `radius` linked, then
+    /// deterministically augmented to connectivity (while more than one
+    /// component remains, the globally closest inter-component node pair
+    /// — ties broken by node id — gains an edge). Deterministic for a
+    /// given `seed` and always connected.
+    pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Topology {
+        assert!(n >= 2, "need at least 2 nodes");
+        assert!(radius > 0.0 && radius.is_finite(), "radius must be finite and > 0");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> =
+            (0..n).map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0))).collect();
+        let d2 = |u: usize, v: usize| {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            dx * dx + dy * dy
+        };
+        let r2 = radius * radius;
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if d2(u, v) <= r2 {
+                    edges.push((u as u32, v as u32));
+                }
+            }
+        }
+        // Union-find over the radius edges, then stitch components
+        // together along shortest inter-component hops.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let mut components = n;
+        for &(u, v) in &edges {
+            let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+            if ru != rv {
+                parent[ru] = rv;
+                components -= 1;
+            }
+        }
+        while components > 1 {
+            let mut best: Option<(f64, usize, usize)> = None;
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if find(&mut parent, u) == find(&mut parent, v) {
+                        continue;
+                    }
+                    let d = d2(u, v);
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
+                        best = Some((d, u, v));
+                    }
+                }
+            }
+            let (_, u, v) = best.expect("components > 1 implies a cross pair");
+            edges.push((u as u32, v as u32));
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            parent[ru] = rv;
+            components -= 1;
+        }
+        let mut t = Topology::from_edges(n, &edges);
+        t.set_kind(TopologyKind::Geometric);
+        t
+    }
+
     pub(crate) fn set_kind(&mut self, kind: TopologyKind) {
         *self.kind_mut() = kind;
     }
@@ -291,5 +401,42 @@ mod tests {
     #[should_panic(expected = "at least 3")]
     fn tiny_ring_rejected() {
         let _ = Topology::ring(2);
+    }
+
+    #[test]
+    fn scale_free_structure_and_determinism() {
+        let a = Topology::scale_free(64, 2, 11);
+        assert_eq!(a.node_count(), 64);
+        assert!(a.is_connected());
+        // Seed clique on 3 nodes (3 edges) + 2 per later node, minus any
+        // collapsed duplicates — but BA never duplicates (targets are
+        // distinct and the new node is fresh), so the count is exact.
+        assert_eq!(a.edge_count(), 3 + 2 * (64 - 3));
+        let b = Topology::scale_free(64, 2, 11);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), Topology::scale_free(64, 2, 12).edges());
+        assert_eq!(*a.kind(), TopologyKind::ScaleFree(2));
+        // Preferential attachment grows hubs: some node must exceed the
+        // regular-graph degree.
+        let max_deg = a.nodes().map(|v| a.degree(v)).max().unwrap();
+        assert!(max_deg > 4, "expected a hub, max degree {max_deg}");
+    }
+
+    #[test]
+    fn random_geometric_connected_and_deterministic() {
+        // Small radius forces the augmentation path to fire.
+        for radius in [0.05, 0.2, 2.0] {
+            let t = Topology::random_geometric(48, radius, 5);
+            assert_eq!(t.node_count(), 48);
+            assert!(t.is_connected(), "radius {radius}");
+        }
+        let a = Topology::random_geometric(48, 0.2, 5);
+        let b = Topology::random_geometric(48, 0.2, 5);
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), Topology::random_geometric(48, 0.2, 6).edges());
+        assert_eq!(*a.kind(), TopologyKind::Geometric);
+        // radius ≥ √2 covers the unit square: complete graph.
+        let full = Topology::random_geometric(10, 2.0, 1);
+        assert_eq!(full.edge_count(), 45);
     }
 }

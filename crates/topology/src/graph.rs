@@ -69,6 +69,12 @@ pub enum TopologyKind {
     Tree(usize),
     /// Connected Erdős–Rényi-style random graph.
     Random,
+    /// Barabási–Albert preferential-attachment scale-free graph (each new
+    /// node attaches to `m` existing nodes).
+    ScaleFree(usize),
+    /// Random geometric graph (unit-square points linked within a radius,
+    /// augmented to connectivity).
+    Geometric,
     /// Built from an explicit edge list.
     Custom,
 }
@@ -84,6 +90,8 @@ impl fmt::Display for TopologyKind {
             TopologyKind::Complete => write!(f, "complete"),
             TopologyKind::Tree(a) => write!(f, "tree(arity {a})"),
             TopologyKind::Random => write!(f, "random"),
+            TopologyKind::ScaleFree(m) => write!(f, "scale-free(m {m})"),
+            TopologyKind::Geometric => write!(f, "geometric"),
             TopologyKind::Custom => write!(f, "custom"),
         }
     }

@@ -56,6 +56,25 @@ pub enum TopologySpec {
         /// Generator seed.
         seed: u64,
     },
+    /// Barabási–Albert preferential-attachment scale-free graph.
+    ScaleFree {
+        /// Node count (> m).
+        n: usize,
+        /// Edges each new node attaches with (≥ 1).
+        m: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Random geometric graph on the unit square, augmented to
+    /// connectivity.
+    Geometric {
+        /// Node count (≥ 2).
+        n: usize,
+        /// Link radius (> 0).
+        radius: f64,
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl TopologySpec {
@@ -71,6 +90,11 @@ impl TopologySpec {
                 }
             }
             TopologySpec::Hypercube { dim } => {
+                if *dim == 0 {
+                    return Err("hypercube dimension must be ≥ 1 (dim 0 is a single \
+                                isolated node)"
+                        .into());
+                }
                 if *dim > 20 {
                     return Err(format!("hypercube dimension {dim} unreasonably large"));
                 }
@@ -103,6 +127,22 @@ impl TopologySpec {
                     return Err(format!("random edge probability {p} not in [0, 1]"));
                 }
             }
+            TopologySpec::ScaleFree { n, m, .. } => {
+                if *m == 0 {
+                    return Err("scale-free attachment count m must be ≥ 1".into());
+                }
+                if *n <= *m {
+                    return Err(format!("scale-free graph needs n > m (n={n}, m={m})"));
+                }
+            }
+            TopologySpec::Geometric { n, radius, .. } => {
+                if *n < 2 {
+                    return Err("a geometric graph needs at least 2 nodes".into());
+                }
+                if !(*radius > 0.0 && radius.is_finite()) {
+                    return Err(format!("geometric radius {radius} must be finite and > 0"));
+                }
+            }
         }
         Ok(())
     }
@@ -125,7 +165,9 @@ impl TopologySpec {
                 }
                 total
             }
-            TopologySpec::Random { n, .. } => *n,
+            TopologySpec::Random { n, .. }
+            | TopologySpec::ScaleFree { n, .. }
+            | TopologySpec::Geometric { n, .. } => *n,
         }
     }
 
@@ -144,6 +186,10 @@ impl TopologySpec {
             TopologySpec::Complete { n } => Topology::complete(*n),
             TopologySpec::Tree { arity, depth } => Topology::tree(*arity, *depth),
             TopologySpec::Random { n, p, seed } => Topology::random(*n, *p, *seed),
+            TopologySpec::ScaleFree { n, m, seed } => Topology::scale_free(*n, *m, *seed),
+            TopologySpec::Geometric { n, radius, seed } => {
+                Topology::random_geometric(*n, *radius, *seed)
+            }
         }
     }
 
@@ -161,6 +207,8 @@ impl TopologySpec {
             TopologySpec::Complete { n } => format!("complete {n}"),
             TopologySpec::Tree { arity, depth } => format!("tree {arity}^{depth}"),
             TopologySpec::Random { n, p, .. } => format!("random {n} (p={p})"),
+            TopologySpec::ScaleFree { n, m, .. } => format!("scale-free {n} (m={m})"),
+            TopologySpec::Geometric { n, radius, .. } => format!("geometric {n} (r={radius})"),
         }
     }
 }
@@ -203,6 +251,22 @@ impl serde::Serialize for TopologySpec {
                     ("seed".to_string(), seed.to_value()),
                 ],
             ),
+            TopologySpec::ScaleFree { n, m, seed } => tagged(
+                "scale-free",
+                vec![
+                    ("n".to_string(), n.to_value()),
+                    ("m".to_string(), m.to_value()),
+                    ("seed".to_string(), seed.to_value()),
+                ],
+            ),
+            TopologySpec::Geometric { n, radius, seed } => tagged(
+                "geometric",
+                vec![
+                    ("n".to_string(), n.to_value()),
+                    ("radius".to_string(), radius.to_value()),
+                    ("seed".to_string(), seed.to_value()),
+                ],
+            ),
         }
     }
 }
@@ -221,6 +285,16 @@ impl serde::Deserialize for TopologySpec {
             "random" => Ok(TopologySpec::Random {
                 n: v.field("n")?,
                 p: v.field("p")?,
+                seed: v.field("seed")?,
+            }),
+            "scale-free" => Ok(TopologySpec::ScaleFree {
+                n: v.field("n")?,
+                m: v.field("m")?,
+                seed: v.field("seed")?,
+            }),
+            "geometric" => Ok(TopologySpec::Geometric {
+                n: v.field("n")?,
+                radius: v.field("radius")?,
                 seed: v.field("seed")?,
             }),
             other => Err(format!("unknown topology kind `{other}`")),
@@ -243,6 +317,11 @@ mod tests {
             (TopologySpec::Complete { n: 5 }, Topology::complete(5)),
             (TopologySpec::Tree { arity: 2, depth: 3 }, Topology::tree(2, 3)),
             (TopologySpec::Random { n: 16, p: 0.1, seed: 3 }, Topology::random(16, 0.1, 3)),
+            (TopologySpec::ScaleFree { n: 24, m: 2, seed: 3 }, Topology::scale_free(24, 2, 3)),
+            (
+                TopologySpec::Geometric { n: 24, radius: 0.3, seed: 3 },
+                Topology::random_geometric(24, 0.3, 3),
+            ),
         ];
         for (spec, direct) in cases {
             spec.validate().expect("valid spec");
@@ -271,6 +350,22 @@ mod tests {
         assert!(TopologySpec::Tree { arity: 0, depth: 2 }.validate().is_err());
         assert!(TopologySpec::Random { n: 8, p: 1.5, seed: 0 }.validate().is_err());
         assert!(TopologySpec::Random { n: 1, p: 0.5, seed: 0 }.validate().is_err());
+        assert!(TopologySpec::ScaleFree { n: 8, m: 0, seed: 0 }.validate().is_err());
+        assert!(TopologySpec::ScaleFree { n: 3, m: 3, seed: 0 }.validate().is_err());
+        assert!(TopologySpec::Geometric { n: 1, radius: 0.3, seed: 0 }.validate().is_err());
+        assert!(TopologySpec::Geometric { n: 8, radius: 0.0, seed: 0 }.validate().is_err());
+        assert!(TopologySpec::Geometric { n: 8, radius: f64::NAN, seed: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_hypercube_rejected() {
+        // dim 0 is a single isolated node: dimension exchange's edge
+        // coloring has no classes to cycle through, so the spec layer
+        // refuses to describe it rather than let every downstream balancer
+        // define its own behavior.
+        let err = TopologySpec::Hypercube { dim: 0 }.validate().unwrap_err();
+        assert!(err.contains("≥ 1"), "got: {err}");
+        assert!(TopologySpec::Hypercube { dim: 1 }.validate().is_ok());
     }
 
     #[test]
@@ -278,5 +373,10 @@ mod tests {
         assert_eq!(TopologySpec::Torus { dims: vec![8, 8] }.label(), "torus 8x8");
         assert_eq!(TopologySpec::Hypercube { dim: 6 }.label(), "hypercube 6");
         assert_eq!(TopologySpec::Random { n: 64, p: 0.05, seed: 1 }.label(), "random 64 (p=0.05)");
+        assert_eq!(TopologySpec::ScaleFree { n: 64, m: 2, seed: 1 }.label(), "scale-free 64 (m=2)");
+        assert_eq!(
+            TopologySpec::Geometric { n: 64, radius: 0.2, seed: 1 }.label(),
+            "geometric 64 (r=0.2)"
+        );
     }
 }
